@@ -1,0 +1,17 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series (so the numbers recorded in
+EXPERIMENTS.md can be re-derived directly from the bench output), while
+pytest-benchmark measures the cost of the underlying analysis.
+"""
+
+import pytest
+
+from repro.library import SubthresholdLibrary
+
+
+@pytest.fixture(scope="session")
+def library() -> SubthresholdLibrary:
+    """Session-wide calibrated library shared by all benches."""
+    return SubthresholdLibrary()

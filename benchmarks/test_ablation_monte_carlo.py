@@ -1,0 +1,54 @@
+"""A2 — ablation: open-loop versus compensated operation under Monte Carlo
+threshold variation.
+
+Corner analysis (Fig. 1) brackets the systematic spread; this ablation
+asks how much energy an uncompensated design loses on random silicon and
+confirms the compensated design never does worse.
+"""
+
+import pytest
+
+from repro.analysis.monte_carlo import monte_carlo_mep
+from repro.devices.variation import VariationModel
+
+SAMPLE_COUNT = 30
+VARIATION = VariationModel(global_sigma_v=0.015, local_sigma_v=0.005)
+
+
+def run_monte_carlo(library):
+    return monte_carlo_mep(
+        samples=SAMPLE_COUNT,
+        library=library,
+        variation=VARIATION,
+        seed=2009,
+    )
+
+
+@pytest.fixture(scope="module")
+def summary(library):
+    return run_monte_carlo(library)
+
+
+def test_monte_carlo_bench(benchmark, library):
+    result = benchmark(run_monte_carlo, library)
+    assert result.count == SAMPLE_COUNT
+
+
+def test_monte_carlo_summary(summary):
+    print("\nA2 — Monte Carlo MEP variation "
+          f"({summary.count} samples, sigma(Vth) ~ 16 mV)")
+    print(f"  nominal MEP: {summary.nominal_mep.optimal_supply_mv:.1f} mV / "
+          f"{summary.nominal_mep.minimum_energy_fj:.2f} fJ")
+    print(f"  Vopt sigma:            {summary.vopt_sigma_mv():6.1f} mV")
+    print(f"  Emin sigma:            {summary.energy_sigma_percent():6.1f} %")
+    print(f"  mean open-loop penalty: {summary.mean_penalty_percent():6.2f} %")
+    print(f"  worst open-loop penalty:{summary.worst_penalty_percent():6.2f} %")
+    print(f"  mean compensation gain: {summary.compensation_gain_percent():6.2f} %")
+    assert summary.vopt_sigma_mv() > 2.0
+    assert summary.worst_penalty_percent() >= summary.mean_penalty_percent()
+    assert summary.mean_penalty_percent() >= 0.0
+
+
+def test_compensation_never_loses(summary):
+    for result in summary.results:
+        assert result.compensated_energy <= result.uncompensated_energy + 1e-18

@@ -1,0 +1,64 @@
+"""A1 — ablation: DC-DC resolution (counter width) versus MEP tracking error.
+
+The paper argues 6 bits (18.75 mV) is the best resolution/performance
+trade-off.  This ablation quantifies the energy penalty of coarser
+resolutions and the diminishing return of finer ones.
+"""
+
+import pytest
+
+from repro.delay.mep import find_minimum_energy_point
+from repro.library import OperatingCondition
+
+RESOLUTIONS_BITS = (4, 5, 6, 7, 8)
+
+
+def quantized_mep_penalty(library, bits: int, corner: str = "SS") -> float:
+    """Return the energy penalty of quantising the MEP supply to ``bits``."""
+    model = library.energy_model(OperatingCondition(corner=corner))
+    mep = find_minimum_energy_point(model)
+    lsb = 1.2 / (1 << bits)
+    quantized_supply = round(mep.optimal_supply / lsb) * lsb
+    quantized_supply = max(lsb, quantized_supply)
+    energy = float(model.total_energy(quantized_supply))
+    return energy / mep.minimum_energy - 1.0
+
+
+def sweep_resolutions(library):
+    return {
+        bits: quantized_mep_penalty(library, bits) for bits in RESOLUTIONS_BITS
+    }
+
+
+@pytest.fixture(scope="module")
+def penalties(library):
+    return sweep_resolutions(library)
+
+
+def test_resolution_ablation_bench(benchmark, library):
+    result = benchmark(sweep_resolutions, library)
+    assert set(result) == set(RESOLUTIONS_BITS)
+
+
+def test_resolution_ablation(penalties):
+    print("\nA1 — MEP tracking penalty vs DC-DC resolution (slow corner)")
+    for bits, penalty in penalties.items():
+        lsb_mv = 1200.0 / (1 << bits)
+        print(f"  {bits} bits ({lsb_mv:6.2f} mV/LSB): "
+              f"+{penalty * 100:5.2f} % energy above the true MEP")
+    # Coarser than 6 bits costs visibly more than the paper's choice.
+    assert penalties[4] >= penalties[6]
+    # 6 bits is already within a few percent of the ideal; finer resolutions
+    # buy almost nothing (the paper's trade-off argument).
+    assert penalties[6] < 0.05
+    assert penalties[6] - penalties[8] < 0.05
+
+
+def test_worst_case_quantization_penalty(library):
+    """Half-LSB worst-case error at 6 bits stays within a few percent."""
+    model = library.energy_model(OperatingCondition(corner="SS"))
+    mep = find_minimum_energy_point(model)
+    worst_supply = mep.optimal_supply + 0.5 * 0.01875
+    penalty = float(model.total_energy(worst_supply)) / mep.minimum_energy - 1.0
+    print(f"\nA1 — worst-case half-LSB penalty at 6 bits: {penalty * 100:.2f} %")
+    assert penalty < 0.10

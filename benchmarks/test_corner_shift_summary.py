@@ -1,0 +1,56 @@
+"""E7 — Section II scalar summary: Vopt / energy shifts across corners and
+temperature, reduced to the single numbers the paper quotes."""
+
+import pytest
+
+from repro.analysis.sweeps import corner_energy_sweep, temperature_energy_sweep
+
+
+@pytest.fixture(scope="module")
+def corner_result(library):
+    return corner_energy_sweep(library)
+
+
+@pytest.fixture(scope="module")
+def temperature_result(library):
+    return temperature_energy_sweep(library)
+
+
+def test_corner_shift_bench(benchmark, library):
+    result = benchmark(corner_energy_sweep, library)
+    assert result.minima
+
+
+def test_section2_scalar_summary(corner_result, temperature_result):
+    vopt_spread = corner_result.vopt_spread_percent()
+    energy_spread = corner_result.energy_spread_percent()
+    temp_energy = temperature_result.energy_increase_percent(25.0, 85.0)
+    temp_shift = temperature_result.vopt_shift_mv(25.0, 85.0)
+    print("\nE7 — Section II scalar summary (measured vs paper)")
+    print(f"  corner Vopt spread:     {vopt_spread:5.1f} %   (paper ~25 %)")
+    print(f"  corner energy spread:   {energy_spread:5.1f} %   (paper ~55 %)")
+    print(f"  25->85 C Vopt shift:    {temp_shift:5.1f} mV  (paper ~50 mV)")
+    print(f"  25->85 C energy growth: {temp_energy:5.1f} %   (paper ~25 %)")
+    assert 12.0 < vopt_spread < 35.0
+    assert 40.0 < energy_spread < 70.0
+    assert 25.0 < temp_shift < 70.0
+    assert temp_energy > 20.0
+
+
+def test_process_shift_up_to_60_percent_of_mep(corner_result):
+    """Paper: 'process shifts can cause variations of up to 60% of the MEP'.
+
+    Interpreted as the worst-case energy penalty of operating one corner's
+    silicon at another corner's MEP supply.
+    """
+    penalties = []
+    for corner, sweep in corner_result.sweeps.items():
+        for other, other_sweep in corner_result.sweeps.items():
+            if corner == other:
+                continue
+            penalty = sweep.penalty_at(other_sweep.minimum.optimal_supply)
+            penalties.append((corner, other, penalty * 100.0))
+    worst = max(penalties, key=lambda item: item[2])
+    print(f"\nE7 — worst cross-corner MEP penalty: {worst[2]:.1f} % "
+          f"({worst[0]} silicon at the {worst[1]} MEP supply)")
+    assert worst[2] > 5.0

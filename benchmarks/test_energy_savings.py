@@ -1,0 +1,60 @@
+"""E6 — headline claim: up to ~55 % energy gain versus no controller.
+
+Fixed-supply operation (margined for the worst corner and the peak
+workload) is compared with adaptive MEP/workload tracking per corner and
+per load (ring oscillator and 9-tap FIR).
+"""
+
+import pytest
+
+from repro.analysis.energy_savings import (
+    controller_savings,
+    savings_across_corners,
+    uncompensated_penalty,
+)
+from repro.analysis.reporting import savings_table
+
+
+@pytest.fixture(scope="module")
+def report(library):
+    return controller_savings(library)
+
+
+def test_savings_bench(benchmark, library):
+    result = benchmark(controller_savings, library)
+    assert result.comparisons
+
+
+def test_headline_savings(report):
+    print("\nE6 — fixed supply vs adaptive controller (ring oscillator)")
+    print(savings_table(report))
+    print(f"  maximum savings vs uncontrolled: "
+          f"{report.maximum_savings * 100:.1f} %")
+    print(f"  maximum improvement over adaptive energy: "
+          f"{report.maximum_improvement * 100:.1f} %  (paper: up to 55 %)")
+    assert 0.30 <= report.maximum_savings <= 0.80
+    assert report.maximum_improvement >= 0.45
+    for comparison in report.comparisons.values():
+        assert comparison.savings_vs_uncontrolled > 0.0
+
+
+def test_savings_across_loads(library):
+    reports = savings_across_corners(library)
+    print("\nE6 — savings per load")
+    for name, load_report in reports.items():
+        print(f"\n  load: {name}")
+        print(savings_table(load_report))
+        assert load_report.maximum_savings > 0.2
+
+
+def test_uncompensated_corner_penalty(library):
+    summary = uncompensated_penalty(library)
+    print("\nE6 — penalty of skipping the one-LSB corner compensation "
+          "(slow silicon, typical-programmed supply)")
+    print(f"  uncompensated: {summary['uncompensated_supply'] * 1e3:.1f} mV "
+          f"-> {summary['uncompensated_energy'] * 1e15:.2f} fJ")
+    print(f"  compensated:   {summary['compensated_supply'] * 1e3:.1f} mV "
+          f"-> {summary['compensated_energy'] * 1e15:.2f} fJ")
+    print(f"  penalty: {summary['penalty_percent']:.1f} %")
+    assert summary["penalty_percent"] > 0.0
+    assert summary["compensated_supply"] > summary["uncompensated_supply"]

@@ -1,0 +1,64 @@
+"""E1 — Fig. 1: total energy versus Vdd across process corners.
+
+Paper anchors (0.13 um, NAND ring oscillator, alpha = 0.1, T = 25 C):
+Vopt = 200 / 220 / 250 mV and Emin = 2.65 / 1.70 / 2.42 fJ for the
+TT / SS / FS corners; ~25 % Vopt spread and ~55 % energy spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import mep_table, series_rows
+from repro.analysis.sweeps import corner_energy_sweep
+
+PAPER_MINIMA = {
+    "TT": (0.200, 2.65e-15),
+    "SS": (0.220, 1.70e-15),
+    "FS": (0.250, 2.42e-15),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_result(library):
+    return corner_energy_sweep(library)
+
+
+def test_fig1_corner_sweep(benchmark, library):
+    """Regenerate and time the Fig. 1 corner sweep."""
+    result = benchmark(corner_energy_sweep, library)
+    assert set(result.sweeps) == {"SS", "TT", "FS"}
+
+
+def test_fig1_minima_match_paper(sweep_result):
+    print("\nFig. 1 — minimum energy point per process corner")
+    print(mep_table(sweep_result.minima))
+    for corner, (v_paper, e_paper) in PAPER_MINIMA.items():
+        mep = sweep_result.minima[corner]
+        assert mep.optimal_supply == pytest.approx(v_paper, abs=0.012)
+        assert mep.minimum_energy == pytest.approx(e_paper, rel=0.08)
+
+
+def test_fig1_spreads_match_paper(sweep_result):
+    vopt_spread = sweep_result.vopt_spread_percent()
+    energy_spread = sweep_result.energy_spread_percent()
+    print(f"\nFig. 1 spreads: Vopt {vopt_spread:.1f} % (paper ~25 %), "
+          f"energy {energy_spread:.1f} % (paper ~55 %)")
+    assert 12.0 < vopt_spread < 35.0
+    assert 40.0 < energy_spread < 70.0
+
+
+def test_fig1_energy_series(sweep_result):
+    """Print the energy-vs-Vdd series (the curves of Fig. 1)."""
+    for corner, sweep in sweep_result.sweeps.items():
+        mask = (sweep.supplies >= 0.1) & (sweep.supplies <= 0.9)
+        print(f"\nFig. 1 series — corner {corner} (energy in fJ)")
+        print(
+            series_rows(
+                "Vdd [V]",
+                "E/cycle [fJ]",
+                sweep.supplies[mask],
+                np.asarray(sweep.energies[mask]) * 1e15,
+                stride=16,
+            )
+        )
+        assert np.all(sweep.energies[mask] > 0)

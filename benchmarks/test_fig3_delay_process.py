@@ -1,0 +1,64 @@
+"""E3 — Fig. 3: delay versus Vdd across process corners (log scale).
+
+Paper observations: delay spans several orders of magnitude between
+1.2 V and deep subthreshold (102 ps -> 79 ns for the reference
+inverter), the corner spread is largest below threshold, and a 10 %
+supply variation moves the delay by tens of percent in subthreshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import series_rows
+from repro.analysis.sweeps import delay_sweep
+from repro.delay.calibration import PAPER_ANCHORS
+
+
+@pytest.fixture(scope="module")
+def sweep_result(library):
+    return delay_sweep(library)
+
+
+def test_fig3_delay_sweep(benchmark, library):
+    result = benchmark(delay_sweep, library)
+    assert set(result.delays) == {"SS", "TT", "FS"}
+
+
+def test_fig3_inverter_anchors(library):
+    model = library.reference_delay_model
+    print("\nFig. 3 / Sec. II-A — calibrated inverter delay vs paper anchors")
+    for supply, target in sorted(PAPER_ANCHORS.inverter_delays.items()):
+        measured = model.inverter_delay(supply)
+        print(f"  Vdd={supply:4.1f} V  measured {measured * 1e12:9.1f} ps   "
+              f"paper {target * 1e12:9.1f} ps")
+        assert measured == pytest.approx(target, rel=0.10)
+
+
+def test_fig3_delay_series(sweep_result):
+    for corner, delays in sweep_result.delays.items():
+        print(f"\nFig. 3 series — corner {corner} (NAND stage delay, ns)")
+        print(
+            series_rows(
+                "Vdd [V]",
+                "delay [ns]",
+                sweep_result.supplies,
+                np.asarray(delays) * 1e9,
+                stride=20,
+            )
+        )
+        assert np.all(np.diff(delays) < 0)
+
+
+def test_fig3_corner_ordering(sweep_result):
+    for supply in (0.2, 0.3, 0.5, 1.0):
+        assert sweep_result.delay_ratio("SS", "TT", supply) > 1.0
+        assert sweep_result.delay_ratio("FS", "TT", supply) > 1.0
+
+
+def test_fig3_subthreshold_sensitivity(sweep_result):
+    sensitivity = sweep_result.sensitivity_percent("TT", 0.3, 0.1)
+    superthreshold = sweep_result.sensitivity_percent("TT", 1.1, 0.1)
+    print(f"\nFig. 3: 10% Vdd drop at 300 mV -> +{sensitivity:.0f} % delay "
+          f"(paper: up to ~30 %); at 1.1 V -> +{superthreshold:.0f} %")
+    assert sensitivity > 20.0
+    assert sensitivity > 2.0 * superthreshold

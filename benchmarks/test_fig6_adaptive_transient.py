@@ -1,0 +1,88 @@
+"""E5 — Fig. 6: closed-loop transient of the adaptive controller.
+
+The paper's simulation drives three operating points on slow silicon
+with a typical-corner-programmed LUT: word 19 (~356 mV), the corrected
+minimum-energy point (200 mV + one 18.75 mV LSB = ~219 mV) and a step to
+~880 mV, with the one-bit variation compensation appearing within the
+first system cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.controller import AdaptiveController
+from repro.core.rate_controller import program_lut_for_load
+from repro.digital.signals import voltage_to_code
+from repro.library import OperatingCondition
+
+PHASES = [(19, 120), (11, 220), (47, 160)]
+
+
+def build_controller(library) -> AdaptiveController:
+    reference = library.reference_delay_model
+    slow = library.delay_model(OperatingCondition(corner="SS"))
+    load = DigitalLoad(library.ring_oscillator_load, slow)
+    reference_load = DigitalLoad(library.ring_oscillator_load, reference)
+    lut = program_lut_for_load(reference_load, sample_rate=1e5)
+    return AdaptiveController(
+        load=load, lut=lut, reference_delay_model=reference,
+        compensation_enabled=True,
+    )
+
+
+def run_schedule(library):
+    return build_controller(library).run_schedule(PHASES)
+
+
+@pytest.fixture(scope="module")
+def trace(library):
+    return run_schedule(library)
+
+
+def test_fig6_transient_bench(benchmark, library):
+    result = benchmark(run_schedule, library)
+    assert len(result) == sum(cycles for _, cycles in PHASES)
+
+
+def test_fig6_phase_voltages(trace):
+    voltages = trace.output_voltages
+    times = trace.times
+    phase1 = float(voltages[100:118].mean())
+    phase2 = float(voltages[300:338].mean())
+    phase3 = float(voltages[-20:].mean())
+    print("\nFig. 6 — closed-loop output voltage phases (slow silicon, "
+          "typical-programmed LUT)")
+    print(f"  phase 1 (word 19):        {phase1 * 1e3:6.1f} mV  "
+          f"(paper ~356 mV + 18.75 mV compensation)")
+    print(f"  phase 2 (MEP word):       {phase2 * 1e3:6.1f} mV  "
+          f"(paper ~218.75 mV, the slow-corner MEP)")
+    print(f"  phase 3 (word 47):        {phase3 * 1e3:6.1f} mV  "
+          f"(paper ~880 mV)")
+    assert phase1 == pytest.approx(0.375, abs=0.02)
+    assert phase2 == pytest.approx(0.219, abs=0.02)
+    assert phase3 == pytest.approx(0.88, abs=0.06)
+    assert times[-1] == pytest.approx(sum(c for _, c in PHASES) * 1e-6, rel=0.01)
+
+
+def test_fig6_one_bit_compensation(trace):
+    corrections = np.array([r.lut_correction for r in trace.records])
+    print(f"\nFig. 6: LUT correction settles at {corrections[-1]} LSB "
+          f"(paper: one-bit shift, 18.75 mV)")
+    assert corrections[-1] == 1
+    # The correction is in place early in the run (the paper applies it in
+    # the first system cycles once the loop has settled).
+    first_applied = int(np.argmax(corrections >= 1))
+    assert first_applied < 60
+
+
+def test_fig6_voltage_series(trace):
+    waveform = trace.voltage_waveform()
+    print("\nFig. 6 series — output voltage vs time")
+    stride = 20
+    for time, voltage in list(
+        zip(trace.times, trace.output_voltages)
+    )[::stride]:
+        print(f"  t = {time * 1e6:7.1f} us   Vout = {voltage * 1e3:7.1f} mV")
+    assert waveform.values.max() < 1.05
+    assert waveform.values.min() >= 0.0

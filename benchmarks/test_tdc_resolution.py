@@ -1,0 +1,71 @@
+"""E8 — Section II-A: TDC calibration and resolution.
+
+Covers the inverter-delay anchors (102 ps / 442 ps / 79.4 ns), the
+16-shift-per-200-mV quantizer observation, and the 18.75 mV LSB the
+adjusted Ref_clk / counter mode gives the regulation loop.
+"""
+
+import pytest
+
+from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
+from repro.delay.calibration import PAPER_ANCHORS
+from repro.library import OperatingCondition
+
+
+@pytest.fixture(scope="module")
+def reference_tdc(library):
+    return TimeToDigitalConverter(library.reference_delay_model)
+
+
+@pytest.fixture(scope="module")
+def calibration(reference_tdc):
+    return TdcCalibration(reference_tdc)
+
+
+def test_tdc_calibration_bench(benchmark, reference_tdc):
+    result = benchmark(TdcCalibration, reference_tdc)
+    assert len(result.expected_counts) == 64
+
+
+def test_inverter_delay_anchors(library):
+    model = library.reference_delay_model
+    print("\nE8 — inverter delay anchors")
+    for supply, target in sorted(PAPER_ANCHORS.inverter_delays.items()):
+        measured = model.inverter_delay(supply)
+        error = 100.0 * abs(measured - target) / target
+        print(f"  {supply:4.1f} V: measured {measured * 1e12:9.1f} ps, "
+              f"paper {target * 1e12:9.1f} ps, error {error:4.1f} %")
+        assert error < 10.0
+
+
+def test_counter_mode_resolution_at_subthreshold(calibration, reference_tdc):
+    """One DC-DC LSB (18.75 mV) must be resolvable near the MEP voltages."""
+    print("\nE8 — expected TDC counts per 18.75 mV code (counter mode)")
+    resolvable = 0
+    for code in range(9, 22):
+        low = calibration.expected_count(code)
+        high = calibration.expected_count(code + 1)
+        print(f"  code {code:2d} ({code * 18.75:6.2f} mV): {low:8d} counts, "
+              f"+1 LSB -> {high:8d}")
+        if high > low:
+            resolvable += 1
+    assert resolvable >= 10
+
+
+def test_signature_is_one_lsb_between_typical_and_slow(library, calibration):
+    slow_tdc = TimeToDigitalConverter(
+        library.delay_model(OperatingCondition(corner="SS"))
+    )
+    shifts = []
+    for code in (11, 12, 16, 19):
+        count = slow_tdc.measure(code * 0.01875).count
+        shifts.append(calibration.shift_in_lsb(code, count))
+    print(f"\nE8 — slow-corner signature at codes 11/12/16/19: {shifts} LSB "
+          f"(paper: a one-bit shift)")
+    assert all(1 <= shift <= 2 for shift in shifts)
+
+
+def test_quantizer_shift_count(reference_tdc):
+    shifts = reference_tdc.resolution_shifts(1.2, 1.0)
+    print(f"\nE8 — quantizer shifts 1.2 V -> 1.0 V: {shifts} (paper: 16)")
+    assert 8 <= shifts <= 28

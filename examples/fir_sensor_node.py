@@ -1,0 +1,96 @@
+"""Energy-scavenging sensor node: a 9-tap FIR filter behind the controller.
+
+This is the application class the paper motivates ("applications such as
+scavenging ambient energy"): a sensor front-end samples at a modest rate,
+the 9-tap FIR filter (paper reference [4]) cleans the signal, and the
+adaptive controller keeps the filter's supply at the lowest voltage that
+sustains the sample rate — dropping to the minimum energy point when the
+sensor is quiet and riding up during bursts.
+
+Run with:  python examples/fir_sensor_node.py
+"""
+
+import numpy as np
+
+from repro import OperatingCondition, default_library
+from repro.circuits.fir_filter import FirFilter
+from repro.circuits.loads import DigitalLoad
+from repro.core.controller import AdaptiveController
+from repro.core.rate_controller import program_lut_for_load
+from repro.workloads import BurstyArrivals
+from repro.workloads.generators import sine_with_noise
+
+SILICON_CORNER = "SS"
+SENSOR_SAMPLE_RATE = 4.0e4
+BURST_RATE = 1.6e5
+
+
+def build_node(library):
+    """Build the FIR load and its adaptive controller on slow silicon."""
+    fir = FirFilter()
+    characteristics = library.calibrated_load(
+        fir.characteristics(switching_activity=0.15),
+        target_supply=0.23,
+        target_energy=9.0e-15,
+    )
+    reference = library.reference_delay_model
+    silicon = library.delay_model(OperatingCondition(corner=SILICON_CORNER))
+    load = DigitalLoad(characteristics, silicon)
+    reference_load = DigitalLoad(characteristics, reference)
+    lut = program_lut_for_load(
+        reference_load, sample_rate=SENSOR_SAMPLE_RATE, occupancy_headroom=3.0
+    )
+    controller = AdaptiveController(
+        load=load,
+        lut=lut,
+        reference_delay_model=reference,
+        compensation_enabled=True,
+    )
+    return fir, controller
+
+
+def main() -> None:
+    library = default_library()
+    fir, controller = build_node(library)
+
+    print("Sensor-node example: 9-tap FIR on "
+          f"{SILICON_CORNER} silicon behind the adaptive controller")
+    print(f"  FIR datapath: {controller.load.characteristics.gate_count} "
+          f"equivalent gates, logic depth "
+          f"{controller.load.characteristics.logic_depth}")
+    print(f"  LUT (typical-corner programmed): "
+          f"{controller.lut.raw_entries()}")
+
+    # Bursty sensor traffic: quiet background sampling with activity bursts.
+    arrivals = BurstyArrivals(
+        burst_rate=BURST_RATE, burst_duration=200e-6, idle_duration=600e-6
+    )
+    trace = controller.run(arrivals, system_cycles=2400)
+
+    voltages = trace.output_voltages
+    print("\nController behaviour over 2.4 ms of bursty sampling:")
+    print(f"  supply range        : {voltages.min() * 1e3:6.1f} mV "
+          f"to {voltages.max() * 1e3:6.1f} mV")
+    print(f"  LUT correction      : {trace.final_correction()} LSB "
+          f"(slow-silicon compensation)")
+    print(f"  samples processed   : {trace.total_operations()}")
+    print(f"  samples dropped     : {trace.total_drops()}")
+    print(f"  energy per sample   : "
+          f"{trace.energy_per_operation() * 1e15:6.2f} fJ")
+
+    # Pass a real signal through the functional filter to show the datapath
+    # the controller is powering actually does its job.
+    stream = sine_with_noise(
+        count=1024, frequency=1.2e3, sample_rate=1.6e4, noise_amplitude=0.2
+    )
+    filtered = fir.process(stream.samples)
+    input_noise = np.std(np.diff(stream.samples))
+    output_noise = np.std(np.diff(filtered))
+    print("\nFIR functional check on a noisy 1.2 kHz tone:")
+    print(f"  sample-to-sample noise in : {input_noise:.4f}")
+    print(f"  sample-to-sample noise out: {output_noise:.4f} "
+          f"({100 * (1 - output_noise / input_noise):.0f} % smoother)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Quickstart: find the minimum energy point and close the loop.
+
+Walks through the library's three levels in a couple of minutes of
+runtime:
+
+1. the calibrated subthreshold models (delay / energy / MEP per corner),
+2. the TDC variation sensor reading a digital signature of the corner,
+3. the full adaptive controller regulating slow silicon onto its MEP
+   with a typical-corner-programmed LUT (the paper's Fig. 6 story).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import OperatingCondition, default_library
+from repro.analysis.reporting import mep_table
+from repro.circuits.loads import DigitalLoad
+from repro.core import TdcCalibration, TimeToDigitalConverter
+from repro.core.controller import AdaptiveController
+from repro.core.rate_controller import program_lut_for_load
+from repro.delay.mep import find_minimum_energy_point
+from repro.digital.signals import code_to_voltage, voltage_to_code
+
+
+def explore_minimum_energy_points(library) -> None:
+    """Step 1: where does the MEP sit on each process corner?"""
+    print("=" * 70)
+    print("Step 1 — minimum energy points of the NAND ring oscillator")
+    print("=" * 70)
+    minima = {}
+    for corner in ("TT", "SS", "FS", "FF"):
+        model = library.energy_model(OperatingCondition(corner=corner))
+        minima[corner] = find_minimum_energy_point(model, label=corner)
+    print(mep_table(minima))
+    print()
+
+
+def read_variation_signature(library) -> None:
+    """Step 2: the TDC turns the process corner into a digital word."""
+    print("=" * 70)
+    print("Step 2 — TDC variation signatures at the typical MEP voltage")
+    print("=" * 70)
+    reference_tdc = TimeToDigitalConverter(library.reference_delay_model)
+    calibration = TdcCalibration(reference_tdc)
+    probe_code = voltage_to_code(0.200)
+    probe_voltage = code_to_voltage(probe_code)
+    for corner in ("TT", "SS", "FF"):
+        silicon = library.delay_model(OperatingCondition(corner=corner))
+        tdc = TimeToDigitalConverter(silicon)
+        count = tdc.measure(probe_voltage).count
+        shift = calibration.shift_in_lsb(probe_code, count)
+        print(f"  {corner} silicon at {probe_voltage * 1e3:5.1f} mV: "
+              f"count = {count:6d}, signature = {shift:+d} LSB "
+              f"({shift * 18.75:+.2f} mV correction)")
+    print()
+
+
+def close_the_loop(library) -> None:
+    """Step 3: the adaptive controller on slow silicon (Fig. 6)."""
+    print("=" * 70)
+    print("Step 3 — adaptive controller on slow silicon, typical LUT")
+    print("=" * 70)
+    reference = library.reference_delay_model
+    slow = library.delay_model(OperatingCondition(corner="SS"))
+    load = DigitalLoad(library.ring_oscillator_load, slow)
+    reference_load = DigitalLoad(library.ring_oscillator_load, reference)
+    lut = program_lut_for_load(reference_load, sample_rate=1e5)
+    controller = AdaptiveController(
+        load=load, lut=lut, reference_delay_model=reference,
+        compensation_enabled=True,
+    )
+    schedule = [(19, 120), (voltage_to_code(0.200), 200), (47, 150)]
+    trace = controller.run_schedule(schedule)
+    voltages = trace.output_voltages
+    print(f"  phase 1 (word 19)  : {voltages[100:118].mean() * 1e3:6.1f} mV "
+          f"(356 mV + one-LSB compensation)")
+    print(f"  phase 2 (MEP word) : {voltages[290:318].mean() * 1e3:6.1f} mV "
+          f"(the slow-corner MEP, ~219 mV)")
+    print(f"  phase 3 (word 47)  : {voltages[-20:].mean() * 1e3:6.1f} mV "
+          f"(~880 mV)")
+    print(f"  LUT correction applied: {trace.final_correction()} LSB "
+          f"({trace.final_correction() * 18.75:.2f} mV)")
+    print(f"  total load energy over {trace.times[-1] * 1e6:.0f} us: "
+          f"{trace.total_energy() * 1e12:.2f} pJ")
+    print()
+
+
+def main() -> None:
+    library = default_library()
+    print(f"Calibrated library: k_delay fit error "
+          f"{library.calibration.max_relative_error * 100:.1f} %, "
+          f"slope factor {library.calibration.slope_factor:.2f}\n")
+    explore_minimum_energy_points(library)
+    read_variation_signature(library)
+    close_the_loop(library)
+    print("Done — see benchmarks/ for the full figure/table reproductions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — Variation Resilient Adaptive Controller for Subthreshold Circuits.
+
+A Python reproduction of Mishra, Al-Hashimi and Zwolinski (DATE 2009):
+an all-digital adaptive supply-voltage controller that keeps a
+subthreshold load at its minimum energy point across process and
+temperature variations, built on a TDC-based variation sensor and an
+all-digital DC-DC converter with 18.75 mV resolution.
+
+Package layout
+--------------
+``repro.devices``    subthreshold MOSFET / technology / corner models
+``repro.delay``      gate delay, energy and minimum-energy-point models
+``repro.circuits``   gate-level loads (NAND ring oscillator, 9-tap FIR)
+``repro.spice``      numpy MNA analog simulator (DC-DC power stage)
+``repro.digital``    FIFO, counters, encoders, event kernel
+``repro.core``       the adaptive controller (TDC, DC-DC, rate control)
+``repro.analysis``   figure/table sweeps, Monte Carlo, energy savings
+``repro.workloads``  input-traffic and sample-stream generators
+
+Quick start
+-----------
+>>> from repro import default_library, OperatingCondition
+>>> from repro.delay.mep import find_minimum_energy_point
+>>> library = default_library()
+>>> model = library.energy_model(OperatingCondition(corner="SS"))
+>>> mep = find_minimum_energy_point(model)
+>>> round(mep.optimal_supply, 2), round(mep.minimum_energy_fj, 1)
+(0.22, 1.7)
+"""
+
+from repro.library import (
+    OperatingCondition,
+    SubthresholdLibrary,
+    default_library,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "OperatingCondition",
+    "SubthresholdLibrary",
+    "default_library",
+    "__version__",
+]

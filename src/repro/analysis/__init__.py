@@ -1,0 +1,52 @@
+"""Experiment-level analyses used by the figure/table benches.
+
+Each module corresponds to a family of results in the paper's
+evaluation: supply/corner/temperature sweeps (Fig. 1-3), Monte Carlo
+variation analysis (the motivation of Section I/II), controller-versus-
+no-controller energy comparisons (the 55 % headline), and the report
+formatting shared by the benches and EXPERIMENTS.md.
+"""
+
+from repro.analysis.sweeps import (
+    CornerSweepResult,
+    DelaySweepResult,
+    TemperatureSweepResult,
+    corner_energy_sweep,
+    delay_sweep,
+    temperature_energy_sweep,
+)
+from repro.analysis.monte_carlo import (
+    MonteCarloResult,
+    MonteCarloSummary,
+    monte_carlo_mep,
+)
+from repro.analysis.energy_savings import (
+    EnergyComparison,
+    SavingsReport,
+    controller_savings,
+    savings_across_corners,
+)
+from repro.analysis.reporting import (
+    format_table,
+    mep_table,
+    savings_table,
+)
+
+__all__ = [
+    "CornerSweepResult",
+    "DelaySweepResult",
+    "TemperatureSweepResult",
+    "corner_energy_sweep",
+    "delay_sweep",
+    "temperature_energy_sweep",
+    "MonteCarloResult",
+    "MonteCarloSummary",
+    "monte_carlo_mep",
+    "EnergyComparison",
+    "SavingsReport",
+    "controller_savings",
+    "savings_across_corners",
+    "format_table",
+    "mep_table",
+    "savings_table",
+]

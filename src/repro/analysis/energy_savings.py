@@ -1,0 +1,305 @@
+"""Controller-versus-no-controller energy comparison (the 55 % headline).
+
+The paper's headline claim is an "energy improvement of up to 55 %
+compared to when no controller is employed".  Without the adaptive
+controller the designer must pick one fixed supply at design time and
+margin it for two things at once:
+
+* the **worst process/temperature corner** (Section II: the MEP moves by
+  tens of millivolts and the delay by an order of magnitude), and
+* the **peak workload** (Section III / reference [10]: with no
+  buffering-aware rate control the circuit must always be fast enough
+  for the peak arrival rate and then idle).
+
+With the controller, the supply tracks the larger of the minimum energy
+point of the *actual* silicon and the voltage needed for the *current*
+(average) workload.  This module quantifies both operating styles per
+corner and per load, and reports the savings two ways:
+
+* ``savings_vs_uncontrolled`` = (E_fixed - E_adaptive) / E_fixed,
+* ``improvement_over_mep``    = (E_fixed - E_adaptive) / E_adaptive (the
+  ratio that evaluates to ~55 % for the paper's 2.65 fJ vs 1.7 fJ pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.circuits.loads import DigitalLoad
+from repro.delay.energy import EnergyModel, LoadCharacteristics
+from repro.delay.mep import MepPoint, find_minimum_energy_point
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.digital.signals import code_to_voltage, voltage_to_code
+from repro.library import OperatingCondition, SubthresholdLibrary, default_library
+
+DEFAULT_PEAK_TO_AVERAGE_RATIO = 4.0
+"""Default peak-to-average workload ratio used by the fixed-supply baseline."""
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy at a fixed supply versus at the (compensated) MEP."""
+
+    corner: str
+    temperature_c: float
+    fixed_supply: float
+    fixed_energy: float
+    mep: MepPoint
+    compensated_supply: float
+    compensated_energy: float
+
+    @property
+    def savings_vs_uncontrolled(self) -> float:
+        """Return (E_fixed - E_compensated) / E_fixed."""
+        return (self.fixed_energy - self.compensated_energy) / self.fixed_energy
+
+    @property
+    def improvement_over_mep(self) -> float:
+        """Return (E_fixed - E_compensated) / E_compensated."""
+        return (self.fixed_energy - self.compensated_energy) / (
+            self.compensated_energy
+        )
+
+    @property
+    def residual_penalty(self) -> float:
+        """Return how far the compensated point sits above the true MEP."""
+        return self.compensated_energy / self.mep.minimum_energy - 1.0
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Savings across a set of corners for one load."""
+
+    load_name: str
+    comparisons: Dict[str, EnergyComparison]
+
+    @property
+    def maximum_savings(self) -> float:
+        """Return the largest savings_vs_uncontrolled across corners."""
+        return max(
+            c.savings_vs_uncontrolled for c in self.comparisons.values()
+        )
+
+    @property
+    def maximum_improvement(self) -> float:
+        """Return the largest improvement_over_mep across corners."""
+        return max(
+            c.improvement_over_mep for c in self.comparisons.values()
+        )
+
+    def best_corner(self) -> str:
+        """Return the corner where the controller helps the most."""
+        return max(
+            self.comparisons,
+            key=lambda corner: self.comparisons[corner].savings_vs_uncontrolled,
+        )
+
+
+def _bound_load(
+    library: SubthresholdLibrary,
+    load: LoadCharacteristics,
+    corner: str,
+    temperature_c: float,
+) -> DigitalLoad:
+    """Bind a load description to one corner's delay model."""
+    condition = OperatingCondition(corner=corner, temperature_c=temperature_c)
+    return DigitalLoad(
+        load, library.delay_model(condition), temperature_c=temperature_c
+    )
+
+
+def default_workload_rates(
+    library: SubthresholdLibrary,
+    load: LoadCharacteristics,
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    peak_to_average: float = DEFAULT_PEAK_TO_AVERAGE_RATIO,
+) -> Dict[str, float]:
+    """Return a representative (average, peak) workload for a load.
+
+    The average rate is chosen so the typical-corner silicon can deliver
+    it right at its minimum energy point (the sweet spot the rate
+    controller aims for); the peak is ``peak_to_average`` times that.
+    """
+    typical = _bound_load(library, load, "TT", temperature_c)
+    mep = typical.minimum_energy_point()
+    average = 0.8 * typical.max_throughput(mep.optimal_supply)
+    return {"average": average, "peak": peak_to_average * average}
+
+
+def _fixed_design_supply(
+    library: SubthresholdLibrary,
+    load: LoadCharacteristics,
+    corners: Sequence[str],
+    temperature_c: float,
+    peak_rate: float,
+    guard_band_lsb: int = 1,
+) -> float:
+    """Return the supply a designer would fix without an adaptive controller.
+
+    Without run-time sensing the supply must deliver the *peak*
+    processing rate on *every* corner, plus a small guard band, quantised
+    to the DC-DC grid.
+    """
+    worst = 0.0
+    for corner in corners:
+        bound = _bound_load(library, load, corner, temperature_c)
+        required = bound.required_supply(peak_rate)
+        if required is None:
+            required = 1.2
+        mep = bound.minimum_energy_point().optimal_supply
+        worst = max(worst, required, mep)
+    code = voltage_to_code(worst) + guard_band_lsb
+    return code_to_voltage(code)
+
+
+def controller_savings(
+    library: Optional[SubthresholdLibrary] = None,
+    load: Optional[LoadCharacteristics] = None,
+    corners: Sequence[str] = ("TT", "SS", "FS", "FF"),
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    fixed_supply: Optional[float] = None,
+    average_rate: Optional[float] = None,
+    peak_to_average: float = DEFAULT_PEAK_TO_AVERAGE_RATIO,
+    compensation_error_lsb: int = 0,
+) -> SavingsReport:
+    """Compare fixed-supply operation against the adaptive controller.
+
+    Both styles deliver the same average throughput.  The fixed supply is
+    margined for the peak rate on the worst corner; the adaptive supply
+    per corner is the larger of that corner's MEP and the voltage needed
+    for the average rate, quantised to 18.75 mV.  Energies are per
+    operation at the average rate, so the fixed design also pays its idle
+    leakage (run-fast-then-wait), which is exactly the waste the paper's
+    rate controller removes.
+
+    ``compensation_error_lsb`` models an imperfect controller that lands
+    that many LSBs away from the ideal adaptive point (0 = ideal
+    tracking, which the closed-loop simulation achieves within one LSB).
+    """
+    library = library or default_library()
+    load = load or library.ring_oscillator_load
+    if average_rate is None:
+        rates = default_workload_rates(
+            library, load, temperature_c, peak_to_average
+        )
+        average_rate = rates["average"]
+        peak_rate = rates["peak"]
+    else:
+        peak_rate = peak_to_average * average_rate
+    if fixed_supply is None:
+        fixed_supply = _fixed_design_supply(
+            library, load, corners, temperature_c, peak_rate
+        )
+
+    comparisons: Dict[str, EnergyComparison] = {}
+    for corner in corners:
+        bound = _bound_load(library, load, corner, temperature_c)
+        mep = bound.minimum_energy_point()
+        required = bound.required_supply(average_rate)
+        adaptive_supply = mep.optimal_supply if required is None else max(
+            mep.optimal_supply, required
+        )
+        adaptive_code = voltage_to_code(adaptive_supply)
+        if code_to_voltage(adaptive_code) < adaptive_supply:
+            adaptive_code += 1
+        adaptive_code += compensation_error_lsb
+        compensated_supply = code_to_voltage(adaptive_code)
+
+        fixed_energy = bound.energy_at_throughput(fixed_supply, average_rate)
+        adaptive_energy = bound.energy_at_throughput(
+            compensated_supply, average_rate
+        )
+        if fixed_energy is None:
+            fixed_energy = bound.energy_per_operation(fixed_supply)
+        if adaptive_energy is None:
+            adaptive_energy = bound.energy_per_operation(compensated_supply)
+        comparisons[corner] = EnergyComparison(
+            corner=corner,
+            temperature_c=temperature_c,
+            fixed_supply=fixed_supply,
+            fixed_energy=float(fixed_energy),
+            mep=mep,
+            compensated_supply=compensated_supply,
+            compensated_energy=float(adaptive_energy),
+        )
+    return SavingsReport(load_name=load.name, comparisons=comparisons)
+
+
+def savings_across_corners(
+    library: Optional[SubthresholdLibrary] = None,
+    loads: Optional[Dict[str, LoadCharacteristics]] = None,
+    corners: Sequence[str] = ("TT", "SS", "FS", "FF"),
+    temperature_c: float = ROOM_TEMPERATURE_C,
+) -> Dict[str, SavingsReport]:
+    """Return a :class:`SavingsReport` per load (ring oscillator, FIR, ...)."""
+    library = library or default_library()
+    if loads is None:
+        from repro.circuits.fir_filter import FirFilter
+
+        fir = FirFilter().characteristics(switching_activity=0.15)
+        loads = {
+            "nand-ring-oscillator": library.ring_oscillator_load,
+            "fir9": library.calibrated_load(
+                fir, target_supply=0.23, target_energy=9.0e-15
+            ),
+        }
+    return {
+        name: controller_savings(
+            library, load, corners=corners, temperature_c=temperature_c
+        )
+        for name, load in loads.items()
+    }
+
+
+def uncompensated_penalty(
+    library: Optional[SubthresholdLibrary] = None,
+    load: Optional[LoadCharacteristics] = None,
+    programmed_corner: str = "TT",
+    actual_corner: str = "SS",
+    temperature_c: float = ROOM_TEMPERATURE_C,
+) -> Dict[str, float]:
+    """Return the energy penalty of skipping the variation compensation.
+
+    The LUT is programmed with the ``programmed_corner`` MEP voltage but
+    the silicon is at ``actual_corner`` (the paper's Section IV
+    experiment).  Returns the per-operation energies with and without the
+    one-LSB compensation and the relative penalty.
+    """
+    library = library or default_library()
+    load = load or library.ring_oscillator_load
+    condition = OperatingCondition(
+        corner=actual_corner, temperature_c=temperature_c
+    )
+    actual_model = library.energy_model(condition, load)
+    programmed_condition = OperatingCondition(
+        corner=programmed_corner, temperature_c=temperature_c
+    )
+    programmed_model = library.energy_model(programmed_condition, load)
+    programmed_mep = find_minimum_energy_point(
+        programmed_model, temperature_c=temperature_c
+    )
+    actual_mep = find_minimum_energy_point(
+        actual_model, temperature_c=temperature_c
+    )
+    uncompensated_supply = code_to_voltage(
+        voltage_to_code(programmed_mep.optimal_supply)
+    )
+    compensated_supply = code_to_voltage(
+        voltage_to_code(actual_mep.optimal_supply)
+    )
+    uncompensated_energy = float(
+        actual_model.total_energy(uncompensated_supply, temperature_c)
+    )
+    compensated_energy = float(
+        actual_model.total_energy(compensated_supply, temperature_c)
+    )
+    return {
+        "uncompensated_supply": uncompensated_supply,
+        "compensated_supply": compensated_supply,
+        "uncompensated_energy": uncompensated_energy,
+        "compensated_energy": compensated_energy,
+        "penalty_percent": 100.0
+        * (uncompensated_energy - compensated_energy)
+        / compensated_energy,
+    }

@@ -1,0 +1,149 @@
+"""Monte Carlo variation analysis of the minimum energy point.
+
+Corner analysis (Fig. 1) brackets the systematic process spread; the
+statistical counterpart asks how the MEP moves under random threshold
+variation and how much energy an *uncompensated* design loses compared
+with a compensated one.  This is the quantitative backing for the
+ablation bench A2 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.mep import MepPoint, find_minimum_energy_point
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.devices.variation import MonteCarloSampler, VariationModel
+from repro.digital.signals import code_to_voltage, voltage_to_code
+from repro.library import OperatingCondition, SubthresholdLibrary, default_library
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """MEP and penalty numbers for one Monte Carlo sample."""
+
+    index: int
+    nmos_vth_shift: float
+    pmos_vth_shift: float
+    mep: MepPoint
+    uncompensated_energy: float
+    compensated_energy: float
+
+    @property
+    def penalty_percent(self) -> float:
+        """Return the energy penalty of ignoring the variation (%)."""
+        return 100.0 * (
+            self.uncompensated_energy - self.compensated_energy
+        ) / self.compensated_energy
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Aggregate statistics across all samples."""
+
+    results: List[MonteCarloResult]
+    nominal_mep: MepPoint
+
+    @property
+    def count(self) -> int:
+        """Return the number of samples analysed."""
+        return len(self.results)
+
+    def vopt_sigma_mv(self) -> float:
+        """Return the standard deviation of the MEP supply (mV)."""
+        supplies = np.array([r.mep.optimal_supply for r in self.results])
+        return float(supplies.std(ddof=1) * 1e3) if len(supplies) > 1 else 0.0
+
+    def energy_sigma_percent(self) -> float:
+        """Return the MEP energy sigma relative to the nominal MEP (%)."""
+        energies = np.array([r.mep.minimum_energy for r in self.results])
+        if len(energies) < 2:
+            return 0.0
+        return float(
+            100.0 * energies.std(ddof=1) / self.nominal_mep.minimum_energy
+        )
+
+    def mean_penalty_percent(self) -> float:
+        """Return the average uncompensated energy penalty (%)."""
+        return float(np.mean([r.penalty_percent for r in self.results]))
+
+    def worst_penalty_percent(self) -> float:
+        """Return the worst-case uncompensated energy penalty (%)."""
+        return float(np.max([r.penalty_percent for r in self.results]))
+
+    def compensation_gain_percent(self) -> float:
+        """Return the mean energy saved by compensation across samples (%)."""
+        uncompensated = np.array(
+            [r.uncompensated_energy for r in self.results]
+        )
+        compensated = np.array([r.compensated_energy for r in self.results])
+        return float(
+            100.0 * np.mean((uncompensated - compensated) / uncompensated)
+        )
+
+
+def monte_carlo_mep(
+    samples: int = 50,
+    library: Optional[SubthresholdLibrary] = None,
+    load: Optional[LoadCharacteristics] = None,
+    variation: Optional[VariationModel] = None,
+    corner: str = "TT",
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    seed: int = 2009,
+) -> MonteCarloSummary:
+    """Run a Monte Carlo MEP analysis.
+
+    For every sample the load's MEP is located on the *varied* silicon;
+    the uncompensated design operates at the nominal (no-variation) MEP
+    code, the compensated design at the sample's own MEP code — the same
+    single-LSB-granularity decision the adaptive controller makes.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    library = library or default_library()
+    load = load or library.ring_oscillator_load
+    nominal_condition = OperatingCondition(
+        corner=corner, temperature_c=temperature_c
+    )
+    nominal_model = library.energy_model(nominal_condition, load)
+    nominal_mep = find_minimum_energy_point(
+        nominal_model, temperature_c=temperature_c, label="nominal"
+    )
+    nominal_code = voltage_to_code(nominal_mep.optimal_supply)
+    nominal_supply_q = code_to_voltage(nominal_code)
+
+    sampler = MonteCarloSampler(variation or VariationModel(), seed=seed)
+    results: List[MonteCarloResult] = []
+    for sample in sampler.draw(samples):
+        condition = OperatingCondition(
+            corner=corner,
+            temperature_c=temperature_c,
+            nmos_vth_shift=sample.nmos_vth_shift,
+            pmos_vth_shift=sample.pmos_vth_shift,
+        )
+        model = library.energy_model(condition, load)
+        mep = find_minimum_energy_point(
+            model, temperature_c=temperature_c, label=f"mc-{sample.index}"
+        )
+        compensated_supply = code_to_voltage(
+            voltage_to_code(mep.optimal_supply)
+        )
+        results.append(
+            MonteCarloResult(
+                index=sample.index,
+                nmos_vth_shift=sample.nmos_vth_shift,
+                pmos_vth_shift=sample.pmos_vth_shift,
+                mep=mep,
+                uncompensated_energy=float(
+                    model.total_energy(nominal_supply_q, temperature_c)
+                ),
+                compensated_energy=float(
+                    model.total_energy(compensated_supply, temperature_c)
+                ),
+            )
+        )
+    return MonteCarloSummary(results=results, nominal_mep=nominal_mep)

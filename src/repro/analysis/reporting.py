@@ -1,0 +1,101 @@
+"""Plain-text report formatting shared by the benches and EXPERIMENTS.md.
+
+The benches print the same rows/series the paper reports; these helpers
+render them as aligned text tables so the bench output can be pasted
+directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.energy_savings import SavingsReport
+from repro.delay.mep import MepPoint
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a simple aligned text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def render(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render([str(h) for h in headers])]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def mep_table(minima: Dict[str, MepPoint]) -> str:
+    """Render a corner/temperature -> (Vopt, Emin) table."""
+    rows = [
+        [
+            label,
+            f"{point.optimal_supply_mv:.1f} mV",
+            f"{point.minimum_energy_fj:.2f} fJ",
+        ]
+        for label, point in minima.items()
+    ]
+    return format_table(["condition", "Vopt", "Emin"], rows)
+
+
+def savings_table(report: SavingsReport) -> str:
+    """Render a per-corner savings table for one load."""
+    rows = []
+    for corner, comparison in report.comparisons.items():
+        rows.append(
+            [
+                corner,
+                f"{comparison.fixed_supply * 1e3:.1f} mV",
+                f"{comparison.fixed_energy * 1e15:.2f} fJ",
+                f"{comparison.compensated_supply * 1e3:.1f} mV",
+                f"{comparison.compensated_energy * 1e15:.2f} fJ",
+                f"{comparison.savings_vs_uncontrolled * 100:.1f} %",
+                f"{comparison.improvement_over_mep * 100:.1f} %",
+            ]
+        )
+    return format_table(
+        [
+            "corner",
+            "fixed Vdd",
+            "fixed E/op",
+            "adaptive Vdd",
+            "adaptive E/op",
+            "savings",
+            "improvement",
+        ],
+        rows,
+    )
+
+
+def series_rows(
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    x_format: str = "{:.3f}",
+    y_format: str = "{:.4g}",
+    stride: int = 1,
+) -> str:
+    """Render an (x, y) series as a two-column table (figure data)."""
+    if len(x_values) != len(y_values):
+        raise ValueError("x and y must have the same length")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    rows = [
+        [x_format.format(x), y_format.format(y)]
+        for x, y in list(zip(x_values, y_values))[::stride]
+    ]
+    return format_table([x_label, y_label], rows)

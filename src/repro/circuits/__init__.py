@@ -1,0 +1,40 @@
+"""Gate-level circuit substrate and the paper's load circuits.
+
+The adaptive controller treats its load as a black box with three
+observable properties: switched capacitance per cycle, leakage current
+and critical-path delay.  This subpackage provides a small gate-level
+netlist framework (gates, netlists, logic simulation, switching-activity
+estimation, critical-path extraction) and the two loads used in the
+paper's evaluation: the NAND-gate ring oscillator of reference [14] and
+the 9-tap FIR filter of reference [4].
+"""
+
+from repro.circuits.gates import Gate, GateKind, evaluate_gate
+from repro.circuits.netlist import Netlist, NetlistError
+from repro.circuits.switching import (
+    ActivityReport,
+    estimate_switching_activity,
+    random_vectors,
+)
+from repro.circuits.critical_path import CriticalPath, extract_critical_path
+from repro.circuits.ring_oscillator import RingOscillator
+from repro.circuits.fir_filter import FirFilter
+from repro.circuits.loads import DigitalLoad, LoadLibrary, default_load_library
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "evaluate_gate",
+    "Netlist",
+    "NetlistError",
+    "ActivityReport",
+    "estimate_switching_activity",
+    "random_vectors",
+    "CriticalPath",
+    "extract_critical_path",
+    "RingOscillator",
+    "FirFilter",
+    "DigitalLoad",
+    "LoadLibrary",
+    "default_load_library",
+]

@@ -1,0 +1,116 @@
+"""Critical-path extraction.
+
+The TDC's delay replica mirrors "the critical path or the longest path
+replica of the load circuit" (paper Section II-A).  This module extracts
+that path from a netlist: the sequence of gates with the largest total
+delay under a given delay model and operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.gates import Gate
+from repro.circuits.netlist import Netlist
+from repro.delay.gate_delay import GateDelayModel
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest combinational path of a netlist."""
+
+    netlist_name: str
+    gates: Tuple[Gate, ...]
+    delay: float
+    supply: float
+    temperature_c: float
+
+    @property
+    def stage_count(self) -> int:
+        """Return the number of gates on the path."""
+        return len(self.gates)
+
+    @property
+    def gate_names(self) -> Tuple[str, ...]:
+        """Return the instance names along the path."""
+        return tuple(gate.name for gate in self.gates)
+
+    def stage_kinds(self) -> Tuple[str, ...]:
+        """Return the electrical stage kinds along the path."""
+        return tuple(gate.stage_kind.value for gate in self.gates)
+
+
+def extract_critical_path(
+    netlist: Netlist,
+    delay_model: GateDelayModel,
+    supply: float,
+    temperature_c: float = ROOM_TEMPERATURE_C,
+) -> CriticalPath:
+    """Return the longest-delay combinational path of ``netlist``.
+
+    Path delays are computed with each gate's own stage delay at the
+    given supply and temperature, including its structural fanout.
+    Flip-flop outputs and primary inputs are path start points;
+    flip-flop inputs and primary outputs are path end points.
+    """
+    if supply <= 0:
+        raise ValueError("supply must be positive")
+    ordered = netlist.levelize()
+
+    arrival: Dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    for gate in netlist.sequential_gates():
+        arrival[gate.output] = 0.0
+    predecessor: Dict[str, Optional[Gate]] = {}
+
+    worst_net = None
+    worst_delay = 0.0
+    for gate in ordered:
+        gate_delay = delay_model.propagation_delay(
+            gate.stage_kind,
+            supply,
+            temperature_c=temperature_c,
+            fanout=max(1, netlist.fanout(gate.output)),
+        )
+        input_arrival = max(
+            (arrival.get(pin, 0.0) for pin in gate.inputs), default=0.0
+        )
+        arrival[gate.output] = input_arrival + gate_delay
+        slowest_pin = max(
+            gate.inputs, key=lambda pin: arrival.get(pin, 0.0)
+        )
+        predecessor[gate.output] = (
+            netlist.gate(_driver_of(netlist, slowest_pin))
+            if _driver_of(netlist, slowest_pin) is not None
+            else None
+        )
+        if arrival[gate.output] > worst_delay:
+            worst_delay = arrival[gate.output]
+            worst_net = gate.output
+
+    path: List[Gate] = []
+    if worst_net is not None:
+        gate = netlist.gate(_driver_of(netlist, worst_net))
+        while gate is not None:
+            path.append(gate)
+            gate = predecessor.get(gate.output)
+            if gate is not None and gate.kind.is_sequential:
+                break
+        path.reverse()
+
+    return CriticalPath(
+        netlist_name=netlist.name,
+        gates=tuple(path),
+        delay=worst_delay,
+        supply=float(supply),
+        temperature_c=temperature_c,
+    )
+
+
+def _driver_of(netlist: Netlist, net: str) -> Optional[str]:
+    """Return the name of the gate driving ``net`` (None for inputs)."""
+    for gate in netlist.gates:
+        if gate.output == net:
+            return gate.name
+    return None

@@ -1,0 +1,197 @@
+"""9-tap FIR filter load (paper reference [4]).
+
+The paper states the controller was also exercised with "a 9-tap FIR
+filter" as the load.  This module provides both views of that filter:
+
+* a **functional** fixed-point FIR (transposed direct form) used by the
+  examples and integration tests to pass real samples through the load
+  while the controller scales its supply;
+* an **electrical** view — a gate-count/logic-depth estimate that feeds
+  the same :class:`repro.delay.energy.LoadCharacteristics` abstraction
+  as the ring oscillator, plus a structural netlist of one multiply-
+  accumulate bit-slice used for switching-activity estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.gates import Gate, GateKind
+from repro.circuits.netlist import Netlist
+from repro.circuits.switching import estimate_switching_activity, random_vectors
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.gate_delay import StageKind
+
+DEFAULT_TAPS = 9
+DEFAULT_DATA_WIDTH = 8
+DEFAULT_COEFFICIENTS = (
+    -0.0156,
+    0.0,
+    0.0938,
+    0.2344,
+    0.3125,
+    0.2344,
+    0.0938,
+    0.0,
+    -0.0156,
+)
+"""Symmetric low-pass coefficients of the 9-tap filter (sums to ~1)."""
+
+
+@dataclass
+class FirFilter:
+    """A fixed-point 9-tap FIR filter load."""
+
+    coefficients: Sequence[float] = DEFAULT_COEFFICIENTS
+    data_width: int = DEFAULT_DATA_WIDTH
+    coefficient_width: int = 8
+    name: str = "fir9"
+    _delay_line: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) < 2:
+            raise ValueError("an FIR filter needs at least two taps")
+        if self.data_width < 2 or self.coefficient_width < 2:
+            raise ValueError("data and coefficient widths must be >= 2 bits")
+        self._delay_line = [0] * len(self.coefficients)
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    @property
+    def taps(self) -> int:
+        """Return the number of taps."""
+        return len(self.coefficients)
+
+    def quantized_coefficients(self) -> np.ndarray:
+        """Return the coefficients quantised to ``coefficient_width`` bits."""
+        scale = float(1 << (self.coefficient_width - 1))
+        quantized = np.round(np.asarray(self.coefficients) * scale)
+        limit = scale - 1
+        return np.clip(quantized, -scale, limit) / scale
+
+    def reset(self) -> None:
+        """Clear the delay line."""
+        self._delay_line = [0] * self.taps
+
+    def step(self, sample: float) -> float:
+        """Push one sample through the filter and return the output."""
+        self._delay_line.insert(0, self._quantize_sample(sample))
+        self._delay_line.pop()
+        coefficients = self.quantized_coefficients()
+        accumulator = float(
+            np.dot(coefficients, np.asarray(self._delay_line, dtype=float))
+        )
+        return accumulator
+
+    def process(self, samples: Sequence[float]) -> np.ndarray:
+        """Filter a full sample sequence (stateful, continues the delay line)."""
+        return np.array([self.step(sample) for sample in samples])
+
+    def frequency_response(self, points: int = 256) -> np.ndarray:
+        """Return ``|H(e^jw)|`` of the quantised filter at ``points`` bins."""
+        if points < 8:
+            raise ValueError("points must be >= 8")
+        response = np.fft.rfft(self.quantized_coefficients(), n=2 * points)
+        return np.abs(response)
+
+    def _quantize_sample(self, sample: float) -> float:
+        limit = 1.0 - 2.0 ** -(self.data_width - 1)
+        clipped = min(max(float(sample), -1.0), limit)
+        scale = float(1 << (self.data_width - 1))
+        return float(np.round(clipped * scale) / scale)
+
+    # ------------------------------------------------------------------
+    # Electrical view
+    # ------------------------------------------------------------------
+    def gate_count(self) -> int:
+        """Estimate the NAND2-equivalent gate count of the datapath.
+
+        Each tap contributes a ``data_width x coefficient_width`` array
+        multiplier (one full adder ~= 6 equivalent gates per partial-
+        product bit) plus an accumulator adder and a pipeline register.
+        """
+        full_adders_per_multiplier = self.data_width * self.coefficient_width
+        multiplier_gates = 6 * full_adders_per_multiplier
+        adder_gates = 6 * (self.data_width + self.coefficient_width)
+        register_gates = 6 * (self.data_width + self.coefficient_width)
+        per_tap = multiplier_gates + adder_gates + register_gates
+        return int(per_tap * self.taps)
+
+    def logic_depth(self) -> int:
+        """Estimate the critical-path depth in gate stages.
+
+        Transposed direct form: one multiplier (carry-save rows) plus one
+        carry-propagate accumulator adder between registers.
+        """
+        multiplier_depth = 2 * self.coefficient_width
+        adder_depth = self.data_width + self.coefficient_width
+        return int(multiplier_depth + adder_depth)
+
+    def bit_slice_netlist(self) -> Netlist:
+        """Return a structural netlist of one multiply-accumulate bit slice.
+
+        The slice is a chain of ``taps`` full adders (sum path), which is
+        representative enough to estimate switching activity for the
+        whole datapath.
+        """
+        netlist = Netlist(f"{self.name}-bitslice")
+        netlist.add_input("x")
+        netlist.add_input("cin")
+        previous_sum = "x"
+        previous_carry = "cin"
+        for tap in range(self.taps):
+            netlist.add_input(f"b{tap}")
+            p = f"p{tap}"
+            g = f"g{tap}"
+            s = f"s{tap}"
+            c = f"c{tap}"
+            netlist.add_gate(
+                Gate(f"xor_p{tap}", GateKind.XOR2, (previous_sum, f"b{tap}"), p)
+            )
+            netlist.add_gate(
+                Gate(f"xor_s{tap}", GateKind.XOR2, (p, previous_carry), s)
+            )
+            netlist.add_gate(
+                Gate(f"and_g{tap}", GateKind.AND2, (previous_sum, f"b{tap}"), g)
+            )
+            netlist.add_gate(
+                Gate(f"and_c{tap}", GateKind.AND2, (p, previous_carry), f"t{tap}")
+            )
+            netlist.add_gate(
+                Gate(f"or_c{tap}", GateKind.OR2, (g, f"t{tap}"), c)
+            )
+            previous_sum = s
+            previous_carry = c
+        netlist.add_output(previous_sum)
+        netlist.add_output(previous_carry)
+        return netlist
+
+    def estimated_switching_activity(
+        self, cycles: int = 128, seed: int = 7
+    ) -> float:
+        """Estimate the datapath switching activity from the bit slice."""
+        netlist = self.bit_slice_netlist()
+        vectors = random_vectors(netlist.inputs, cycles, seed=seed)
+        return estimate_switching_activity(netlist, vectors).activity
+
+    def characteristics(
+        self, switching_activity: Optional[float] = None
+    ) -> LoadCharacteristics:
+        """Return the :class:`LoadCharacteristics` of the FIR datapath."""
+        activity = (
+            self.estimated_switching_activity()
+            if switching_activity is None
+            else switching_activity
+        )
+        return LoadCharacteristics(
+            name=self.name,
+            gate_count=self.gate_count(),
+            logic_depth=self.logic_depth(),
+            switching_activity=activity,
+            representative_stage=StageKind.NAND2,
+            average_fanout=1.5,
+        )

@@ -1,0 +1,150 @@
+"""Gate primitives for the gate-level substrate.
+
+Gates are purely structural + functional objects; their electrical
+behaviour (delay, energy, leakage) comes from
+:class:`repro.delay.gate_delay.GateDelayModel`, keyed by the mapping
+:func:`stage_kind_for` below.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.delay.gate_delay import StageKind
+
+
+class GateKind(enum.Enum):
+    """Logic function of a gate."""
+
+    INV = "inv"
+    BUF = "buf"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    AND2 = "and2"
+    OR2 = "or2"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    DFF = "dff"
+
+    @property
+    def input_count(self) -> int:
+        """Return how many inputs this gate kind takes."""
+        return 1 if self in (GateKind.INV, GateKind.BUF, GateKind.DFF) else 2
+
+    @property
+    def is_sequential(self) -> bool:
+        """Return True for state-holding gates (flip-flops)."""
+        return self is GateKind.DFF
+
+
+_STAGE_MAP: Dict[GateKind, StageKind] = {
+    GateKind.INV: StageKind.INVERTER,
+    GateKind.BUF: StageKind.BUFFER,
+    GateKind.NAND2: StageKind.NAND2,
+    GateKind.NOR2: StageKind.NOR2,
+    GateKind.AND2: StageKind.NAND2,
+    GateKind.OR2: StageKind.NOR2,
+    GateKind.XOR2: StageKind.NAND2,
+    GateKind.XNOR2: StageKind.NAND2,
+    GateKind.DFF: StageKind.DFF,
+}
+
+# Composite gates (AND = NAND + INV, XOR = 4 NANDs, ...) carry an
+# equivalent-gate weight used when estimating area/energy.
+_EQUIVALENT_GATES: Dict[GateKind, float] = {
+    GateKind.INV: 0.5,
+    GateKind.BUF: 1.0,
+    GateKind.NAND2: 1.0,
+    GateKind.NOR2: 1.0,
+    GateKind.AND2: 1.5,
+    GateKind.OR2: 1.5,
+    GateKind.XOR2: 3.0,
+    GateKind.XNOR2: 3.0,
+    GateKind.DFF: 6.0,
+}
+
+
+def stage_kind_for(kind: GateKind) -> StageKind:
+    """Map a logical gate kind onto its electrical stage model."""
+    return _STAGE_MAP[kind]
+
+
+def equivalent_gate_count(kind: GateKind) -> float:
+    """Return the NAND2-equivalent complexity of a gate kind."""
+    return _EQUIVALENT_GATES[kind]
+
+
+def evaluate_gate(kind: GateKind, inputs: Sequence[int]) -> int:
+    """Evaluate the boolean function of ``kind`` on binary ``inputs``.
+
+    Flip-flops are combinationally transparent here (output = D); their
+    clocked behaviour is handled by the netlist simulator.
+    """
+    if len(inputs) != kind.input_count:
+        raise ValueError(
+            f"{kind.name} expects {kind.input_count} inputs, got {len(inputs)}"
+        )
+    bits = [1 if bit else 0 for bit in inputs]
+    if kind is GateKind.INV:
+        return 1 - bits[0]
+    if kind in (GateKind.BUF, GateKind.DFF):
+        return bits[0]
+    a, b = bits
+    if kind is GateKind.NAND2:
+        return 1 - (a & b)
+    if kind is GateKind.NOR2:
+        return 1 - (a | b)
+    if kind is GateKind.AND2:
+        return a & b
+    if kind is GateKind.OR2:
+        return a | b
+    if kind is GateKind.XOR2:
+        return a ^ b
+    if kind is GateKind.XNOR2:
+        return 1 - (a ^ b)
+    raise ValueError(f"unsupported gate kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance in a netlist."""
+
+    name: str
+    kind: GateKind
+    inputs: Tuple[str, ...]
+    output: str
+    attributes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gate name must not be empty")
+        if len(self.inputs) != self.kind.input_count:
+            raise ValueError(
+                f"gate {self.name}: {self.kind.name} expects "
+                f"{self.kind.input_count} inputs, got {len(self.inputs)}"
+            )
+        if not self.output:
+            raise ValueError(f"gate {self.name}: output net must be named")
+        if self.output in self.inputs and not self.kind.is_sequential:
+            # Combinational self-loops are only legal through a flip-flop;
+            # ring oscillators close their loop across gate instances, not
+            # within a single gate.
+            raise ValueError(
+                f"gate {self.name}: combinational gate drives its own input"
+            )
+
+    @property
+    def stage_kind(self) -> StageKind:
+        """Return the electrical stage model of this gate."""
+        return stage_kind_for(self.kind)
+
+    @property
+    def equivalent_gates(self) -> float:
+        """Return the NAND2-equivalent weight of this gate."""
+        return equivalent_gate_count(self.kind)
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        """Evaluate this gate's boolean function."""
+        return evaluate_gate(self.kind, inputs)

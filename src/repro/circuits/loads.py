@@ -1,0 +1,210 @@
+"""Generic load abstraction used by the adaptive controller.
+
+A :class:`DigitalLoad` couples a :class:`~repro.delay.energy.LoadCharacteristics`
+description with the performance/energy queries the controller and the
+rate controller need: how fast can the load run at a given supply, what
+supply is needed for a target throughput, and how much energy one
+operation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.delay.energy import EnergyModel, LoadCharacteristics
+from repro.delay.gate_delay import GateDelayModel
+from repro.delay.mep import MepPoint, find_minimum_energy_point
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+
+@dataclass
+class DigitalLoad:
+    """A digital load bound to a delay model (i.e. to a silicon corner)."""
+
+    characteristics: LoadCharacteristics
+    delay_model: GateDelayModel
+    temperature_c: float = ROOM_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        self._energy_model = EnergyModel(self.delay_model, self.characteristics)
+
+    @property
+    def name(self) -> str:
+        """Return the load's name."""
+        return self.characteristics.name
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        """Return the underlying per-cycle energy model."""
+        return self._energy_model
+
+    # ------------------------------------------------------------------
+    # Performance queries
+    # ------------------------------------------------------------------
+    def cycle_time(self, supply: float) -> float:
+        """Return the critical-path delay (seconds) at ``supply``."""
+        return float(
+            self._energy_model.cycle_time(supply, self.temperature_c)
+        )
+
+    def max_throughput(self, supply: float) -> float:
+        """Return operations per second achievable at ``supply``."""
+        return 1.0 / self.cycle_time(supply)
+
+    def required_supply(
+        self,
+        operations_per_second: float,
+        supply_bounds: tuple = (0.08, 1.2),
+        tolerance: float = 1e-4,
+    ) -> Optional[float]:
+        """Return the lowest supply meeting a throughput (None if impossible).
+
+        Monotone bisection on the supply: delay decreases monotonically
+        with supply in this model.
+        """
+        if operations_per_second <= 0:
+            raise ValueError("operations_per_second must be positive")
+        low, high = supply_bounds
+        if self.max_throughput(high) < operations_per_second:
+            return None
+        if self.max_throughput(low) >= operations_per_second:
+            return low
+        while high - low > tolerance:
+            mid = 0.5 * (low + high)
+            if self.max_throughput(mid) >= operations_per_second:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    # ------------------------------------------------------------------
+    # Energy queries
+    # ------------------------------------------------------------------
+    def energy_per_operation(self, supply: float) -> float:
+        """Return joules per operation when free-running at ``supply``."""
+        return float(
+            self._energy_model.total_energy(supply, self.temperature_c)
+        )
+
+    def energy_at_throughput(
+        self, supply: float, operations_per_second: float
+    ) -> Optional[float]:
+        """Return joules per operation when paced to a throughput."""
+        breakdown = self._energy_model.energy_at_throughput(
+            supply, operations_per_second, self.temperature_c
+        )
+        return None if breakdown is None else breakdown.total
+
+    def current_draw(
+        self, supply: float, operations_per_second: Optional[float] = None
+    ) -> float:
+        """Return the supply current (amperes) drawn at ``supply``.
+
+        The draw is leakage plus switching current.  When
+        ``operations_per_second`` is given the load is paced at that
+        throughput (clock-gated between operations); otherwise it
+        free-runs at the maximum frequency the supply allows.
+        """
+        if supply <= 0:
+            return 0.0
+        leakage = float(
+            self._energy_model.leakage_current(supply, self.temperature_c)
+        )
+        if operations_per_second is None:
+            rate = self.max_throughput(supply)
+        else:
+            rate = min(operations_per_second, self.max_throughput(supply))
+        dynamic_charge = (
+            self._energy_model.dynamic_energy(supply)
+            * (1.0 + self.characteristics.short_circuit_fraction)
+            / supply
+        )
+        return leakage + dynamic_charge * rate
+
+    def minimum_energy_point(self) -> MepPoint:
+        """Return the load's minimum energy point at this corner."""
+        return find_minimum_energy_point(
+            self._energy_model,
+            temperature_c=self.temperature_c,
+            label=self.name,
+        )
+
+    def energy_penalty(self, supply: float) -> float:
+        """Return the relative energy penalty of ``supply`` versus the MEP."""
+        mep = self.minimum_energy_point()
+        return self.energy_per_operation(supply) / mep.minimum_energy - 1.0
+
+
+class LoadLibrary:
+    """A named collection of load characteristics."""
+
+    def __init__(self) -> None:
+        self._loads: Dict[str, LoadCharacteristics] = {}
+
+    def add(self, load: LoadCharacteristics) -> None:
+        """Register a load description under its name."""
+        if load.name in self._loads:
+            raise ValueError(f"load {load.name!r} already registered")
+        self._loads[load.name] = load
+
+    def get(self, name: str) -> LoadCharacteristics:
+        """Return a load description by name."""
+        try:
+            return self._loads[name]
+        except KeyError as exc:
+            available = ", ".join(sorted(self._loads)) or "<none>"
+            raise KeyError(
+                f"unknown load {name!r}; available: {available}"
+            ) from exc
+
+    def names(self) -> Iterable[str]:
+        """Return the registered load names."""
+        return tuple(sorted(self._loads))
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._loads
+
+    def bind(
+        self,
+        name: str,
+        delay_model: GateDelayModel,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> DigitalLoad:
+        """Bind a registered load to a delay model (corner)."""
+        return DigitalLoad(self.get(name), delay_model, temperature_c)
+
+
+def default_load_library() -> LoadLibrary:
+    """Return a library with the paper's two loads plus a generic MCU-ish load."""
+    from repro.circuits.fir_filter import FirFilter
+    from repro.circuits.ring_oscillator import RingOscillator
+
+    library = LoadLibrary()
+    library.add(RingOscillator().characteristics())
+    library.add(FirFilter().characteristics(switching_activity=0.15))
+    library.add(
+        LoadCharacteristics(
+            name="generic-datapath",
+            gate_count=5000,
+            logic_depth=40,
+            switching_activity=0.12,
+            average_fanout=1.8,
+        )
+    )
+    return library
+
+
+def sweep_energy_per_operation(
+    load: DigitalLoad, supplies
+) -> np.ndarray:
+    """Convenience vectorised energy-per-operation sweep for plots/benches."""
+    supplies_arr = np.asarray(supplies, dtype=float)
+    return np.asarray(
+        load.energy_model.total_energy(supplies_arr, load.temperature_c)
+    )

@@ -1,0 +1,308 @@
+"""Gate-level netlist container and logic simulation.
+
+A :class:`Netlist` is a named collection of :class:`repro.circuits.gates.Gate`
+objects plus primary inputs and outputs.  It supports:
+
+* structural queries (fanout, gate counts, levelisation),
+* cycle-accurate logic simulation with flip-flop state (used by the
+  switching-activity estimator and the FIR functional tests),
+* conversion to the :class:`repro.delay.energy.LoadCharacteristics`
+  abstraction the controller and energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuits.gates import Gate, GateKind
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.gate_delay import StageKind
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating a vector sequence on a netlist."""
+
+    outputs: List[Dict[str, int]]
+    toggle_counts: Dict[str, int]
+    cycles: int
+
+    def toggles_per_cycle(self) -> float:
+        """Return the mean number of net toggles per simulated cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return sum(self.toggle_counts.values()) / self.cycles
+
+
+class Netlist:
+    """A flat gate-level netlist."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("netlist name must not be empty")
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._driver: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        """Declare a primary input net."""
+        if net in self._inputs:
+            raise NetlistError(f"input {net!r} already declared")
+        if net in self._driver:
+            raise NetlistError(f"net {net!r} is already driven by a gate")
+        self._inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output net."""
+        if net in self._outputs:
+            raise NetlistError(f"output {net!r} already declared")
+        self._outputs.append(net)
+
+    def add_gate(self, gate: Gate) -> None:
+        """Add a gate instance; its output net must not be driven yet."""
+        if gate.name in self._gates:
+            raise NetlistError(f"gate {gate.name!r} already exists")
+        if gate.output in self._driver:
+            raise NetlistError(
+                f"net {gate.output!r} already driven by {self._driver[gate.output]!r}"
+            )
+        if gate.output in self._inputs:
+            raise NetlistError(f"net {gate.output!r} is a primary input")
+        self._gates[gate.name] = gate
+        self._driver[gate.output] = gate.name
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Return the primary input nets."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Return the primary output nets."""
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """Return all gate instances."""
+        return tuple(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        """Return a gate by instance name."""
+        try:
+            return self._gates[name]
+        except KeyError as exc:
+            raise NetlistError(f"no gate named {name!r}") from exc
+
+    def gate_count(self) -> int:
+        """Return the number of gate instances."""
+        return len(self._gates)
+
+    def equivalent_gate_count(self) -> float:
+        """Return the NAND2-equivalent gate count."""
+        return sum(gate.equivalent_gates for gate in self._gates.values())
+
+    def nets(self) -> Tuple[str, ...]:
+        """Return every net name (inputs plus gate outputs)."""
+        nets = list(self._inputs)
+        nets.extend(g.output for g in self._gates.values())
+        return tuple(nets)
+
+    def fanout(self, net: str) -> int:
+        """Return how many gate inputs a net drives."""
+        return sum(
+            1
+            for gate in self._gates.values()
+            for pin in gate.inputs
+            if pin == net
+        )
+
+    def average_fanout(self) -> float:
+        """Return the mean fanout over all driven nets (at least 1.0)."""
+        driven = [self.fanout(net) for net in self._driver]
+        if not driven:
+            return 1.0
+        return max(1.0, sum(driven) / len(driven))
+
+    def sequential_gates(self) -> Tuple[Gate, ...]:
+        """Return the flip-flop instances."""
+        return tuple(g for g in self._gates.values() if g.kind.is_sequential)
+
+    def combinational_gates(self) -> Tuple[Gate, ...]:
+        """Return the combinational gate instances."""
+        return tuple(
+            g for g in self._gates.values() if not g.kind.is_sequential
+        )
+
+    # ------------------------------------------------------------------
+    # Levelisation and validation
+    # ------------------------------------------------------------------
+    def levelize(self) -> List[Gate]:
+        """Return combinational gates in topological order.
+
+        Flip-flop outputs and primary inputs are treated as level-0
+        sources.  Raises :class:`NetlistError` when a combinational loop
+        exists (the ring-oscillator netlist deliberately contains one and
+        is simulated by its dedicated model instead).
+        """
+        known = set(self._inputs)
+        known.update(g.output for g in self.sequential_gates())
+        remaining = {g.name: g for g in self.combinational_gates()}
+        ordered: List[Gate] = []
+        while remaining:
+            ready = [
+                g for g in remaining.values()
+                if all(pin in known for pin in g.inputs)
+            ]
+            if not ready:
+                unresolved = ", ".join(sorted(remaining))
+                raise NetlistError(
+                    f"combinational loop or undriven net involving: {unresolved}"
+                )
+            for gate in sorted(ready, key=lambda g: g.name):
+                ordered.append(gate)
+                known.add(gate.output)
+                del remaining[gate.name]
+        return ordered
+
+    def validate(self) -> None:
+        """Check the netlist is simulatable (all nets driven, no loops)."""
+        known = set(self._inputs)
+        known.update(g.output for g in self._gates.values())
+        for gate in self._gates.values():
+            for pin in gate.inputs:
+                if pin not in known:
+                    raise NetlistError(
+                        f"gate {gate.name!r} input net {pin!r} is undriven"
+                    )
+        for net in self._outputs:
+            if net not in known:
+                raise NetlistError(f"output net {net!r} is undriven")
+        self.levelize()
+
+    def logic_depth(self) -> int:
+        """Return the number of combinational levels on the longest path."""
+        ordered = self.levelize()
+        depth: Dict[str, int] = {net: 0 for net in self._inputs}
+        for gate in self.sequential_gates():
+            depth[gate.output] = 0
+        max_depth = 0
+        for gate in ordered:
+            level = 1 + max((depth.get(pin, 0) for pin in gate.inputs), default=0)
+            depth[gate.output] = level
+            max_depth = max(max_depth, level)
+        return max(1, max_depth)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        vectors: Sequence[Mapping[str, int]],
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> SimulationResult:
+        """Clock the netlist through a sequence of input vectors.
+
+        Each vector maps primary-input net names to 0/1.  Flip-flops
+        capture their D input at the end of every cycle.  Returns the
+        primary-output values per cycle and per-net toggle counts.
+        """
+        self.validate()
+        ordered = self.levelize()
+        state: Dict[str, int] = {net: 0 for net in self.nets()}
+        if initial_state:
+            for net, value in initial_state.items():
+                if net not in state:
+                    raise NetlistError(f"unknown net {net!r} in initial state")
+                state[net] = 1 if value else 0
+        toggles: Dict[str, int] = {net: 0 for net in self.nets()}
+        outputs: List[Dict[str, int]] = []
+
+        for vector in vectors:
+            for net in self._inputs:
+                if net not in vector:
+                    raise NetlistError(f"vector missing primary input {net!r}")
+                new_value = 1 if vector[net] else 0
+                if new_value != state[net]:
+                    toggles[net] += 1
+                state[net] = new_value
+            for gate in ordered:
+                new_value = gate.evaluate([state[pin] for pin in gate.inputs])
+                if new_value != state[gate.output]:
+                    toggles[gate.output] += 1
+                state[gate.output] = new_value
+            # Flip-flops capture at the clock edge ending the cycle.
+            captured = {
+                gate.output: state[gate.inputs[0]]
+                for gate in self.sequential_gates()
+            }
+            for net, value in captured.items():
+                if value != state[net]:
+                    toggles[net] += 1
+                state[net] = value
+            outputs.append({net: state[net] for net in self._outputs})
+        return SimulationResult(
+            outputs=outputs, toggle_counts=toggles, cycles=len(vectors)
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion to the energy-model abstraction
+    # ------------------------------------------------------------------
+    def stage_histogram(self) -> Dict[StageKind, int]:
+        """Return a count of gates per electrical stage kind."""
+        histogram: Dict[StageKind, int] = {}
+        for gate in self._gates.values():
+            histogram[gate.stage_kind] = histogram.get(gate.stage_kind, 0) + 1
+        return histogram
+
+    def to_load(
+        self,
+        switching_activity: float,
+        representative_stage: StageKind = StageKind.NAND2,
+    ) -> LoadCharacteristics:
+        """Build a :class:`LoadCharacteristics` from this netlist."""
+        return LoadCharacteristics(
+            name=self.name,
+            gate_count=max(1, int(round(self.equivalent_gate_count()))),
+            logic_depth=self.logic_depth(),
+            switching_activity=switching_activity,
+            representative_stage=representative_stage,
+            average_fanout=self.average_fanout(),
+        )
+
+
+def chain_of(
+    name: str, kind: GateKind, stages: int, input_net: str = "in"
+) -> Netlist:
+    """Build a simple chain netlist (used by tests and the delay replica)."""
+    if stages <= 0:
+        raise NetlistError("stages must be positive")
+    netlist = Netlist(name)
+    netlist.add_input(input_net)
+    previous = input_net
+    tie_low: Optional[str] = None
+    for index in range(stages):
+        out = f"n{index}"
+        if kind.input_count == 1:
+            inputs: Tuple[str, ...] = (previous,)
+        else:
+            if tie_low is None:
+                tie_low = "tie0"
+                netlist.add_input(tie_low)
+            inputs = (previous, tie_low)
+        netlist.add_gate(Gate(f"u{index}", kind, inputs, out))
+        previous = out
+    netlist.add_output(previous)
+    return netlist

@@ -1,0 +1,165 @@
+"""NAND-gate ring oscillator load (paper reference [14]).
+
+The paper characterises the minimum energy point on "a ring oscillator
+with NAND gates" because it "offers fine control of the switching
+activity".  This module reconstructs that load: an odd-length ring of
+NAND2 stages with an enable input, where the programmable switching
+factor represents the fraction of replicated rings that actually toggle
+(the rest only leak), exactly how the paper dials ``alpha = 0.1``.
+
+The ring oscillator is also reused twice by the controller: as the load
+circuit of Fig. 5/6 and as the source of the TDC delay-replica stage
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.gates import Gate, GateKind
+from repro.circuits.netlist import Netlist
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.gate_delay import GateDelayModel, StageKind
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+DEFAULT_STAGES = 63
+"""Default (odd) number of NAND stages in the ring."""
+
+
+@dataclass(frozen=True)
+class OscillationPoint:
+    """Oscillation behaviour of the ring at one operating point."""
+
+    supply: float
+    temperature_c: float
+    period: float
+    stage_delay: float
+
+    @property
+    def frequency(self) -> float:
+        """Return the oscillation frequency in hertz."""
+        return 1.0 / self.period if self.period > 0 else float("inf")
+
+
+class RingOscillator:
+    """An enable-gated NAND-gate ring oscillator."""
+
+    def __init__(
+        self,
+        stages: int = DEFAULT_STAGES,
+        switching_factor: float = 0.1,
+        name: str = "nand-ring-oscillator",
+    ) -> None:
+        if stages < 3 or stages % 2 == 0:
+            raise ValueError("stages must be an odd integer >= 3")
+        if not 0.0 < switching_factor <= 1.0:
+            raise ValueError("switching_factor must be in (0, 1]")
+        self.stages = stages
+        self.switching_factor = switching_factor
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def netlist(self) -> Netlist:
+        """Return the structural netlist of the ring.
+
+        The ring closes combinationally (stage ``N-1`` feeds stage 0), so
+        the generic levelisation/logic simulation of :class:`Netlist`
+        does not apply; the oscillation behaviour is provided by
+        :meth:`oscillation` instead.
+        """
+        netlist = Netlist(self.name)
+        netlist.add_input("enable")
+        for index in range(self.stages):
+            previous = f"s{(index - 1) % self.stages}"
+            if index == 0:
+                inputs = (f"s{self.stages - 1}", "enable")
+            else:
+                inputs = (previous, "enable")
+            netlist.add_gate(
+                Gate(f"nand{index}", GateKind.NAND2, inputs, f"s{index}")
+            )
+        netlist.add_output(f"s{self.stages - 1}")
+        return netlist
+
+    def gate_count(self) -> int:
+        """Return the number of NAND gates in the ring."""
+        return self.stages
+
+    # ------------------------------------------------------------------
+    # Electrical behaviour
+    # ------------------------------------------------------------------
+    def stage_delay(
+        self,
+        delay_model: GateDelayModel,
+        supply,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ):
+        """Return the delay of one NAND stage at ``supply`` (seconds)."""
+        return delay_model.propagation_delay(
+            StageKind.NAND2,
+            supply,
+            temperature_c=temperature_c,
+            fanout=1.0,
+            load_stage=StageKind.NAND2,
+        )
+
+    def oscillation(
+        self,
+        delay_model: GateDelayModel,
+        supply: float,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> OscillationPoint:
+        """Return period/frequency of the free-running ring at ``supply``.
+
+        The oscillation period of an N-stage inverting ring is
+        ``2 * N * t_stage``.
+        """
+        if supply <= 0:
+            raise ValueError("supply must be positive")
+        stage = float(self.stage_delay(delay_model, supply, temperature_c))
+        return OscillationPoint(
+            supply=float(supply),
+            temperature_c=temperature_c,
+            period=2.0 * self.stages * stage,
+            stage_delay=stage,
+        )
+
+    def frequency_sweep(
+        self,
+        delay_model: GateDelayModel,
+        supplies,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> np.ndarray:
+        """Return oscillation frequencies (Hz) over an array of supplies."""
+        supplies_arr = np.asarray(supplies, dtype=float)
+        stage = self.stage_delay(delay_model, supplies_arr, temperature_c)
+        return 1.0 / (2.0 * self.stages * stage)
+
+    # ------------------------------------------------------------------
+    # Energy-model view
+    # ------------------------------------------------------------------
+    def characteristics(
+        self, switching_factor: Optional[float] = None
+    ) -> LoadCharacteristics:
+        """Return the :class:`LoadCharacteristics` of this ring.
+
+        One "cycle" of the load is one oscillation period, i.e. a logic
+        depth of ``2 * stages`` NAND delays.
+        """
+        return LoadCharacteristics(
+            name=self.name,
+            gate_count=self.stages,
+            logic_depth=2 * self.stages,
+            switching_activity=(
+                self.switching_factor
+                if switching_factor is None
+                else switching_factor
+            ),
+            representative_stage=StageKind.NAND2,
+            average_fanout=1.0,
+        )

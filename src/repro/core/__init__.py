@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the adaptive controller stack.
+
+Public surface:
+
+* :class:`~repro.core.controller.AdaptiveController` — the full closed
+  loop of Fig. 5 (FIFO, rate controller, DC-DC, load, compensation).
+* :class:`~repro.core.dcdc.DcDcConverter` — the all-digital DC-DC
+  converter (TDC + comparator + PWM + power stage).
+* :class:`~repro.core.tdc.TimeToDigitalConverter` — the novel variation
+  sensor.
+* Configuration dataclasses in :mod:`repro.core.config`.
+"""
+
+from repro.core.comparator import (
+    ComparatorDecision,
+    ComparisonResult,
+    DigitalComparator,
+)
+from repro.core.config import ControllerConfig, PowerStageConfig, TdcConfig
+from repro.core.controller import (
+    AdaptiveController,
+    ControllerCycleRecord,
+    ControllerTrace,
+)
+from repro.core.dcdc import DcDcConverter, DcDcCycleRecord, FeedbackMode
+from repro.core.lut import VoltageLut
+from repro.core.power_stage import (
+    BuckPowerStage,
+    PowerStageState,
+    PowerTransistorArray,
+)
+from repro.core.pulse import PulseShrinkingModel
+from repro.core.pwm import PwmController, PwmCycle
+from repro.core.rate_controller import (
+    RateController,
+    RateDecision,
+    program_lut_for_load,
+)
+from repro.core.tdc import (
+    QuantizerSnapshot,
+    TdcCalibration,
+    TdcReading,
+    TimeToDigitalConverter,
+    table_one_rows,
+)
+
+__all__ = [
+    "ComparatorDecision",
+    "ComparisonResult",
+    "DigitalComparator",
+    "ControllerConfig",
+    "PowerStageConfig",
+    "TdcConfig",
+    "AdaptiveController",
+    "ControllerCycleRecord",
+    "ControllerTrace",
+    "DcDcConverter",
+    "DcDcCycleRecord",
+    "FeedbackMode",
+    "VoltageLut",
+    "BuckPowerStage",
+    "PowerStageState",
+    "PowerTransistorArray",
+    "PulseShrinkingModel",
+    "PwmController",
+    "PwmCycle",
+    "RateController",
+    "RateDecision",
+    "program_lut_for_load",
+    "QuantizerSnapshot",
+    "TdcCalibration",
+    "TdcReading",
+    "TimeToDigitalConverter",
+    "table_one_rows",
+]

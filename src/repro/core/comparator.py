@@ -1,0 +1,71 @@
+"""6-bit digital comparator of the DC-DC converter.
+
+"The comparator output is a two bit value based on whether the output
+voltage Vout is less than ("01") or equal to ("10") or greater than
+("11") the desired voltage" (paper Section III).  The two-bit encodings
+are preserved so tests can check the interface the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComparatorDecision(enum.Enum):
+    """Outcome of comparing the measured word against the desired word."""
+
+    UP = "01"
+    """Measured below desired: raise the output voltage."""
+
+    HOLD = "10"
+    """Measured equals desired (within the deadband): hold."""
+
+    DOWN = "11"
+    """Measured above desired: lower the output voltage."""
+
+    @property
+    def bits(self) -> str:
+        """Return the two-bit encoding used in the paper."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Decision plus the signed error that produced it."""
+
+    decision: ComparatorDecision
+    error: int
+    """Desired minus measured, in LSBs."""
+
+    @property
+    def magnitude(self) -> int:
+        """Return the absolute error in LSBs."""
+        return abs(self.error)
+
+
+class DigitalComparator:
+    """Compare measured and desired 6-bit words with an optional deadband."""
+
+    def __init__(self, deadband: int = 0) -> None:
+        if deadband < 0:
+            raise ValueError("deadband must be non-negative")
+        self.deadband = deadband
+        self._decisions = {decision: 0 for decision in ComparatorDecision}
+
+    @property
+    def decision_counts(self) -> dict:
+        """Return how many times each decision has been issued."""
+        return dict(self._decisions)
+
+    def compare(self, measured_code: int, desired_code: int) -> ComparisonResult:
+        """Return the up/hold/down decision for one system cycle."""
+        error = int(desired_code) - int(measured_code)
+        if abs(error) <= self.deadband:
+            decision = ComparatorDecision.HOLD
+        elif error > 0:
+            decision = ComparatorDecision.UP
+        else:
+            decision = ComparatorDecision.DOWN
+        self._decisions[decision] += 1
+        return ComparisonResult(decision=decision, error=error)

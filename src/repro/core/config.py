@@ -1,0 +1,187 @@
+"""Configuration dataclasses of the adaptive controller.
+
+All the architectural constants quoted in the paper live here with their
+published defaults: 64 MHz clock, a 6-bit counter giving a 1 MHz system
+cycle and an 18.75 mV DC-DC resolution, a 14 ns TDC reference clock, and
+the off-chip L/C low-pass filter of the power stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.technology import (
+    DCDC_RESOLUTION_BITS,
+    NOMINAL_SUPPLY_V,
+)
+
+
+@dataclass(frozen=True)
+class TdcConfig:
+    """Time-to-digital converter configuration."""
+
+    delay_cells: int = 64
+    """Number of INV-NOR cells in the delay replica / quantizer."""
+
+    reference_period: float = 14e-9
+    """'Ref_clk' period used for the Table I characterisation (seconds)."""
+
+    measurement_periods: int = 64
+    """Reference periods accumulated per measurement (the paper's
+    "feedback loop ... keeping track of a single counter with resolution
+    higher than the direct method")."""
+
+    counter_bits: int = 16
+    """Width of the accumulation counter."""
+
+    minimum_supply: float = 0.05
+    """Below this supply the replica is considered stalled (count = 0)."""
+
+    def __post_init__(self) -> None:
+        if self.delay_cells <= 0:
+            raise ValueError("delay_cells must be positive")
+        if self.reference_period <= 0:
+            raise ValueError("reference_period must be positive")
+        if self.measurement_periods <= 0:
+            raise ValueError("measurement_periods must be positive")
+        if self.counter_bits < DCDC_RESOLUTION_BITS:
+            raise ValueError(
+                "counter_bits must be at least the DC-DC resolution bits"
+            )
+        if self.minimum_supply <= 0:
+            raise ValueError("minimum_supply must be positive")
+
+    @property
+    def measurement_window(self) -> float:
+        """Return the total accumulation window (seconds)."""
+        return self.reference_period * self.measurement_periods
+
+    @property
+    def max_count(self) -> int:
+        """Return the saturation value of the accumulation counter."""
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class PowerStageConfig:
+    """All-digital DC-DC power stage (Fig. 5 right-hand side)."""
+
+    battery_voltage: float = NOMINAL_SUPPLY_V
+    segments: int = 8
+    segment_on_resistance: float = 16.0
+    """On-resistance of one PMOS/NMOS segment (ohms); all eight in
+    parallel give a 2-ohm switch."""
+
+    off_resistance: float = 1e9
+    inductance: float = 4.7e-6
+    capacitance: float = 2.2e-6
+    capacitor_esr: float = 0.05
+    initial_output_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.battery_voltage <= 0:
+            raise ValueError("battery_voltage must be positive")
+        if self.segments <= 0:
+            raise ValueError("segments must be positive")
+        if self.segment_on_resistance <= 0 or self.off_resistance <= 0:
+            raise ValueError("switch resistances must be positive")
+        if self.inductance <= 0 or self.capacitance <= 0:
+            raise ValueError("L and C must be positive")
+        if self.capacitor_esr < 0:
+            raise ValueError("capacitor_esr must be non-negative")
+        if not 0.0 <= self.initial_output_voltage <= self.battery_voltage:
+            raise ValueError(
+                "initial_output_voltage must be within [0, battery_voltage]"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Top-level adaptive-controller configuration (Fig. 5)."""
+
+    clock_frequency: float = 64e6
+    """Main digital clock (Hz)."""
+
+    resolution_bits: int = DCDC_RESOLUTION_BITS
+    """Width of every digital word (desired voltage, PWM counter, TDC code)."""
+
+    full_scale_voltage: float = NOMINAL_SUPPLY_V
+    """DC-DC full-scale output (V)."""
+
+    fifo_depth: int = 64
+    """Input FIFO depth in samples."""
+
+    code_lower_bound: int = 1
+    code_upper_bound: int = 62
+    """Saturation bounds on the duty-cycle counter (the paper's guard
+    against all transistors switching at once on a 64 -> 0 wrap)."""
+
+    duty_update_interval: int = 4
+    """System cycles between up/down adjustments of the duty register.
+
+    The L-C output filter needs several system cycles to respond to one
+    duty step; adjusting every cycle would integrate stale error
+    (wind-up) and limit-cycle around the target.  Large setpoint changes
+    are handled separately by pre-loading the duty register (paper: "a
+    6-bit register is used to store the value generated from the rate
+    controller"), so the trim loop only ever moves one LSB at a time.
+    """
+
+    compensation_interval_cycles: int = 3
+    """Consecutive settled system cycles whose signatures must agree
+    before a LUT correction is applied (the paper's correction completes
+    "in the first 2 system cycles"; one extra vote adds robustness
+    against readings taken while the output is still slewing)."""
+
+    signature_deadband_counts: int = 0
+    """TDC counts of mismatch tolerated before a LUT correction."""
+
+    signature_supply_ceiling: float = 0.5
+    """Highest output voltage (V) at which the variation signature is
+    evaluated.  The TDC replica senses variation on the subthreshold /
+    moderate-inversion portion of its calibrated range; above this the
+    count deficit reflects drive-strength spread rather than the
+    threshold shift the MEP correction needs (see DESIGN.md)."""
+
+    max_correction_lsb: int = 4
+    """Largest cumulative LUT correction the controller will apply."""
+
+    tdc: TdcConfig = field(default_factory=TdcConfig)
+    power_stage: PowerStageConfig = field(default_factory=PowerStageConfig)
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency <= 0:
+            raise ValueError("clock_frequency must be positive")
+        if self.resolution_bits <= 0:
+            raise ValueError("resolution_bits must be positive")
+        if self.full_scale_voltage <= 0:
+            raise ValueError("full_scale_voltage must be positive")
+        if self.fifo_depth <= 0:
+            raise ValueError("fifo_depth must be positive")
+        max_code = (1 << self.resolution_bits) - 1
+        if not 0 <= self.code_lower_bound <= self.code_upper_bound <= max_code:
+            raise ValueError("code bounds must fit the resolution")
+        if self.duty_update_interval <= 0:
+            raise ValueError("duty_update_interval must be positive")
+        if self.compensation_interval_cycles <= 0:
+            raise ValueError("compensation_interval_cycles must be positive")
+        if self.signature_deadband_counts < 0:
+            raise ValueError("signature_deadband_counts must be >= 0")
+        if self.signature_supply_ceiling <= 0:
+            raise ValueError("signature_supply_ceiling must be positive")
+        if self.max_correction_lsb < 0:
+            raise ValueError("max_correction_lsb must be >= 0")
+
+    @property
+    def system_cycle_period(self) -> float:
+        """Return the PWM/system cycle period: 2**bits clock periods.
+
+        With the published defaults this is 64 / 64 MHz = 1 us (1 MHz), the
+        "system cycle" of the paper's Fig. 6 discussion.
+        """
+        return (1 << self.resolution_bits) / self.clock_frequency
+
+    @property
+    def resolution_volts(self) -> float:
+        """Return one DC-DC LSB in volts (18.75 mV by default)."""
+        return self.full_scale_voltage / (1 << self.resolution_bits)

@@ -1,0 +1,379 @@
+"""The variation-resilient adaptive controller (paper Fig. 5).
+
+:class:`AdaptiveController` closes the full loop of the paper:
+
+``input data -> FIFO -> rate controller (LUT) -> DC-DC converter
+(TDC + comparator + PWM + power stage) -> load -> FIFO drain``
+
+plus the variation-compensation path: the TDC signature measured on the
+*actual* silicon is compared against the design-reference calibration
+and any persistent shift is written back into the LUT, so the supply the
+rate controller requests lands on the minimum energy point of the
+silicon actually fabricated (the paper's slow-corner example: the
+typical-corner 200 mV entry is corrected to ~218.75 mV).
+
+The controller advances in system cycles (1 us with the published
+64 MHz / 6-bit configuration).  Each cycle it moves input samples into
+the FIFO, lets the load drain as many samples as its supply allows,
+regulates the DC-DC output one step, and accumulates load energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.comparator import ComparatorDecision
+from repro.core.config import ControllerConfig
+from repro.core.dcdc import DcDcConverter, FeedbackMode
+from repro.core.lut import VoltageLut
+from repro.core.rate_controller import RateController
+from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
+from repro.delay.gate_delay import GateDelayModel
+from repro.digital.fifo import Fifo
+from repro.digital.signals import code_to_voltage
+from repro.spice.waveform import Waveform
+
+ArrivalFunction = Callable[[float, float], int]
+
+
+@dataclass
+class ControllerCycleRecord:
+    """Telemetry of one controller system cycle."""
+
+    time: float
+    queue_length: int
+    desired_code: int
+    output_voltage: float
+    duty_value: int
+    operations_completed: int
+    samples_dropped: int
+    energy_joules: float
+    lut_correction: int
+    decision: ComparatorDecision
+
+
+@dataclass
+class ControllerTrace:
+    """Full telemetry of a controller run."""
+
+    records: List[ControllerCycleRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Return the per-cycle timestamps (seconds)."""
+        return np.array([r.time for r in self.records])
+
+    @property
+    def output_voltages(self) -> np.ndarray:
+        """Return the DC-DC output voltage per cycle."""
+        return np.array([r.output_voltage for r in self.records])
+
+    @property
+    def desired_codes(self) -> np.ndarray:
+        """Return the desired-voltage word per cycle."""
+        return np.array([r.desired_code for r in self.records])
+
+    @property
+    def queue_lengths(self) -> np.ndarray:
+        """Return the FIFO queue length per cycle."""
+        return np.array([r.queue_length for r in self.records])
+
+    def voltage_waveform(self) -> Waveform:
+        """Return the output voltage as a measurable waveform."""
+        return Waveform(self.times, self.output_voltages, name="v_out")
+
+    def total_energy(self) -> float:
+        """Return the total load energy consumed (joules)."""
+        return float(sum(r.energy_joules for r in self.records))
+
+    def total_operations(self) -> int:
+        """Return how many load operations completed."""
+        return int(sum(r.operations_completed for r in self.records))
+
+    def total_drops(self) -> int:
+        """Return how many input samples were lost to FIFO overflow."""
+        return int(sum(r.samples_dropped for r in self.records))
+
+    def energy_per_operation(self) -> float:
+        """Return the average energy per completed operation (joules)."""
+        operations = self.total_operations()
+        if operations == 0:
+            return float("nan")
+        return self.total_energy() / operations
+
+    def final_voltage(self, cycles: int = 8) -> float:
+        """Return the mean output voltage over the last ``cycles`` cycles."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        tail = self.output_voltages[-cycles:]
+        return float(tail.mean())
+
+    def final_correction(self) -> int:
+        """Return the LUT correction in effect at the end of the run."""
+        if not self.records:
+            return 0
+        return self.records[-1].lut_correction
+
+    def segment(self, start_time: float, stop_time: float) -> "ControllerTrace":
+        """Return the sub-trace between two times."""
+        selected = [
+            r for r in self.records if start_time <= r.time <= stop_time
+        ]
+        return ControllerTrace(records=selected)
+
+
+class AdaptiveController:
+    """Closed-loop, variation-resilient adaptive supply controller."""
+
+    def __init__(
+        self,
+        load: DigitalLoad,
+        lut: VoltageLut,
+        reference_delay_model: GateDelayModel,
+        config: Optional[ControllerConfig] = None,
+        compensation_enabled: bool = True,
+        feedback_mode: FeedbackMode = FeedbackMode.VOLTAGE_SENSE,
+        sensor_delay_model: Optional[GateDelayModel] = None,
+        nominal_throughput: Optional[float] = None,
+    ) -> None:
+        self.config = config or ControllerConfig()
+        self.load = load
+        self.lut = lut
+        self.compensation_enabled = compensation_enabled
+        self.nominal_throughput = nominal_throughput
+        self.fifo = Fifo(depth=self.config.fifo_depth, name="input-fifo")
+        self.rate_controller = RateController(lut)
+        # The TDC delay replica sits on the *actual* silicon (same die as
+        # the load); the calibration table is characterised on the design
+        # reference corner.
+        replica_model = sensor_delay_model or load.delay_model
+        actual_tdc = TimeToDigitalConverter(
+            replica_model, self.config.tdc, temperature_c=load.temperature_c
+        )
+        reference_tdc = TimeToDigitalConverter(
+            reference_delay_model, self.config.tdc,
+            temperature_c=load.temperature_c,
+        )
+        calibration = TdcCalibration(
+            reference_tdc,
+            resolution_bits=self.config.resolution_bits,
+            full_scale=self.config.full_scale_voltage,
+        )
+        self.dcdc = DcDcConverter(
+            config=self.config,
+            tdc=actual_tdc,
+            calibration=calibration,
+            feedback_mode=feedback_mode,
+        )
+        self._signature_votes: List[int] = []
+        self._cycles = 0
+        self._work_accumulator = 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _load_current(self, voltage: float) -> float:
+        """Return the load current drawn from the converter at ``voltage``."""
+        return self.load.current_draw(voltage, self.nominal_throughput)
+
+    def _operations_possible(self, voltage: float, period: float) -> int:
+        """Return how many load operations complete this system cycle.
+
+        Subthreshold operation times (tens of microseconds) are often
+        longer than the 1 us system cycle, so fractional progress is
+        accumulated across cycles; an operation is counted once a full
+        operation's worth of progress has been made.
+        """
+        if voltage <= 0.05:
+            return 0
+        cycle_time = self.load.cycle_time(voltage)
+        if self.nominal_throughput is not None:
+            cycle_time = max(cycle_time, 1.0 / self.nominal_throughput)
+        self._work_accumulator += period / cycle_time
+        completed = int(self._work_accumulator)
+        self._work_accumulator -= completed
+        return completed
+
+    def _cycle_energy(
+        self, voltage: float, operations: int, period: float
+    ) -> float:
+        """Return the load energy consumed in one system cycle (joules)."""
+        if voltage <= 0:
+            return 0.0
+        model = self.load.energy_model
+        dynamic = (
+            model.dynamic_energy(voltage)
+            * (1.0 + self.load.characteristics.short_circuit_fraction)
+            * operations
+        )
+        leakage = (
+            voltage
+            * model.leakage_current(voltage, self.load.temperature_c)
+            * period
+        )
+        return float(dynamic + leakage)
+
+    def _update_compensation(self, desired_code: int, settled: bool) -> None:
+        """Evaluate the TDC signature and correct the LUT when persistent.
+
+        Signatures are only collected while the loop is settled and the
+        output sits inside the TDC's calibrated subthreshold sensing
+        range; a correction is applied once the configured number of
+        consecutive signatures agree, and the cumulative correction is
+        bounded by ``max_correction_lsb``.
+        """
+        if not self.compensation_enabled or not settled:
+            return
+        if self.dcdc.output_voltage > self.config.signature_supply_ceiling:
+            self._signature_votes.clear()
+            return
+        signature = self.dcdc.tdc_signature(desired_code)
+        self._signature_votes.append(signature)
+        if len(self._signature_votes) < self.config.compensation_interval_cycles:
+            return
+        window = self._signature_votes[
+            -self.config.compensation_interval_cycles :
+        ]
+        if len(set(window)) != 1:
+            return
+        agreed = window[0]
+        limit = self.config.max_correction_lsb
+        agreed = max(-limit, min(limit, agreed))
+        if abs(agreed - self.lut.correction) > self.config.signature_deadband_counts:
+            adjustment = agreed - self.lut.correction
+            self.lut.apply_correction(adjustment)
+            self._signature_votes.clear()
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: ArrivalFunction,
+        system_cycles: int,
+    ) -> ControllerTrace:
+        """Run the full closed loop for ``system_cycles`` system cycles.
+
+        ``arrivals(time, period)`` returns how many input samples arrive
+        during the system cycle starting at ``time``.
+        """
+        if system_cycles <= 0:
+            raise ValueError("system_cycles must be positive")
+        trace = ControllerTrace()
+        period = self.config.system_cycle_period
+        for _ in range(system_cycles):
+            time = self._cycles * period
+            arriving = int(arrivals(time, period))
+            accepted = self.fifo.push_burst(range(arriving))
+            dropped = arriving - accepted
+
+            decision = self.rate_controller.observe(self.fifo)
+            desired_code = decision.desired_code
+            record = self.dcdc.step(desired_code, self._load_current, period)
+
+            voltage = record.output_voltage
+            possible = self._operations_possible(voltage, period)
+            completed = len(self.fifo.pop_up_to(possible))
+            energy = self._cycle_energy(voltage, completed, period)
+
+            settled = record.decision is ComparatorDecision.HOLD
+            self._update_compensation(desired_code, settled)
+
+            trace.records.append(
+                ControllerCycleRecord(
+                    time=time + period,
+                    queue_length=self.fifo.queue_length,
+                    desired_code=desired_code,
+                    output_voltage=voltage,
+                    duty_value=record.duty_value,
+                    operations_completed=completed,
+                    samples_dropped=dropped,
+                    energy_joules=energy,
+                    lut_correction=self.lut.correction,
+                    decision=record.decision,
+                )
+            )
+            self._cycles += 1
+        return trace
+
+    def run_schedule(
+        self,
+        schedule: Sequence[Tuple[int, int]],
+        arrivals: Optional[ArrivalFunction] = None,
+    ) -> ControllerTrace:
+        """Drive an explicit sequence of desired words (Fig. 6 style).
+
+        ``schedule`` is a list of ``(desired_code, system_cycles)`` pairs;
+        the rate controller is bypassed, but FIFO movement, load energy
+        accounting and variation compensation all still run.  The word
+        actually issued to the DC-DC converter includes the LUT
+        correction, which is how the paper's slow-corner compensation
+        appears as an extra 18.75 mV on top of the scheduled 200 mV.
+        """
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        trace = ControllerTrace()
+        period = self.config.system_cycle_period
+        for scheduled_code, cycles in schedule:
+            if cycles <= 0:
+                raise ValueError("each schedule entry needs >= 1 cycle")
+            for _ in range(cycles):
+                time = self._cycles * period
+                arriving = int(arrivals(time, period)) if arrivals else 0
+                accepted = self.fifo.push_burst(range(arriving))
+                dropped = arriving - accepted
+
+                desired_code = min(
+                    scheduled_code + self.lut.correction,
+                    (1 << self.config.resolution_bits) - 1,
+                )
+                record = self.dcdc.step(
+                    desired_code, self._load_current, period
+                )
+                voltage = record.output_voltage
+                possible = self._operations_possible(voltage, period)
+                completed = len(self.fifo.pop_up_to(possible))
+                energy = self._cycle_energy(voltage, completed, period)
+
+                settled = record.decision is ComparatorDecision.HOLD
+                self._update_compensation(desired_code, settled)
+
+                trace.records.append(
+                    ControllerCycleRecord(
+                        time=time + period,
+                        queue_length=self.fifo.queue_length,
+                        desired_code=desired_code,
+                        output_voltage=voltage,
+                        duty_value=record.duty_value,
+                        operations_completed=completed,
+                        samples_dropped=dropped,
+                        energy_joules=energy,
+                        lut_correction=self.lut.correction,
+                        decision=record.decision,
+                    )
+                )
+                self._cycles += 1
+        return trace
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def desired_voltage_for_queue(self, queue_length: int) -> float:
+        """Return the supply the LUT currently maps a queue length to."""
+        return code_to_voltage(
+            self.lut.lookup(queue_length),
+            self.config.resolution_bits,
+            self.config.full_scale_voltage,
+        )
+
+    @property
+    def cycles_run(self) -> int:
+        """Return the total number of system cycles simulated."""
+        return self._cycles

@@ -1,0 +1,224 @@
+"""All-digital DC-DC converter (paper Fig. 5, right half).
+
+The converter combines the TDC sensor, the 6-bit comparator, the PWM
+controller and the buck power stage.  Every system cycle (1 us) it:
+
+1. senses the present output voltage,
+2. compares the sensed word with the desired word from the rate
+   controller,
+3. nudges the PWM duty register up/down/hold, and
+4. advances the power stage by one system cycle with the new duty.
+
+Two feedback-sensor modes are supported (see DESIGN.md):
+
+* ``VOLTAGE_SENSE`` (default, the paper's narrative): the regulation
+  loop senses the actual output voltage with the converter's own
+  above-threshold circuitry (quantised to 18.75 mV); the subthreshold
+  TDC replica is read out separately as the *variation signature* used
+  by the adaptive controller to correct the LUT.
+* ``DELAY_SERVO``: the TDC reading itself (interpreted through the
+  reference calibration table) closes the loop, i.e. the converter
+  regulates replica delay rather than absolute voltage.  On skewed
+  silicon this lands the output at the voltage where the replica matches
+  the reference delay — inherent variation compensation.  Provided for
+  the ablation study.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.comparator import ComparatorDecision, DigitalComparator
+from repro.core.config import ControllerConfig
+from repro.core.power_stage import BuckPowerStage, PowerTransistorArray
+from repro.core.pwm import PwmController, PwmCycle
+from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
+from repro.digital.signals import clamp_code, code_to_voltage, voltage_to_code
+
+LoadCurrentFunction = Callable[[float], float]
+
+
+class FeedbackMode(enum.Enum):
+    """Which sensor closes the DC-DC regulation loop."""
+
+    VOLTAGE_SENSE = "voltage-sense"
+    DELAY_SERVO = "delay-servo"
+
+
+@dataclass
+class DcDcCycleRecord:
+    """Telemetry of one DC-DC system cycle."""
+
+    time: float
+    desired_code: int
+    measured_code: int
+    decision: ComparatorDecision
+    duty_value: int
+    output_voltage: float
+    tdc_count: int
+    tdc_reliable: bool
+
+
+@dataclass
+class DcDcConverter:
+    """The complete all-digital DC-DC converter."""
+
+    config: ControllerConfig
+    tdc: TimeToDigitalConverter
+    calibration: TdcCalibration
+    power_stage: Optional[BuckPowerStage] = None
+    feedback_mode: FeedbackMode = FeedbackMode.VOLTAGE_SENSE
+    records: List[DcDcCycleRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.power_stage is None:
+            self.power_stage = BuckPowerStage(self.config.power_stage)
+        self.comparator = DigitalComparator(deadband=0)
+        self.pwm = PwmController(self.config)
+        self._time = 0.0
+        self._last_desired: Optional[int] = None
+        self._cycles_since_duty_update = 0
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    @property
+    def output_voltage(self) -> float:
+        """Return the present converter output voltage."""
+        return self.power_stage.output_voltage
+
+    @property
+    def elapsed_time(self) -> float:
+        """Return the simulated time so far (seconds)."""
+        return self._time
+
+    def sense_code(self) -> int:
+        """Return the 6-bit word the regulation loop sees for Vout."""
+        vout = self.power_stage.output_voltage
+        if self.feedback_mode is FeedbackMode.VOLTAGE_SENSE:
+            return voltage_to_code(
+                vout, self.config.resolution_bits, self.config.full_scale_voltage
+            )
+        reading = self.tdc.measure(vout)
+        return self.calibration.code_from_count(reading.count)
+
+    def tdc_signature(self, desired_code: int) -> int:
+        """Return the variation signature (in LSBs) at the present output.
+
+        Positive values mean the silicon's replica is slower than the
+        design reference at this voltage (e.g. the slow corner) and the
+        supply should be raised.  In voltage-sense mode the signature is
+        referenced to the quantised *measured* output voltage so that
+        regulation quantisation error does not masquerade as process
+        variation; in delay-servo mode only the desired code is known.
+        """
+        reading = self.tdc.measure(self.power_stage.output_voltage)
+        if not reading.reliable:
+            return 0
+        if self.feedback_mode is FeedbackMode.VOLTAGE_SENSE:
+            voltage_code = voltage_to_code(
+                self.power_stage.output_voltage,
+                self.config.resolution_bits,
+                self.config.full_scale_voltage,
+            )
+            return self.calibration.shift_in_lsb(voltage_code, reading.count)
+        return self.calibration.signature_shift(desired_code, reading.count)
+
+    # ------------------------------------------------------------------
+    # Regulation
+    # ------------------------------------------------------------------
+    def preset_duty_for(self, desired_code: int) -> int:
+        """Preload the duty register near the steady-state duty for a code.
+
+        The paper loads "a 6-bit register ... with the value generated
+        from the rate controller"; starting the duty near
+        ``Vdesired / Vbat`` keeps the step response of Fig. 6 fast.
+        """
+        desired_voltage = code_to_voltage(
+            desired_code, self.config.resolution_bits,
+            self.config.full_scale_voltage,
+        )
+        duty_estimate = desired_voltage / self.config.power_stage.battery_voltage
+        duty_code = int(round(duty_estimate * (1 << self.config.resolution_bits)))
+        return self.pwm.load(clamp_code(duty_code, self.config.resolution_bits))
+
+    def step(
+        self,
+        desired_code: int,
+        load_current: LoadCurrentFunction,
+        duration: Optional[float] = None,
+    ) -> DcDcCycleRecord:
+        """Run one system cycle of the regulation loop."""
+        desired = clamp_code(desired_code, self.config.resolution_bits)
+        period = self.config.system_cycle_period if duration is None else duration
+        if self._last_desired is None or abs(desired - self._last_desired) > 2:
+            # A new word from the rate controller: preload the duty register
+            # near its steady-state value so the step response of Fig. 6 is
+            # a clean slew instead of a slow integral ramp.
+            self.preset_duty_for(desired)
+            self._cycles_since_duty_update = 0
+        self._last_desired = desired
+        measured_code = self.sense_code()
+        comparison = self.comparator.compare(measured_code, desired)
+        # Trim the duty register one LSB at a time, and only every few
+        # system cycles so the L-C filter has responded to the previous
+        # adjustment before the next one is integrated.
+        self._cycles_since_duty_update += 1
+        if self._cycles_since_duty_update >= self.config.duty_update_interval:
+            self.pwm.apply(comparison.decision, step=1)
+            self._cycles_since_duty_update = 0
+        cycle: PwmCycle = self.pwm.next_cycle()
+        reading = self.tdc.measure(self.power_stage.output_voltage)
+        self.power_stage.advance(
+            cycle.duty_cycle, period, load_current, substeps=8
+        )
+        self._time += period
+        record = DcDcCycleRecord(
+            time=self._time,
+            desired_code=desired,
+            measured_code=measured_code,
+            decision=comparison.decision,
+            duty_value=cycle.duty_value,
+            output_voltage=self.power_stage.output_voltage,
+            tdc_count=reading.count,
+            tdc_reliable=reading.reliable,
+        )
+        self.records.append(record)
+        return record
+
+    def run_to_code(
+        self,
+        desired_code: int,
+        load_current: LoadCurrentFunction,
+        max_cycles: int = 200,
+        settle_cycles: int = 3,
+    ) -> List[DcDcCycleRecord]:
+        """Step the loop until the output settles on ``desired_code``.
+
+        Settling means the comparator reported HOLD for ``settle_cycles``
+        consecutive system cycles.
+        """
+        if max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+        consecutive_holds = 0
+        produced: List[DcDcCycleRecord] = []
+        for _ in range(max_cycles):
+            record = self.step(desired_code, load_current)
+            produced.append(record)
+            if record.decision is ComparatorDecision.HOLD:
+                consecutive_holds += 1
+                if consecutive_holds >= settle_cycles:
+                    break
+            else:
+                consecutive_holds = 0
+        return produced
+
+    # ------------------------------------------------------------------
+    # Workload-aware segment selection
+    # ------------------------------------------------------------------
+    def select_segments_for(self, load_current_value: float) -> int:
+        """Enable power-array segments appropriate for a load current."""
+        array: PowerTransistorArray = self.power_stage.array
+        return array.select_for_load(load_current_value)

@@ -1,0 +1,147 @@
+"""Queue-length to desired-voltage look-up table.
+
+"Based on the range of the queue length, the location of the look up
+table is selected from which a 6-bit word is fetched.  This is the
+desired voltage value encoded as bits.  These values were obtained prior
+to the circuit operation through simulations" (paper Section IV).  The
+LUT is also where variation compensation lands: the signature shift
+detected by the TDC is added to every entry ("The shift in this one bit
+needs to be reflected in the LUT").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.digital.signals import clamp_code, code_to_voltage, voltage_to_code
+
+
+class VoltageLut:
+    """A queue-length indexed table of 6-bit desired-voltage words."""
+
+    def __init__(
+        self,
+        entries: Sequence[int],
+        fifo_depth: int = 64,
+        resolution_bits: int = 6,
+        full_scale: float = 1.2,
+    ) -> None:
+        if not entries:
+            raise ValueError("the LUT needs at least one entry")
+        if fifo_depth <= 0:
+            raise ValueError("fifo_depth must be positive")
+        self.fifo_depth = fifo_depth
+        self.resolution_bits = resolution_bits
+        self.full_scale = full_scale
+        self._entries: List[int] = [
+            clamp_code(entry, resolution_bits) for entry in entries
+        ]
+        self._correction = 0
+        self._correction_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_voltages(
+        cls,
+        voltages: Sequence[float],
+        fifo_depth: int = 64,
+        resolution_bits: int = 6,
+        full_scale: float = 1.2,
+    ) -> "VoltageLut":
+        """Build a LUT from target voltages instead of raw codes."""
+        codes = [
+            voltage_to_code(v, resolution_bits, full_scale) for v in voltages
+        ]
+        return cls(codes, fifo_depth, resolution_bits, full_scale)
+
+    @classmethod
+    def constant(
+        cls,
+        code: int,
+        bins: int = 8,
+        fifo_depth: int = 64,
+        resolution_bits: int = 6,
+        full_scale: float = 1.2,
+    ) -> "VoltageLut":
+        """Build a LUT that returns the same word for every occupancy."""
+        return cls([code] * bins, fifo_depth, resolution_bits, full_scale)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def bins(self) -> int:
+        """Return the number of queue-length bins."""
+        return len(self._entries)
+
+    @property
+    def correction(self) -> int:
+        """Return the cumulative variation-compensation offset in LSBs."""
+        return self._correction
+
+    @property
+    def correction_history(self) -> List[int]:
+        """Return every correction increment applied so far."""
+        return list(self._correction_history)
+
+    def entries(self) -> List[int]:
+        """Return the corrected entries currently in effect."""
+        return [
+            clamp_code(entry + self._correction, self.resolution_bits)
+            for entry in self._entries
+        ]
+
+    def raw_entries(self) -> List[int]:
+        """Return the entries as originally programmed (no correction)."""
+        return list(self._entries)
+
+    def bin_for(self, queue_length: int) -> int:
+        """Return the LUT bin selected by a queue length."""
+        if queue_length < 0:
+            raise ValueError("queue_length must be non-negative")
+        clamped = min(queue_length, self.fifo_depth)
+        index = int(clamped * self.bins / (self.fifo_depth + 1))
+        return min(index, self.bins - 1)
+
+    def lookup(self, queue_length: int) -> int:
+        """Return the (corrected) desired-voltage word for a queue length."""
+        entry = self._entries[self.bin_for(queue_length)]
+        return clamp_code(entry + self._correction, self.resolution_bits)
+
+    def voltage_for(self, queue_length: int) -> float:
+        """Return the desired voltage in volts for a queue length."""
+        return code_to_voltage(
+            self.lookup(queue_length), self.resolution_bits, self.full_scale
+        )
+
+    # ------------------------------------------------------------------
+    # Programming and compensation
+    # ------------------------------------------------------------------
+    def program(self, entries: Sequence[int]) -> None:
+        """Reprogram the table (clears any accumulated correction)."""
+        if len(entries) != self.bins:
+            raise ValueError(
+                f"expected {self.bins} entries, got {len(entries)}"
+            )
+        self._entries = [
+            clamp_code(entry, self.resolution_bits) for entry in entries
+        ]
+        self._correction = 0
+        self._correction_history.clear()
+
+    def apply_correction(self, shift_lsb: int) -> int:
+        """Apply a variation-compensation shift (in LSBs) to every entry.
+
+        Returns the cumulative correction now in effect.  The paper's
+        slow-corner example applies a single +1 LSB (+18.75 mV) shift.
+        """
+        self._correction += int(shift_lsb)
+        self._correction_history.append(int(shift_lsb))
+        return self._correction
+
+    def clear_correction(self) -> None:
+        """Remove any accumulated compensation."""
+        self._correction = 0
+        self._correction_history.clear()

@@ -1,0 +1,274 @@
+"""Power-transistor array and buck output stage of the DC-DC converter.
+
+The paper's power stage is a segmented array of back-to-back PMOS/NMOS
+power transistors driven by the PWM signal, followed by the off-chip
+L-C low-pass filter whose average output is the generated supply.  Two
+models are provided:
+
+* an **averaged model** (`BuckPowerStage.advance`) integrating the
+  state-space averaged buck equations; it is what the closed-loop
+  controller uses because it is orders of magnitude faster and accurate
+  for the per-system-cycle behaviour the controller observes;
+* a **switching model** (`BuckPowerStage.build_switching_circuit` +
+  `simulate_switching`) built on the :mod:`repro.spice` MNA substrate;
+  it resolves the individual PWM edges and is used by the validation
+  tests to confirm the averaged model (average value and ripple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import PowerStageConfig
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientOptions, TransientResult, transient
+
+LoadCurrentFunction = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class PowerStageState:
+    """Dynamic state of the output filter."""
+
+    inductor_current: float = 0.0
+    output_voltage: float = 0.0
+
+
+class PowerTransistorArray:
+    """Segmented PMOS/NMOS power switch array.
+
+    Enabling more segments lowers the switch on-resistance; the paper
+    selects "a group of PMOS and NMOS transistors based on the workload"
+    so light loads switch less gate capacitance.
+    """
+
+    def __init__(self, config: PowerStageConfig) -> None:
+        self.config = config
+        self._enabled_segments = config.segments
+
+    @property
+    def enabled_segments(self) -> int:
+        """Return the number of enabled segments."""
+        return self._enabled_segments
+
+    def enable_segments(self, count: int) -> int:
+        """Enable ``count`` segments (clamped to [1, segments])."""
+        self._enabled_segments = max(1, min(self.config.segments, int(count)))
+        return self._enabled_segments
+
+    def select_for_load(self, load_current: float) -> int:
+        """Pick the segment count for an expected load current.
+
+        Scales linearly with load current against a full-load reference
+        of ``battery_voltage / (segments * segment_on_resistance)``; the
+        highest workload enables all segments (the paper's policy).
+        """
+        if load_current < 0:
+            raise ValueError("load_current must be non-negative")
+        full_scale_current = self.config.battery_voltage / (
+            self.config.segment_on_resistance
+        )
+        if full_scale_current <= 0:
+            return self.enable_segments(self.config.segments)
+        fraction = min(1.0, load_current / full_scale_current)
+        return self.enable_segments(
+            int(np.ceil(fraction * self.config.segments)) or 1
+        )
+
+    def on_resistance(self) -> float:
+        """Return the effective switch on-resistance (ohms)."""
+        return self.config.segment_on_resistance / self._enabled_segments
+
+    def gate_switching_energy(self, gate_charge_per_segment: float = 1e-12) -> float:
+        """Return the per-cycle gate-drive energy of the enabled segments."""
+        if gate_charge_per_segment < 0:
+            raise ValueError("gate_charge_per_segment must be non-negative")
+        return (
+            self._enabled_segments
+            * gate_charge_per_segment
+            * self.config.battery_voltage
+        )
+
+
+class BuckPowerStage:
+    """Buck converter output stage (array + L-C filter)."""
+
+    def __init__(
+        self,
+        config: Optional[PowerStageConfig] = None,
+        array: Optional[PowerTransistorArray] = None,
+    ) -> None:
+        self.config = config or PowerStageConfig()
+        self.array = array or PowerTransistorArray(self.config)
+        self._state = PowerStageState(
+            inductor_current=0.0,
+            output_voltage=self.config.initial_output_voltage,
+        )
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> PowerStageState:
+        """Return the current (inductor current, output voltage) state."""
+        return self._state
+
+    @property
+    def output_voltage(self) -> float:
+        """Return the present output voltage."""
+        return self._state.output_voltage
+
+    def reset(self, output_voltage: Optional[float] = None) -> None:
+        """Reset the filter state."""
+        self._state = PowerStageState(
+            inductor_current=0.0,
+            output_voltage=(
+                self.config.initial_output_voltage
+                if output_voltage is None
+                else float(output_voltage)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Averaged model
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        duty_cycle: float,
+        duration: float,
+        load_current: LoadCurrentFunction,
+        substeps: int = 8,
+    ) -> PowerStageState:
+        """Advance the averaged buck model by ``duration`` seconds.
+
+        Semi-implicit Euler on the averaged equations
+
+        ``L di/dt = D * Vbat - i * Ron - vout``
+        ``C dvout/dt = i - Iload(vout)``
+        """
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be within [0, 1]")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if substeps <= 0:
+            raise ValueError("substeps must be positive")
+        h = duration / substeps
+        inductance = self.config.inductance
+        capacitance = self.config.capacitance
+        r_on = self.array.on_resistance()
+        vbat = self.config.battery_voltage
+
+        il = self._state.inductor_current
+        vout = self._state.output_voltage
+        for _ in range(substeps):
+            v_switch = duty_cycle * vbat
+            di = (v_switch - il * r_on - vout) / inductance
+            il = il + h * di
+            dv = (il - load_current(vout)) / capacitance
+            vout = vout + h * dv
+            vout = min(max(vout, 0.0), vbat)
+        self._state = PowerStageState(inductor_current=il, output_voltage=vout)
+        return self._state
+
+    def steady_state_voltage(
+        self, duty_cycle: float, load_current: LoadCurrentFunction
+    ) -> float:
+        """Return the DC output voltage for a fixed duty cycle.
+
+        Solves ``vout = D * Vbat - Iload(vout) * Ron`` by fixed-point
+        iteration (the load currents here are tiny compared with the
+        switch capability, so it converges in a couple of iterations).
+        """
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be within [0, 1]")
+        r_on = self.array.on_resistance()
+        vbat = self.config.battery_voltage
+        vout = duty_cycle * vbat
+        for _ in range(50):
+            updated = duty_cycle * vbat - load_current(vout) * r_on
+            updated = min(max(updated, 0.0), vbat)
+            if abs(updated - vout) < 1e-9:
+                vout = updated
+                break
+            vout = updated
+        return vout
+
+    # ------------------------------------------------------------------
+    # Switching (SPICE) model
+    # ------------------------------------------------------------------
+    def build_switching_circuit(
+        self,
+        pwm_control: Callable[[float], bool],
+        load_current: LoadCurrentFunction,
+        initial_voltage: Optional[float] = None,
+    ) -> Circuit:
+        """Build the switching-level circuit of the power stage."""
+        circuit = Circuit("dcdc-power-stage")
+        r_on = self.array.on_resistance()
+        circuit.voltage_source("vbat", "vin", "0", self.config.battery_voltage)
+        circuit.switch(
+            "m_high", "vin", "sw", pwm_control,
+            on_resistance=r_on, off_resistance=self.config.off_resistance,
+        )
+        circuit.switch(
+            "m_low", "sw", "0", lambda t: not pwm_control(t),
+            on_resistance=r_on, off_resistance=self.config.off_resistance,
+        )
+        circuit.inductor(
+            "l_filter", "sw", "vout_i", self.config.inductance,
+            initial_current=self._state.inductor_current,
+        )
+        if self.config.capacitor_esr > 0:
+            circuit.resistor(
+                "r_esr", "vout_i", "vout", self.config.capacitor_esr
+            )
+        else:
+            circuit.resistor("r_esr", "vout_i", "vout", 1e-6)
+        circuit.capacitor(
+            "c_filter", "vout", "0", self.config.capacitance,
+            initial_voltage=(
+                self._state.output_voltage
+                if initial_voltage is None
+                else initial_voltage
+            ),
+        )
+        circuit.behavioral_load("i_load", "vout", load_current)
+        return circuit
+
+    def simulate_switching(
+        self,
+        pwm_control: Callable[[float], bool],
+        load_current: LoadCurrentFunction,
+        duration: float,
+        time_step: float = 2e-8,
+        store_every: int = 4,
+    ) -> TransientResult:
+        """Run the switching-level model for ``duration`` seconds."""
+        circuit = self.build_switching_circuit(pwm_control, load_current)
+        options = TransientOptions(
+            stop_time=duration, time_step=time_step, store_every=store_every
+        )
+        return transient(circuit, options)
+
+    # ------------------------------------------------------------------
+    # Conversion losses
+    # ------------------------------------------------------------------
+    def conversion_loss(
+        self, duty_cycle: float, load_current_value: float
+    ) -> float:
+        """Return the conduction + gate-drive loss power (watts)."""
+        if load_current_value < 0:
+            raise ValueError("load_current_value must be non-negative")
+        conduction = load_current_value ** 2 * self.array.on_resistance()
+        gate_drive = (
+            self.array.gate_switching_energy()
+            / max(duty_cycle, 1e-6)
+        ) * 0.0  # gate energy is accounted per cycle by the controller
+        return conduction + gate_drive
+
+    def with_config(self, **overrides) -> "BuckPowerStage":
+        """Return a new power stage with overridden configuration fields."""
+        return BuckPowerStage(replace(self.config, **overrides))

@@ -1,0 +1,108 @@
+"""Pulse-width shrinking model (paper Eq. 1).
+
+As the reference pulse circulates through the INV-NOR delay line its
+width shrinks (or expands) slightly per stage because the high-to-low
+and low-to-high transitions see different transconductances.  The paper
+quantifies the per-stage change as
+
+``dW = (beta - 1/beta) * C_L * (1/kp - 1/kn) * delta_i``
+
+and argues that with careful sizing (beta close to 1) the accumulated
+offset "doesn't bring so much variations to the actual DC-DC
+conversion".  This module implements the expression so the TDC can
+optionally include the offset, and so the ablation bench can verify the
+paper's claim that it is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PulseShrinkingModel:
+    """Per-stage pulse-width change of the delay line."""
+
+    beta: float = 1.05
+    """Width ratio of the n-th delay element to the others.  beta > 1
+    shrinks the pulse, beta < 1 expands it (paper Section II-A)."""
+
+    load_capacitance: float = 2.0e-15
+    """Effective load capacitance ``C_L`` of one stage (farads)."""
+
+    kp: float = 6.0e-5
+    """PMOS transconductance parameter (A/V^2)."""
+
+    kn: float = 1.4e-4
+    """NMOS transconductance parameter (A/V^2)."""
+
+    proportional_factor: float = 0.5
+    """The proportionality factor ``delta_i`` of Eq. 1 (volts)."""
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.load_capacitance <= 0:
+            raise ValueError("load_capacitance must be positive")
+        if self.kp <= 0 or self.kn <= 0:
+            raise ValueError("transconductance parameters must be positive")
+        if self.proportional_factor <= 0:
+            raise ValueError("proportional_factor must be positive")
+
+    @property
+    def shrinks(self) -> bool:
+        """Return True when the pulse shrinks (beta > 1)."""
+        return self.beta > 1.0
+
+    def width_change_per_stage(self) -> float:
+        """Return the per-stage pulse-width change ``dW`` in seconds.
+
+        Positive values widen the pulse; negative values shrink it.  The
+        sign follows the paper's convention: a beta larger than one with
+        kn > kp (NMOS stronger) produces shrinking, i.e. a negative
+        change of the propagated width.
+        """
+        asymmetry = (1.0 / self.kp - 1.0 / self.kn)
+        geometry = self.beta - 1.0 / self.beta
+        return -geometry * self.load_capacitance * asymmetry * (
+            self.proportional_factor
+        )
+
+    def total_change(self, stages: int) -> float:
+        """Return the accumulated width change over ``stages`` stages."""
+        if stages < 0:
+            raise ValueError("stages must be non-negative")
+        return stages * self.width_change_per_stage()
+
+    def width_after(self, initial_width: float, stages: int) -> float:
+        """Return the pulse width after propagating ``stages`` stages.
+
+        The width never goes negative: once the pulse has collapsed it
+        stays collapsed (the paper's "until it diminishes completely").
+        """
+        if initial_width < 0:
+            raise ValueError("initial_width must be non-negative")
+        if stages < 0:
+            raise ValueError("stages must be non-negative")
+        width = initial_width + stages * self.width_change_per_stage()
+        return max(0.0, width)
+
+    def stages_until_collapse(self, initial_width: float) -> int:
+        """Return how many stages a pulse survives before collapsing.
+
+        Returns a very large number when the pulse expands instead of
+        shrinking.
+        """
+        if initial_width < 0:
+            raise ValueError("initial_width must be non-negative")
+        per_stage = self.width_change_per_stage()
+        if per_stage >= 0:
+            return 10 ** 9
+        return int(initial_width // -per_stage)
+
+    def relative_error(self, initial_width: float, stages: int) -> float:
+        """Return the accumulated width error as a fraction of the input."""
+        if initial_width <= 0:
+            raise ValueError("initial_width must be positive")
+        final = self.width_after(initial_width, stages)
+        return abs(final - initial_width) / initial_width

@@ -1,0 +1,126 @@
+"""PWM controller of the all-digital DC-DC converter.
+
+A 6-bit up/down counter register holds the duty value ``N``; a free
+running 6-bit counter clocked at 64 MHz defines the 1 MHz system cycle;
+a toggle flip-flop driven at the terminal count generates the PWM edge.
+The duty ratio is ``N / 64`` (paper Section III), which together with
+the power-transistor array gives the 18.75 mV output resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.comparator import ComparatorDecision
+from repro.core.config import ControllerConfig
+from repro.digital.counter import UpDownCounter
+from repro.digital.flipflop import ToggleFlipFlop
+
+
+@dataclass(frozen=True)
+class PwmCycle:
+    """The PWM programming of one system cycle."""
+
+    duty_value: int
+    duty_cycle: float
+    period: float
+    high_time: float
+
+    def control_function(self) -> Callable[[float], bool]:
+        """Return ``f(t)``: True while the high-side switch is on.
+
+        ``t`` is measured from the start of the system cycle and wraps
+        every period, so the same function can drive multi-period analog
+        simulations.
+        """
+        high_time = self.high_time
+        period = self.period
+
+        def control(time: float) -> bool:
+            return (time % period) < high_time
+
+        return control
+
+    def sampled(self, samples: int = 64) -> np.ndarray:
+        """Return the PWM waveform sampled ``samples`` times per period."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        times = np.arange(samples) * (self.period / samples)
+        return np.array(
+            [1.0 if t < self.high_time else 0.0 for t in times]
+        )
+
+
+class PwmController:
+    """Duty-cycle register + toggle flip-flop PWM generator."""
+
+    def __init__(self, config: ControllerConfig) -> None:
+        self.config = config
+        self._duty_register = UpDownCounter(
+            width=config.resolution_bits,
+            initial_value=config.code_lower_bound,
+            lower_bound=config.code_lower_bound,
+            upper_bound=config.code_upper_bound,
+        )
+        self._toggle = ToggleFlipFlop("pwm-out")
+        self._cycles = 0
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+    @property
+    def duty_value(self) -> int:
+        """Return the current duty register value ``N``."""
+        return self._duty_register.value
+
+    @property
+    def duty_cycle(self) -> float:
+        """Return the duty ratio ``N / 2**bits``."""
+        return self._duty_register.duty_cycle()
+
+    @property
+    def cycles_generated(self) -> int:
+        """Return how many system cycles have been produced."""
+        return self._cycles
+
+    @property
+    def output_state(self) -> int:
+        """Return the current toggle flip-flop output."""
+        return self._toggle.value
+
+    def load(self, duty_value: int) -> int:
+        """Parallel-load the duty register (clamped to its bounds)."""
+        return self._duty_register.load(duty_value)
+
+    def apply(self, decision: ComparatorDecision, step: int = 1) -> int:
+        """Update the duty register from a comparator decision."""
+        if decision is ComparatorDecision.UP:
+            return self._duty_register.up(step)
+        if decision is ComparatorDecision.DOWN:
+            return self._duty_register.down(step)
+        return self._duty_register.hold()
+
+    # ------------------------------------------------------------------
+    # Cycle generation
+    # ------------------------------------------------------------------
+    def next_cycle(self) -> PwmCycle:
+        """Produce the PWM programming for the next system cycle.
+
+        The terminal count of the free-running counter fires the toggle
+        flip-flop, which is what "generates the PWM output" in the
+        paper's description; the duty value loaded in the register sets
+        how long the output stays high within the cycle.
+        """
+        period = self.config.system_cycle_period
+        duty = self.duty_cycle
+        self._toggle.clock(1)
+        self._cycles += 1
+        return PwmCycle(
+            duty_value=self.duty_value,
+            duty_cycle=duty,
+            period=period,
+            high_time=duty * period,
+        )

@@ -1,0 +1,144 @@
+"""Rate controller: FIFO occupancy to desired supply voltage.
+
+"The input data is buffered at the FIFO and the data rate is used to
+estimate the processing rate through the rate control. ... Therefore
+there is a direct relationship between the queue length and the
+processing rate" (paper Section III).  The rate controller is "only an
+adder and a LUT": the adder averages the queue length over a short
+window, the LUT maps the averaged occupancy to the 6-bit desired supply
+word.
+
+The module also contains the design-time LUT programming helper that
+"obtained [the values] prior to the circuit operation through
+simulations": for each occupancy bin it computes the throughput the load
+must sustain and picks the lowest supply that meets it, never dropping
+below the minimum energy point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.lut import VoltageLut
+from repro.digital.fifo import Fifo
+from repro.digital.signals import clamp_code, code_to_voltage, voltage_to_code
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """One rate-controller evaluation."""
+
+    queue_length: int
+    averaged_queue_length: float
+    lut_bin: int
+    desired_code: int
+    desired_voltage: float
+
+
+class RateController:
+    """Maps FIFO occupancy to the desired DC-DC word through the LUT."""
+
+    def __init__(
+        self,
+        lut: VoltageLut,
+        averaging_window: int = 4,
+    ) -> None:
+        if averaging_window <= 0:
+            raise ValueError("averaging_window must be positive")
+        self.lut = lut
+        self.averaging_window = averaging_window
+        self._history: List[int] = []
+        self._decisions = 0
+
+    @property
+    def decisions_issued(self) -> int:
+        """Return how many desired words have been issued."""
+        return self._decisions
+
+    def observe(self, fifo: Fifo) -> RateDecision:
+        """Evaluate the rate control for the FIFO's present occupancy."""
+        return self.evaluate(fifo.queue_length)
+
+    def evaluate(self, queue_length: int) -> RateDecision:
+        """Evaluate the rate control for an explicit queue length."""
+        if queue_length < 0:
+            raise ValueError("queue_length must be non-negative")
+        self._history.append(queue_length)
+        if len(self._history) > self.averaging_window:
+            self._history.pop(0)
+        averaged = sum(self._history) / len(self._history)
+        lut_bin = self.lut.bin_for(int(round(averaged)))
+        code = self.lut.lookup(int(round(averaged)))
+        self._decisions += 1
+        return RateDecision(
+            queue_length=queue_length,
+            averaged_queue_length=averaged,
+            lut_bin=lut_bin,
+            desired_code=code,
+            desired_voltage=code_to_voltage(
+                code, self.lut.resolution_bits, self.lut.full_scale
+            ),
+        )
+
+    def reset(self) -> None:
+        """Clear the averaging history."""
+        self._history.clear()
+
+
+def program_lut_for_load(
+    load: DigitalLoad,
+    sample_rate: float,
+    fifo_depth: int = 64,
+    bins: int = 8,
+    resolution_bits: int = 6,
+    full_scale: float = 1.2,
+    occupancy_headroom: float = 2.0,
+    minimum_code: Optional[int] = None,
+) -> VoltageLut:
+    """Program the LUT for a load and nominal input sample rate.
+
+    For each occupancy bin the required processing rate scales from the
+    nominal ``sample_rate`` (nearly empty FIFO) up to
+    ``occupancy_headroom * sample_rate`` (nearly full FIFO, catch-up
+    mode).  The desired supply for the bin is the larger of
+
+    * the supply needed to sustain that processing rate, and
+    * the load's minimum-energy-point supply (running below the MEP
+      wastes energy, paper Section I).
+
+    quantised up to the next 18.75 mV code.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if occupancy_headroom < 1.0:
+        raise ValueError("occupancy_headroom must be >= 1.0")
+    mep = load.minimum_energy_point()
+    mep_code = voltage_to_code(mep.optimal_supply, resolution_bits, full_scale)
+    floor_code = mep_code if minimum_code is None else int(minimum_code)
+    entries = []
+    for bin_index in range(bins):
+        occupancy_fraction = (bin_index + 0.5) / bins
+        required_rate = sample_rate * (
+            1.0 + (occupancy_headroom - 1.0) * occupancy_fraction
+        )
+        supply = load.required_supply(required_rate)
+        if supply is None:
+            code = (1 << resolution_bits) - 1
+        else:
+            code = voltage_to_code(supply, resolution_bits, full_scale)
+            # Quantising down would miss the throughput target: round up
+            # when the quantised voltage is below the requirement.
+            if code_to_voltage(code, resolution_bits, full_scale) < supply:
+                code += 1
+        code = max(code, floor_code)
+        entries.append(clamp_code(code, resolution_bits))
+    return VoltageLut(
+        entries,
+        fifo_depth=fifo_depth,
+        resolution_bits=resolution_bits,
+        full_scale=full_scale,
+    )

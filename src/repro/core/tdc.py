@@ -1,0 +1,309 @@
+"""Time-to-digital converter (TDC) variation sensor (paper Fig. 4).
+
+The TDC is the paper's key novelty: a delay replica of INV-NOR cells
+running at the measured supply, a flip-flop quantizer sampling the
+propagating reference clock, and an encoder reducing the snapshot to a
+6-bit word.  Because the replica's cell delay depends exponentially on
+supply voltage, process corner and temperature, the digital word is a
+*signature* of the operating condition.
+
+Two measurement modes are implemented, following Section II-A:
+
+* **snapshot mode** — the direct 64-cell quantizer capture used for the
+  Table I characterisation: the number of cells the reference edge
+  traverses within one ``Ref_clk`` period, as a thermometer code (with
+  metastability-induced bubbles when a cell delay is marginal).
+* **counter mode** — the paper's "alternate method [that] employs [a]
+  feedback loop where the range of the conversion can be controlled by
+  keeping track of a single counter with resolution higher than the
+  direct method": cell traversals accumulated over many reference
+  periods, which keeps resolution at deep-subthreshold outputs where a
+  single 14 ns window is too short.
+
+A :class:`TdcCalibration` table built on the design-reference corner
+maps 6-bit supply codes to expected counts; comparing a measured count
+against the expected count for the commanded code yields the variation
+signature in DC-DC LSBs (18.75 mV each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TdcConfig
+from repro.core.pulse import PulseShrinkingModel
+from repro.delay.gate_delay import GateDelayModel
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.digital.encoder import ThermometerEncoder
+from repro.digital.signals import clamp_code, code_to_voltage, thermometer_to_hex
+
+
+@dataclass(frozen=True)
+class TdcReading:
+    """One TDC measurement."""
+
+    supply: float
+    count: int
+    code: int
+    reliable: bool
+    bubble_count: int = 0
+
+    @property
+    def stalled(self) -> bool:
+        """Return True when the replica did not propagate at all."""
+        return self.count == 0
+
+
+@dataclass(frozen=True)
+class QuantizerSnapshot:
+    """Direct (single reference period) quantizer capture (Table I mode)."""
+
+    supply: float
+    bits: List[int]
+    code: int
+    reliable: bool
+    bubble_count: int
+
+    @property
+    def hex_word(self) -> str:
+        """Return the snapshot formatted as Table I's hexadecimal string."""
+        return thermometer_to_hex(self.bits)
+
+    @property
+    def ones(self) -> int:
+        """Return how many quantizer flip-flops captured a one."""
+        return sum(self.bits)
+
+
+class TimeToDigitalConverter:
+    """Delay-replica based supply/variation sensor."""
+
+    def __init__(
+        self,
+        delay_model: GateDelayModel,
+        config: Optional[TdcConfig] = None,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+        pulse_model: Optional[PulseShrinkingModel] = None,
+        metastability_fraction: float = 0.05,
+    ) -> None:
+        self._delay_model = delay_model
+        self.config = config or TdcConfig()
+        self.temperature_c = temperature_c
+        self.pulse_model = pulse_model
+        if not 0.0 <= metastability_fraction < 0.5:
+            raise ValueError("metastability_fraction must be in [0, 0.5)")
+        self._metastability_fraction = metastability_fraction
+        self._encoder = ThermometerEncoder(
+            input_length=self.config.delay_cells, output_bits=6
+        )
+
+    # ------------------------------------------------------------------
+    # Replica timing
+    # ------------------------------------------------------------------
+    def cell_delay(self, supply: float) -> float:
+        """Return the delay of one INV-NOR replica cell at ``supply``."""
+        if supply < self.config.minimum_supply:
+            return float("inf")
+        base = float(
+            self._delay_model.stage_delay_inv_nor(
+                supply, temperature_c=self.temperature_c
+            )
+        )
+        if self.pulse_model is not None:
+            # The pulse-width offset redistributes over the propagating
+            # edge as an equivalent per-cell delay error.
+            base += abs(self.pulse_model.width_change_per_stage())
+        return base
+
+    def replica_delay(self, supply: float) -> float:
+        """Return the full delay-line latency at ``supply`` (seconds)."""
+        cell = self.cell_delay(supply)
+        if not np.isfinite(cell):
+            return float("inf")
+        return cell * self.config.delay_cells
+
+    # ------------------------------------------------------------------
+    # Measurement modes
+    # ------------------------------------------------------------------
+    def snapshot(self, supply: float) -> QuantizerSnapshot:
+        """Capture the direct quantizer snapshot (Table I mode).
+
+        The number of asserted flip-flops equals the number of replica
+        cells the reference edge traversed within one ``Ref_clk`` period.
+        When a cell boundary falls inside the flip-flops' metastability
+        window (modelled as a fraction of the cell delay), the adjacent
+        bit may capture the wrong value, producing a bubble; this is the
+        unreliability the paper reports at 0.6 V with a 14 ns reference.
+        """
+        cell = self.cell_delay(supply)
+        cells = self.config.delay_cells
+        if not np.isfinite(cell):
+            bits = [0] * cells
+            return QuantizerSnapshot(
+                supply=float(supply), bits=bits, code=0,
+                reliable=False, bubble_count=0,
+            )
+        traversed_exact = self.config.reference_period / cell
+        traversed = int(min(cells, np.floor(traversed_exact)))
+        bits = [1] * traversed + [0] * (cells - traversed)
+        bubble_count = 0
+        fraction = traversed_exact - np.floor(traversed_exact)
+        marginal = (
+            fraction < self._metastability_fraction
+            or fraction > 1.0 - self._metastability_fraction
+        )
+        if marginal and 0 < traversed < cells:
+            # The boundary flip-flop resolves to the wrong value: model it
+            # deterministically as a single bubble right after the edge.
+            bits[traversed] = 1
+            if traversed + 1 < cells:
+                bits[traversed + 1] = 0
+            bubble_count = 1
+        encoded = self._encoder.encode(bits)
+        saturated = traversed >= cells or traversed == 0
+        # Below roughly a quarter of the quantizer range the single-period
+        # snapshot can no longer resolve the supply (the paper's "at 0.6 V
+        # the output from the quantizer is not reliable" with a 14 ns
+        # reference); the counter mode must be used instead.
+        under_resolved = traversed < cells // 4
+        return QuantizerSnapshot(
+            supply=float(supply),
+            bits=bits,
+            code=encoded.value,
+            reliable=not saturated and not under_resolved and bubble_count == 0,
+            bubble_count=bubble_count,
+        )
+
+    def measure(self, supply: float) -> TdcReading:
+        """Measure the supply in counter mode (regulation-loop sensor)."""
+        cell = self.cell_delay(supply)
+        if not np.isfinite(cell):
+            return TdcReading(
+                supply=float(supply), count=0, code=0, reliable=False
+            )
+        raw = int(self.config.measurement_window / cell)
+        count = min(self.config.max_count, raw)
+        saturated = count >= self.config.max_count
+        return TdcReading(
+            supply=float(supply),
+            count=count,
+            code=clamp_code(count >> max(0, self.config.counter_bits - 6)),
+            reliable=not saturated and count > 0,
+        )
+
+    def resolution_shifts(
+        self, supply_high: float, supply_low: float
+    ) -> int:
+        """Return the snapshot-code difference between two supplies.
+
+        The paper quotes 16 shifts between 1.2 V and 1.0 V with the 14 ns
+        reference, i.e. 12.5 mV per shift.
+        """
+        high = self.snapshot(supply_high).ones
+        low = self.snapshot(supply_low).ones
+        return int(high - low)
+
+
+class TdcCalibration:
+    """Expected-count table characterised on the design-reference corner.
+
+    The paper performs "an initial calibration process" so the
+    nonlinear (exponential) delay-versus-voltage characteristic of the
+    replica can be interpreted; this class is that table: for every
+    6-bit supply code it stores the count the reference silicon's TDC
+    would report at that supply.
+    """
+
+    def __init__(
+        self,
+        reference_tdc: TimeToDigitalConverter,
+        resolution_bits: int = 6,
+        full_scale: float = 1.2,
+    ) -> None:
+        self._resolution_bits = resolution_bits
+        self._full_scale = full_scale
+        codes = range(1 << resolution_bits)
+        self._expected_counts = np.array(
+            [
+                reference_tdc.measure(
+                    max(code_to_voltage(code, resolution_bits, full_scale),
+                        reference_tdc.config.minimum_supply)
+                ).count
+                for code in codes
+            ],
+            dtype=float,
+        )
+
+    @property
+    def expected_counts(self) -> np.ndarray:
+        """Return the expected count per 6-bit supply code."""
+        return self._expected_counts.copy()
+
+    def expected_count(self, code: int) -> int:
+        """Return the expected count for a supply code."""
+        return int(self._expected_counts[clamp_code(code, self._resolution_bits)])
+
+    def code_from_count(self, count: int) -> int:
+        """Return the supply code whose expected count is closest to ``count``.
+
+        Because the expected counts increase monotonically with code,
+        this inverts the (nonlinear) TDC transfer function back onto the
+        linear 18.75 mV voltage grid.
+        """
+        differences = np.abs(self._expected_counts - float(count))
+        return int(np.argmin(differences))
+
+    def signature_shift(self, desired_code: int, measured_count: int) -> int:
+        """Return the variation signature in DC-DC LSBs.
+
+        A positive shift means the silicon is *slower* than the reference
+        at the desired code's voltage (e.g. the slow corner), so the
+        supply must be raised by that many LSBs to recover the reference
+        behaviour; a negative shift means faster silicon.
+        """
+        apparent_code = self.code_from_count(measured_count)
+        return clamp_code(desired_code, self._resolution_bits) - apparent_code
+
+    def local_count_slope(self, code: int) -> float:
+        """Return d(expected count)/d(code) around ``code`` (counts per LSB)."""
+        index = clamp_code(code, self._resolution_bits)
+        low = max(1, index - 1)
+        high = min(len(self._expected_counts) - 1, index + 1)
+        if high == low:
+            return max(1.0, float(self._expected_counts[high]))
+        slope = (
+            self._expected_counts[high] - self._expected_counts[low]
+        ) / (high - low)
+        return max(1.0, float(slope))
+
+    def shift_in_lsb(
+        self, voltage_code: int, measured_count: int, limit: int = 8
+    ) -> int:
+        """Return the process/temperature shift in LSBs at a known voltage.
+
+        ``voltage_code`` is the (quantised) actual output voltage the
+        controller's above-threshold sensing reports; ``measured_count``
+        is what the subthreshold TDC replica actually counted there.  The
+        count is translated back to an *apparent* supply code through the
+        reference calibration table; the difference between the real
+        voltage code and the apparent code is the silicon's skew on the
+        18.75 mV grid: positive for slower-than-reference silicon (raise
+        the supply), negative for faster silicon.
+        """
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        code = clamp_code(voltage_code, self._resolution_bits)
+        apparent = self.code_from_count(measured_count)
+        shift = code - apparent
+        return max(-limit, min(limit, shift))
+
+
+def table_one_rows(
+    tdc: TimeToDigitalConverter,
+    supplies: Sequence[float] = (1.2, 1.0, 0.8, 0.6),
+) -> List[QuantizerSnapshot]:
+    """Return the quantizer snapshots reproducing the paper's Table I."""
+    return [tdc.snapshot(supply) for supply in supplies]

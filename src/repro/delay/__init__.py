@@ -1,0 +1,42 @@
+"""Gate-level delay, energy and minimum-energy-point models.
+
+This subpackage turns the device models of :mod:`repro.devices` into the
+quantities the paper's evaluation is written in terms of: gate and path
+delay as a function of supply voltage, per-cycle dynamic and leakage
+energy, and the location of the minimum energy point (MEP) across
+process corners and temperature.
+"""
+
+from repro.delay.gate_delay import GateDelayModel, GateTiming, StageKind
+from repro.delay.energy import EnergyBreakdown, EnergyModel, LoadCharacteristics
+from repro.delay.mep import (
+    MepPoint,
+    MepSweep,
+    find_minimum_energy_point,
+    sweep_energy,
+)
+from repro.delay.calibration import (
+    CalibrationAnchors,
+    CalibrationResult,
+    PAPER_ANCHORS,
+    calibrate_delay_model,
+    calibrate_load_for_mep,
+)
+
+__all__ = [
+    "GateDelayModel",
+    "GateTiming",
+    "StageKind",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LoadCharacteristics",
+    "MepPoint",
+    "MepSweep",
+    "find_minimum_energy_point",
+    "sweep_energy",
+    "CalibrationAnchors",
+    "CalibrationResult",
+    "PAPER_ANCHORS",
+    "calibrate_delay_model",
+    "calibrate_load_for_mep",
+]

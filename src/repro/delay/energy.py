@@ -1,0 +1,268 @@
+"""Per-cycle energy model (dynamic + leakage + short-circuit).
+
+Following the minimum-energy analysis of Zhai et al. (the paper's
+reference [7]) the energy consumed by a digital load per clock cycle is
+
+``E_total(Vdd) = E_dyn + E_leak + E_sc``
+
+* ``E_dyn  = alpha * C_switched * Vdd**2`` — switched-capacitance energy,
+* ``E_leak = Vdd * I_leak(Vdd) * T_cycle(Vdd)`` — leakage integrated over
+  the cycle, where the cycle time is the critical-path delay at that
+  supply (the circuit is assumed to run as fast as the supply allows, as
+  in the paper's ring-oscillator characterisation),
+* ``E_sc`` — a small short-circuit contribution proportional to ``E_dyn``.
+
+Because ``T_cycle`` grows exponentially as the supply drops below the
+threshold voltage while ``E_dyn`` shrinks quadratically, the total has
+the bathtub shape of the paper's Fig. 1/Fig. 2 with a minimum (the MEP)
+in the 200-250 mV region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.delay.gate_delay import GateDelayModel, StageKind
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+
+@dataclass(frozen=True)
+class LoadCharacteristics:
+    """Abstract description of a digital load circuit.
+
+    The controller does not care about the load's logic function, only
+    about how much capacitance it switches per cycle, how much it leaks
+    and how long its critical path is.  Concrete loads (ring oscillator,
+    FIR filter) in :mod:`repro.circuits` produce instances of this class.
+    """
+
+    name: str
+    gate_count: int
+    logic_depth: int
+    switching_activity: float = 0.1
+    representative_stage: StageKind = StageKind.NAND2
+    average_fanout: float = 1.0
+    capacitance_scale: float = 1.0
+    leakage_scale: float = 1.0
+    short_circuit_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.gate_count <= 0:
+            raise ValueError("gate_count must be positive")
+        if self.logic_depth <= 0:
+            raise ValueError("logic_depth must be positive")
+        if not 0.0 < self.switching_activity <= 1.0:
+            raise ValueError("switching_activity must be in (0, 1]")
+        if self.average_fanout <= 0:
+            raise ValueError("average_fanout must be positive")
+        if self.capacitance_scale <= 0 or self.leakage_scale <= 0:
+            raise ValueError("calibration scales must be positive")
+        if not 0.0 <= self.short_circuit_fraction < 1.0:
+            raise ValueError("short_circuit_fraction must be in [0, 1)")
+
+    def with_activity(self, switching_activity: float) -> "LoadCharacteristics":
+        """Return a copy with a different switching activity."""
+        return replace(self, switching_activity=switching_activity)
+
+    def scaled(
+        self, capacitance_scale: float = 1.0, leakage_scale: float = 1.0
+    ) -> "LoadCharacteristics":
+        """Return a copy with additional calibration scale factors."""
+        return replace(
+            self,
+            capacitance_scale=self.capacitance_scale * capacitance_scale,
+            leakage_scale=self.leakage_scale * leakage_scale,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy components (joules) of one cycle at one operating point."""
+
+    supply: float
+    temperature_c: float
+    dynamic: float
+    leakage: float
+    short_circuit: float
+    cycle_time: float
+
+    @property
+    def total(self) -> float:
+        """Return the total per-cycle energy in joules."""
+        return self.dynamic + self.leakage + self.short_circuit
+
+    @property
+    def total_fj(self) -> float:
+        """Return the total per-cycle energy in femtojoules."""
+        return self.total * 1e15
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Return the leakage share of the total energy."""
+        return self.leakage / self.total if self.total > 0 else 0.0
+
+    @property
+    def frequency(self) -> float:
+        """Return the maximum operating frequency at this supply (Hz)."""
+        return 1.0 / self.cycle_time if self.cycle_time > 0 else float("inf")
+
+
+class EnergyModel:
+    """Per-cycle energy of a :class:`LoadCharacteristics` on a technology."""
+
+    def __init__(
+        self,
+        delay_model: GateDelayModel,
+        load: LoadCharacteristics,
+    ) -> None:
+        self._delay_model = delay_model
+        self._load = load
+
+    @property
+    def delay_model(self) -> GateDelayModel:
+        """Return the gate delay model in use."""
+        return self._delay_model
+
+    @property
+    def load(self) -> LoadCharacteristics:
+        """Return the load description."""
+        return self._load
+
+    def switched_capacitance(self) -> float:
+        """Return the total switched capacitance of the load (farads).
+
+        Includes the corner's energy-only switched-capacitance scale (see
+        :class:`repro.devices.technology.TechnologyParameters`).
+        """
+        per_gate = self._delay_model.load_capacitance(
+            self._load.representative_stage,
+            fanout=self._load.average_fanout,
+            load_stage=self._load.representative_stage,
+        )
+        technology = self._delay_model.technology
+        corner_scale = 0.5 * (
+            technology.nmos.switched_capacitance_scale
+            + technology.pmos.switched_capacitance_scale
+        )
+        return (
+            per_gate
+            * self._load.gate_count
+            * self._load.capacitance_scale
+            * corner_scale
+        )
+
+    def leakage_current(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the total leakage current of the load (amperes)."""
+        per_gate = self._delay_model.leakage_current(
+            self._load.representative_stage, supply, temperature_c
+        )
+        return per_gate * self._load.gate_count * self._load.leakage_scale
+
+    def cycle_time(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the critical-path (cycle) time at ``supply`` (seconds)."""
+        stage_delay = self._delay_model.propagation_delay(
+            self._load.representative_stage,
+            supply,
+            temperature_c=temperature_c,
+            fanout=self._load.average_fanout,
+            load_stage=self._load.representative_stage,
+        )
+        return stage_delay * self._load.logic_depth
+
+    def dynamic_energy(self, supply):
+        """Return the switched-capacitance energy per cycle (joules)."""
+        supply_arr = np.asarray(supply, dtype=float)
+        energy = (
+            self._load.switching_activity
+            * self.switched_capacitance()
+            * supply_arr ** 2
+        )
+        return float(energy) if np.isscalar(supply) else energy
+
+    def leakage_energy(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the leakage energy per cycle (joules)."""
+        supply_arr = np.asarray(supply, dtype=float)
+        energy = (
+            supply_arr
+            * self.leakage_current(supply_arr, temperature_c)
+            * self.cycle_time(supply_arr, temperature_c)
+        )
+        return float(energy) if np.isscalar(supply) else energy
+
+    def breakdown(
+        self, supply: float, temperature_c: float = ROOM_TEMPERATURE_C
+    ) -> EnergyBreakdown:
+        """Return the full energy breakdown at a single operating point."""
+        if supply <= 0:
+            raise ValueError("supply must be positive")
+        dynamic = self.dynamic_energy(supply)
+        leakage = self.leakage_energy(supply, temperature_c)
+        short_circuit = dynamic * self._load.short_circuit_fraction
+        return EnergyBreakdown(
+            supply=float(supply),
+            temperature_c=temperature_c,
+            dynamic=float(dynamic),
+            leakage=float(leakage),
+            short_circuit=float(short_circuit),
+            cycle_time=float(self.cycle_time(supply, temperature_c)),
+        )
+
+    def total_energy(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Vectorised total per-cycle energy in joules."""
+        dynamic = self.dynamic_energy(supply)
+        leakage = self.leakage_energy(supply, temperature_c)
+        total = dynamic * (1.0 + self._load.short_circuit_fraction) + leakage
+        return total
+
+    def energy_at_throughput(
+        self,
+        supply: float,
+        operations_per_second: float,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> Optional[EnergyBreakdown]:
+        """Return the per-operation energy when pacing to a throughput.
+
+        If the load is paced at ``operations_per_second`` (rather than
+        free-running), leakage accrues over the *paced* period.  Returns
+        ``None`` when the load cannot meet the requested throughput at
+        this supply (cycle time longer than the paced period), which is
+        the failure the rate controller exists to avoid.
+        """
+        if operations_per_second <= 0:
+            raise ValueError("operations_per_second must be positive")
+        period = 1.0 / operations_per_second
+        native = self.cycle_time(supply, temperature_c)
+        if native > period:
+            return None
+        dynamic = self.dynamic_energy(supply)
+        leakage = (
+            supply * self.leakage_current(supply, temperature_c) * period
+        )
+        return EnergyBreakdown(
+            supply=float(supply),
+            temperature_c=temperature_c,
+            dynamic=float(dynamic),
+            leakage=float(leakage),
+            short_circuit=float(dynamic * self._load.short_circuit_fraction),
+            cycle_time=float(period),
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Return headline model values used in reports and tests."""
+        return {
+            "switched_capacitance_fF": self.switched_capacitance() * 1e15,
+            "gate_count": float(self._load.gate_count),
+            "logic_depth": float(self._load.logic_depth),
+            "switching_activity": self._load.switching_activity,
+        }

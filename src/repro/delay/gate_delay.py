@@ -1,0 +1,282 @@
+"""Supply-voltage-dependent gate delay model.
+
+The propagation delay of a static CMOS stage is modelled as
+
+``t_pd = k_delay * C_load * Vdd / I_on(Vdd)``
+
+where ``I_on`` is the drive current of the pull network evaluated with
+the EKV-style MOSFET model.  Because the EKV interpolation is continuous
+from subthreshold to strong inversion, a single constant ``k_delay``
+(fitted in :mod:`repro.delay.calibration` against the inverter delays
+printed in the paper: 102 ps at 1.2 V, 442 ps at 0.6 V, 79.4 ns at
+0.2 V) reproduces the exponential delay blow-up of Fig. 3.
+
+Rise and fall delays are computed separately from the PMOS and NMOS
+drive strengths so that mixed corners (FS/SF) show the asymmetry the
+paper relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.devices.mosfet import Mosfet, MosfetParameters
+from repro.devices.technology import Technology
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+
+class StageKind(enum.Enum):
+    """Gate types used by the paper's circuits."""
+
+    INVERTER = "inv"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    BUFFER = "buf"
+    DFF = "dff"
+
+
+# Transistor widths (um) per gate type.  Pull networks are sized with the
+# usual 2:1 PMOS:NMOS ratio; series stacks are double width so each gate
+# presents roughly the same drive as the reference inverter.
+_STAGE_SIZING: Dict[StageKind, Dict[str, float]] = {
+    StageKind.INVERTER: {"wn": 0.4, "wp": 0.8, "stack_n": 1, "stack_p": 1},
+    StageKind.NAND2: {"wn": 0.8, "wp": 0.8, "stack_n": 2, "stack_p": 1},
+    StageKind.NOR2: {"wn": 0.4, "wp": 1.6, "stack_n": 1, "stack_p": 2},
+    StageKind.BUFFER: {"wn": 0.8, "wp": 1.6, "stack_n": 1, "stack_p": 1},
+    StageKind.DFF: {"wn": 1.2, "wp": 2.4, "stack_n": 2, "stack_p": 2},
+}
+
+# Relative input capacitance of each gate type (in units of inverter
+# input capacitance) and internal parasitic load in the same units.
+_STAGE_INPUT_CAP_FACTOR: Dict[StageKind, float] = {
+    StageKind.INVERTER: 1.0,
+    StageKind.NAND2: 4.0 / 3.0,
+    StageKind.NOR2: 5.0 / 3.0,
+    StageKind.BUFFER: 2.0,
+    StageKind.DFF: 3.0,
+}
+_STAGE_PARASITIC_FACTOR: Dict[StageKind, float] = {
+    StageKind.INVERTER: 1.0,
+    StageKind.NAND2: 2.0,
+    StageKind.NOR2: 2.0,
+    StageKind.BUFFER: 1.5,
+    StageKind.DFF: 4.0,
+}
+
+
+@dataclass(frozen=True)
+class GateTiming:
+    """Rise/fall/propagation delay of one gate at one operating point."""
+
+    stage: StageKind
+    supply: float
+    temperature_c: float
+    rise_delay: float
+    fall_delay: float
+
+    @property
+    def propagation_delay(self) -> float:
+        """Return the average of rise and fall delay (seconds)."""
+        return 0.5 * (self.rise_delay + self.fall_delay)
+
+    @property
+    def worst_delay(self) -> float:
+        """Return the slower of the two transitions (seconds)."""
+        return max(self.rise_delay, self.fall_delay)
+
+
+class GateDelayModel:
+    """Delay/capacitance model for the standard-cell set used in the paper."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        delay_constant: float = 0.65,
+        nmos_vth_shift: float = 0.0,
+        pmos_vth_shift: float = 0.0,
+    ) -> None:
+        self._technology = technology
+        self._delay_constant = float(delay_constant)
+        if self._delay_constant <= 0:
+            raise ValueError("delay_constant must be positive")
+        self._devices: Dict[StageKind, Dict[str, Mosfet]] = {}
+        for stage, sizing in _STAGE_SIZING.items():
+            nmos = Mosfet(
+                technology,
+                MosfetParameters(width_um=sizing["wn"], polarity="nmos"),
+                vth_shift=nmos_vth_shift,
+            )
+            pmos = Mosfet(
+                technology,
+                MosfetParameters(width_um=sizing["wp"], polarity="pmos"),
+                vth_shift=pmos_vth_shift,
+            )
+            self._devices[stage] = {"nmos": nmos, "pmos": pmos}
+
+    @property
+    def technology(self) -> Technology:
+        """Return the technology the model was built from."""
+        return self._technology
+
+    @property
+    def delay_constant(self) -> float:
+        """Return the fitted delay constant ``k_delay``."""
+        return self._delay_constant
+
+    def with_delay_constant(self, delay_constant: float) -> "GateDelayModel":
+        """Return a copy of this model with a new delay constant."""
+        return GateDelayModel(self._technology, delay_constant=delay_constant)
+
+    def input_capacitance(self, stage: StageKind) -> float:
+        """Return the input capacitance of ``stage`` in farads."""
+        devices = self._devices[StageKind.INVERTER]
+        inverter_cin = (
+            devices["nmos"].gate_capacitance()
+            + devices["pmos"].gate_capacitance()
+        )
+        return inverter_cin * _STAGE_INPUT_CAP_FACTOR[stage]
+
+    def parasitic_capacitance(self, stage: StageKind) -> float:
+        """Return the intrinsic output (parasitic) capacitance of ``stage``."""
+        devices = self._devices[StageKind.INVERTER]
+        inverter_cin = (
+            devices["nmos"].gate_capacitance()
+            + devices["pmos"].gate_capacitance()
+        )
+        return inverter_cin * _STAGE_PARASITIC_FACTOR[stage]
+
+    def load_capacitance(
+        self,
+        stage: StageKind,
+        fanout: float = 1.0,
+        load_stage: StageKind = StageKind.INVERTER,
+        extra_load: float = 0.0,
+    ) -> float:
+        """Return the total switched load capacitance driven by ``stage``."""
+        if fanout < 0 or extra_load < 0:
+            raise ValueError("fanout and extra_load must be non-negative")
+        return (
+            self.parasitic_capacitance(stage)
+            + fanout * self.input_capacitance(load_stage)
+            + extra_load
+        )
+
+    def drive_currents(
+        self, stage: StageKind, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return ``(pull_down, pull_up)`` drive currents in amperes."""
+        sizing = _STAGE_SIZING[stage]
+        devices = self._devices[stage]
+        pull_down = (
+            devices["nmos"].on_current(supply, temperature_c)
+            / sizing["stack_n"]
+        )
+        pull_up = (
+            devices["pmos"].on_current(supply, temperature_c)
+            / sizing["stack_p"]
+        )
+        return pull_down, pull_up
+
+    def leakage_current(
+        self, stage: StageKind, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the average off-state current of ``stage`` in amperes.
+
+        The average of the NMOS-off and PMOS-off states approximates the
+        state-averaged leakage of the gate.
+        """
+        devices = self._devices[stage]
+        nmos_off = devices["nmos"].off_current(supply, temperature_c)
+        pmos_off = devices["pmos"].off_current(supply, temperature_c)
+        return 0.5 * (nmos_off + pmos_off)
+
+    def timing(
+        self,
+        stage: StageKind,
+        supply: float,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+        fanout: float = 1.0,
+        load_stage: StageKind = StageKind.INVERTER,
+        extra_load: float = 0.0,
+    ) -> GateTiming:
+        """Return the rise/fall timing of one gate at one operating point."""
+        if supply <= 0:
+            raise ValueError("supply must be positive")
+        c_load = self.load_capacitance(stage, fanout, load_stage, extra_load)
+        pull_down, pull_up = self.drive_currents(stage, supply, temperature_c)
+        fall = self._delay_constant * c_load * supply / pull_down
+        rise = self._delay_constant * c_load * supply / pull_up
+        return GateTiming(
+            stage=stage,
+            supply=float(supply),
+            temperature_c=temperature_c,
+            rise_delay=float(rise),
+            fall_delay=float(fall),
+        )
+
+    def propagation_delay(
+        self,
+        stage: StageKind,
+        supply,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+        fanout: float = 1.0,
+        load_stage: StageKind = StageKind.INVERTER,
+        extra_load: float = 0.0,
+    ):
+        """Vectorised average propagation delay (seconds).
+
+        ``supply`` may be a scalar or a numpy array; the result has the
+        same shape.
+        """
+        supply_arr = np.asarray(supply, dtype=float)
+        if np.any(supply_arr <= 0):
+            raise ValueError("supply must be positive")
+        c_load = self.load_capacitance(stage, fanout, load_stage, extra_load)
+        pull_down, pull_up = self.drive_currents(
+            stage, supply_arr, temperature_c
+        )
+        fall = self._delay_constant * c_load * supply_arr / pull_down
+        rise = self._delay_constant * c_load * supply_arr / pull_up
+        delay = 0.5 * (rise + fall)
+        if np.isscalar(supply):
+            return float(delay)
+        return delay
+
+    def inverter_delay(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the FO1 inverter delay used as the paper's reference."""
+        return self.propagation_delay(
+            StageKind.INVERTER, supply, temperature_c=temperature_c
+        )
+
+    def stage_delay_inv_nor(
+        self, supply, temperature_c: float = ROOM_TEMPERATURE_C
+    ):
+        """Return the delay of one INV + NOR delay-replica cell (Fig. 4)."""
+        inv = self.propagation_delay(
+            StageKind.INVERTER,
+            supply,
+            temperature_c=temperature_c,
+            load_stage=StageKind.NOR2,
+        )
+        nor = self.propagation_delay(
+            StageKind.NOR2,
+            supply,
+            temperature_c=temperature_c,
+            load_stage=StageKind.INVERTER,
+        )
+        return inv + nor
+
+    def describe(self) -> Dict[str, float]:
+        """Return the headline model constants (useful in reports)."""
+        return {
+            "delay_constant": self._delay_constant,
+            "inverter_cin_fF": self.input_capacitance(StageKind.INVERTER) * 1e15,
+            "nmos_vth0": self._technology.nmos.vth0,
+            "pmos_vth0": self._technology.pmos.vth0,
+        }

@@ -1,0 +1,180 @@
+"""Minimum-energy-point (MEP) analysis.
+
+The MEP is the supply voltage at which the per-cycle energy of a load is
+minimal; the paper's Fig. 1 and Fig. 2 plot the energy-versus-Vdd
+bathtub for different process corners and temperatures and Section II
+quotes the resulting Vopt/Emin shifts.  This module sweeps the
+:class:`repro.delay.energy.EnergyModel` over supply voltage and locates
+the minimum with a parabolic refinement so the reported Vopt is not
+limited to the sweep grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.delay.energy import EnergyModel
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+
+DEFAULT_SUPPLY_GRID = np.linspace(0.08, 1.2, 225)
+"""Default Vdd sweep: 80 mV to 1.2 V in 5 mV steps."""
+
+
+@dataclass(frozen=True)
+class MepPoint:
+    """Location and value of a minimum energy point."""
+
+    optimal_supply: float
+    minimum_energy: float
+    temperature_c: float
+    label: str = ""
+
+    @property
+    def minimum_energy_fj(self) -> float:
+        """Return the minimum energy in femtojoules."""
+        return self.minimum_energy * 1e15
+
+    @property
+    def optimal_supply_mv(self) -> float:
+        """Return the optimal supply in millivolts."""
+        return self.optimal_supply * 1e3
+
+
+@dataclass(frozen=True)
+class MepSweep:
+    """A full energy-versus-supply sweep plus its minimum."""
+
+    supplies: np.ndarray
+    energies: np.ndarray
+    minimum: MepPoint
+    label: str = ""
+
+    def energy_at(self, supply: float) -> float:
+        """Return the (interpolated) energy at an arbitrary supply."""
+        return float(np.interp(supply, self.supplies, self.energies))
+
+    def penalty_at(self, supply: float) -> float:
+        """Return the relative energy penalty of operating at ``supply``.
+
+        0.0 means the supply is at the MEP; 0.5 means 50 % more energy
+        than the minimum.
+        """
+        return self.energy_at(supply) / self.minimum.minimum_energy - 1.0
+
+    def as_rows(self) -> Sequence[tuple]:
+        """Return ``(supply, energy)`` rows, e.g. for report tables."""
+        return list(zip(self.supplies.tolist(), self.energies.tolist()))
+
+
+def sweep_energy(
+    model: EnergyModel,
+    supplies: Optional[np.ndarray] = None,
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    label: str = "",
+) -> MepSweep:
+    """Sweep the per-cycle energy over supply voltage.
+
+    Parameters
+    ----------
+    model:
+        The energy model to sweep.
+    supplies:
+        Supply grid in volts; defaults to :data:`DEFAULT_SUPPLY_GRID`.
+    temperature_c:
+        Junction temperature of the sweep.
+    label:
+        Free-form label carried through to the result (corner name,
+        temperature, ...).
+    """
+    grid = np.asarray(
+        DEFAULT_SUPPLY_GRID if supplies is None else supplies, dtype=float
+    )
+    if grid.ndim != 1 or grid.size < 3:
+        raise ValueError("supply grid must be a 1-D array with >= 3 points")
+    if np.any(grid <= 0):
+        raise ValueError("supply grid must be strictly positive")
+    energies = np.asarray(
+        model.total_energy(grid, temperature_c=temperature_c), dtype=float
+    )
+    minimum = _refine_minimum(grid, energies, temperature_c, label)
+    return MepSweep(supplies=grid, energies=energies, minimum=minimum, label=label)
+
+
+def find_minimum_energy_point(
+    model: EnergyModel,
+    supplies: Optional[np.ndarray] = None,
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    label: str = "",
+) -> MepPoint:
+    """Return only the minimum energy point of a sweep."""
+    return sweep_energy(
+        model, supplies=supplies, temperature_c=temperature_c, label=label
+    ).minimum
+
+
+def _refine_minimum(
+    supplies: np.ndarray,
+    energies: np.ndarray,
+    temperature_c: float,
+    label: str,
+) -> MepPoint:
+    """Locate the minimum with a parabolic fit around the grid minimum."""
+    index = int(np.argmin(energies))
+    v_opt = float(supplies[index])
+    e_min = float(energies[index])
+    if 0 < index < len(supplies) - 1:
+        v_left, v_mid, v_right = supplies[index - 1 : index + 2]
+        e_left, e_mid, e_right = energies[index - 1 : index + 2]
+        denominator = (e_left - 2.0 * e_mid + e_right)
+        if denominator > 0:
+            offset = 0.5 * (e_left - e_right) / denominator
+            offset = float(np.clip(offset, -1.0, 1.0))
+            step = 0.5 * (v_right - v_left)
+            v_opt = float(v_mid + offset * step)
+            # Parabolic estimate of the minimum value.
+            e_min = float(
+                e_mid - 0.25 * (e_left - e_right) * offset
+            )
+    return MepPoint(
+        optimal_supply=v_opt,
+        minimum_energy=e_min,
+        temperature_c=temperature_c,
+        label=label,
+    )
+
+
+def vopt_shift_percent(reference: MepPoint, other: MepPoint) -> float:
+    """Return the Vopt shift of ``other`` relative to ``reference`` (%)."""
+    return 100.0 * (other.optimal_supply - reference.optimal_supply) / (
+        reference.optimal_supply
+    )
+
+
+def energy_shift_percent(reference: MepPoint, other: MepPoint) -> float:
+    """Return the Emin shift of ``other`` relative to ``reference`` (%)."""
+    return 100.0 * (other.minimum_energy - reference.minimum_energy) / (
+        reference.minimum_energy
+    )
+
+
+def energy_spread_percent(points: Sequence[MepPoint]) -> float:
+    """Return the max-to-min spread of minimum energies across points (%).
+
+    This is the quantity the paper quotes as "energy variation of 55 %"
+    across process corners in Section II.
+    """
+    if not points:
+        raise ValueError("points must not be empty")
+    energies = np.array([p.minimum_energy for p in points])
+    return float(100.0 * (energies.max() - energies.min()) / energies.max())
+
+
+def vopt_spread_percent(points: Sequence[MepPoint]) -> float:
+    """Return the max-to-min spread of optimal supplies across points (%)."""
+    if not points:
+        raise ValueError("points must not be empty")
+    supplies = np.array([p.optimal_supply for p in points])
+    return float(100.0 * (supplies.max() - supplies.min()) / supplies.max())

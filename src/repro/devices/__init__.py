@@ -1,0 +1,53 @@
+"""Subthreshold CMOS device and technology models.
+
+This subpackage provides the transistor-level substrate of the
+reproduction: an EKV-style MOSFET current model that is continuous from
+deep subthreshold through moderate inversion into strong inversion, a
+0.13 um-like technology description, process-corner parameter sets,
+temperature dependence and statistical (Monte Carlo) threshold-voltage
+variation.
+
+The models are deliberately compact (a handful of parameters) and are
+calibrated in :mod:`repro.delay.calibration` against the operating points
+printed in the paper (inverter delays, corner threshold voltages and
+minimum-energy-point anchors).
+"""
+
+from repro.devices.technology import Technology, TechnologyParameters
+from repro.devices.mosfet import Mosfet, MosfetParameters, thermal_voltage
+from repro.devices.corners import (
+    Corner,
+    CornerLibrary,
+    ProcessCorner,
+    default_corner_library,
+)
+from repro.devices.temperature import (
+    CELSIUS_TO_KELVIN,
+    TemperatureModel,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+from repro.devices.variation import (
+    VariationModel,
+    VariationSample,
+    MonteCarloSampler,
+)
+
+__all__ = [
+    "Technology",
+    "TechnologyParameters",
+    "Mosfet",
+    "MosfetParameters",
+    "thermal_voltage",
+    "Corner",
+    "CornerLibrary",
+    "ProcessCorner",
+    "default_corner_library",
+    "CELSIUS_TO_KELVIN",
+    "TemperatureModel",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "VariationModel",
+    "VariationSample",
+    "MonteCarloSampler",
+]

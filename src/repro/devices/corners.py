@@ -1,0 +1,203 @@
+"""Process-corner parameter sets.
+
+The paper (Section II) reports threshold voltages of 302 mV (slow),
+287 mV (typical) and 272 mV (fast) for the NMOS of its 0.13 um process
+and evaluates the minimum energy point at the SS, TT, FF and FS corners.
+Real foundry corner files move many parameters at once (threshold, drive
+current, gate capacitance, leakage floor); because those files are
+proprietary, this module reconstructs corner parameter sets as
+*multipliers and shifts applied on top of the typical technology*,
+calibrated so the corner-to-corner MEP shifts match the anchors printed
+in the paper (Vopt = 200 / 220 / 250 mV and Emin = 2.65 / 1.7 / 2.42 fJ
+for TT / SS / FS).  The calibration rationale is documented in
+DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.devices.technology import Technology
+
+
+class ProcessCorner(enum.Enum):
+    """Standard five-corner naming (NMOS letter first, PMOS second)."""
+
+    TT = "tt"
+    SS = "ss"
+    FF = "ff"
+    FS = "fs"
+    SF = "sf"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ProcessCorner":
+        """Parse a corner from a case-insensitive string such as ``'ss'``."""
+        try:
+            return cls[name.upper()]
+        except KeyError as exc:
+            valid = ", ".join(c.name for c in cls)
+            raise ValueError(
+                f"unknown process corner {name!r}; expected one of {valid}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A process corner expressed as deltas on the typical technology.
+
+    Attributes
+    ----------
+    nmos_vth_shift / pmos_vth_shift:
+        Additive threshold shifts in volts (positive = slower device).
+    nmos_current_scale / pmos_current_scale:
+        Multiplicative drive-current (specific current) factors.
+    capacitance_scale:
+        Multiplicative gate-capacitance factor (oxide/geometry spread).
+    leakage_scale:
+        Multiplicative factor on the junction/gate leakage floor.
+    """
+
+    corner: ProcessCorner
+    nmos_vth_shift: float = 0.0
+    pmos_vth_shift: float = 0.0
+    nmos_current_scale: float = 1.0
+    pmos_current_scale: float = 1.0
+    capacitance_scale: float = 1.0
+    leakage_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nmos_current_scale <= 0 or self.pmos_current_scale <= 0:
+            raise ValueError("current scales must be positive")
+        if self.capacitance_scale <= 0:
+            raise ValueError("capacitance_scale must be positive")
+        if self.leakage_scale < 0:
+            raise ValueError("leakage_scale must be non-negative")
+
+    @property
+    def name(self) -> str:
+        """Return the upper-case corner name, e.g. ``'SS'``."""
+        return self.corner.name
+
+    def apply(self, technology: Technology) -> Technology:
+        """Return a new :class:`Technology` with this corner applied."""
+        nmos = technology.nmos.with_vth_shift(self.nmos_vth_shift).scaled(
+            current_scale=self.nmos_current_scale,
+            capacitance_scale=self.capacitance_scale,
+            leakage_scale=self.leakage_scale,
+        )
+        pmos = technology.pmos.with_vth_shift(self.pmos_vth_shift).scaled(
+            current_scale=self.pmos_current_scale,
+            capacitance_scale=self.capacitance_scale,
+            leakage_scale=self.leakage_scale,
+        )
+        return technology.with_devices(nmos, pmos)
+
+
+# Threshold spread quoted by the paper: typical 287 mV, slow 302 mV,
+# fast 272 mV, i.e. +/- 15 mV around typical.
+VTH_CORNER_SPREAD_V = 0.015
+
+
+class CornerLibrary:
+    """A named collection of :class:`Corner` definitions."""
+
+    def __init__(self, corners: Iterable[Corner]) -> None:
+        self._corners: Dict[ProcessCorner, Corner] = {}
+        for corner in corners:
+            if corner.corner in self._corners:
+                raise ValueError(f"duplicate corner {corner.name}")
+            self._corners[corner.corner] = corner
+        if ProcessCorner.TT not in self._corners:
+            raise ValueError("a corner library must define the TT corner")
+
+    def __iter__(self):
+        return iter(self._corners.values())
+
+    def __len__(self) -> int:
+        return len(self._corners)
+
+    def __contains__(self, corner) -> bool:
+        return self._resolve_key(corner) in self._corners
+
+    @staticmethod
+    def _resolve_key(corner) -> ProcessCorner:
+        if isinstance(corner, ProcessCorner):
+            return corner
+        if isinstance(corner, Corner):
+            return corner.corner
+        return ProcessCorner.from_name(str(corner))
+
+    def get(self, corner) -> Corner:
+        """Return the corner definition for a name, enum or Corner object."""
+        key = self._resolve_key(corner)
+        try:
+            return self._corners[key]
+        except KeyError as exc:
+            raise KeyError(f"corner {key.name} not in library") from exc
+
+    def names(self) -> Tuple[str, ...]:
+        """Return the defined corner names in insertion order."""
+        return tuple(corner.name for corner in self._corners.values())
+
+    def technology_at(self, technology: Technology, corner) -> Technology:
+        """Return ``technology`` with the requested corner applied."""
+        return self.get(corner).apply(technology)
+
+
+def default_corner_library() -> CornerLibrary:
+    """Return the corner library calibrated against the paper's anchors.
+
+    The threshold shifts are the +/- 15 mV spread quoted in the paper.
+    The drive-current scales are conventional +/- 12 % corner spreads.
+    The capacitance and leakage multipliers are the reconstruction knobs
+    (see module docstring): they were solved numerically (deterministic
+    bisection against the calibrated typical-corner library, see
+    ``repro.delay.calibration``) so that the corner minimum energy points
+    land on the values printed in the paper's Section II: 220 mV /
+    1.70 fJ for SS and 250 mV / 2.42 fJ for FS, with TT calibrated to
+    200 mV / 2.65 fJ.  FF and SF are not quoted in the paper; their
+    targets interpolate between the published corners.
+    """
+    return CornerLibrary(
+        [
+            Corner(ProcessCorner.TT),
+            Corner(
+                ProcessCorner.SS,
+                nmos_vth_shift=+VTH_CORNER_SPREAD_V,
+                pmos_vth_shift=+VTH_CORNER_SPREAD_V,
+                nmos_current_scale=0.88,
+                pmos_current_scale=0.88,
+                capacitance_scale=0.5525,
+                leakage_scale=0.9048,
+            ),
+            Corner(
+                ProcessCorner.FF,
+                nmos_vth_shift=-VTH_CORNER_SPREAD_V,
+                pmos_vth_shift=-VTH_CORNER_SPREAD_V,
+                nmos_current_scale=1.12,
+                pmos_current_scale=1.12,
+                capacitance_scale=0.8095,
+                leakage_scale=1.8431,
+            ),
+            Corner(
+                ProcessCorner.FS,
+                nmos_vth_shift=-VTH_CORNER_SPREAD_V,
+                pmos_vth_shift=+VTH_CORNER_SPREAD_V,
+                nmos_current_scale=1.12,
+                pmos_current_scale=0.88,
+                capacitance_scale=0.6236,
+                leakage_scale=0.9967,
+            ),
+            Corner(
+                ProcessCorner.SF,
+                nmos_vth_shift=+VTH_CORNER_SPREAD_V,
+                pmos_vth_shift=-VTH_CORNER_SPREAD_V,
+                nmos_current_scale=0.88,
+                pmos_current_scale=1.12,
+                capacitance_scale=0.7665,
+                leakage_scale=2.4777,
+            ),
+        ]
+    )

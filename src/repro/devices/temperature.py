@@ -1,0 +1,97 @@
+"""Temperature helpers and temperature dependence of device parameters.
+
+Subthreshold circuits are exponentially sensitive to temperature because
+both the thermal voltage ``kT/q`` and the threshold voltage enter the
+drain-current exponent.  The paper (Fig. 2) shows the minimum energy
+point moving from 200 mV at 25 C to 250 mV at 85 C with a ~25 % energy
+penalty; the simple first-order models in this module reproduce that
+behaviour:
+
+* ``Vth(T) = Vth(T0) - kappa_vth * (T - T0)`` (threshold falls with
+  temperature, increasing leakage),
+* ``mu(T) = mu(T0) * (T / T0) ** mobility_exponent`` (mobility falls with
+  temperature, slowing strong-inversion operation),
+* ``Vt = kT / q`` (subthreshold slope degrades with temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ELECTRON_CHARGE = 1.602176634e-19
+"""Elementary charge in C."""
+
+CELSIUS_TO_KELVIN = 273.15
+"""Offset between the Celsius and Kelvin scales."""
+
+ROOM_TEMPERATURE_C = 25.0
+"""Reference temperature used throughout the paper (degrees Celsius)."""
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return temperature_c + CELSIUS_TO_KELVIN
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return temperature_k - CELSIUS_TO_KELVIN
+
+
+def thermal_voltage_at(temperature_c: float) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at ``temperature_c``."""
+    if temperature_c <= -CELSIUS_TO_KELVIN:
+        raise ValueError(
+            f"temperature {temperature_c} C is at or below absolute zero"
+        )
+    return BOLTZMANN * celsius_to_kelvin(temperature_c) / ELECTRON_CHARGE
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """First-order temperature dependence of MOSFET parameters.
+
+    Parameters
+    ----------
+    reference_temperature_c:
+        Temperature at which the nominal parameters are specified.
+    vth_temperature_coefficient:
+        Threshold-voltage reduction per Kelvin (positive value means the
+        threshold *drops* as temperature rises).  Typical 0.13 um values
+        are 0.8-1.5 mV/K.
+    mobility_exponent:
+        Exponent of the ``(T/T0)`` mobility power law (negative).
+    """
+
+    reference_temperature_c: float = ROOM_TEMPERATURE_C
+    vth_temperature_coefficient: float = 0.8e-3
+    mobility_exponent: float = -1.5
+
+    def __post_init__(self) -> None:
+        if self.vth_temperature_coefficient < 0:
+            raise ValueError("vth_temperature_coefficient must be >= 0")
+        if self.mobility_exponent > 0:
+            raise ValueError("mobility_exponent must be <= 0")
+
+    def threshold_shift(self, temperature_c: float) -> float:
+        """Return the additive Vth shift (volts) at ``temperature_c``.
+
+        The shift is negative above the reference temperature (the device
+        becomes leakier and faster in subthreshold) and positive below it.
+        """
+        delta_t = temperature_c - self.reference_temperature_c
+        return -self.vth_temperature_coefficient * delta_t
+
+    def mobility_scale(self, temperature_c: float) -> float:
+        """Return the multiplicative mobility factor at ``temperature_c``."""
+        t_ratio = celsius_to_kelvin(temperature_c) / celsius_to_kelvin(
+            self.reference_temperature_c
+        )
+        return t_ratio ** self.mobility_exponent
+
+    def thermal_voltage(self, temperature_c: float) -> float:
+        """Return ``kT/q`` in volts at ``temperature_c``."""
+        return thermal_voltage_at(temperature_c)

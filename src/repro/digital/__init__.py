@@ -1,0 +1,45 @@
+"""Digital simulation substrate.
+
+The controller's digital blocks (FIFO, rate controller, encoder,
+comparator, PWM counter) were modelled in VHDL in the paper.  This
+subpackage provides their Python counterparts: logic-word helpers,
+behavioural flip-flops with a metastability window, up/down counters,
+thermometer encoders, a FIFO with read/write pointers, and a small
+event-driven simulation kernel used to interleave the 64 MHz digital
+clock domain with the analog power-stage simulation.
+"""
+
+from repro.digital.signals import (
+    binary_to_gray,
+    clamp_code,
+    code_to_voltage,
+    gray_to_binary,
+    thermometer_code,
+    thermometer_to_hex,
+    voltage_to_code,
+)
+from repro.digital.flipflop import DFlipFlop, MetastabilityModel, ToggleFlipFlop
+from repro.digital.counter import UpDownCounter
+from repro.digital.encoder import ThermometerEncoder
+from repro.digital.fifo import Fifo, FifoStatistics
+from repro.digital.simulator import EventKernel, PeriodicTask, SimulationEvent
+
+__all__ = [
+    "binary_to_gray",
+    "clamp_code",
+    "code_to_voltage",
+    "gray_to_binary",
+    "thermometer_code",
+    "thermometer_to_hex",
+    "voltage_to_code",
+    "DFlipFlop",
+    "MetastabilityModel",
+    "ToggleFlipFlop",
+    "UpDownCounter",
+    "ThermometerEncoder",
+    "Fifo",
+    "FifoStatistics",
+    "EventKernel",
+    "PeriodicTask",
+    "SimulationEvent",
+]

@@ -1,0 +1,118 @@
+"""Up/down counter with terminal count and saturation bounds.
+
+The DC-DC converter's PWM control is built around a 6-bit up/down
+counter: its value sets the duty ratio ``N / 64`` and its terminal count
+marks the end of one system cycle (64 MHz clock / 64 = 1 MHz system
+cycle).  The paper warns about "spurious transitions occurring when the
+transitions in counter occurs from N = 64 to 0" and sets "a simple upper
+bound and lower bound of the desired voltage" to avoid switching all
+power transistors at once; the ``lower_bound``/``upper_bound`` saturation
+implemented here reproduces that guard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class UpDownCounter:
+    """A saturating up/down counter of ``width`` bits."""
+
+    def __init__(
+        self,
+        width: int = 6,
+        initial_value: int = 0,
+        lower_bound: Optional[int] = None,
+        upper_bound: Optional[int] = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self._maximum = (1 << width) - 1
+        self._lower_bound = 0 if lower_bound is None else int(lower_bound)
+        self._upper_bound = (
+            self._maximum if upper_bound is None else int(upper_bound)
+        )
+        if not 0 <= self._lower_bound <= self._upper_bound <= self._maximum:
+            raise ValueError(
+                "bounds must satisfy 0 <= lower <= upper <= 2**width - 1"
+            )
+        self._value = self._clamp(int(initial_value))
+        self._wrap_events = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Return the current count."""
+        return self._value
+
+    @property
+    def maximum(self) -> int:
+        """Return the largest representable count (2**width - 1)."""
+        return self._maximum
+
+    @property
+    def bounds(self) -> tuple:
+        """Return the active (lower, upper) saturation bounds."""
+        return (self._lower_bound, self._upper_bound)
+
+    @property
+    def wrap_events(self) -> int:
+        """Return how many up/down requests hit a saturation bound."""
+        return self._wrap_events
+
+    @property
+    def terminal_count(self) -> bool:
+        """Return True when the counter sits at its upper bound."""
+        return self._value >= self._upper_bound
+
+    def _clamp(self, value: int) -> int:
+        return max(self._lower_bound, min(self._upper_bound, value))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def load(self, value: int) -> int:
+        """Parallel-load a value (clamped to the bounds)."""
+        self._value = self._clamp(int(value))
+        return self._value
+
+    def up(self, amount: int = 1) -> int:
+        """Count up by ``amount``, saturating at the upper bound."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        target = self._value + amount
+        if target > self._upper_bound:
+            self._wrap_events += 1
+        self._value = self._clamp(target)
+        return self._value
+
+    def down(self, amount: int = 1) -> int:
+        """Count down by ``amount``, saturating at the lower bound."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        target = self._value - amount
+        if target < self._lower_bound:
+            self._wrap_events += 1
+        self._value = self._clamp(target)
+        return self._value
+
+    def hold(self) -> int:
+        """Keep the current count (explicit for loop readability)."""
+        return self._value
+
+    def set_bounds(self, lower: int, upper: int) -> None:
+        """Update the saturation bounds (the paper's spurious-switch guard)."""
+        if not 0 <= lower <= upper <= self._maximum:
+            raise ValueError(
+                "bounds must satisfy 0 <= lower <= upper <= 2**width - 1"
+            )
+        self._lower_bound = int(lower)
+        self._upper_bound = int(upper)
+        self._value = self._clamp(self._value)
+
+    def duty_cycle(self) -> float:
+        """Return the PWM duty ratio ``N / 2**width`` for the current count."""
+        return self._value / (1 << self.width)

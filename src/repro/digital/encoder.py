@@ -1,0 +1,75 @@
+"""Thermometer-to-binary encoder with bubble suppression.
+
+The TDC quantizer produces a thermometer code across its flip-flop
+chain; the encoder reduces it to the 6-bit word compared against the
+rate controller's desired value (paper Fig. 4).  Real thermometer codes
+contain "bubbles" (isolated wrong bits caused by metastability); the
+encoder tolerates them by counting asserted bits rather than finding the
+first transition, and reports how many bubbles were present so the
+controller can flag unreliable conversions (the paper's 0.6 V case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.digital.signals import clamp_code
+
+
+@dataclass(frozen=True)
+class EncodedValue:
+    """Result of encoding one thermometer snapshot."""
+
+    value: int
+    bubble_count: int
+    saturated: bool
+
+    @property
+    def reliable(self) -> bool:
+        """Return True when the code had no bubbles and did not saturate."""
+        return self.bubble_count == 0 and not self.saturated
+
+
+class ThermometerEncoder:
+    """Encode thermometer codes of ``input_length`` bits to ``output_bits``."""
+
+    def __init__(self, input_length: int = 64, output_bits: int = 6) -> None:
+        if input_length <= 0:
+            raise ValueError("input_length must be positive")
+        if output_bits <= 0:
+            raise ValueError("output_bits must be positive")
+        if input_length > (1 << output_bits):
+            raise ValueError(
+                "output_bits too small to represent every input count"
+            )
+        self.input_length = input_length
+        self.output_bits = output_bits
+
+    def encode(self, bits: Sequence[int]) -> EncodedValue:
+        """Encode one snapshot of the quantizer flip-flops."""
+        if len(bits) != self.input_length:
+            raise ValueError(
+                f"expected {self.input_length} bits, got {len(bits)}"
+            )
+        normalized = [1 if bit else 0 for bit in bits]
+        count = sum(normalized)
+        bubbles = self._count_bubbles(normalized)
+        saturated = count >= self.input_length
+        return EncodedValue(
+            value=clamp_code(count, self.output_bits),
+            bubble_count=bubbles,
+            saturated=saturated,
+        )
+
+    @staticmethod
+    def _count_bubbles(bits: Sequence[int]) -> int:
+        """Count 0->1 transitions beyond the first (ideal codes have <= 1)."""
+        transitions = 0
+        for index in range(1, len(bits)):
+            if bits[index] == 1 and bits[index - 1] == 0:
+                transitions += 1
+        # One leading group of ones has zero 0->1 transitions when the code
+        # starts with a one; otherwise exactly one.  Anything more is a bubble.
+        allowed = 0 if (bits and bits[0] == 1) else 1
+        return max(0, transitions - allowed)

@@ -1,0 +1,138 @@
+"""Input FIFO with read/write pointers and queue-length telemetry.
+
+The rate controller estimates the required processing rate from the
+FIFO occupancy: "the queue length is the difference between the write
+pointer and the read pointer of the FIFO" (paper Section III).  This
+model tracks exactly that, along with overflow (data loss — the
+condition the controller must avoid by raising the supply) and underflow
+statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.digital.signals import binary_to_gray
+
+
+@dataclass
+class FifoStatistics:
+    """Cumulative statistics of a FIFO instance."""
+
+    pushes: int = 0
+    pops: int = 0
+    overflows: int = 0
+    underflows: int = 0
+    peak_occupancy: int = 0
+
+    @property
+    def drops(self) -> int:
+        """Alias for overflow count (samples lost at the input)."""
+        return self.overflows
+
+
+class Fifo:
+    """A bounded FIFO with pointer-based queue length."""
+
+    def __init__(self, depth: int = 64, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._storage: Deque = deque()
+        self._write_pointer = 0
+        self._read_pointer = 0
+        self.statistics = FifoStatistics()
+
+    # ------------------------------------------------------------------
+    # Pointers and occupancy
+    # ------------------------------------------------------------------
+    @property
+    def write_pointer(self) -> int:
+        """Return the free-running write pointer."""
+        return self._write_pointer
+
+    @property
+    def read_pointer(self) -> int:
+        """Return the free-running read pointer."""
+        return self._read_pointer
+
+    @property
+    def queue_length(self) -> int:
+        """Return the occupancy (write pointer minus read pointer)."""
+        return self._write_pointer - self._read_pointer
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Return occupancy normalised to the FIFO depth (0..1)."""
+        return self.queue_length / self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        """Return True when no items are queued."""
+        return self.queue_length == 0
+
+    @property
+    def is_full(self) -> bool:
+        """Return True when the FIFO cannot accept more items."""
+        return self.queue_length >= self.depth
+
+    def gray_pointers(self) -> tuple:
+        """Return (write, read) pointers Gray-coded modulo the depth."""
+        return (
+            binary_to_gray(self._write_pointer % (2 * self.depth)),
+            binary_to_gray(self._read_pointer % (2 * self.depth)),
+        )
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def push(self, item) -> bool:
+        """Push one item; returns False (and counts a drop) when full."""
+        if self.is_full:
+            self.statistics.overflows += 1
+            return False
+        self._storage.append(item)
+        self._write_pointer += 1
+        self.statistics.pushes += 1
+        self.statistics.peak_occupancy = max(
+            self.statistics.peak_occupancy, self.queue_length
+        )
+        return True
+
+    def push_burst(self, items) -> int:
+        """Push a burst of items; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.push(item):
+                accepted += 1
+        return accepted
+
+    def pop(self):
+        """Pop one item; returns None (and counts an underflow) when empty."""
+        if self.is_empty:
+            self.statistics.underflows += 1
+            return None
+        self._read_pointer += 1
+        self.statistics.pops += 1
+        return self._storage.popleft()
+
+    def pop_up_to(self, count: int) -> List:
+        """Pop at most ``count`` items (no underflow counted when fewer)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        items = []
+        while len(items) < count and not self.is_empty:
+            items.append(self.pop())
+        return items
+
+    def peek(self) -> Optional[object]:
+        """Return the head item without removing it."""
+        return self._storage[0] if self._storage else None
+
+    def clear(self) -> None:
+        """Drop all queued items (pointers keep advancing)."""
+        while not self.is_empty:
+            self.pop()

@@ -1,0 +1,128 @@
+"""Behavioural flip-flop models with a metastability window.
+
+The paper notes that "the metastability associated with the flip flops
+due to the variations are considered and incorporated in the design" and
+that at 0.6 V the quantizer output becomes unreliable because data is
+"latched twice by a faster Ref_clk".  The :class:`MetastabilityModel`
+captures that failure mode: when the data edge lands inside the
+setup/hold window around the sampling clock edge, the captured value is
+unpredictable (resolved pseudo-randomly but reproducibly from a seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetastabilityModel:
+    """Setup/hold window model for a D flip-flop."""
+
+    setup_time: float = 50e-12
+    hold_time: float = 50e-12
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.setup_time < 0 or self.hold_time < 0:
+            raise ValueError("setup and hold times must be non-negative")
+
+    @property
+    def window(self) -> float:
+        """Return the total metastability window width (seconds)."""
+        return self.setup_time + self.hold_time
+
+    def is_violated(self, data_edge_time: float, clock_edge_time: float) -> bool:
+        """Return True when a data edge violates the setup/hold window."""
+        return (
+            clock_edge_time - self.setup_time
+            < data_edge_time
+            < clock_edge_time + self.hold_time
+        )
+
+
+class DFlipFlop:
+    """A behavioural D flip-flop."""
+
+    def __init__(
+        self,
+        name: str = "dff",
+        metastability: Optional[MetastabilityModel] = None,
+        initial_value: int = 0,
+    ) -> None:
+        self.name = name
+        self.metastability = metastability or MetastabilityModel()
+        self._value = 1 if initial_value else 0
+        self._rng = np.random.default_rng(self.metastability.seed)
+        self._metastable_events = 0
+
+    @property
+    def value(self) -> int:
+        """Return the current stored value."""
+        return self._value
+
+    @property
+    def metastable_events(self) -> int:
+        """Return how many captures violated the setup/hold window."""
+        return self._metastable_events
+
+    def capture(
+        self,
+        data: int,
+        data_edge_time: Optional[float] = None,
+        clock_edge_time: Optional[float] = None,
+    ) -> int:
+        """Capture ``data`` on a clock edge.
+
+        When edge timing is provided and the data edge lands inside the
+        setup/hold window, the stored value resolves randomly (old or new
+        data), modelling metastability.
+        """
+        new_value = 1 if data else 0
+        if (
+            data_edge_time is not None
+            and clock_edge_time is not None
+            and new_value != self._value
+            and self.metastability.is_violated(data_edge_time, clock_edge_time)
+        ):
+            self._metastable_events += 1
+            if self._rng.random() < 0.5:
+                new_value = self._value
+        self._value = new_value
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the stored value (asynchronous set/clear)."""
+        self._value = 1 if value else 0
+
+
+class ToggleFlipFlop:
+    """A toggle flip-flop; the PWM output stage of the DC-DC converter."""
+
+    def __init__(self, name: str = "tff", initial_value: int = 0) -> None:
+        self.name = name
+        self._value = 1 if initial_value else 0
+        self._toggle_count = 0
+
+    @property
+    def value(self) -> int:
+        """Return the current output value."""
+        return self._value
+
+    @property
+    def toggle_count(self) -> int:
+        """Return how many times the output has toggled."""
+        return self._toggle_count
+
+    def clock(self, toggle_enable: int = 1) -> int:
+        """Apply one clock edge; toggles the output when enabled."""
+        if toggle_enable:
+            self._value ^= 1
+            self._toggle_count += 1
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the output value."""
+        self._value = 1 if value else 0

@@ -1,0 +1,124 @@
+"""Digital word helpers: voltage codes, thermometer codes, Gray codes.
+
+The whole controller speaks in 6-bit words where one LSB equals
+``1.2 V / 64 = 18.75 mV`` (paper Section II-A).  These helpers convert
+between voltages, binary codes and the thermometer snapshots produced by
+the TDC quantizer (Table I of the paper prints them as hexadecimal
+strings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.devices.technology import (
+    DCDC_RESOLUTION_BITS,
+    DCDC_RESOLUTION_V,
+    NOMINAL_SUPPLY_V,
+)
+
+
+def clamp_code(code: int, bits: int = DCDC_RESOLUTION_BITS) -> int:
+    """Clamp an integer code to the representable range of ``bits`` bits."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    maximum = (1 << bits) - 1
+    return max(0, min(maximum, int(code)))
+
+
+def code_to_voltage(
+    code: int,
+    bits: int = DCDC_RESOLUTION_BITS,
+    full_scale: float = NOMINAL_SUPPLY_V,
+) -> float:
+    """Convert a digital word to its target voltage.
+
+    A word of ``N`` maps to ``N * full_scale / 2**bits`` — e.g. the
+    paper's example word 19 maps to 19 * 18.75 mV = 356.25 mV.
+    """
+    clamped = clamp_code(code, bits)
+    return clamped * full_scale / (1 << bits)
+
+
+def voltage_to_code(
+    voltage: float,
+    bits: int = DCDC_RESOLUTION_BITS,
+    full_scale: float = NOMINAL_SUPPLY_V,
+) -> int:
+    """Convert a voltage to the nearest digital word."""
+    if full_scale <= 0:
+        raise ValueError("full_scale must be positive")
+    code = int(round(voltage * (1 << bits) / full_scale))
+    return clamp_code(code, bits)
+
+
+def resolution_volts(
+    bits: int = DCDC_RESOLUTION_BITS, full_scale: float = NOMINAL_SUPPLY_V
+) -> float:
+    """Return the LSB size in volts (18.75 mV for the default 6 bits)."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    return full_scale / (1 << bits)
+
+
+def thermometer_code(count: int, length: int) -> List[int]:
+    """Return a thermometer code with ``count`` leading ones."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if not 0 <= count <= length:
+        raise ValueError(f"count must be within [0, {length}]")
+    return [1] * count + [0] * (length - count)
+
+
+def count_ones(bits: Sequence[int]) -> int:
+    """Return the number of asserted bits in a bit sequence."""
+    return sum(1 for bit in bits if bit)
+
+
+def thermometer_to_hex(bits: Sequence[int]) -> str:
+    """Render a bit sequence as a spaced hexadecimal string (Table I style).
+
+    The first bit of the sequence is the most significant bit of the
+    first hex digit; groups of 16 bits are separated by spaces, matching
+    the formatting of Table I in the paper.
+    """
+    if not bits:
+        raise ValueError("bits must not be empty")
+    padded = list(bits)
+    while len(padded) % 4:
+        padded.append(0)
+    digits = []
+    for index in range(0, len(padded), 4):
+        nibble = padded[index : index + 4]
+        value = (nibble[0] << 3) | (nibble[1] << 2) | (nibble[2] << 1) | nibble[3]
+        digits.append(f"{value:X}")
+    grouped = [
+        "".join(digits[i : i + 4]) for i in range(0, len(digits), 4)
+    ]
+    return " ".join(grouped)
+
+
+def binary_to_gray(value: int) -> int:
+    """Convert a non-negative integer to its Gray-code representation.
+
+    FIFO read/write pointers crossing clock domains are conventionally
+    Gray coded; the FIFO model exposes this for its pointer telemetry.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return value ^ (value >> 1)
+
+
+def gray_to_binary(value: int) -> int:
+    """Convert a Gray-coded integer back to binary."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    result = 0
+    while value:
+        result ^= value
+        value >>= 1
+    return result
+
+
+DCDC_LSB_VOLTS = DCDC_RESOLUTION_V
+"""Re-export of the DC-DC LSB (18.75 mV) for convenience."""

@@ -1,0 +1,149 @@
+"""Event-driven simulation kernel.
+
+A minimal discrete-event kernel used to interleave the controller's
+clock domains: the 64 MHz digital clock, the 1 MHz system cycle (PWM
+period) and the analog power-stage simulation chunks.  Events are
+``(time, order, callback)`` tuples processed in time order; periodic
+tasks reschedule themselves until cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+EventCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class SimulationEvent:
+    """One scheduled event (ordering by time, then insertion order)."""
+
+    time: float
+    order: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it."""
+        self.cancelled = True
+
+
+class EventKernel:
+    """A priority-queue based discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._queue: List[SimulationEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Return the current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Return how many events have been executed."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Return how many events are still queued (including cancelled)."""
+        return len(self._queue)
+
+    def schedule(self, time: float, callback: EventCallback) -> SimulationEvent:
+        """Schedule ``callback(time)`` at an absolute time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time:g}s before current time "
+                f"{self._now:g}s"
+            )
+        event = SimulationEvent(time=time, order=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> SimulationEvent:
+        """Schedule ``callback`` after a relative delay."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback)
+
+    def run_until(self, stop_time: float) -> None:
+        """Execute events in order until ``stop_time`` (inclusive)."""
+        if stop_time < self._now:
+            raise ValueError("stop_time is in the past")
+        while self._queue and self._queue[0].time <= stop_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(event.time)
+            self._processed += 1
+        self._now = max(self._now, stop_time)
+
+    def run_all(self, safety_limit: int = 1_000_000) -> None:
+        """Execute every queued event (bounded by ``safety_limit``)."""
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(event.time)
+            self._processed += 1
+            executed += 1
+            if executed >= safety_limit:
+                raise RuntimeError(
+                    f"event limit of {safety_limit} reached; runaway schedule?"
+                )
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback (a clock domain)."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        period: float,
+        callback: EventCallback,
+        start_time: float = 0.0,
+        name: str = "task",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.kernel = kernel
+        self.period = period
+        self.callback = callback
+        self.name = name
+        self._active = True
+        self._ticks = 0
+        self._pending: Optional[SimulationEvent] = None
+        self._pending = kernel.schedule(start_time, self._fire)
+
+    @property
+    def ticks(self) -> int:
+        """Return how many times the task has fired."""
+        return self._ticks
+
+    @property
+    def active(self) -> bool:
+        """Return True while the task keeps rescheduling itself."""
+        return self._active
+
+    def _fire(self, time: float) -> None:
+        if not self._active:
+            return
+        self._ticks += 1
+        self.callback(time)
+        if self._active:
+            self._pending = self.kernel.schedule(time + self.period, self._fire)
+
+    def stop(self) -> None:
+        """Stop rescheduling (any already queued firing is cancelled)."""
+        self._active = False
+        if self._pending is not None:
+            self._pending.cancel()

@@ -1,0 +1,175 @@
+"""Calibrated library facade.
+
+:class:`SubthresholdLibrary` bundles everything a user needs to
+instantiate the paper's world at an arbitrary operating condition:
+the calibrated 0.13 um-like technology, the process-corner library, the
+fitted delay constant and the calibrated ring-oscillator load.  All
+higher-level pieces (the adaptive controller, the sweeps behind every
+figure, the benches) obtain their delay and energy models from here so
+the calibration is performed once and shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.delay.calibration import (
+    CalibrationResult,
+    calibrate_delay_model,
+    calibrate_load_for_mep,
+)
+from repro.delay.energy import EnergyModel, LoadCharacteristics
+from repro.delay.gate_delay import GateDelayModel
+from repro.devices.corners import CornerLibrary, default_corner_library
+from repro.devices.technology import Technology, default_technology
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.devices.variation import VariationSample
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """A (corner, temperature, local variation) triple."""
+
+    corner: str = "TT"
+    temperature_c: float = ROOM_TEMPERATURE_C
+    nmos_vth_shift: float = 0.0
+    pmos_vth_shift: float = 0.0
+
+    @classmethod
+    def from_sample(
+        cls,
+        sample: VariationSample,
+        corner: str = "TT",
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> "OperatingCondition":
+        """Build an operating condition from a Monte Carlo sample."""
+        return cls(
+            corner=corner,
+            temperature_c=temperature_c,
+            nmos_vth_shift=sample.nmos_vth_shift,
+            pmos_vth_shift=sample.pmos_vth_shift,
+        )
+
+    def describe(self) -> str:
+        """Return a short human-readable label."""
+        parts = [self.corner, f"{self.temperature_c:g}C"]
+        if self.nmos_vth_shift or self.pmos_vth_shift:
+            parts.append(
+                f"dVth(n)={self.nmos_vth_shift * 1e3:+.1f}mV,"
+                f" dVth(p)={self.pmos_vth_shift * 1e3:+.1f}mV"
+            )
+        return " ".join(parts)
+
+
+class SubthresholdLibrary:
+    """Calibrated models of the paper's 0.13 um subthreshold library."""
+
+    def __init__(
+        self,
+        technology: Optional[Technology] = None,
+        corners: Optional[CornerLibrary] = None,
+    ) -> None:
+        base = technology or default_technology()
+        delay_model, calibration = calibrate_delay_model(base)
+        self._calibration = calibration
+        # The fitted slope factor lives inside the calibrated delay
+        # model's technology; keep that as the canonical typical corner.
+        self._technology = delay_model.technology
+        self._delay_constant = delay_model.delay_constant
+        self._corners = corners or default_corner_library()
+        self._reference_delay_model = delay_model
+        base_load = LoadCharacteristics(
+            name="nand-ring-oscillator",
+            gate_count=63,
+            logic_depth=126,
+            switching_activity=0.1,
+        )
+        self._ring_load = calibrate_load_for_mep(delay_model, base_load)
+
+    # ------------------------------------------------------------------
+    # Calibration artefacts
+    # ------------------------------------------------------------------
+    @property
+    def technology(self) -> Technology:
+        """Return the calibrated typical-corner technology."""
+        return self._technology
+
+    @property
+    def calibration(self) -> CalibrationResult:
+        """Return the delay-calibration fit report."""
+        return self._calibration
+
+    @property
+    def corners(self) -> CornerLibrary:
+        """Return the process-corner library."""
+        return self._corners
+
+    @property
+    def ring_oscillator_load(self) -> LoadCharacteristics:
+        """Return the Fig. 1-calibrated ring-oscillator load."""
+        return self._ring_load
+
+    @property
+    def reference_delay_model(self) -> GateDelayModel:
+        """Return the typical-corner delay model (the design reference)."""
+        return self._reference_delay_model
+
+    # ------------------------------------------------------------------
+    # Model factories
+    # ------------------------------------------------------------------
+    def technology_at(self, condition: OperatingCondition) -> Technology:
+        """Return the technology with the condition's corner applied."""
+        return self._corners.technology_at(self._technology, condition.corner)
+
+    def delay_model(
+        self, condition: Optional[OperatingCondition] = None
+    ) -> GateDelayModel:
+        """Return a calibrated delay model at an operating condition."""
+        condition = condition or OperatingCondition()
+        technology = self.technology_at(condition)
+        return GateDelayModel(
+            technology,
+            delay_constant=self._delay_constant,
+            nmos_vth_shift=condition.nmos_vth_shift,
+            pmos_vth_shift=condition.pmos_vth_shift,
+        )
+
+    def energy_model(
+        self,
+        condition: Optional[OperatingCondition] = None,
+        load: Optional[LoadCharacteristics] = None,
+    ) -> EnergyModel:
+        """Return an energy model for a load at an operating condition."""
+        return EnergyModel(
+            self.delay_model(condition), load or self._ring_load
+        )
+
+    def calibrated_load(
+        self, load: LoadCharacteristics, **targets
+    ) -> LoadCharacteristics:
+        """Calibrate an arbitrary load's MEP against the typical corner."""
+        return calibrate_load_for_mep(
+            self._reference_delay_model, load, **targets
+        )
+
+    def with_activity(self, switching_activity: float) -> LoadCharacteristics:
+        """Return the ring-oscillator load at a different switching factor."""
+        return replace(
+            self._ring_load, switching_activity=switching_activity
+        )
+
+
+_DEFAULT_LIBRARY: Optional[SubthresholdLibrary] = None
+
+
+def default_library() -> SubthresholdLibrary:
+    """Return a process-wide cached default :class:`SubthresholdLibrary`.
+
+    Calibration is deterministic but not free; the cache keeps repeated
+    bench/test invocations fast.
+    """
+    global _DEFAULT_LIBRARY
+    if _DEFAULT_LIBRARY is None:
+        _DEFAULT_LIBRARY = SubthresholdLibrary()
+    return _DEFAULT_LIBRARY

@@ -1,0 +1,45 @@
+"""Analog circuit simulation substrate (ahkab-style, numpy MNA).
+
+The paper validates its controller in a mixed-mode environment (SPICE
+for the analog blocks, VHDL for the digital blocks).  This subpackage is
+the reproduction's analog half: a compact modified-nodal-analysis (MNA)
+circuit simulator with linear R/L/C elements, independent sources,
+voltage-controlled ideal switches and behavioural current loads, plus DC
+operating-point and fixed-step transient analyses.  It is used to
+simulate the DC-DC converter's power stage (power-transistor array, LC
+low-pass filter and the digital load's current draw).
+"""
+
+from repro.spice.components import (
+    BehavioralCurrentLoad,
+    Capacitor,
+    Component,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit, CircuitError
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.transient import TransientOptions, TransientResult, transient
+from repro.spice.waveform import Waveform
+
+__all__ = [
+    "BehavioralCurrentLoad",
+    "Capacitor",
+    "Component",
+    "CurrentSource",
+    "Inductor",
+    "Resistor",
+    "Switch",
+    "VoltageSource",
+    "Circuit",
+    "CircuitError",
+    "OperatingPoint",
+    "dc_operating_point",
+    "TransientOptions",
+    "TransientResult",
+    "transient",
+    "Waveform",
+]

@@ -1,0 +1,307 @@
+"""Circuit components for the MNA simulator.
+
+Every component knows how to *stamp* itself into the conductance matrix
+``G``, the dynamic (capacitance/inductance) matrix ``C`` and the source
+vector ``b`` of the modified nodal analysis system
+
+``G x + C dx/dt = b(t)``
+
+where ``x`` holds node voltages followed by branch currents of
+inductors and voltage sources.  Time-varying components (sources,
+switches, behavioural loads) are re-stamped every timestep with the
+current time and previous solution, which keeps each step linear.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+ValueOrFunction = Union[float, Callable[[float], float]]
+
+GROUND_NAMES = ("0", "gnd", "GND", "ground")
+
+
+def _evaluate(value: ValueOrFunction, time: float) -> float:
+    """Evaluate a constant or time-function value at ``time``."""
+    if callable(value):
+        return float(value(time))
+    return float(value)
+
+
+class Component:
+    """Base class of all circuit components."""
+
+    def __init__(self, name: str, nodes: Sequence[str]) -> None:
+        if not name:
+            raise ValueError("component name must not be empty")
+        self.name = name
+        self.nodes = tuple(nodes)
+
+    #: number of extra branch-current unknowns this component introduces
+    branch_count = 0
+
+    def stamp(
+        self,
+        system: "StampContext",
+        time: float,
+        previous_solution: Optional[np.ndarray],
+    ) -> None:
+        """Stamp this component into the MNA system at ``time``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
+
+
+class StampContext:
+    """Mutable MNA matrices handed to each component's ``stamp`` method."""
+
+    def __init__(
+        self,
+        size: int,
+        node_index: Dict[str, int],
+        branch_index: Dict[str, int],
+    ) -> None:
+        self.G = np.zeros((size, size))
+        self.C = np.zeros((size, size))
+        self.b = np.zeros(size)
+        self._node_index = node_index
+        self._branch_index = branch_index
+
+    def node(self, name: str) -> Optional[int]:
+        """Return the matrix index of a node, or None for ground."""
+        if name in GROUND_NAMES:
+            return None
+        return self._node_index[name]
+
+    def branch(self, component_name: str) -> int:
+        """Return the matrix index of a component's branch current."""
+        return self._branch_index[component_name]
+
+    # -- low-level stamping helpers ------------------------------------
+    def add_conductance(self, node_a: Optional[int], node_b: Optional[int], g: float) -> None:
+        """Stamp a conductance ``g`` between two node indices."""
+        if node_a is not None:
+            self.G[node_a, node_a] += g
+        if node_b is not None:
+            self.G[node_b, node_b] += g
+        if node_a is not None and node_b is not None:
+            self.G[node_a, node_b] -= g
+            self.G[node_b, node_a] -= g
+
+    def add_capacitance(self, node_a: Optional[int], node_b: Optional[int], c: float) -> None:
+        """Stamp a capacitance ``c`` between two node indices."""
+        if node_a is not None:
+            self.C[node_a, node_a] += c
+        if node_b is not None:
+            self.C[node_b, node_b] += c
+        if node_a is not None and node_b is not None:
+            self.C[node_a, node_b] -= c
+            self.C[node_b, node_a] -= c
+
+    def add_current(self, node: Optional[int], value: float) -> None:
+        """Add a current ``value`` flowing *into* a node."""
+        if node is not None:
+            self.b[node] += value
+
+
+class Resistor(Component):
+    """A linear resistor."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float) -> None:
+        super().__init__(name, (node_a, node_b))
+        if resistance <= 0:
+            raise ValueError(f"resistor {name}: resistance must be positive")
+        self.resistance = float(resistance)
+
+    def stamp(self, system, time, previous_solution) -> None:
+        a = system.node(self.nodes[0])
+        b = system.node(self.nodes[1])
+        system.add_conductance(a, b, 1.0 / self.resistance)
+
+
+class Capacitor(Component):
+    """A linear capacitor with an optional initial voltage."""
+
+    def __init__(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        capacitance: float,
+        initial_voltage: float = 0.0,
+    ) -> None:
+        super().__init__(name, (node_a, node_b))
+        if capacitance <= 0:
+            raise ValueError(f"capacitor {name}: capacitance must be positive")
+        self.capacitance = float(capacitance)
+        self.initial_voltage = float(initial_voltage)
+
+    def stamp(self, system, time, previous_solution) -> None:
+        a = system.node(self.nodes[0])
+        b = system.node(self.nodes[1])
+        system.add_capacitance(a, b, self.capacitance)
+
+
+class Inductor(Component):
+    """A linear inductor (adds one branch-current unknown)."""
+
+    branch_count = 1
+
+    def __init__(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        inductance: float,
+        initial_current: float = 0.0,
+    ) -> None:
+        super().__init__(name, (node_a, node_b))
+        if inductance <= 0:
+            raise ValueError(f"inductor {name}: inductance must be positive")
+        self.inductance = float(inductance)
+        self.initial_current = float(initial_current)
+
+    def stamp(self, system, time, previous_solution) -> None:
+        a = system.node(self.nodes[0])
+        b = system.node(self.nodes[1])
+        k = system.branch(self.name)
+        # Branch equation: v_a - v_b - L di/dt = 0; KCL gets +/- i.
+        if a is not None:
+            system.G[a, k] += 1.0
+            system.G[k, a] += 1.0
+        if b is not None:
+            system.G[b, k] -= 1.0
+            system.G[k, b] -= 1.0
+        system.C[k, k] -= self.inductance
+
+
+class VoltageSource(Component):
+    """An independent voltage source (DC value or function of time)."""
+
+    branch_count = 1
+
+    def __init__(
+        self, name: str, node_plus: str, node_minus: str, value: ValueOrFunction
+    ) -> None:
+        super().__init__(name, (node_plus, node_minus))
+        self.value = value
+
+    def voltage_at(self, time: float) -> float:
+        """Return the source voltage at ``time``."""
+        return _evaluate(self.value, time)
+
+    def stamp(self, system, time, previous_solution) -> None:
+        plus = system.node(self.nodes[0])
+        minus = system.node(self.nodes[1])
+        k = system.branch(self.name)
+        if plus is not None:
+            system.G[plus, k] += 1.0
+            system.G[k, plus] += 1.0
+        if minus is not None:
+            system.G[minus, k] -= 1.0
+            system.G[k, minus] -= 1.0
+        system.b[k] += self.voltage_at(time)
+
+
+class CurrentSource(Component):
+    """An independent current source flowing from node_plus to node_minus."""
+
+    def __init__(
+        self, name: str, node_plus: str, node_minus: str, value: ValueOrFunction
+    ) -> None:
+        super().__init__(name, (node_plus, node_minus))
+        self.value = value
+
+    def current_at(self, time: float) -> float:
+        """Return the source current at ``time``."""
+        return _evaluate(self.value, time)
+
+    def stamp(self, system, time, previous_solution) -> None:
+        plus = system.node(self.nodes[0])
+        minus = system.node(self.nodes[1])
+        current = self.current_at(time)
+        system.add_current(plus, -current)
+        system.add_current(minus, current)
+
+
+class Switch(Component):
+    """A time-controlled ideal switch with finite on/off resistance.
+
+    The control function returns truthy for "on".  The power-transistor
+    array of the DC-DC converter is modelled as two such switches whose
+    on-resistance depends on how many array segments are enabled.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        control: Callable[[float], bool],
+        on_resistance: float = 1.0,
+        off_resistance: float = 1e9,
+    ) -> None:
+        super().__init__(name, (node_a, node_b))
+        if on_resistance <= 0 or off_resistance <= 0:
+            raise ValueError(f"switch {name}: resistances must be positive")
+        if on_resistance >= off_resistance:
+            raise ValueError(
+                f"switch {name}: on_resistance must be < off_resistance"
+            )
+        self.control = control
+        self.on_resistance = float(on_resistance)
+        self.off_resistance = float(off_resistance)
+
+    def is_on(self, time: float) -> bool:
+        """Return the switch state at ``time``."""
+        return bool(self.control(time))
+
+    def resistance_at(self, time: float) -> float:
+        """Return the instantaneous resistance at ``time``."""
+        return self.on_resistance if self.is_on(time) else self.off_resistance
+
+    def stamp(self, system, time, previous_solution) -> None:
+        a = system.node(self.nodes[0])
+        b = system.node(self.nodes[1])
+        system.add_conductance(a, b, 1.0 / self.resistance_at(time))
+
+
+class BehavioralCurrentLoad(Component):
+    """A load drawing a current that depends on its own terminal voltage.
+
+    The current function receives the node voltage from the *previous*
+    accepted timestep (explicit coupling), which keeps every transient
+    step linear.  Used to connect the digital load's supply-dependent
+    current draw to the buck converter output.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node: str,
+        current_of_voltage: Callable[[float], float],
+        minimum_voltage: float = 0.0,
+    ) -> None:
+        super().__init__(name, (node, "0"))
+        self.current_of_voltage = current_of_voltage
+        self.minimum_voltage = float(minimum_voltage)
+
+    def current_for(self, voltage: float) -> float:
+        """Return the load current drawn at a terminal ``voltage``."""
+        if voltage <= self.minimum_voltage:
+            return 0.0
+        return float(self.current_of_voltage(voltage))
+
+    def stamp(self, system, time, previous_solution) -> None:
+        node = system.node(self.nodes[0])
+        if node is None:
+            return
+        voltage = 0.0
+        if previous_solution is not None:
+            voltage = float(previous_solution[node])
+        current = self.current_for(voltage)
+        # Current flows out of the node into ground.
+        system.add_current(node, -current)

@@ -1,0 +1,98 @@
+"""DC operating-point analysis.
+
+At DC the dynamic matrix drops out (capacitors open, inductors short —
+the inductor branch equation with ``di/dt = 0`` degenerates to
+``v_a = v_b``), so the operating point is the solution of the purely
+resistive system ``G x = b`` assembled at ``t = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.spice.netlist import Circuit, CircuitError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Result of a DC analysis."""
+
+    node_voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+
+    def voltage(self, node: str) -> float:
+        """Return the DC voltage of ``node`` (ground returns 0)."""
+        if node in ("0", "gnd", "GND", "ground"):
+            return 0.0
+        try:
+            return self.node_voltages[node]
+        except KeyError as exc:
+            raise KeyError(f"unknown node {node!r}") from exc
+
+    def current(self, component_name: str) -> float:
+        """Return the branch current of a voltage source or inductor."""
+        try:
+            return self.branch_currents[component_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"component {component_name!r} has no branch current"
+            ) from exc
+
+
+def dc_operating_point(
+    circuit: Circuit, time: float = 0.0, max_iterations: int = 50
+) -> OperatingPoint:
+    """Solve the DC operating point of ``circuit``.
+
+    Behavioural loads make the system weakly nonlinear; they are handled
+    by fixed-point iteration on the node voltages (each iteration is a
+    linear solve), which converges quickly for the gentle I(V)
+    characteristics used here.
+    """
+    circuit.validate()
+    node_index, branch_index = circuit.build_indices()
+    operating_point = circuit.initial_state()
+    solution = operating_point.copy()
+    last_solution = None
+
+    for _ in range(max_iterations):
+        context = circuit.assemble(time, previous_solution=operating_point)
+        matrix = context.G.copy()
+        # Regularise floating nodes (only capacitively coupled at DC).
+        for i in range(matrix.shape[0]):
+            if not np.any(matrix[i]):
+                matrix[i, i] = 1.0
+        try:
+            solution = np.linalg.solve(matrix, context.b)
+        except np.linalg.LinAlgError as exc:
+            raise CircuitError(
+                f"singular DC system for circuit {circuit.name!r}"
+            ) from exc
+        if last_solution is not None and np.allclose(
+            solution, last_solution, rtol=1e-7, atol=1e-12
+        ):
+            break
+        last_solution = solution
+        # Under-relaxation keeps the fixed-point iteration on behavioural
+        # loads from oscillating (their small-signal gain can approach 1).
+        operating_point = 0.5 * (operating_point + solution)
+    solution = 0.5 * (operating_point + solution) if last_solution is not None else solution
+    # One final consistent solve at the relaxed operating point.
+    context = circuit.assemble(time, previous_solution=solution)
+    matrix = context.G.copy()
+    for i in range(matrix.shape[0]):
+        if not np.any(matrix[i]):
+            matrix[i, i] = 1.0
+    solution = np.linalg.solve(matrix, context.b)
+    node_voltages = {
+        name: float(solution[index]) for name, index in node_index.items()
+    }
+    branch_currents = {
+        name: float(solution[index]) for name, index in branch_index.items()
+    }
+    return OperatingPoint(
+        node_voltages=node_voltages, branch_currents=branch_currents
+    )

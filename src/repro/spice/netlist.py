@@ -1,0 +1,183 @@
+"""Analog circuit (netlist) container for the MNA simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    GROUND_NAMES,
+    Inductor,
+    Resistor,
+    StampContext,
+    Switch,
+    VoltageSource,
+    BehavioralCurrentLoad,
+)
+
+
+class CircuitError(ValueError):
+    """Raised for malformed analog circuits."""
+
+
+class Circuit:
+    """A collection of components with named nodes (``'0'`` is ground)."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._components: List[Component] = []
+        self._component_names: Dict[str, Component] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Add a pre-built component instance."""
+        if component.name in self._component_names:
+            raise CircuitError(f"component {component.name!r} already exists")
+        self._components.append(component)
+        self._component_names[component.name] = component
+        return component
+
+    def resistor(self, name, node_a, node_b, resistance) -> Resistor:
+        """Add a resistor and return it."""
+        return self.add(Resistor(name, node_a, node_b, resistance))
+
+    def capacitor(
+        self, name, node_a, node_b, capacitance, initial_voltage=0.0
+    ) -> Capacitor:
+        """Add a capacitor and return it."""
+        return self.add(
+            Capacitor(name, node_a, node_b, capacitance, initial_voltage)
+        )
+
+    def inductor(
+        self, name, node_a, node_b, inductance, initial_current=0.0
+    ) -> Inductor:
+        """Add an inductor and return it."""
+        return self.add(
+            Inductor(name, node_a, node_b, inductance, initial_current)
+        )
+
+    def voltage_source(self, name, node_plus, node_minus, value) -> VoltageSource:
+        """Add an independent voltage source and return it."""
+        return self.add(VoltageSource(name, node_plus, node_minus, value))
+
+    def current_source(self, name, node_plus, node_minus, value) -> CurrentSource:
+        """Add an independent current source and return it."""
+        return self.add(CurrentSource(name, node_plus, node_minus, value))
+
+    def switch(
+        self, name, node_a, node_b, control, on_resistance=1.0, off_resistance=1e9
+    ) -> Switch:
+        """Add an ideal switch and return it."""
+        return self.add(
+            Switch(name, node_a, node_b, control, on_resistance, off_resistance)
+        )
+
+    def behavioral_load(
+        self, name, node, current_of_voltage, minimum_voltage=0.0
+    ) -> BehavioralCurrentLoad:
+        """Add a voltage-dependent current load and return it."""
+        return self.add(
+            BehavioralCurrentLoad(name, node, current_of_voltage, minimum_voltage)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> Tuple[Component, ...]:
+        """Return all components in insertion order."""
+        return tuple(self._components)
+
+    def component(self, name: str) -> Component:
+        """Return a component by name."""
+        try:
+            return self._component_names[name]
+        except KeyError as exc:
+            raise CircuitError(f"no component named {name!r}") from exc
+
+    def node_names(self) -> Tuple[str, ...]:
+        """Return all non-ground node names in deterministic order."""
+        seen: List[str] = []
+        for component in self._components:
+            for node in component.nodes:
+                if node not in GROUND_NAMES and node not in seen:
+                    seen.append(node)
+        return tuple(seen)
+
+    def size(self) -> int:
+        """Return the MNA system size (nodes + branch currents)."""
+        branches = sum(c.branch_count for c in self._components)
+        return len(self.node_names()) + branches
+
+    # ------------------------------------------------------------------
+    # MNA assembly
+    # ------------------------------------------------------------------
+    def build_indices(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Return (node index map, branch index map)."""
+        nodes = self.node_names()
+        if not nodes:
+            raise CircuitError("circuit has no non-ground nodes")
+        node_index = {name: i for i, name in enumerate(nodes)}
+        branch_index: Dict[str, int] = {}
+        next_index = len(nodes)
+        for component in self._components:
+            if component.branch_count:
+                branch_index[component.name] = next_index
+                next_index += component.branch_count
+        return node_index, branch_index
+
+    def assemble(
+        self, time: float, previous_solution: Optional[np.ndarray] = None
+    ) -> StampContext:
+        """Assemble the MNA system ``G x + C dx/dt = b`` at ``time``."""
+        node_index, branch_index = self.build_indices()
+        size = len(node_index) + sum(
+            c.branch_count for c in self._components
+        )
+        context = StampContext(size, node_index, branch_index)
+        for component in self._components:
+            component.stamp(context, time, previous_solution)
+        return context
+
+    def initial_state(self) -> np.ndarray:
+        """Return an initial solution vector honouring initial conditions."""
+        node_index, branch_index = self.build_indices()
+        size = len(node_index) + sum(
+            c.branch_count for c in self._components
+        )
+        state = np.zeros(size)
+        for component in self._components:
+            if isinstance(component, Capacitor):
+                plus, minus = component.nodes
+                voltage = component.initial_voltage
+                if plus not in GROUND_NAMES:
+                    state[node_index[plus]] = voltage
+                if minus not in GROUND_NAMES:
+                    state[node_index[minus]] = -voltage
+            elif isinstance(component, Inductor):
+                state[branch_index[component.name]] = component.initial_current
+        return state
+
+    def validate(self) -> None:
+        """Check the circuit can be simulated (has ground and a source)."""
+        has_ground = any(
+            node in GROUND_NAMES
+            for component in self._components
+            for node in component.nodes
+        )
+        if not has_ground:
+            raise CircuitError("circuit has no ground connection")
+        has_source = any(
+            isinstance(c, (VoltageSource, CurrentSource, BehavioralCurrentLoad))
+            for c in self._components
+        )
+        if not has_source:
+            raise CircuitError("circuit has no sources")
+        self.build_indices()

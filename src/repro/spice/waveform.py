@@ -1,0 +1,151 @@
+"""Waveform container and measurement helpers.
+
+The closed-loop benches need SPICE-style ``.measure`` functionality:
+average value over a window, peak-to-peak ripple, settling time to a
+target band, and threshold crossings.  :class:`Waveform` wraps a
+``(times, values)`` pair with those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled waveform ``value(time)``."""
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValueError("times and values must be 1-D arrays")
+        if times.shape != values.shape:
+            raise ValueError("times and values must have the same length")
+        if times.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def start_time(self) -> float:
+        """Return the first sample time."""
+        return float(self.times[0])
+
+    @property
+    def end_time(self) -> float:
+        """Return the last sample time."""
+        return float(self.times[-1])
+
+    def at(self, time: float) -> float:
+        """Return the linearly interpolated value at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def window(self, start: float, stop: float) -> "Waveform":
+        """Return the sub-waveform between ``start`` and ``stop``."""
+        if stop <= start:
+            raise ValueError("stop must be greater than start")
+        mask = (self.times >= start) & (self.times <= stop)
+        if mask.sum() < 2:
+            raise ValueError("window contains fewer than two samples")
+        return Waveform(self.times[mask], self.values[mask], name=self.name)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def average(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> float:
+        """Return the time-weighted average over a window."""
+        wave = self if start is None and stop is None else self.window(
+            self.start_time if start is None else start,
+            self.end_time if stop is None else stop,
+        )
+        area = float(np.trapezoid(wave.values, wave.times))
+        return area / (wave.end_time - wave.start_time)
+
+    def ripple(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> float:
+        """Return the peak-to-peak ripple over a window."""
+        wave = self if start is None and stop is None else self.window(
+            self.start_time if start is None else start,
+            self.end_time if stop is None else stop,
+        )
+        return float(wave.values.max() - wave.values.min())
+
+    def final_value(self, fraction: float = 0.1) -> float:
+        """Return the average over the last ``fraction`` of the waveform."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        start = self.end_time - fraction * (self.end_time - self.start_time)
+        return self.average(start=start, stop=self.end_time)
+
+    def settling_time(
+        self, target: float, tolerance: float, from_time: float = 0.0
+    ) -> Optional[float]:
+        """Return the time after which the waveform stays within a band.
+
+        The band is ``target +/- tolerance``; returns ``None`` if the
+        waveform never settles inside it.
+        """
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        inside = np.abs(self.values - target) <= tolerance
+        eligible = self.times >= from_time
+        candidate: Optional[float] = None
+        for index in range(len(self.times)):
+            if not eligible[index]:
+                continue
+            if inside[index]:
+                if candidate is None:
+                    candidate = float(self.times[index])
+            else:
+                candidate = None
+        return candidate
+
+    def crossings(self, threshold: float, rising: bool = True) -> List[float]:
+        """Return interpolated times where the waveform crosses a threshold."""
+        values = self.values - threshold
+        crossings: List[float] = []
+        for index in range(1, len(values)):
+            previous, current = values[index - 1], values[index]
+            if rising and previous < 0 <= current:
+                pass
+            elif not rising and previous > 0 >= current:
+                pass
+            else:
+                continue
+            span = current - previous
+            fraction = 0.0 if span == 0 else -previous / span
+            t_prev, t_curr = self.times[index - 1], self.times[index]
+            crossings.append(float(t_prev + fraction * (t_curr - t_prev)))
+        return crossings
+
+    def slew_rate(self) -> float:
+        """Return the maximum absolute dV/dt of the waveform."""
+        dt = np.diff(self.times)
+        dv = np.diff(self.values)
+        valid = dt > 0
+        if not np.any(valid):
+            return 0.0
+        return float(np.max(np.abs(dv[valid] / dt[valid])))
+
+    def minmax(self) -> Tuple[float, float]:
+        """Return ``(minimum, maximum)`` values."""
+        return float(self.values.min()), float(self.values.max())

@@ -1,0 +1,35 @@
+"""Input-traffic models for the FIFO / rate-controller path.
+
+The paper's rate controller exists because real workloads are not
+constant: "in case of systems with buffering capability, the workload
+variations can be accommodated with variable power supply at differing
+clock rates".  This subpackage provides reproducible arrival processes
+(constant, bursty, stepped, Poisson) and sample-stream generators used
+by the examples and the closed-loop benches.
+"""
+
+from repro.workloads.traffic import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+    SteppedArrivals,
+)
+from repro.workloads.generators import (
+    SampleStream,
+    sine_with_noise,
+    chirp_samples,
+    step_samples,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "SteppedArrivals",
+    "SampleStream",
+    "sine_with_noise",
+    "chirp_samples",
+    "step_samples",
+]

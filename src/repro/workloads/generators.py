@@ -1,0 +1,100 @@
+"""Sample-stream generators for the FIR-filter example workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleStream:
+    """A named, reproducible stream of samples in [-1, 1]."""
+
+    name: str
+    samples: np.ndarray
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 1 or samples.size == 0:
+            raise ValueError("samples must be a non-empty 1-D array")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        object.__setattr__(self, "samples", samples)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.samples.tolist())
+
+    @property
+    def duration(self) -> float:
+        """Return the stream duration in seconds."""
+        return len(self) / self.sample_rate
+
+    def rms(self) -> float:
+        """Return the RMS amplitude of the stream."""
+        return float(np.sqrt(np.mean(self.samples ** 2)))
+
+
+def sine_with_noise(
+    count: int = 1024,
+    frequency: float = 1e3,
+    sample_rate: float = 16e3,
+    amplitude: float = 0.7,
+    noise_amplitude: float = 0.05,
+    seed: int = 3,
+    name: str = "sine-with-noise",
+) -> SampleStream:
+    """Generate a noisy sine wave — the quickstart's FIR input."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if not 0 < amplitude <= 1.0:
+        raise ValueError("amplitude must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    times = np.arange(count) / sample_rate
+    signal = amplitude * np.sin(2.0 * np.pi * frequency * times)
+    noise = noise_amplitude * rng.standard_normal(count)
+    samples = np.clip(signal + noise, -1.0, 1.0)
+    return SampleStream(name=name, samples=samples, sample_rate=sample_rate)
+
+
+def chirp_samples(
+    count: int = 2048,
+    start_frequency: float = 200.0,
+    stop_frequency: float = 6e3,
+    sample_rate: float = 16e3,
+    amplitude: float = 0.8,
+    name: str = "chirp",
+) -> SampleStream:
+    """Generate a linear chirp used to exercise the FIR passband edge."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    times = np.arange(count) / sample_rate
+    duration = count / sample_rate
+    sweep = start_frequency + (stop_frequency - start_frequency) * times / duration
+    phase = 2.0 * np.pi * np.cumsum(sweep) / sample_rate
+    samples = np.clip(amplitude * np.sin(phase), -1.0, 1.0)
+    return SampleStream(name=name, samples=samples, sample_rate=sample_rate)
+
+
+def step_samples(
+    count: int = 512,
+    step_index: Optional[int] = None,
+    low: float = -0.5,
+    high: float = 0.5,
+    sample_rate: float = 16e3,
+    name: str = "step",
+) -> SampleStream:
+    """Generate a step input (settling-behaviour workload)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    index = count // 2 if step_index is None else int(step_index)
+    if not 0 <= index < count:
+        raise ValueError("step_index must be inside the stream")
+    samples = np.full(count, low)
+    samples[index:] = high
+    return SampleStream(name=name, samples=samples, sample_rate=sample_rate)

@@ -1,0 +1,159 @@
+"""Arrival processes feeding the controller's input FIFO.
+
+Every process implements ``arrivals(time, period) -> int``: how many
+samples arrive during the system cycle starting at ``time``.  Fractional
+rates are handled with an internal accumulator so long runs deliver the
+exact average rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Base class of arrival processes."""
+
+    def arrivals(self, time: float, period: float) -> int:
+        """Return the number of samples arriving in ``[time, time+period)``."""
+        raise NotImplementedError
+
+    def __call__(self, time: float, period: float) -> int:
+        return self.arrivals(time, period)
+
+    def average_rate(self) -> float:
+        """Return the long-run average sample rate (samples per second)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ConstantArrivals(ArrivalProcess):
+    """A constant sample rate."""
+
+    rate: float
+    _accumulator: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    def arrivals(self, time: float, period: float) -> int:
+        self._accumulator += self.rate * period
+        count = int(self._accumulator)
+        self._accumulator -= count
+        return count
+
+    def average_rate(self) -> float:
+        return self.rate
+
+
+@dataclass
+class SteppedArrivals(ArrivalProcess):
+    """A piecewise-constant rate: ``[(start_time, rate), ...]``.
+
+    The first segment should start at time 0; segments must be sorted by
+    start time.
+    """
+
+    steps: Sequence[Tuple[float, float]]
+    _accumulator: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("steps must not be empty")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("steps must be sorted by start time")
+        if any(rate < 0 for _, rate in self.steps):
+            raise ValueError("rates must be non-negative")
+
+    def rate_at(self, time: float) -> float:
+        """Return the instantaneous rate at ``time``."""
+        current = self.steps[0][1]
+        for start, rate in self.steps:
+            if time >= start:
+                current = rate
+            else:
+                break
+        return current
+
+    def arrivals(self, time: float, period: float) -> int:
+        self._accumulator += self.rate_at(time) * period
+        count = int(self._accumulator)
+        self._accumulator -= count
+        return count
+
+    def average_rate(self) -> float:
+        rates = [rate for _, rate in self.steps]
+        return float(np.mean(rates))
+
+
+@dataclass
+class BurstyArrivals(ArrivalProcess):
+    """Alternating burst/idle traffic.
+
+    ``burst_rate`` samples per second for ``burst_duration`` seconds,
+    then silence for ``idle_duration`` seconds, repeating.
+    """
+
+    burst_rate: float
+    burst_duration: float
+    idle_duration: float
+    _accumulator: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.burst_rate < 0:
+            raise ValueError("burst_rate must be non-negative")
+        if self.burst_duration <= 0 or self.idle_duration < 0:
+            raise ValueError("durations must be positive")
+
+    @property
+    def cycle_duration(self) -> float:
+        """Return one burst + idle period."""
+        return self.burst_duration + self.idle_duration
+
+    def in_burst(self, time: float) -> bool:
+        """Return True when ``time`` falls inside a burst."""
+        return (time % self.cycle_duration) < self.burst_duration
+
+    def arrivals(self, time: float, period: float) -> int:
+        rate = self.burst_rate if self.in_burst(time) else 0.0
+        self._accumulator += rate * period
+        count = int(self._accumulator)
+        self._accumulator -= count
+        return count
+
+    def average_rate(self) -> float:
+        return self.burst_rate * self.burst_duration / self.cycle_duration
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals with a given mean rate (reproducible via seed)."""
+
+    rate: float
+    seed: int = 42
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def arrivals(self, time: float, period: float) -> int:
+        return int(self._rng.poisson(self.rate * period))
+
+    def average_rate(self) -> float:
+        return self.rate
+
+
+def trace_arrivals(
+    process: ArrivalProcess, period: float, cycles: int
+) -> List[int]:
+    """Materialise an arrival process into a per-cycle count list."""
+    if period <= 0 or cycles <= 0:
+        raise ValueError("period and cycles must be positive")
+    return [process.arrivals(i * period, period) for i in range(cycles)]

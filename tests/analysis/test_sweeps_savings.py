@@ -1,0 +1,212 @@
+"""Tests of the figure-level analyses: sweeps, savings, Monte Carlo, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy_savings import (
+    controller_savings,
+    savings_across_corners,
+    uncompensated_penalty,
+)
+from repro.analysis.monte_carlo import monte_carlo_mep
+from repro.analysis.reporting import (
+    format_table,
+    mep_table,
+    savings_table,
+    series_rows,
+)
+from repro.analysis.sweeps import (
+    corner_energy_sweep,
+    delay_sweep,
+    temperature_energy_sweep,
+)
+from repro.devices.variation import VariationModel
+
+
+class TestCornerSweep:
+    @pytest.fixture(scope="class")
+    def result(self, library):
+        return corner_energy_sweep(library)
+
+    def test_covers_fig1_corners(self, result):
+        assert set(result.sweeps) == {"SS", "TT", "FS"}
+
+    def test_typical_minimum_matches_paper(self, result):
+        mep = result.minima["TT"]
+        assert mep.optimal_supply == pytest.approx(0.200, abs=0.01)
+        assert mep.minimum_energy == pytest.approx(2.65e-15, rel=0.05)
+
+    def test_vopt_spread_close_to_paper_25_percent(self, result):
+        """Paper: 'a variation in the Vopt of 25%'."""
+        assert 12.0 <= result.vopt_spread_percent() <= 35.0
+
+    def test_energy_spread_close_to_paper_55_percent(self, result):
+        """Paper: 'the energy variation of 55%'."""
+        assert 40.0 <= result.energy_spread_percent() <= 70.0
+
+    def test_curves_are_bathtubs(self, result):
+        for sweep in result.sweeps.values():
+            assert sweep.energies[0] > sweep.minimum.minimum_energy
+            assert sweep.energies[-1] > sweep.minimum.minimum_energy
+
+
+class TestTemperatureSweep:
+    @pytest.fixture(scope="class")
+    def result(self, library):
+        return temperature_energy_sweep(library)
+
+    def test_covers_fig2_temperatures(self, result):
+        assert set(result.sweeps) == {25.0, 85.0, 115.0}
+
+    def test_mep_voltage_rises_with_temperature(self, result):
+        assert result.vopt_shift_mv(25.0, 85.0) > 20.0
+
+    def test_energy_rises_with_temperature(self, result):
+        assert result.energy_increase_percent(25.0, 85.0) > 10.0
+        assert result.minima[115.0].minimum_energy > (
+            result.minima[85.0].minimum_energy
+        )
+
+    def test_hot_vopt_near_250mv(self, result):
+        """Paper Fig. 2: Vopt at 85 C is ~250 mV."""
+        assert result.minima[85.0].optimal_supply == pytest.approx(0.25, abs=0.02)
+
+
+class TestDelaySweep:
+    @pytest.fixture(scope="class")
+    def result(self, library):
+        return delay_sweep(library)
+
+    def test_exponential_range(self, result):
+        for corner in ("SS", "TT", "FS"):
+            ratio = result.delay_at(corner, 0.2) / result.delay_at(corner, 1.2)
+            assert ratio > 100
+
+    def test_slow_corner_always_slower(self, result):
+        for supply in (0.2, 0.3, 0.6, 1.0):
+            assert result.delay_ratio("SS", "TT", supply) > 1.0
+
+    def test_sensitivity_reported(self, result):
+        sensitivity = result.sensitivity_percent("TT", 0.3)
+        assert sensitivity > 15.0
+
+    def test_custom_supply_grid(self, library):
+        grid = np.linspace(0.2, 0.4, 5)
+        result = delay_sweep(library, supplies=grid)
+        assert result.supplies.shape == (5,)
+
+
+class TestEnergySavings:
+    @pytest.fixture(scope="class")
+    def report(self, library):
+        return controller_savings(library)
+
+    def test_savings_positive_everywhere(self, report):
+        for comparison in report.comparisons.values():
+            assert comparison.savings_vs_uncontrolled > 0.0
+
+    def test_headline_improvement_in_paper_band(self, report):
+        """The paper quotes energy gains of up to ~55 %."""
+        assert 0.30 <= report.maximum_savings <= 0.80
+        assert report.maximum_improvement >= 0.45
+
+    def test_best_corner_is_a_defined_corner(self, report):
+        assert report.best_corner() in report.comparisons
+
+    def test_residual_penalty_is_bounded(self, report):
+        """The adaptive point pays quantisation plus paced-idle leakage, but
+        stays within the same order of magnitude as the true MEP energy."""
+        for comparison in report.comparisons.values():
+            assert -0.05 <= comparison.residual_penalty < 2.5
+
+    def test_explicit_fixed_supply(self, library):
+        report = controller_savings(library, fixed_supply=0.5)
+        for comparison in report.comparisons.values():
+            assert comparison.fixed_supply == pytest.approx(0.5)
+            assert comparison.savings_vs_uncontrolled > 0.5
+
+    def test_compensation_error_reduces_savings(self, library):
+        ideal = controller_savings(library)
+        off_by_two = controller_savings(library, compensation_error_lsb=2)
+        assert off_by_two.maximum_savings <= ideal.maximum_savings + 1e-9
+
+    def test_savings_across_loads(self, library):
+        reports = savings_across_corners(library)
+        assert "nand-ring-oscillator" in reports
+        assert "fir9" in reports
+        for report in reports.values():
+            assert report.maximum_savings > 0.2
+
+    def test_uncompensated_penalty_positive(self, library):
+        summary = uncompensated_penalty(library)
+        assert summary["penalty_percent"] > 0.0
+        assert summary["compensated_supply"] > summary["uncompensated_supply"]
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def summary(self, library):
+        return monte_carlo_mep(
+            samples=20,
+            library=library,
+            variation=VariationModel(global_sigma_v=0.015, local_sigma_v=0.005),
+            seed=7,
+        )
+
+    def test_sample_count(self, summary):
+        assert summary.count == 20
+
+    def test_vopt_spread_nonzero(self, summary):
+        assert summary.vopt_sigma_mv() > 1.0
+
+    def test_compensation_never_hurts(self, summary):
+        for result in summary.results:
+            assert result.compensated_energy <= (
+                result.uncompensated_energy * 1.0 + 1e-18
+            )
+
+    def test_mean_penalty_positive(self, summary):
+        assert summary.mean_penalty_percent() >= 0.0
+        assert summary.worst_penalty_percent() >= summary.mean_penalty_percent()
+
+    def test_reproducible(self, library):
+        a = monte_carlo_mep(samples=5, library=library, seed=3)
+        b = monte_carlo_mep(samples=5, library=library, seed=3)
+        assert a.results[0].mep.optimal_supply == pytest.approx(
+            b.results[0].mep.optimal_supply
+        )
+
+    def test_validation(self, library):
+        with pytest.raises(ValueError):
+            monte_carlo_mep(samples=0, library=library)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+
+    def test_format_table_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_mep_table(self, library):
+        result = corner_energy_sweep(library)
+        text = mep_table(result.minima)
+        assert "TT" in text and "mV" in text and "fJ" in text
+
+    def test_savings_table(self, library):
+        report = controller_savings(library)
+        text = savings_table(report)
+        assert "corner" in text and "%" in text
+
+    def test_series_rows(self):
+        text = series_rows("x", "y", [1.0, 2.0, 3.0], [4.0, 5.0, 6.0], stride=2)
+        assert "1.000" in text
+        assert "3.000" in text
+        with pytest.raises(ValueError):
+            series_rows("x", "y", [1.0], [1.0, 2.0])

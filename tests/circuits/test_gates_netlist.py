@@ -1,0 +1,196 @@
+"""Tests of the gate primitives and netlist substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import Gate, GateKind, evaluate_gate
+from repro.circuits.netlist import Netlist, NetlistError, chain_of
+from repro.circuits.switching import estimate_switching_activity, random_vectors
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize(
+        "kind, inputs, expected",
+        [
+            (GateKind.INV, [0], 1),
+            (GateKind.INV, [1], 0),
+            (GateKind.BUF, [1], 1),
+            (GateKind.NAND2, [1, 1], 0),
+            (GateKind.NAND2, [1, 0], 1),
+            (GateKind.NOR2, [0, 0], 1),
+            (GateKind.NOR2, [0, 1], 0),
+            (GateKind.AND2, [1, 1], 1),
+            (GateKind.OR2, [0, 0], 0),
+            (GateKind.XOR2, [1, 0], 1),
+            (GateKind.XOR2, [1, 1], 0),
+            (GateKind.XNOR2, [1, 1], 1),
+            (GateKind.DFF, [1], 1),
+        ],
+    )
+    def test_truth_tables(self, kind, inputs, expected):
+        assert evaluate_gate(kind, inputs) == expected
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateKind.NAND2, [1])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateKind.INV, [1, 0])
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=20, deadline=None)
+    def test_demorgan_equivalence(self, a, b):
+        nand = evaluate_gate(GateKind.NAND2, [a, b])
+        or_of_inverted = evaluate_gate(
+            GateKind.OR2,
+            [evaluate_gate(GateKind.INV, [a]), evaluate_gate(GateKind.INV, [b])],
+        )
+        assert nand == or_of_inverted
+
+
+class TestGateInstance:
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateKind.NAND2, ("a",), "y")
+
+    def test_self_loop_rejected_for_combinational(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateKind.INV, ("y",), "y")
+
+    def test_dff_may_feed_itself(self):
+        Gate("g", GateKind.DFF, ("q",), "q")
+
+    def test_stage_kind_and_equivalents(self):
+        gate = Gate("g", GateKind.XOR2, ("a", "b"), "y")
+        assert gate.equivalent_gates == pytest.approx(3.0)
+        assert gate.stage_kind.name == "NAND2"
+
+
+class TestNetlist:
+    def build_adder_bit(self) -> Netlist:
+        netlist = Netlist("half-adder")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(Gate("x1", GateKind.XOR2, ("a", "b"), "sum"))
+        netlist.add_gate(Gate("a1", GateKind.AND2, ("a", "b"), "carry"))
+        netlist.add_output("sum")
+        netlist.add_output("carry")
+        return netlist
+
+    def test_structural_queries(self):
+        netlist = self.build_adder_bit()
+        assert netlist.gate_count() == 2
+        assert netlist.fanout("a") == 2
+        assert netlist.logic_depth() == 1
+        assert set(netlist.nets()) == {"a", "b", "sum", "carry"}
+
+    def test_simulation_half_adder(self):
+        netlist = self.build_adder_bit()
+        vectors = [
+            {"a": 0, "b": 0},
+            {"a": 0, "b": 1},
+            {"a": 1, "b": 0},
+            {"a": 1, "b": 1},
+        ]
+        result = netlist.simulate(vectors)
+        sums = [out["sum"] for out in result.outputs]
+        carries = [out["carry"] for out in result.outputs]
+        assert sums == [0, 1, 1, 0]
+        assert carries == [0, 0, 0, 1]
+
+    def test_duplicate_driver_rejected(self):
+        netlist = Netlist("bad")
+        netlist.add_input("a")
+        netlist.add_gate(Gate("g1", GateKind.INV, ("a",), "y"))
+        with pytest.raises(NetlistError):
+            netlist.add_gate(Gate("g2", GateKind.INV, ("a",), "y"))
+
+    def test_undriven_input_detected(self):
+        netlist = Netlist("bad")
+        netlist.add_input("a")
+        netlist.add_gate(Gate("g1", GateKind.NAND2, ("a", "ghost"), "y"))
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_combinational_loop_detected(self):
+        netlist = Netlist("loop")
+        netlist.add_input("a")
+        netlist.add_gate(Gate("g1", GateKind.NAND2, ("a", "y2"), "y1"))
+        netlist.add_gate(Gate("g2", GateKind.INV, ("y1",), "y2"))
+        with pytest.raises(NetlistError):
+            netlist.levelize()
+
+    def test_flipflop_breaks_loop(self):
+        netlist = Netlist("counter-bit")
+        netlist.add_input("unused")
+        netlist.add_gate(Gate("inv", GateKind.INV, ("q",), "d"))
+        netlist.add_gate(Gate("ff", GateKind.DFF, ("d",), "q"))
+        netlist.add_output("q")
+        netlist.validate()
+        result = netlist.simulate([{"unused": 0}] * 4)
+        assert [out["q"] for out in result.outputs] == [1, 0, 1, 0]
+
+    def test_chain_of_builder(self):
+        chain = chain_of("inv-chain", GateKind.INV, 5)
+        chain.validate()
+        assert chain.gate_count() == 5
+        assert chain.logic_depth() == 5
+
+    def test_chain_of_two_input_gates(self):
+        chain = chain_of("nand-chain", GateKind.NAND2, 4)
+        chain.validate()
+        assert chain.logic_depth() == 4
+
+    def test_chain_rejects_zero_stages(self):
+        with pytest.raises(NetlistError):
+            chain_of("x", GateKind.INV, 0)
+
+    def test_to_load(self):
+        chain = chain_of("inv-chain", GateKind.INV, 8)
+        load = chain.to_load(switching_activity=0.2)
+        assert load.logic_depth == 8
+        assert load.switching_activity == pytest.approx(0.2)
+
+    def test_missing_vector_input_raises(self):
+        netlist = self.build_adder_bit()
+        with pytest.raises(NetlistError):
+            netlist.simulate([{"a": 1}])
+
+    def test_stage_histogram(self):
+        netlist = self.build_adder_bit()
+        histogram = netlist.stage_histogram()
+        assert sum(histogram.values()) == 2
+
+
+class TestSwitchingActivity:
+    def test_random_vectors_reproducible(self):
+        a = random_vectors(["x", "y"], 16, seed=5)
+        b = random_vectors(["x", "y"], 16, seed=5)
+        assert a == b
+
+    def test_random_vectors_bias(self):
+        always_one = random_vectors(["x"], 64, seed=1, ones_probability=1.0)
+        assert all(v["x"] == 1 for v in always_one)
+
+    def test_activity_of_inverter_chain_tracks_input(self):
+        chain = chain_of("inv-chain", GateKind.INV, 4)
+        toggling = [{"in": i % 2, "tie0": 0} if "tie0" in chain.inputs else {"in": i % 2} for i in range(32)]
+        report = estimate_switching_activity(chain, toggling)
+        # Every gate toggles every cycle after the first.
+        assert report.activity > 0.9
+
+    def test_activity_zero_for_constant_input(self):
+        chain = chain_of("inv-chain", GateKind.INV, 4)
+        constant = [{"in": 1} for _ in range(16)]
+        report = estimate_switching_activity(chain, constant)
+        assert report.activity < 0.1
+
+    def test_activity_requires_vectors(self):
+        chain = chain_of("inv-chain", GateKind.INV, 2)
+        with pytest.raises(ValueError):
+            estimate_switching_activity(chain, [])
+
+    def test_most_active_net(self):
+        chain = chain_of("inv-chain", GateKind.INV, 3)
+        report = estimate_switching_activity(chain, cycles=64, seed=2)
+        assert report.most_active_net in {"n0", "n1", "n2"}

@@ -1,0 +1,234 @@
+"""Tests of the ring oscillator, FIR filter and load abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.critical_path import extract_critical_path
+from repro.circuits.fir_filter import FirFilter
+from repro.circuits.loads import (
+    DigitalLoad,
+    LoadLibrary,
+    default_load_library,
+    sweep_energy_per_operation,
+)
+from repro.circuits.netlist import chain_of
+from repro.circuits.gates import GateKind
+from repro.circuits.ring_oscillator import RingOscillator
+
+
+class TestRingOscillator:
+    def test_requires_odd_stages(self):
+        with pytest.raises(ValueError):
+            RingOscillator(stages=4)
+        with pytest.raises(ValueError):
+            RingOscillator(stages=1)
+
+    def test_requires_valid_switching_factor(self):
+        with pytest.raises(ValueError):
+            RingOscillator(switching_factor=0.0)
+        with pytest.raises(ValueError):
+            RingOscillator(switching_factor=1.5)
+
+    def test_netlist_structure(self):
+        ring = RingOscillator(stages=7)
+        netlist = ring.netlist()
+        assert netlist.gate_count() == 7
+        assert "enable" in netlist.inputs
+
+    def test_oscillation_period(self, tt_delay_model):
+        ring = RingOscillator(stages=63)
+        point = ring.oscillation(tt_delay_model, 0.3)
+        assert point.period == pytest.approx(
+            2 * 63 * point.stage_delay, rel=1e-12
+        )
+        assert point.frequency == pytest.approx(1.0 / point.period)
+
+    def test_oscillation_slows_at_low_supply(self, tt_delay_model):
+        ring = RingOscillator()
+        fast = ring.oscillation(tt_delay_model, 0.5)
+        slow = ring.oscillation(tt_delay_model, 0.2)
+        assert slow.period > 10 * fast.period
+
+    def test_frequency_sweep_monotonic(self, tt_delay_model):
+        ring = RingOscillator()
+        supplies = np.linspace(0.15, 1.0, 20)
+        frequencies = ring.frequency_sweep(tt_delay_model, supplies)
+        assert np.all(np.diff(frequencies) > 0)
+
+    def test_characteristics(self):
+        ring = RingOscillator(stages=63, switching_factor=0.1)
+        load = ring.characteristics()
+        assert load.gate_count == 63
+        assert load.logic_depth == 126
+        assert load.switching_activity == pytest.approx(0.1)
+        assert ring.characteristics(0.25).switching_activity == pytest.approx(0.25)
+
+    def test_rejects_bad_supply(self, tt_delay_model):
+        with pytest.raises(ValueError):
+            RingOscillator().oscillation(tt_delay_model, 0.0)
+
+
+class TestFirFilter:
+    def test_default_is_nine_taps(self):
+        assert FirFilter().taps == 9
+
+    def test_rejects_too_few_taps(self):
+        with pytest.raises(ValueError):
+            FirFilter(coefficients=[1.0])
+
+    def test_dc_gain_close_to_coefficient_sum(self):
+        fir = FirFilter()
+        fir.reset()
+        outputs = fir.process([0.5] * 64)
+        expected = 0.5 * float(np.sum(fir.quantized_coefficients()))
+        assert outputs[-1] == pytest.approx(expected, abs=0.02)
+
+    def test_lowpass_attenuates_high_frequency(self):
+        fir = FirFilter()
+        response = fir.frequency_response(points=128)
+        assert response[0] > 3 * response[-1]
+
+    def test_impulse_response_matches_coefficients(self):
+        fir = FirFilter()
+        impulse = [1.0] + [0.0] * (fir.taps - 1)
+        outputs = fir.process(impulse)
+        quantized = fir.quantized_coefficients()
+        # The input sample itself is quantised to the data width first.
+        assert outputs[0] == pytest.approx(quantized[0], abs=2 ** -6)
+        assert outputs[3] == pytest.approx(quantized[3], abs=2 ** -6)
+
+    def test_samples_are_clipped(self):
+        fir = FirFilter()
+        outputs = fir.process([10.0, -10.0])
+        assert np.all(np.abs(outputs) <= 1.5)
+
+    def test_gate_count_scales_with_width(self):
+        small = FirFilter(data_width=4, coefficient_width=4)
+        large = FirFilter(data_width=8, coefficient_width=8)
+        assert large.gate_count() > 2 * small.gate_count()
+
+    def test_bit_slice_netlist_is_valid(self):
+        netlist = FirFilter().bit_slice_netlist()
+        netlist.validate()
+        assert netlist.gate_count() == 9 * 5
+
+    def test_estimated_activity_in_range(self):
+        activity = FirFilter().estimated_switching_activity(cycles=64)
+        assert 0.05 < activity < 0.9
+
+    def test_characteristics_with_explicit_activity(self):
+        load = FirFilter().characteristics(switching_activity=0.2)
+        assert load.switching_activity == pytest.approx(0.2)
+        assert load.gate_count > 1000
+
+    @given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_output_bounded_for_bounded_input(self, samples):
+        fir = FirFilter()
+        outputs = fir.process(samples)
+        # Sum of |coefficients| bounds the gain.
+        bound = float(np.sum(np.abs(fir.quantized_coefficients()))) + 1e-6
+        assert np.all(np.abs(outputs) <= bound)
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_has_all_stages(self, tt_delay_model):
+        chain = chain_of("nand-chain", GateKind.NAND2, 6)
+        path = extract_critical_path(chain, tt_delay_model, supply=0.3)
+        assert path.stage_count == 6
+        assert path.delay > 0
+
+    def test_critical_path_delay_scales_with_supply(self, tt_delay_model):
+        chain = chain_of("nand-chain", GateKind.NAND2, 6)
+        slow = extract_critical_path(chain, tt_delay_model, supply=0.2)
+        fast = extract_critical_path(chain, tt_delay_model, supply=0.6)
+        assert slow.delay > 10 * fast.delay
+
+    def test_rejects_bad_supply(self, tt_delay_model):
+        chain = chain_of("nand-chain", GateKind.NAND2, 3)
+        with pytest.raises(ValueError):
+            extract_critical_path(chain, tt_delay_model, supply=0.0)
+
+
+class TestDigitalLoad:
+    def test_max_throughput_consistent_with_cycle_time(self, tt_load):
+        assert tt_load.max_throughput(0.3) == pytest.approx(
+            1.0 / tt_load.cycle_time(0.3)
+        )
+
+    def test_required_supply_meets_throughput(self, tt_load):
+        target = 2e5
+        supply = tt_load.required_supply(target)
+        assert supply is not None
+        assert tt_load.max_throughput(supply) >= target * 0.999
+
+    def test_required_supply_none_when_impossible(self, tt_load):
+        assert tt_load.required_supply(1e12) is None
+
+    def test_required_supply_monotonic(self, tt_load):
+        low = tt_load.required_supply(1e4)
+        high = tt_load.required_supply(1e6)
+        assert high > low
+
+    def test_energy_penalty_positive_away_from_mep(self, tt_load):
+        assert tt_load.energy_penalty(0.6) > 0.5
+        assert tt_load.energy_penalty(
+            tt_load.minimum_energy_point().optimal_supply
+        ) == pytest.approx(0.0, abs=0.05)
+
+    def test_current_draw_increases_with_supply(self, tt_load):
+        assert tt_load.current_draw(0.5) > tt_load.current_draw(0.2)
+
+    def test_current_draw_zero_below_cutoff(self, tt_load):
+        assert tt_load.current_draw(0.0) == 0.0
+
+    def test_paced_current_below_free_running(self, tt_load):
+        free = tt_load.current_draw(0.5)
+        paced = tt_load.current_draw(0.5, operations_per_second=1e4)
+        assert paced < free
+
+    def test_energy_at_throughput(self, tt_load):
+        energy = tt_load.energy_at_throughput(0.5, 1e5)
+        assert energy is not None
+        assert tt_load.energy_at_throughput(0.15, 1e7) is None
+
+    def test_sweep_energy_per_operation(self, tt_load):
+        supplies = np.linspace(0.15, 0.6, 10)
+        energies = sweep_energy_per_operation(tt_load, supplies)
+        assert energies.shape == supplies.shape
+        assert np.all(energies > 0)
+
+
+class TestLoadLibrary:
+    def test_default_library_contents(self):
+        library = default_load_library()
+        assert "nand-ring-oscillator" in library
+        assert "fir9" in library
+        assert len(library) == 3
+
+    def test_duplicate_rejected(self):
+        library = default_load_library()
+        with pytest.raises(ValueError):
+            library.add(library.get("fir9"))
+
+    def test_unknown_load_raises(self):
+        with pytest.raises(KeyError):
+            default_load_library().get("missing")
+
+    def test_bind(self, tt_delay_model):
+        library = default_load_library()
+        load = library.bind("fir9", tt_delay_model)
+        assert isinstance(load, DigitalLoad)
+        assert load.name == "fir9"
+
+    def test_names_sorted(self):
+        names = list(default_load_library().names())
+        assert names == sorted(names)
+
+    def test_empty_library(self, tt_delay_model):
+        library = LoadLibrary()
+        assert len(library) == 0
+        with pytest.raises(KeyError):
+            library.bind("anything", tt_delay_model)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+The calibrated library is expensive enough (a deterministic fit) that it
+is built once per session and shared; everything derived from it is
+immutable, so sharing is safe.
+"""
+
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.library import OperatingCondition, SubthresholdLibrary
+
+
+@pytest.fixture(scope="session")
+def library() -> SubthresholdLibrary:
+    """Session-wide calibrated subthreshold library."""
+    return SubthresholdLibrary()
+
+
+@pytest.fixture(scope="session")
+def tt_delay_model(library):
+    """Typical-corner calibrated delay model."""
+    return library.reference_delay_model
+
+
+@pytest.fixture(scope="session")
+def ss_delay_model(library):
+    """Slow-corner calibrated delay model."""
+    return library.delay_model(OperatingCondition(corner="SS"))
+
+
+@pytest.fixture(scope="session")
+def ring_load(library):
+    """The Fig. 1-calibrated ring-oscillator load description."""
+    return library.ring_oscillator_load
+
+
+@pytest.fixture(scope="session")
+def tt_load(library, tt_delay_model, ring_load) -> DigitalLoad:
+    """Ring-oscillator load bound to typical silicon."""
+    return DigitalLoad(ring_load, tt_delay_model)
+
+
+@pytest.fixture(scope="session")
+def ss_load(library, ss_delay_model, ring_load) -> DigitalLoad:
+    """Ring-oscillator load bound to slow silicon."""
+    return DigitalLoad(ring_load, ss_delay_model)

@@ -1,0 +1,311 @@
+"""Tests of the DC-DC building blocks: comparator, PWM, power stage, pulse, LUT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparator import ComparatorDecision, DigitalComparator
+from repro.core.config import ControllerConfig, PowerStageConfig
+from repro.core.lut import VoltageLut
+from repro.core.power_stage import BuckPowerStage, PowerTransistorArray
+from repro.core.pulse import PulseShrinkingModel
+from repro.core.pwm import PwmController
+
+
+class TestComparator:
+    def test_two_bit_encodings_match_paper(self):
+        assert ComparatorDecision.UP.bits == "01"
+        assert ComparatorDecision.HOLD.bits == "10"
+        assert ComparatorDecision.DOWN.bits == "11"
+
+    def test_decisions(self):
+        comparator = DigitalComparator()
+        assert comparator.compare(10, 15).decision is ComparatorDecision.UP
+        assert comparator.compare(15, 15).decision is ComparatorDecision.HOLD
+        assert comparator.compare(20, 15).decision is ComparatorDecision.DOWN
+
+    def test_error_sign_and_magnitude(self):
+        comparator = DigitalComparator()
+        result = comparator.compare(10, 15)
+        assert result.error == 5
+        assert result.magnitude == 5
+
+    def test_deadband(self):
+        comparator = DigitalComparator(deadband=1)
+        assert comparator.compare(14, 15).decision is ComparatorDecision.HOLD
+        assert comparator.compare(13, 15).decision is ComparatorDecision.UP
+
+    def test_decision_counts(self):
+        comparator = DigitalComparator()
+        comparator.compare(1, 2)
+        comparator.compare(2, 2)
+        counts = comparator.decision_counts
+        assert counts[ComparatorDecision.UP] == 1
+        assert counts[ComparatorDecision.HOLD] == 1
+
+    def test_deadband_validation(self):
+        with pytest.raises(ValueError):
+            DigitalComparator(deadband=-1)
+
+
+class TestPwmController:
+    def test_duty_ratio_is_n_over_64(self):
+        pwm = PwmController(ControllerConfig())
+        pwm.load(16)
+        assert pwm.duty_cycle == pytest.approx(16 / 64)
+
+    def test_system_cycle_is_one_microsecond(self):
+        config = ControllerConfig()
+        assert config.system_cycle_period == pytest.approx(1e-6)
+        assert config.resolution_volts == pytest.approx(0.01875)
+
+    def test_apply_decisions(self):
+        pwm = PwmController(ControllerConfig())
+        pwm.load(20)
+        pwm.apply(ComparatorDecision.UP)
+        assert pwm.duty_value == 21
+        pwm.apply(ComparatorDecision.DOWN, step=2)
+        assert pwm.duty_value == 19
+        pwm.apply(ComparatorDecision.HOLD)
+        assert pwm.duty_value == 19
+
+    def test_duty_register_respects_bounds(self):
+        config = ControllerConfig(code_lower_bound=2, code_upper_bound=60)
+        pwm = PwmController(config)
+        pwm.load(0)
+        assert pwm.duty_value == 2
+        pwm.load(63)
+        assert pwm.duty_value == 60
+
+    def test_cycle_waveform(self):
+        pwm = PwmController(ControllerConfig())
+        pwm.load(32)
+        cycle = pwm.next_cycle()
+        control = cycle.control_function()
+        assert control(0.1e-6)
+        assert not control(0.9e-6)
+        sampled = cycle.sampled(64)
+        assert sampled.sum() == pytest.approx(32)
+
+    def test_toggle_output_alternates(self):
+        pwm = PwmController(ControllerConfig())
+        first = pwm.next_cycle()
+        state_after_first = pwm.output_state
+        pwm.next_cycle()
+        assert pwm.output_state != state_after_first
+        assert pwm.cycles_generated == 2
+        assert first.high_time == pytest.approx(first.duty_cycle * first.period)
+
+
+class TestPowerTransistorArray:
+    def test_on_resistance_scales_with_segments(self):
+        config = PowerStageConfig(segments=8, segment_on_resistance=16.0)
+        array = PowerTransistorArray(config)
+        assert array.on_resistance() == pytest.approx(2.0)
+        array.enable_segments(2)
+        assert array.on_resistance() == pytest.approx(8.0)
+
+    def test_enable_clamps(self):
+        array = PowerTransistorArray(PowerStageConfig(segments=4))
+        assert array.enable_segments(0) == 1
+        assert array.enable_segments(99) == 4
+
+    def test_select_for_load(self):
+        array = PowerTransistorArray(PowerStageConfig(segments=8))
+        light = array.select_for_load(1e-6)
+        assert light == 1
+        heavy = array.select_for_load(1.0)
+        assert heavy == 8
+        with pytest.raises(ValueError):
+            array.select_for_load(-1.0)
+
+    def test_gate_energy_scales_with_segments(self):
+        array = PowerTransistorArray(PowerStageConfig(segments=8))
+        all_on = array.gate_switching_energy()
+        array.enable_segments(2)
+        assert array.gate_switching_energy() == pytest.approx(all_on / 4)
+
+
+class TestBuckPowerStage:
+    def test_steady_state_is_duty_times_battery(self):
+        stage = BuckPowerStage()
+        vout = stage.steady_state_voltage(0.25, lambda v: 1e-6)
+        assert vout == pytest.approx(0.3, abs=0.002)
+
+    def test_averaged_model_converges_to_steady_state(self):
+        stage = BuckPowerStage()
+        for _ in range(300):
+            stage.advance(0.25, 1e-6, lambda v: 1e-6)
+        assert stage.output_voltage == pytest.approx(0.3, abs=0.01)
+
+    def test_averaged_model_tracks_duty_changes(self):
+        stage = BuckPowerStage()
+        for _ in range(300):
+            stage.advance(0.5, 1e-6, lambda v: 1e-6)
+        high = stage.output_voltage
+        for _ in range(600):
+            stage.advance(0.125, 1e-6, lambda v: 1e-6)
+        low = stage.output_voltage
+        assert high == pytest.approx(0.6, abs=0.02)
+        assert low == pytest.approx(0.15, abs=0.02)
+
+    def test_switching_model_matches_averaged_mean(self):
+        stage = BuckPowerStage()
+        duty = 0.3
+        result = stage.simulate_switching(
+            lambda t: (t % 1e-6) < duty * 1e-6,
+            lambda v: 1e-6,
+            duration=120e-6,
+            time_step=2e-8,
+            store_every=5,
+        )
+        wave = result.voltage("vout")
+        assert wave.final_value(0.2) == pytest.approx(duty * 1.2, abs=0.03)
+        # Ripple at 1 MHz into the L-C filter stays in the millivolt range.
+        assert wave.window(100e-6, 120e-6).ripple() < 0.05
+
+    def test_reset(self):
+        stage = BuckPowerStage()
+        stage.advance(0.5, 1e-6, lambda v: 0.0)
+        stage.reset(0.3)
+        assert stage.output_voltage == pytest.approx(0.3)
+        assert stage.state.inductor_current == 0.0
+
+    def test_advance_validation(self):
+        stage = BuckPowerStage()
+        with pytest.raises(ValueError):
+            stage.advance(1.5, 1e-6, lambda v: 0.0)
+        with pytest.raises(ValueError):
+            stage.advance(0.5, -1e-6, lambda v: 0.0)
+
+    def test_output_never_exceeds_battery(self):
+        stage = BuckPowerStage()
+        for _ in range(200):
+            stage.advance(1.0, 1e-6, lambda v: 0.0)
+            assert 0.0 <= stage.output_voltage <= 1.2
+
+    def test_conversion_loss_quadratic_in_current(self):
+        stage = BuckPowerStage()
+        assert stage.conversion_loss(0.5, 2e-3) == pytest.approx(
+            4.0 * stage.conversion_loss(0.5, 1e-3)
+        )
+
+    def test_with_config_override(self):
+        stage = BuckPowerStage().with_config(inductance=10e-6)
+        assert stage.config.inductance == pytest.approx(10e-6)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_steady_state_monotonic_in_duty(self, duty):
+        stage = BuckPowerStage()
+        low = stage.steady_state_voltage(duty * 0.5, lambda v: 1e-6)
+        high = stage.steady_state_voltage(duty, lambda v: 1e-6)
+        assert high >= low
+
+
+class TestPulseShrinking:
+    def test_shrinks_for_beta_above_one(self):
+        model = PulseShrinkingModel(beta=1.05)
+        assert model.shrinks
+        assert model.width_change_per_stage() < 0
+
+    def test_expands_for_beta_below_one(self):
+        model = PulseShrinkingModel(beta=0.95)
+        assert not model.shrinks
+        assert model.width_change_per_stage() > 0
+
+    def test_total_change_linear_in_stages(self):
+        model = PulseShrinkingModel()
+        assert model.total_change(10) == pytest.approx(
+            10 * model.width_change_per_stage()
+        )
+
+    def test_width_never_negative(self):
+        model = PulseShrinkingModel(beta=1.5)
+        assert model.width_after(1e-12, 10 ** 6) == 0.0
+
+    def test_stages_until_collapse(self):
+        model = PulseShrinkingModel(beta=1.2)
+        stages = model.stages_until_collapse(7e-9)
+        assert stages > 0
+        assert model.width_after(7e-9, stages + 1) == 0.0
+
+    def test_relative_error_small_for_nominal_sizing(self):
+        """Paper: the shrinking offset 'doesn't bring so much variations'."""
+        model = PulseShrinkingModel()
+        assert model.relative_error(7e-9, 64) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulseShrinkingModel(beta=0.0)
+        with pytest.raises(ValueError):
+            PulseShrinkingModel(kp=-1.0)
+        with pytest.raises(ValueError):
+            PulseShrinkingModel().width_after(-1.0, 3)
+
+
+class TestVoltageLut:
+    def test_lookup_by_queue_length(self):
+        lut = VoltageLut([10, 12, 14, 16], fifo_depth=64)
+        assert lut.lookup(0) == 10
+        assert lut.lookup(63) == 16
+        assert lut.lookup(64) == 16
+
+    def test_bins_partition_queue_range(self):
+        lut = VoltageLut([10, 12, 14, 16], fifo_depth=64)
+        bins = {lut.bin_for(q) for q in range(65)}
+        assert bins == {0, 1, 2, 3}
+
+    def test_correction_shifts_all_entries(self):
+        lut = VoltageLut([10, 12], fifo_depth=16)
+        lut.apply_correction(1)
+        assert lut.entries() == [11, 13]
+        assert lut.raw_entries() == [10, 12]
+        assert lut.correction == 1
+        lut.apply_correction(-1)
+        assert lut.correction == 0
+        assert lut.correction_history == [1, -1]
+
+    def test_correction_clamps_at_code_range(self):
+        lut = VoltageLut([62, 63], fifo_depth=16)
+        lut.apply_correction(3)
+        assert lut.entries() == [63, 63]
+
+    def test_voltage_for(self):
+        lut = VoltageLut([19], fifo_depth=16)
+        assert lut.voltage_for(3) == pytest.approx(0.35625)
+
+    def test_from_voltages(self):
+        lut = VoltageLut.from_voltages([0.2, 0.3, 0.4], fifo_depth=32)
+        assert lut.raw_entries() == [11, 16, 21]
+
+    def test_constant(self):
+        lut = VoltageLut.constant(12, bins=4)
+        assert lut.raw_entries() == [12, 12, 12, 12]
+
+    def test_program_replaces_and_clears_correction(self):
+        lut = VoltageLut([10, 12], fifo_depth=16)
+        lut.apply_correction(2)
+        lut.program([20, 22])
+        assert lut.correction == 0
+        assert lut.entries() == [20, 22]
+        with pytest.raises(ValueError):
+            lut.program([1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageLut([], fifo_depth=16)
+        with pytest.raises(ValueError):
+            VoltageLut([1], fifo_depth=0)
+        lut = VoltageLut([1], fifo_depth=4)
+        with pytest.raises(ValueError):
+            lut.bin_for(-1)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_always_valid_code(self, queue_length):
+        lut = VoltageLut([5, 20, 40, 60], fifo_depth=64)
+        lut.apply_correction(5)
+        code = lut.lookup(min(queue_length, 64))
+        assert 0 <= code <= 63

@@ -1,0 +1,166 @@
+"""Tests of the time-to-digital converter and its calibration."""
+
+import pytest
+
+from repro.core.config import TdcConfig
+from repro.core.pulse import PulseShrinkingModel
+from repro.core.tdc import (
+    TdcCalibration,
+    TimeToDigitalConverter,
+    table_one_rows,
+)
+from repro.library import OperatingCondition
+
+
+@pytest.fixture(scope="module")
+def tt_tdc(tt_delay_model):
+    return TimeToDigitalConverter(tt_delay_model)
+
+
+@pytest.fixture(scope="module")
+def ss_tdc(ss_delay_model):
+    return TimeToDigitalConverter(ss_delay_model)
+
+
+@pytest.fixture(scope="module")
+def calibration(tt_tdc):
+    return TdcCalibration(tt_tdc)
+
+
+class TestTdcConfig:
+    def test_defaults_match_paper(self):
+        config = TdcConfig()
+        assert config.delay_cells == 64
+        assert config.reference_period == pytest.approx(14e-9)
+        assert config.measurement_window == pytest.approx(64 * 14e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdcConfig(delay_cells=0)
+        with pytest.raises(ValueError):
+            TdcConfig(reference_period=-1.0)
+        with pytest.raises(ValueError):
+            TdcConfig(counter_bits=3)
+
+
+class TestReplicaTiming:
+    def test_cell_delay_increases_at_low_supply(self, tt_tdc):
+        assert tt_tdc.cell_delay(0.2) > 50 * tt_tdc.cell_delay(1.2)
+
+    def test_cell_delay_infinite_below_minimum_supply(self, tt_tdc):
+        assert tt_tdc.cell_delay(0.01) == float("inf")
+        assert tt_tdc.replica_delay(0.01) == float("inf")
+
+    def test_replica_delay_scales_with_cells(self, tt_delay_model):
+        small = TimeToDigitalConverter(tt_delay_model, TdcConfig(delay_cells=16))
+        large = TimeToDigitalConverter(tt_delay_model, TdcConfig(delay_cells=64))
+        assert large.replica_delay(0.6) == pytest.approx(
+            4.0 * small.replica_delay(0.6), rel=1e-9
+        )
+
+    def test_pulse_shrinking_adds_delay(self, tt_delay_model):
+        plain = TimeToDigitalConverter(tt_delay_model)
+        with_pulse = TimeToDigitalConverter(
+            tt_delay_model, pulse_model=PulseShrinkingModel()
+        )
+        assert with_pulse.cell_delay(0.6) > plain.cell_delay(0.6)
+
+    def test_slow_corner_replica_is_slower(self, tt_tdc, ss_tdc):
+        for supply in (0.2, 0.3, 0.6):
+            assert ss_tdc.cell_delay(supply) > tt_tdc.cell_delay(supply)
+
+
+class TestSnapshotMode:
+    def test_higher_supply_more_ones(self, tt_tdc):
+        assert tt_tdc.snapshot(1.2).ones > tt_tdc.snapshot(0.8).ones
+
+    def test_snapshot_hex_format(self, tt_tdc):
+        snapshot = tt_tdc.snapshot(1.2)
+        assert len(snapshot.hex_word.replace(" ", "")) == 16
+        assert len(snapshot.bits) == 64
+
+    def test_sixteen_shifts_per_200mv_near_nominal(self, tt_delay_model):
+        """Paper: 16 quantizer shifts between 1.2 V and 1.0 V (Ref_clk 14 ns)."""
+        tdc = TimeToDigitalConverter(tt_delay_model)
+        shifts = tdc.resolution_shifts(1.2, 1.0)
+        assert 8 <= shifts <= 28
+
+    def test_snapshot_stalled_at_deep_subthreshold(self, tt_tdc):
+        snapshot = tt_tdc.snapshot(0.1)
+        assert snapshot.ones == 0
+        assert not snapshot.reliable
+
+    def test_table_one_rows(self, tt_tdc):
+        rows = table_one_rows(tt_tdc)
+        assert [row.supply for row in rows] == [1.2, 1.0, 0.8, 0.6]
+        ones = [row.ones for row in rows]
+        assert ones == sorted(ones, reverse=True)
+        # The 0.6 V row is in the unreliable regime with a 14 ns reference.
+        assert not rows[-1].reliable
+        assert rows[-1].ones < 16
+
+    def test_metastability_fraction_validation(self, tt_delay_model):
+        with pytest.raises(ValueError):
+            TimeToDigitalConverter(tt_delay_model, metastability_fraction=0.7)
+
+
+class TestCounterMode:
+    def test_count_monotonic_in_supply(self, tt_tdc):
+        counts = [tt_tdc.measure(v).count for v in (0.2, 0.3, 0.5, 0.8, 1.2)]
+        assert counts == sorted(counts)
+
+    def test_count_zero_below_cutoff(self, tt_tdc):
+        reading = tt_tdc.measure(0.01)
+        assert reading.count == 0
+        assert reading.stalled
+        assert not reading.reliable
+
+    def test_reading_reliability_flag(self, tt_tdc):
+        assert tt_tdc.measure(0.3).reliable
+
+    def test_slow_corner_counts_less(self, tt_tdc, ss_tdc):
+        assert ss_tdc.measure(0.3).count < tt_tdc.measure(0.3).count
+
+
+class TestCalibration:
+    def test_expected_counts_monotonic(self, calibration):
+        counts = calibration.expected_counts
+        assert all(b >= a for a, b in zip(counts[5:], counts[6:]))
+
+    def test_code_from_count_roundtrip(self, calibration, tt_tdc):
+        for code in (8, 11, 16, 20, 32, 47):
+            count = tt_tdc.measure(code * 0.01875).count
+            assert calibration.code_from_count(count) == code
+
+    def test_signature_zero_on_reference_silicon(self, calibration, tt_tdc):
+        for code in (11, 16, 20):
+            count = tt_tdc.measure(code * 0.01875).count
+            assert calibration.shift_in_lsb(code, count) == 0
+
+    def test_signature_positive_on_slow_silicon(self, calibration, ss_tdc):
+        """The paper's slow-corner example: a one-LSB (18.75 mV) signature."""
+        for code in (11, 12, 16, 19):
+            count = ss_tdc.measure(code * 0.01875).count
+            shift = calibration.shift_in_lsb(code, count)
+            assert 1 <= shift <= 2
+
+    def test_signature_negative_on_fast_silicon(self, calibration, library):
+        fast_model = library.delay_model(OperatingCondition(corner="FF"))
+        fast_tdc = TimeToDigitalConverter(fast_model)
+        count = fast_tdc.measure(11 * 0.01875).count
+        assert calibration.shift_in_lsb(11, count) <= -1
+
+    def test_shift_is_bounded(self, calibration):
+        assert calibration.shift_in_lsb(30, 0, limit=4) == 4
+        assert calibration.shift_in_lsb(0, 10 ** 9, limit=4) == -4
+
+    def test_shift_limit_validation(self, calibration):
+        with pytest.raises(ValueError):
+            calibration.shift_in_lsb(10, 100, limit=0)
+
+    def test_local_count_slope_positive(self, calibration):
+        assert calibration.local_count_slope(12) >= 1.0
+
+    def test_signature_shift_against_desired_code(self, calibration, ss_tdc):
+        count = ss_tdc.measure(19 * 0.01875).count
+        assert calibration.signature_shift(19, count) >= 1

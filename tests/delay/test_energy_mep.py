@@ -1,0 +1,237 @@
+"""Tests of the energy model and the minimum-energy-point analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay.energy import EnergyModel, LoadCharacteristics
+from repro.delay.mep import (
+    DEFAULT_SUPPLY_GRID,
+    energy_shift_percent,
+    energy_spread_percent,
+    find_minimum_energy_point,
+    sweep_energy,
+    vopt_shift_percent,
+    vopt_spread_percent,
+)
+from repro.library import OperatingCondition
+
+
+@pytest.fixture(scope="module")
+def tt_energy_model(library, ring_load):
+    return library.energy_model(OperatingCondition(), ring_load)
+
+
+class TestLoadCharacteristics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadCharacteristics(name="x", gate_count=0, logic_depth=1)
+        with pytest.raises(ValueError):
+            LoadCharacteristics(name="x", gate_count=1, logic_depth=0)
+        with pytest.raises(ValueError):
+            LoadCharacteristics(
+                name="x", gate_count=1, logic_depth=1, switching_activity=0.0
+            )
+        with pytest.raises(ValueError):
+            LoadCharacteristics(
+                name="x", gate_count=1, logic_depth=1, switching_activity=1.5
+            )
+
+    def test_with_activity(self, ring_load):
+        modified = ring_load.with_activity(0.3)
+        assert modified.switching_activity == pytest.approx(0.3)
+        assert modified.gate_count == ring_load.gate_count
+
+    def test_scaled_multiplies(self, ring_load):
+        scaled = ring_load.scaled(capacitance_scale=2.0, leakage_scale=3.0)
+        assert scaled.capacitance_scale == pytest.approx(
+            2.0 * ring_load.capacitance_scale
+        )
+        assert scaled.leakage_scale == pytest.approx(
+            3.0 * ring_load.leakage_scale
+        )
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_quadratic_in_supply(self, tt_energy_model):
+        e1 = tt_energy_model.dynamic_energy(0.2)
+        e2 = tt_energy_model.dynamic_energy(0.4)
+        assert e2 == pytest.approx(4.0 * e1, rel=1e-6)
+
+    def test_dynamic_energy_linear_in_activity(self, library, ring_load):
+        low = EnergyModel(
+            library.reference_delay_model, ring_load.with_activity(0.1)
+        )
+        high = EnergyModel(
+            library.reference_delay_model, ring_load.with_activity(0.2)
+        )
+        assert high.dynamic_energy(0.3) == pytest.approx(
+            2.0 * low.dynamic_energy(0.3), rel=1e-9
+        )
+
+    def test_leakage_energy_grows_as_supply_drops(self, tt_energy_model):
+        assert tt_energy_model.leakage_energy(0.15) > (
+            tt_energy_model.leakage_energy(0.30)
+        )
+
+    def test_breakdown_total_is_sum(self, tt_energy_model):
+        breakdown = tt_energy_model.breakdown(0.25)
+        assert breakdown.total == pytest.approx(
+            breakdown.dynamic + breakdown.leakage + breakdown.short_circuit
+        )
+        assert 0.0 < breakdown.leakage_fraction < 1.0
+        assert breakdown.frequency == pytest.approx(1.0 / breakdown.cycle_time)
+
+    def test_breakdown_rejects_bad_supply(self, tt_energy_model):
+        with pytest.raises(ValueError):
+            tt_energy_model.breakdown(0.0)
+
+    def test_total_energy_vectorised(self, tt_energy_model):
+        supplies = np.linspace(0.15, 0.6, 16)
+        energies = tt_energy_model.total_energy(supplies)
+        assert energies.shape == supplies.shape
+        for supply, energy in zip(supplies[:4], energies[:4]):
+            assert energy == pytest.approx(
+                tt_energy_model.total_energy(float(supply)), rel=1e-9
+            )
+
+    def test_energy_at_throughput_none_when_too_slow(self, tt_energy_model):
+        # 0.15 V cannot deliver a 10 MHz operation rate.
+        assert tt_energy_model.energy_at_throughput(0.15, 1e7) is None
+
+    def test_energy_at_throughput_adds_idle_leakage(self, tt_energy_model):
+        free_running = tt_energy_model.breakdown(0.5)
+        paced = tt_energy_model.energy_at_throughput(0.5, 1e4)
+        assert paced is not None
+        assert paced.leakage > free_running.leakage
+
+    def test_describe(self, tt_energy_model):
+        summary = tt_energy_model.describe()
+        assert summary["switching_activity"] == pytest.approx(0.1)
+        assert summary["gate_count"] == pytest.approx(63)
+
+
+class TestMinimumEnergyPoint:
+    def test_fig1_typical_anchor(self, tt_energy_model):
+        """Fig. 1: Vopt = 200 mV, Emin = 2.65 fJ at the typical corner."""
+        mep = find_minimum_energy_point(tt_energy_model)
+        assert mep.optimal_supply == pytest.approx(0.200, abs=0.010)
+        assert mep.minimum_energy == pytest.approx(2.65e-15, rel=0.05)
+
+    def test_fig1_slow_anchor(self, library, ring_load):
+        mep = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(corner="SS"), ring_load)
+        )
+        assert mep.optimal_supply == pytest.approx(0.220, abs=0.012)
+        assert mep.minimum_energy == pytest.approx(1.70e-15, rel=0.08)
+
+    def test_fig1_fast_slow_anchor(self, library, ring_load):
+        mep = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(corner="FS"), ring_load)
+        )
+        assert mep.optimal_supply == pytest.approx(0.250, abs=0.012)
+        assert mep.minimum_energy == pytest.approx(2.42e-15, rel=0.08)
+
+    def test_corner_ordering_matches_paper(self, library, ring_load):
+        points = {
+            corner: find_minimum_energy_point(
+                library.energy_model(OperatingCondition(corner=corner), ring_load)
+            )
+            for corner in ("TT", "SS", "FS")
+        }
+        assert points["TT"].optimal_supply < points["SS"].optimal_supply
+        assert points["SS"].optimal_supply < points["FS"].optimal_supply
+        assert points["SS"].minimum_energy < points["FS"].minimum_energy
+        assert points["FS"].minimum_energy < points["TT"].minimum_energy
+
+    def test_temperature_raises_mep(self, library, ring_load):
+        cold = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(), ring_load),
+            temperature_c=25.0,
+        )
+        hot = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(), ring_load),
+            temperature_c=85.0,
+        )
+        assert hot.optimal_supply > cold.optimal_supply
+        assert hot.minimum_energy > cold.minimum_energy
+
+    def test_sweep_has_bathtub_shape(self, tt_energy_model):
+        sweep = sweep_energy(tt_energy_model)
+        minimum_index = int(np.argmin(sweep.energies))
+        assert 0 < minimum_index < len(sweep.energies) - 1
+        assert sweep.energies[0] > sweep.minimum.minimum_energy
+        assert sweep.energies[-1] > sweep.minimum.minimum_energy
+
+    def test_sweep_penalty_zero_at_minimum(self, tt_energy_model):
+        sweep = sweep_energy(tt_energy_model)
+        assert sweep.penalty_at(sweep.minimum.optimal_supply) == pytest.approx(
+            0.0, abs=0.02
+        )
+        assert sweep.penalty_at(0.9) > 1.0
+
+    def test_sweep_rejects_bad_grid(self, tt_energy_model):
+        with pytest.raises(ValueError):
+            sweep_energy(tt_energy_model, supplies=np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            sweep_energy(tt_energy_model, supplies=np.array([-0.1, 0.2, 0.3]))
+
+    def test_default_grid_resolution(self):
+        steps = np.diff(DEFAULT_SUPPLY_GRID)
+        assert np.all(steps > 0)
+        assert steps.max() < 0.006
+
+    def test_shift_helpers(self, library, ring_load):
+        tt = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(), ring_load)
+        )
+        ss = find_minimum_energy_point(
+            library.energy_model(OperatingCondition(corner="SS"), ring_load)
+        )
+        assert vopt_shift_percent(tt, ss) > 0
+        assert energy_shift_percent(tt, ss) < 0
+        assert vopt_spread_percent([tt, ss]) > 0
+        assert energy_spread_percent([tt, ss]) > 0
+
+    def test_spread_helpers_require_points(self):
+        with pytest.raises(ValueError):
+            energy_spread_percent([])
+        with pytest.raises(ValueError):
+            vopt_spread_percent([])
+
+    def test_mep_point_unit_helpers(self, tt_energy_model):
+        mep = find_minimum_energy_point(tt_energy_model)
+        assert mep.minimum_energy_fj == pytest.approx(mep.minimum_energy * 1e15)
+        assert mep.optimal_supply_mv == pytest.approx(mep.optimal_supply * 1e3)
+
+    @given(st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_total_energy_never_below_minimum(self, supply):
+        from repro.library import default_library
+
+        library = default_library()
+        model = library.energy_model()
+        mep = find_minimum_energy_point(model)
+        assert model.total_energy(supply) >= mep.minimum_energy * 0.999
+
+
+class TestLoadCalibration:
+    def test_calibrate_load_hits_targets(self, library, tt_delay_model):
+        from repro.delay.calibration import calibrate_load_for_mep
+
+        raw = LoadCharacteristics(
+            name="raw", gate_count=100, logic_depth=50, switching_activity=0.1
+        )
+        calibrated = calibrate_load_for_mep(
+            tt_delay_model, raw, target_supply=0.23, target_energy=5e-15
+        )
+        mep = find_minimum_energy_point(EnergyModel(tt_delay_model, calibrated))
+        assert mep.optimal_supply == pytest.approx(0.23, abs=0.01)
+        assert mep.minimum_energy == pytest.approx(5e-15, rel=0.05)
+
+    def test_calibrate_load_rejects_bad_targets(self, tt_delay_model, ring_load):
+        from repro.delay.calibration import calibrate_load_for_mep
+
+        with pytest.raises(ValueError):
+            calibrate_load_for_mep(tt_delay_model, ring_load, target_supply=-1)

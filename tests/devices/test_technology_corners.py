@@ -1,0 +1,160 @@
+"""Tests of the technology description, corner library and temperature model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.corners import (
+    Corner,
+    CornerLibrary,
+    ProcessCorner,
+    default_corner_library,
+)
+from repro.devices.technology import (
+    DCDC_RESOLUTION_V,
+    Technology,
+    TechnologyParameters,
+    default_technology,
+)
+from repro.devices.temperature import (
+    TemperatureModel,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+
+
+class TestTechnologyParameters:
+    def test_defaults_are_valid(self):
+        TechnologyParameters(vth0=0.287)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(vth0=-0.1)
+        with pytest.raises(ValueError):
+            TechnologyParameters(vth0=0.3, subthreshold_slope_factor=0.9)
+        with pytest.raises(ValueError):
+            TechnologyParameters(vth0=0.3, specific_current=0.0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(vth0=0.3, dibl_coefficient=0.9)
+
+    def test_with_vth_shift(self):
+        base = TechnologyParameters(vth0=0.287)
+        shifted = base.with_vth_shift(0.015)
+        assert shifted.vth0 == pytest.approx(0.302)
+        assert base.vth0 == pytest.approx(0.287)
+
+    def test_scaled_touches_energy_capacitance_not_delay_capacitance(self):
+        base = TechnologyParameters(vth0=0.287)
+        scaled = base.scaled(capacitance_scale=0.5)
+        assert scaled.switched_capacitance_scale == pytest.approx(0.5)
+        assert scaled.gate_capacitance_per_um == pytest.approx(
+            base.gate_capacitance_per_um
+        )
+
+    def test_scaled_leakage(self):
+        base = TechnologyParameters(vth0=0.287)
+        scaled = base.scaled(leakage_scale=2.0)
+        assert scaled.leakage_multiplier == pytest.approx(2.0)
+        assert scaled.junction_leakage_per_um == pytest.approx(
+            2.0 * base.junction_leakage_per_um
+        )
+
+
+class TestTechnology:
+    def test_resolution_is_18_75_mv(self):
+        assert DCDC_RESOLUTION_V == pytest.approx(0.01875)
+
+    def test_nominal_supply(self):
+        assert default_technology().nominal_supply == pytest.approx(1.2)
+
+    def test_device_lookup(self):
+        technology = default_technology()
+        assert technology.device("nmos") is technology.nmos
+        assert technology.device("PMOS") is technology.pmos
+        with pytest.raises(ValueError):
+            technology.device("xmos")
+
+    def test_as_dict_contains_headline_numbers(self):
+        summary = default_technology().as_dict()
+        assert summary["nmos_vth0"] == pytest.approx(0.287)
+        assert summary["nominal_supply"] == pytest.approx(1.2)
+
+
+class TestCornerLibrary:
+    def test_default_library_has_five_corners(self):
+        assert len(default_corner_library()) == 5
+
+    def test_names(self):
+        assert set(default_corner_library().names()) == {
+            "TT", "SS", "FF", "FS", "SF",
+        }
+
+    def test_lookup_by_string_and_enum(self):
+        library = default_corner_library()
+        assert library.get("ss").name == "SS"
+        assert library.get(ProcessCorner.FF).name == "FF"
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(ValueError):
+            default_corner_library().get("xx")
+
+    def test_requires_tt(self):
+        with pytest.raises(ValueError):
+            CornerLibrary([Corner(ProcessCorner.SS)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CornerLibrary([Corner(ProcessCorner.TT), Corner(ProcessCorner.TT)])
+
+    def test_apply_shifts_thresholds(self):
+        library = default_corner_library()
+        technology = default_technology()
+        slow = library.technology_at(technology, "SS")
+        assert slow.nmos.vth0 > technology.nmos.vth0
+        assert slow.pmos.vth0 > technology.pmos.vth0
+        fast = library.technology_at(technology, "FF")
+        assert fast.nmos.vth0 < technology.nmos.vth0
+
+    def test_mixed_corner_is_asymmetric(self):
+        library = default_corner_library()
+        technology = default_technology()
+        fs = library.technology_at(technology, "FS")
+        assert fs.nmos.vth0 < technology.nmos.vth0
+        assert fs.pmos.vth0 > technology.pmos.vth0
+
+    def test_contains(self):
+        library = default_corner_library()
+        assert "tt" in library
+        assert ProcessCorner.SS in library
+
+    def test_corner_validation(self):
+        with pytest.raises(ValueError):
+            Corner(ProcessCorner.TT, nmos_current_scale=0.0)
+        with pytest.raises(ValueError):
+            Corner(ProcessCorner.TT, capacitance_scale=-1.0)
+
+
+class TestTemperatureModel:
+    def test_threshold_drops_when_hot(self):
+        model = TemperatureModel()
+        assert model.threshold_shift(85.0) < 0.0
+        assert model.threshold_shift(25.0) == pytest.approx(0.0)
+        assert model.threshold_shift(-40.0) > 0.0
+
+    def test_mobility_drops_when_hot(self):
+        model = TemperatureModel()
+        assert model.mobility_scale(85.0) < 1.0
+        assert model.mobility_scale(25.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            TemperatureModel(vth_temperature_coefficient=-1e-3)
+        with pytest.raises(ValueError):
+            TemperatureModel(mobility_exponent=1.0)
+
+    @given(st.floats(min_value=-40, max_value=125))
+    @settings(max_examples=30, deadline=None)
+    def test_celsius_kelvin_roundtrip(self, temperature):
+        assert kelvin_to_celsius(celsius_to_kelvin(temperature)) == (
+            pytest.approx(temperature)
+        )

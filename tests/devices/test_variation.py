@@ -1,0 +1,110 @@
+"""Tests of the Monte Carlo variation model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.technology import default_technology
+from repro.devices.variation import (
+    MonteCarloSampler,
+    VariationModel,
+    VariationSample,
+    summarize_shifts,
+)
+
+
+class TestVariationModel:
+    def test_defaults_valid(self):
+        VariationModel()
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariationModel(global_sigma_v=-0.01)
+
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(ValueError):
+            VariationModel(correlation=1.5)
+
+    def test_pelgrom_scaling(self):
+        model = VariationModel(pelgrom_avt_mv_um=3.5)
+        small = model.mismatch_sigma(0.2, 0.13)
+        large = model.mismatch_sigma(0.8, 0.13)
+        assert small > large
+        assert small == pytest.approx(
+            3.5e-3 / math.sqrt(0.2 * 0.13), rel=1e-9
+        )
+
+    def test_mismatch_requires_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            VariationModel().mismatch_sigma(0.0, 0.13)
+
+    def test_total_sigma_combines_in_quadrature(self):
+        model = VariationModel(global_sigma_v=0.003, local_sigma_v=0.004)
+        assert model.total_sigma() == pytest.approx(0.005)
+
+
+class TestMonteCarloSampler:
+    def test_reproducible_with_seed(self):
+        a = MonteCarloSampler(seed=7).draw(10)
+        b = MonteCarloSampler(seed=7).draw(10)
+        assert [s.nmos_vth_shift for s in a] == [s.nmos_vth_shift for s in b]
+
+    def test_different_seeds_differ(self):
+        a = MonteCarloSampler(seed=7).draw(10)
+        b = MonteCarloSampler(seed=8).draw(10)
+        assert [s.nmos_vth_shift for s in a] != [s.nmos_vth_shift for s in b]
+
+    def test_draw_count_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloSampler().draw(0)
+
+    def test_indices_increment_across_draws(self):
+        sampler = MonteCarloSampler()
+        first = sampler.draw(3)
+        second = sampler.draw(3)
+        assert [s.index for s in first] == [0, 1, 2]
+        assert [s.index for s in second] == [3, 4, 5]
+        assert sampler.samples_drawn == 6
+
+    def test_sample_statistics_roughly_match_model(self):
+        model = VariationModel(global_sigma_v=0.010, local_sigma_v=0.005)
+        samples = MonteCarloSampler(model, seed=11).draw(600)
+        stats = summarize_shifts(samples)
+        expected_sigma = model.total_sigma()
+        assert stats["nmos_sigma"] == pytest.approx(expected_sigma, rel=0.2)
+        assert abs(stats["nmos_mean"]) < 2e-3
+
+    def test_apply_to_technology(self):
+        technology = default_technology()
+        varied = MonteCarloSampler(seed=3).apply_to(technology, 5)
+        assert len(varied) == 5
+        assert any(t.nmos.vth0 != technology.nmos.vth0 for t in varied)
+
+    def test_summarize_requires_samples(self):
+        with pytest.raises(ValueError):
+            summarize_shifts([])
+
+
+class TestVariationSample:
+    def test_worst_shift(self):
+        sample = VariationSample(0, nmos_vth_shift=0.01, pmos_vth_shift=-0.02)
+        assert sample.worst_shift == pytest.approx(-0.02)
+
+    def test_apply_shifts_both_devices(self):
+        technology = default_technology()
+        sample = VariationSample(0, nmos_vth_shift=0.01, pmos_vth_shift=0.02)
+        shifted = sample.apply(technology)
+        assert shifted.nmos.vth0 == pytest.approx(technology.nmos.vth0 + 0.01)
+        assert shifted.pmos.vth0 == pytest.approx(technology.pmos.vth0 + 0.02)
+
+    @given(
+        st.floats(min_value=-0.05, max_value=0.05),
+        st.floats(min_value=-0.05, max_value=0.05),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_apply_never_mutates_original(self, dn, dp):
+        technology = default_technology()
+        VariationSample(0, dn, dp).apply(technology)
+        assert technology.nmos.vth0 == pytest.approx(0.287)

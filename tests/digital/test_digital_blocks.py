@@ -1,0 +1,276 @@
+"""Tests of the digital substrate: signals, counters, FIFO, encoder, flip-flops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digital.counter import UpDownCounter
+from repro.digital.encoder import ThermometerEncoder
+from repro.digital.fifo import Fifo
+from repro.digital.flipflop import DFlipFlop, MetastabilityModel, ToggleFlipFlop
+from repro.digital.signals import (
+    binary_to_gray,
+    clamp_code,
+    code_to_voltage,
+    gray_to_binary,
+    resolution_volts,
+    thermometer_code,
+    thermometer_to_hex,
+    voltage_to_code,
+)
+
+
+class TestSignals:
+    def test_resolution_is_18_75_mv(self):
+        assert resolution_volts() == pytest.approx(0.01875)
+
+    def test_paper_example_word_19(self):
+        """Paper: 'a digital word 19 ... translated to 19 x 18.75 ~ 356 mV'."""
+        assert code_to_voltage(19) == pytest.approx(0.35625)
+
+    def test_paper_example_word_15(self):
+        """Paper: '001111' (15) -> ~282 mV."""
+        assert code_to_voltage(0b001111) == pytest.approx(0.28125)
+
+    def test_code_voltage_roundtrip(self):
+        for code in range(64):
+            assert voltage_to_code(code_to_voltage(code)) == code
+
+    def test_clamping(self):
+        assert clamp_code(-5) == 0
+        assert clamp_code(99) == 63
+        assert voltage_to_code(5.0) == 63
+        assert voltage_to_code(-1.0) == 0
+
+    def test_thermometer_code(self):
+        assert thermometer_code(3, 6) == [1, 1, 1, 0, 0, 0]
+        with pytest.raises(ValueError):
+            thermometer_code(7, 6)
+
+    def test_thermometer_to_hex_format(self):
+        bits = thermometer_code(7, 64)
+        word = thermometer_to_hex(bits)
+        assert word.startswith("FE00")
+        assert len(word.split(" ")) == 4
+
+    def test_gray_roundtrip(self):
+        for value in range(256):
+            assert gray_to_binary(binary_to_gray(value)) == value
+
+    def test_gray_adjacent_values_differ_by_one_bit(self):
+        for value in range(255):
+            diff = binary_to_gray(value) ^ binary_to_gray(value + 1)
+            assert bin(diff).count("1") == 1
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=64, deadline=None)
+    def test_voltage_within_half_lsb(self, code):
+        voltage = code_to_voltage(code)
+        assert abs(voltage - code * 0.01875) < 1e-12
+
+
+class TestUpDownCounter:
+    def test_basic_counting(self):
+        counter = UpDownCounter(width=6)
+        assert counter.up(3) == 3
+        assert counter.down(1) == 2
+        assert counter.hold() == 2
+
+    def test_saturation_at_bounds(self):
+        counter = UpDownCounter(width=6, lower_bound=1, upper_bound=62)
+        counter.load(62)
+        assert counter.up() == 62
+        assert counter.wrap_events == 1
+        counter.load(1)
+        assert counter.down() == 1
+        assert counter.wrap_events == 2
+
+    def test_load_clamps(self):
+        counter = UpDownCounter(width=6, lower_bound=1, upper_bound=62)
+        assert counter.load(99) == 62
+        assert counter.load(0) == 1
+
+    def test_terminal_count(self):
+        counter = UpDownCounter(width=4)
+        counter.load(15)
+        assert counter.terminal_count
+
+    def test_duty_cycle(self):
+        counter = UpDownCounter(width=6)
+        counter.load(32)
+        assert counter.duty_cycle() == pytest.approx(0.5)
+
+    def test_set_bounds_reclamps(self):
+        counter = UpDownCounter(width=6)
+        counter.load(60)
+        counter.set_bounds(5, 50)
+        assert counter.value == 50
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UpDownCounter(width=6, lower_bound=10, upper_bound=5)
+        counter = UpDownCounter(width=6)
+        with pytest.raises(ValueError):
+            counter.set_bounds(-1, 70)
+
+    def test_negative_amount_rejected(self):
+        counter = UpDownCounter()
+        with pytest.raises(ValueError):
+            counter.up(-1)
+        with pytest.raises(ValueError):
+            counter.down(-2)
+
+    @given(st.lists(st.sampled_from(["up", "down"]), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_value_always_within_bounds(self, operations):
+        counter = UpDownCounter(width=6, lower_bound=1, upper_bound=62)
+        for op in operations:
+            getattr(counter, op)()
+            assert 1 <= counter.value <= 62
+
+
+class TestThermometerEncoder:
+    def test_clean_code(self):
+        encoder = ThermometerEncoder(input_length=64, output_bits=6)
+        result = encoder.encode(thermometer_code(17, 64))
+        assert result.value == 17
+        assert result.bubble_count == 0
+        assert result.reliable
+
+    def test_all_zeros_and_all_ones(self):
+        encoder = ThermometerEncoder(input_length=64, output_bits=6)
+        assert encoder.encode([0] * 64).value == 0
+        saturated = encoder.encode([1] * 64)
+        assert saturated.value == 63
+        assert saturated.saturated
+        assert not saturated.reliable
+
+    def test_bubble_detection(self):
+        encoder = ThermometerEncoder(input_length=16, output_bits=6)
+        bits = thermometer_code(5, 16)
+        bits[8] = 1  # isolated wrong bit
+        result = encoder.encode(bits)
+        assert result.bubble_count == 1
+        assert not result.reliable
+        assert result.value == 6  # count-based encoding tolerates the bubble
+
+    def test_length_check(self):
+        encoder = ThermometerEncoder(input_length=8, output_bits=4)
+        with pytest.raises(ValueError):
+            encoder.encode([1, 0])
+
+    def test_output_bits_must_cover_input(self):
+        with pytest.raises(ValueError):
+            ThermometerEncoder(input_length=64, output_bits=5)
+
+    @given(st.integers(min_value=0, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_count_encoding_is_exact_for_clean_codes(self, count):
+        encoder = ThermometerEncoder(input_length=64, output_bits=7)
+        assert encoder.encode(thermometer_code(count, 64)).value == count
+
+
+class TestFifo:
+    def test_queue_length_tracks_pointers(self):
+        fifo = Fifo(depth=8)
+        fifo.push_burst(range(5))
+        assert fifo.queue_length == 5
+        assert fifo.write_pointer == 5
+        fifo.pop()
+        assert fifo.queue_length == 4
+        assert fifo.read_pointer == 1
+
+    def test_overflow_counts_drops(self):
+        fifo = Fifo(depth=4)
+        accepted = fifo.push_burst(range(6))
+        assert accepted == 4
+        assert fifo.statistics.drops == 2
+        assert fifo.is_full
+
+    def test_underflow_counted(self):
+        fifo = Fifo(depth=4)
+        assert fifo.pop() is None
+        assert fifo.statistics.underflows == 1
+
+    def test_fifo_ordering(self):
+        fifo = Fifo(depth=8)
+        fifo.push_burst([10, 20, 30])
+        assert fifo.pop() == 10
+        assert fifo.peek() == 20
+        assert fifo.pop_up_to(5) == [20, 30]
+
+    def test_occupancy_fraction(self):
+        fifo = Fifo(depth=10)
+        fifo.push_burst(range(5))
+        assert fifo.occupancy_fraction == pytest.approx(0.5)
+
+    def test_peak_occupancy(self):
+        fifo = Fifo(depth=8)
+        fifo.push_burst(range(6))
+        fifo.pop_up_to(6)
+        assert fifo.statistics.peak_occupancy == 6
+
+    def test_clear(self):
+        fifo = Fifo(depth=8)
+        fifo.push_burst(range(4))
+        fifo.clear()
+        assert fifo.is_empty
+
+    def test_gray_pointers_change(self):
+        fifo = Fifo(depth=4)
+        before = fifo.gray_pointers()
+        fifo.push(1)
+        assert fifo.gray_pointers() != before
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            Fifo(depth=0)
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_under_random_operations(self, operations):
+        fifo = Fifo(depth=16)
+        for op in operations:
+            if op == "push":
+                fifo.push(object())
+            else:
+                fifo.pop()
+            assert 0 <= fifo.queue_length <= 16
+            assert fifo.queue_length == (
+                fifo.write_pointer - fifo.read_pointer
+            )
+
+
+class TestFlipFlops:
+    def test_dff_captures_data(self):
+        dff = DFlipFlop()
+        assert dff.capture(1) == 1
+        assert dff.capture(0) == 0
+
+    def test_metastability_window_detection(self):
+        model = MetastabilityModel(setup_time=1e-10, hold_time=1e-10)
+        assert model.is_violated(data_edge_time=1.00e-9, clock_edge_time=1.05e-9)
+        assert not model.is_violated(data_edge_time=0.5e-9, clock_edge_time=1.05e-9)
+
+    def test_metastable_capture_counted(self):
+        dff = DFlipFlop(metastability=MetastabilityModel(1e-10, 1e-10, seed=1))
+        for _ in range(50):
+            dff.reset(0)
+            dff.capture(1, data_edge_time=1.0e-9, clock_edge_time=1.0e-9)
+        assert dff.metastable_events == 50
+
+    def test_capture_outside_window_is_deterministic(self):
+        dff = DFlipFlop()
+        value = dff.capture(1, data_edge_time=0.0, clock_edge_time=1.0)
+        assert value == 1
+
+    def test_toggle_flipflop(self):
+        tff = ToggleFlipFlop()
+        assert tff.clock() == 1
+        assert tff.clock() == 0
+        assert tff.toggle_count == 2
+        assert tff.clock(toggle_enable=0) == 0
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            MetastabilityModel(setup_time=-1e-12)

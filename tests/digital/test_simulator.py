@@ -1,0 +1,111 @@
+"""Tests of the event-driven simulation kernel."""
+
+import pytest
+
+from repro.digital.simulator import EventKernel, PeriodicTask
+
+
+class TestEventKernel:
+    def test_events_run_in_time_order(self):
+        kernel = EventKernel()
+        order = []
+        kernel.schedule(2e-6, lambda t: order.append("b"))
+        kernel.schedule(1e-6, lambda t: order.append("a"))
+        kernel.schedule(3e-6, lambda t: order.append("c"))
+        kernel.run_until(5e-6)
+        assert order == ["a", "b", "c"]
+        assert kernel.processed_events == 3
+        assert kernel.now == pytest.approx(5e-6)
+
+    def test_simultaneous_events_keep_insertion_order(self):
+        kernel = EventKernel()
+        order = []
+        kernel.schedule(1e-6, lambda t: order.append(1))
+        kernel.schedule(1e-6, lambda t: order.append(2))
+        kernel.run_until(1e-6)
+        assert order == [1, 2]
+
+    def test_cannot_schedule_in_the_past(self):
+        kernel = EventKernel()
+        kernel.schedule(1e-6, lambda t: None)
+        kernel.run_until(2e-6)
+        with pytest.raises(ValueError):
+            kernel.schedule(1e-6, lambda t: None)
+
+    def test_run_until_only_processes_due_events(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1e-6, lambda t: fired.append(t))
+        kernel.schedule(10e-6, lambda t: fired.append(t))
+        kernel.run_until(5e-6)
+        assert fired == [1e-6]
+        assert kernel.pending_events == 1
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = EventKernel()
+        fired = []
+        event = kernel.schedule(1e-6, lambda t: fired.append(t))
+        event.cancel()
+        kernel.run_until(2e-6)
+        assert fired == []
+
+    def test_schedule_after(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_after(2e-6, lambda t: fired.append(t))
+        kernel.run_until(3e-6)
+        assert fired == [pytest.approx(2e-6)]
+        with pytest.raises(ValueError):
+            kernel.schedule_after(-1e-6, lambda t: None)
+
+    def test_run_all_safety_limit(self):
+        kernel = EventKernel()
+
+        def reschedule(time):
+            kernel.schedule(time + 1e-9, reschedule)
+
+        kernel.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            kernel.run_all(safety_limit=100)
+
+    def test_run_until_past_rejected(self):
+        kernel = EventKernel()
+        kernel.run_until(1e-6)
+        with pytest.raises(ValueError):
+            kernel.run_until(0.5e-6)
+
+
+class TestPeriodicTask:
+    def test_fires_at_period(self):
+        kernel = EventKernel()
+        times = []
+        PeriodicTask(kernel, period=1e-6, callback=times.append)
+        kernel.run_until(4.5e-6)
+        assert len(times) == 5  # t = 0, 1, 2, 3, 4 us
+        assert times[1] == pytest.approx(1e-6)
+
+    def test_two_clock_domains_interleave(self):
+        kernel = EventKernel()
+        log = []
+        PeriodicTask(kernel, period=1e-6, callback=lambda t: log.append(("slow", t)))
+        PeriodicTask(kernel, period=0.25e-6, callback=lambda t: log.append(("fast", t)))
+        kernel.run_until(2e-6)
+        fast_count = sum(1 for kind, _ in log if kind == "fast")
+        slow_count = sum(1 for kind, _ in log if kind == "slow")
+        assert fast_count == 9
+        assert slow_count == 3
+
+    def test_stop_prevents_future_firing(self):
+        kernel = EventKernel()
+        times = []
+        task = PeriodicTask(kernel, period=1e-6, callback=times.append)
+        kernel.run_until(2.5e-6)
+        task.stop()
+        kernel.run_until(10e-6)
+        assert len(times) == 3
+        assert not task.active
+        assert task.ticks == 3
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(EventKernel(), period=0.0, callback=lambda t: None)

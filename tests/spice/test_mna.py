@@ -1,0 +1,292 @@
+"""Tests of the analog MNA substrate: components, DC and transient analyses."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import (
+    Circuit,
+    CircuitError,
+    TransientOptions,
+    Waveform,
+    dc_operating_point,
+    transient,
+)
+
+
+def voltage_divider(r_top=1e3, r_bottom=3e3, source=1.0) -> Circuit:
+    circuit = Circuit("divider")
+    circuit.voltage_source("vin", "in", "0", source)
+    circuit.resistor("r1", "in", "mid", r_top)
+    circuit.resistor("r2", "mid", "0", r_bottom)
+    return circuit
+
+
+class TestCircuitConstruction:
+    def test_duplicate_component_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.resistor("r1", "a", "0", 2.0)
+
+    def test_component_lookup(self):
+        circuit = voltage_divider()
+        assert circuit.component("r1").resistance == pytest.approx(1e3)
+        with pytest.raises(CircuitError):
+            circuit.component("nope")
+
+    def test_node_names_exclude_ground(self):
+        circuit = voltage_divider()
+        assert set(circuit.node_names()) == {"in", "mid"}
+
+    def test_size_counts_branches(self):
+        circuit = voltage_divider()
+        circuit.inductor("l1", "mid", "0", 1e-6)
+        # two nodes + one vsource branch + one inductor branch
+        assert circuit.size() == 4
+
+    def test_validate_requires_ground(self):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "b", 1.0)
+        circuit.voltage_source("v1", "a", "b", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_validate_requires_source(self):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_component_value_validation(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.resistor("r", "a", "0", -1.0)
+        with pytest.raises(ValueError):
+            circuit.capacitor("c", "a", "0", 0.0)
+        with pytest.raises(ValueError):
+            circuit.inductor("l", "a", "0", -1e-6)
+        with pytest.raises(ValueError):
+            circuit.switch("s", "a", "0", lambda t: True, on_resistance=10.0,
+                           off_resistance=1.0)
+
+
+class TestDcAnalysis:
+    def test_voltage_divider(self):
+        op = dc_operating_point(voltage_divider())
+        assert op.voltage("mid") == pytest.approx(0.75)
+        assert op.voltage("in") == pytest.approx(1.0)
+        assert op.voltage("0") == 0.0
+
+    def test_source_current(self):
+        op = dc_operating_point(voltage_divider())
+        assert op.current("vin") == pytest.approx(-1.0 / 4e3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        circuit.current_source("i1", "0", "out", 1e-3)
+        circuit.resistor("r1", "out", "0", 2e3)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(2.0)
+
+    def test_behavioral_load_fixed_point(self):
+        circuit = Circuit()
+        circuit.voltage_source("v1", "in", "0", 1.0)
+        circuit.resistor("r1", "in", "out", 1e3)
+        circuit.behavioral_load("load", "out", lambda v: v / 1e3)
+        op = dc_operating_point(circuit)
+        # Equivalent to a 1k/1k divider.
+        assert op.voltage("out") == pytest.approx(0.5, abs=0.01)
+
+    def test_unknown_node_raises(self):
+        op = dc_operating_point(voltage_divider())
+        with pytest.raises(KeyError):
+            op.voltage("nope")
+        with pytest.raises(KeyError):
+            op.current("r1")
+
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_divider_ratio_property(self, r_top_k, r_bottom_k):
+        circuit = voltage_divider(r_top_k * 1e3, r_bottom_k * 1e3, 1.0)
+        op = dc_operating_point(circuit)
+        expected = r_bottom_k / (r_top_k + r_bottom_k)
+        assert op.voltage("mid") == pytest.approx(expected, rel=1e-6)
+
+
+class TestTransientAnalysis:
+    def test_rc_step_response(self):
+        circuit = Circuit("rc")
+        circuit.voltage_source("vin", "in", "0", 1.0)
+        circuit.resistor("r1", "in", "out", 1e3)
+        circuit.capacitor("c1", "out", "0", 1e-6)
+        result = transient(circuit, TransientOptions(stop_time=5e-3, time_step=5e-6))
+        wave = result.voltage("out")
+        tau = 1e-3
+        assert wave.at(tau) == pytest.approx(1 - math.exp(-1), abs=0.02)
+        assert wave.final_value() == pytest.approx(1.0, abs=0.01)
+
+    def test_rl_current_ramp(self):
+        circuit = Circuit("rl")
+        circuit.voltage_source("vin", "in", "0", 1.0)
+        circuit.resistor("r1", "in", "mid", 10.0)
+        circuit.inductor("l1", "mid", "0", 1e-3)
+        result = transient(circuit, TransientOptions(stop_time=1e-3, time_step=1e-6))
+        current = result.current("l1")
+        # Time constant L/R = 100 us; final current 100 mA.
+        assert current.final_value() == pytest.approx(0.1, rel=0.02)
+        assert current.at(1e-4) == pytest.approx(0.1 * (1 - math.exp(-1)), rel=0.05)
+
+    def test_trapezoidal_matches_backward_euler_for_rc(self):
+        def run(method):
+            circuit = Circuit("rc")
+            circuit.voltage_source("vin", "in", "0", 1.0)
+            circuit.resistor("r1", "in", "out", 1e3)
+            circuit.capacitor("c1", "out", "0", 1e-6)
+            options = TransientOptions(
+                stop_time=3e-3, time_step=1e-5, method=method
+            )
+            return transient(circuit, options).voltage("out").at(1e-3)
+
+        assert run("backward-euler") == pytest.approx(run("trapezoidal"), abs=0.02)
+
+    def test_lc_oscillation_frequency(self):
+        circuit = Circuit("lc")
+        circuit.current_source("i1", "0", "out", lambda t: 0.0)
+        circuit.capacitor("c1", "out", "0", 1e-6, initial_voltage=1.0)
+        circuit.inductor("l1", "out", "0", 1e-3)
+        result = transient(
+            circuit,
+            TransientOptions(stop_time=2e-3, time_step=5e-7, method="trapezoidal"),
+        )
+        wave = result.voltage("out")
+        crossings = wave.crossings(0.0, rising=True)
+        assert len(crossings) >= 2
+        measured_period = crossings[1] - crossings[0]
+        expected_period = 2 * math.pi * math.sqrt(1e-3 * 1e-6)
+        assert measured_period == pytest.approx(expected_period, rel=0.05)
+
+    def test_switch_toggles_output(self):
+        circuit = Circuit("switched")
+        circuit.voltage_source("vin", "in", "0", 1.0)
+        circuit.switch("s1", "in", "out", lambda t: t > 0.5e-3, on_resistance=1.0)
+        circuit.resistor("rl", "out", "0", 1e3)
+        result = transient(circuit, TransientOptions(stop_time=1e-3, time_step=1e-5))
+        wave = result.voltage("out")
+        assert wave.at(0.3e-3) < 0.01
+        assert wave.at(0.9e-3) > 0.95
+
+    def test_pwm_source_average(self):
+        duty = 0.25
+        period = 1e-5
+        circuit = Circuit("pwm-rc")
+        circuit.voltage_source(
+            "vin", "in", "0", lambda t: 1.0 if (t % period) < duty * period else 0.0
+        )
+        circuit.resistor("r1", "in", "out", 1e3)
+        circuit.capacitor("c1", "out", "0", 1e-6)
+        result = transient(
+            circuit, TransientOptions(stop_time=2e-2, time_step=2e-7, store_every=10)
+        )
+        wave = result.voltage("out")
+        assert wave.final_value(0.2) == pytest.approx(duty, abs=0.03)
+
+    def test_progress_callback_invoked(self):
+        circuit = voltage_divider()
+        calls = []
+        transient(
+            circuit,
+            TransientOptions(stop_time=1e-4, time_step=1e-5),
+            progress=lambda t, x: calls.append(t),
+        )
+        assert len(calls) == 10
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            TransientOptions(stop_time=0.0, time_step=1e-6)
+        with pytest.raises(ValueError):
+            TransientOptions(stop_time=1e-3, time_step=2e-3)
+        with pytest.raises(ValueError):
+            TransientOptions(stop_time=1e-3, time_step=1e-6, method="euler")
+
+    def test_initial_solution_shape_checked(self):
+        circuit = voltage_divider()
+        with pytest.raises(CircuitError):
+            transient(
+                circuit,
+                TransientOptions(stop_time=1e-4, time_step=1e-5),
+                initial_solution=np.zeros(99),
+            )
+
+    def test_unknown_node_in_result(self):
+        circuit = voltage_divider()
+        result = transient(circuit, TransientOptions(stop_time=1e-4, time_step=1e-5))
+        with pytest.raises(KeyError):
+            result.voltage("ghost")
+        assert result.voltage("0").values.max() == 0.0
+
+
+class TestWaveform:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            Waveform(np.array([1.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_average_and_ripple(self):
+        times = np.linspace(0, 1, 101)
+        values = np.where(times < 0.5, 0.0, 1.0)
+        wave = Waveform(times, values)
+        assert wave.average() == pytest.approx(0.5, abs=0.02)
+        assert wave.ripple() == pytest.approx(1.0)
+        assert wave.minmax() == (0.0, 1.0)
+
+    def test_settling_time(self):
+        times = np.linspace(0, 1, 1001)
+        values = 1 - np.exp(-times / 0.1)
+        wave = Waveform(times, values)
+        settle = wave.settling_time(target=1.0, tolerance=0.02)
+        assert settle == pytest.approx(0.1 * math.log(1 / 0.02), abs=0.02)
+
+    def test_settling_time_none_when_never_settles(self):
+        times = np.linspace(0, 1, 100)
+        wave = Waveform(times, np.sin(20 * times))
+        assert wave.settling_time(target=2.0, tolerance=0.1) is None
+
+    def test_crossings_direction(self):
+        times = np.linspace(0, 1, 1001)
+        wave = Waveform(times, np.sin(2 * np.pi * 2 * (times - 0.05)))
+        rising = wave.crossings(0.0, rising=True)
+        falling = wave.crossings(0.0, rising=False)
+        assert len(rising) == 2
+        assert len(falling) == 2
+        assert rising[0] == pytest.approx(0.05, abs=0.01)
+
+    def test_window_and_at(self):
+        times = np.linspace(0, 1, 11)
+        wave = Waveform(times, times * 2)
+        assert wave.at(0.55) == pytest.approx(1.1)
+        sub = wave.window(0.2, 0.6)
+        assert sub.start_time >= 0.2
+        assert sub.end_time <= 0.6
+        with pytest.raises(ValueError):
+            wave.window(0.6, 0.2)
+
+    def test_slew_rate(self):
+        times = np.linspace(0, 1, 11)
+        wave = Waveform(times, times * 3.0)
+        assert wave.slew_rate() == pytest.approx(3.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolation_within_bounds(self, at):
+        times = np.linspace(0, 1, 21)
+        wave = Waveform(times, np.cos(times))
+        value = wave.at(at)
+        assert wave.values.min() - 1e-9 <= value <= wave.values.max() + 1e-9

@@ -1,0 +1,147 @@
+"""Tests of the workload (arrival + sample stream) generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import chirp_samples, sine_with_noise, step_samples
+from repro.workloads.traffic import (
+    BurstyArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+    SteppedArrivals,
+    trace_arrivals,
+)
+
+
+class TestConstantArrivals:
+    def test_average_rate_delivered(self):
+        arrivals = ConstantArrivals(rate=3.3e5)
+        counts = trace_arrivals(arrivals, period=1e-6, cycles=10_000)
+        assert sum(counts) == pytest.approx(3.3e5 * 1e-2, rel=0.01)
+
+    def test_fractional_rates_accumulate(self):
+        arrivals = ConstantArrivals(rate=0.5e6)
+        counts = trace_arrivals(arrivals, period=1e-6, cycles=10)
+        assert sum(counts) == 5
+
+    def test_zero_rate(self):
+        arrivals = ConstantArrivals(rate=0.0)
+        assert sum(trace_arrivals(arrivals, 1e-6, 100)) == 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(rate=-1.0)
+
+
+class TestSteppedArrivals:
+    def test_rate_changes_at_step_times(self):
+        arrivals = SteppedArrivals(steps=[(0.0, 1e5), (5e-4, 4e5)])
+        assert arrivals.rate_at(1e-4) == pytest.approx(1e5)
+        assert arrivals.rate_at(6e-4) == pytest.approx(4e5)
+
+    def test_total_counts_reflect_steps(self):
+        arrivals = SteppedArrivals(steps=[(0.0, 1e5), (5e-4, 4e5)])
+        counts = trace_arrivals(arrivals, period=1e-6, cycles=1000)
+        first_half = sum(counts[:500])
+        second_half = sum(counts[500:])
+        assert second_half > 3 * first_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SteppedArrivals(steps=[])
+        with pytest.raises(ValueError):
+            SteppedArrivals(steps=[(1.0, 1e5), (0.0, 2e5)])
+        with pytest.raises(ValueError):
+            SteppedArrivals(steps=[(0.0, -1e5)])
+
+    def test_average_rate(self):
+        arrivals = SteppedArrivals(steps=[(0.0, 1e5), (1.0, 3e5)])
+        assert arrivals.average_rate() == pytest.approx(2e5)
+
+
+class TestBurstyArrivals:
+    def test_burst_and_idle_phases(self):
+        arrivals = BurstyArrivals(
+            burst_rate=1e6, burst_duration=1e-4, idle_duration=4e-4
+        )
+        assert arrivals.in_burst(0.5e-4)
+        assert not arrivals.in_burst(3e-4)
+        assert arrivals.cycle_duration == pytest.approx(5e-4)
+
+    def test_idle_produces_nothing(self):
+        arrivals = BurstyArrivals(
+            burst_rate=1e6, burst_duration=1e-4, idle_duration=4e-4
+        )
+        counts = trace_arrivals(arrivals, period=1e-6, cycles=500)
+        assert sum(counts[120:480]) == 0
+        assert sum(counts[:100]) == pytest.approx(100, abs=2)
+
+    def test_average_rate(self):
+        arrivals = BurstyArrivals(
+            burst_rate=1e6, burst_duration=1e-4, idle_duration=4e-4
+        )
+        assert arrivals.average_rate() == pytest.approx(2e5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_rate=-1, burst_duration=1e-4, idle_duration=0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_rate=1e6, burst_duration=0, idle_duration=1e-4)
+
+
+class TestPoissonArrivals:
+    def test_reproducible(self):
+        a = trace_arrivals(PoissonArrivals(rate=2e5, seed=1), 1e-6, 200)
+        b = trace_arrivals(PoissonArrivals(rate=2e5, seed=1), 1e-6, 200)
+        assert a == b
+
+    def test_mean_close_to_rate(self):
+        counts = trace_arrivals(PoissonArrivals(rate=5e5, seed=2), 1e-6, 20_000)
+        assert np.mean(counts) == pytest.approx(0.5, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-1.0)
+        with pytest.raises(ValueError):
+            trace_arrivals(PoissonArrivals(rate=1.0), 0.0, 10)
+
+
+class TestSampleStreams:
+    def test_sine_with_noise_reproducible(self):
+        a = sine_with_noise(count=128, seed=9)
+        b = sine_with_noise(count=128, seed=9)
+        assert np.allclose(a.samples, b.samples)
+        assert len(a) == 128
+        assert a.duration == pytest.approx(128 / 16e3)
+
+    def test_sine_bounded(self):
+        stream = sine_with_noise(count=512, amplitude=0.9, noise_amplitude=0.3)
+        assert np.all(np.abs(stream.samples) <= 1.0)
+        assert 0.3 < stream.rms() < 0.9
+
+    def test_chirp_sweeps_frequency(self):
+        stream = chirp_samples(count=1024)
+        early = np.abs(np.diff(stream.samples[:100])).mean()
+        late = np.abs(np.diff(stream.samples[-100:])).mean()
+        assert late > 2 * early
+
+    def test_step_stream(self):
+        stream = step_samples(count=100, step_index=50, low=-0.5, high=0.5)
+        assert stream.samples[0] == pytest.approx(-0.5)
+        assert stream.samples[-1] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            step_samples(count=10, step_index=20)
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            sine_with_noise(count=0)
+        with pytest.raises(ValueError):
+            sine_with_noise(amplitude=2.0)
+
+    @given(st.integers(min_value=8, max_value=256))
+    @settings(max_examples=20, deadline=None)
+    def test_stream_iterates_all_samples(self, count):
+        stream = sine_with_noise(count=count)
+        assert len(list(stream)) == count
