@@ -1,0 +1,162 @@
+"""Engine throughput bench: scalar loops versus the batched engine.
+
+Records two headline numbers into ``BENCH_engine.json`` at the repo
+root:
+
+* closed-loop controller throughput — system die-cycles per second for
+  the legacy scalar loop (one die) versus the batched engine (a Monte
+  Carlo fleet of dies advancing together), and
+* Monte Carlo MEP analysis throughput — samples per second for the
+  seed's per-sample solve loop versus the single ``(N, S)`` energy-grid
+  evaluation.
+
+The acceptance bar of the ``repro.engine`` refactor is a >= 10x speedup
+of the 256-sample Monte Carlo MEP analysis, asserted here so CI catches
+a regression of the vectorised path.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.monte_carlo import monte_carlo_mep
+from repro.circuits.loads import DigitalLoad
+from repro.core.controller import AdaptiveController
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler
+from repro.engine import BatchEngine, BatchPopulation
+from repro.workloads import ConstantArrivals
+from repro.workloads.batch import constant_arrival_matrix
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+MC_SAMPLES = 256
+CONTROLLER_CYCLES = 400
+FLEET_SIZE = 512
+ARRIVAL_RATE = 1e5
+SYSTEM_PERIOD = 1e-6
+
+
+def _best_of(callable_, repeats=3):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+@pytest.fixture(scope="module")
+def reference_lut(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    return program_lut_for_load(reference_load, sample_rate=1e5)
+
+
+@pytest.fixture(scope="module")
+def bench_results(library, reference_lut):
+    """Time all four configurations once and persist the JSON record."""
+    # --- Monte Carlo MEP analysis: per-sample loop vs batched grid ----
+    monte_carlo_mep(samples=4, library=library, method="scalar")
+    monte_carlo_mep(samples=4, library=library, method="batched")
+    scalar_mc = _best_of(
+        lambda: monte_carlo_mep(
+            samples=MC_SAMPLES, library=library, method="scalar"
+        )
+    )
+    batched_mc = _best_of(
+        lambda: monte_carlo_mep(
+            samples=MC_SAMPLES, library=library, method="batched"
+        )
+    )
+
+    # --- Closed-loop controller: scalar loop vs batched fleet ---------
+    def scalar_controller():
+        controller = AdaptiveController(
+            load=DigitalLoad(
+                library.ring_oscillator_load, library.delay_model()
+            ),
+            lut=program_lut_for_load(
+                DigitalLoad(
+                    library.ring_oscillator_load,
+                    library.reference_delay_model,
+                ),
+                sample_rate=1e5,
+            ),
+            reference_delay_model=library.reference_delay_model,
+        )
+        controller.run_reference(
+            ConstantArrivals(ARRIVAL_RATE), CONTROLLER_CYCLES
+        )
+
+    samples = MonteCarloSampler(seed=17).draw_arrays(FLEET_SIZE)
+    population = BatchPopulation.from_samples(library, samples)
+    arrivals = constant_arrival_matrix(
+        np.full(FLEET_SIZE, ARRIVAL_RATE), SYSTEM_PERIOD, CONTROLLER_CYCLES
+    )
+
+    def batched_fleet():
+        engine = BatchEngine(population, lut=reference_lut)
+        engine.run(arrivals, CONTROLLER_CYCLES)
+
+    scalar_loop = _best_of(scalar_controller)
+    batched_loop = _best_of(batched_fleet)
+
+    results = {
+        "monte_carlo_mep": {
+            "samples": MC_SAMPLES,
+            "scalar_seconds": scalar_mc,
+            "batched_seconds": batched_mc,
+            "scalar_samples_per_second": MC_SAMPLES / scalar_mc,
+            "batched_samples_per_second": MC_SAMPLES / batched_mc,
+            "speedup": scalar_mc / batched_mc,
+        },
+        "closed_loop": {
+            "system_cycles": CONTROLLER_CYCLES,
+            "fleet_size": FLEET_SIZE,
+            "scalar_cycles_per_second": CONTROLLER_CYCLES / scalar_loop,
+            "batched_die_cycles_per_second": (
+                FLEET_SIZE * CONTROLLER_CYCLES / batched_loop
+            ),
+            "throughput_gain": (
+                (FLEET_SIZE * CONTROLLER_CYCLES / batched_loop)
+                / (CONTROLLER_CYCLES / scalar_loop)
+            ),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_engine_throughput_recorded(bench_results):
+    mc = bench_results["monte_carlo_mep"]
+    loop = bench_results["closed_loop"]
+    print("\nEngine throughput (recorded in BENCH_engine.json)")
+    print(
+        f"  Monte Carlo MEP ({mc['samples']} samples): "
+        f"{mc['scalar_samples_per_second']:8.0f} samples/s scalar vs "
+        f"{mc['batched_samples_per_second']:8.0f} samples/s batched "
+        f"({mc['speedup']:.1f}x)"
+    )
+    print(
+        f"  Closed loop: {loop['scalar_cycles_per_second']:8.0f} cycles/s "
+        f"scalar vs {loop['batched_die_cycles_per_second']:8.0f} "
+        f"die-cycles/s batched over {loop['fleet_size']} dies "
+        f"({loop['throughput_gain']:.0f}x)"
+    )
+    assert RESULT_PATH.exists()
+    assert json.loads(RESULT_PATH.read_text())
+
+
+def test_batched_monte_carlo_meets_speedup_bar(bench_results):
+    """Acceptance: >= 10x over the seed's per-sample Monte Carlo loop."""
+    assert bench_results["monte_carlo_mep"]["speedup"] >= 10.0
+
+
+def test_batched_fleet_outscales_scalar_controller(bench_results):
+    """The fleet must deliver far more die-cycles/s than one scalar die."""
+    assert bench_results["closed_loop"]["throughput_gain"] >= 10.0

@@ -14,6 +14,7 @@ Package layout
 ``repro.spice``      numpy MNA analog simulator (DC-DC power stage)
 ``repro.digital``    FIFO, counters, encoders, event kernel
 ``repro.core``       the adaptive controller (TDC, DC-DC, rate control)
+``repro.engine``     batched struct-of-arrays simulation engine
 ``repro.analysis``   figure/table sweeps, Monte Carlo, energy savings
 ``repro.workloads``  input-traffic and sample-stream generators
 

@@ -94,6 +94,7 @@ def monte_carlo_mep(
     corner: str = "TT",
     temperature_c: float = ROOM_TEMPERATURE_C,
     seed: int = 2009,
+    method: str = "batched",
 ) -> MonteCarloSummary:
     """Run a Monte Carlo MEP analysis.
 
@@ -101,9 +102,17 @@ def monte_carlo_mep(
     the uncompensated design operates at the nominal (no-variation) MEP
     code, the compensated design at the sample's own MEP code — the same
     single-LSB-granularity decision the adaptive controller makes.
+
+    ``method="batched"`` (the default) evaluates one
+    ``(N_samples, N_supplies)`` energy surface through the vectorised
+    :mod:`repro.engine` math; ``method="scalar"`` keeps the original
+    per-sample solve, preserved as the throughput-bench baseline and the
+    parity reference.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
+    if method not in ("batched", "scalar"):
+        raise ValueError("method must be 'batched' or 'scalar'")
     library = library or default_library()
     load = load or library.ring_oscillator_load
     nominal_condition = OperatingCondition(
@@ -117,6 +126,91 @@ def monte_carlo_mep(
     nominal_supply_q = code_to_voltage(nominal_code)
 
     sampler = MonteCarloSampler(variation or VariationModel(), seed=seed)
+    if method == "batched":
+        results = _monte_carlo_batched(
+            sampler, samples, library, load, corner, temperature_c,
+            nominal_supply_q,
+        )
+    else:
+        results = _monte_carlo_scalar(
+            sampler, samples, library, load, corner, temperature_c,
+            nominal_supply_q,
+        )
+    return MonteCarloSummary(results=results, nominal_mep=nominal_mep)
+
+
+def _monte_carlo_batched(
+    sampler: MonteCarloSampler,
+    samples: int,
+    library: SubthresholdLibrary,
+    load: LoadCharacteristics,
+    corner: str,
+    temperature_c: float,
+    nominal_supply_q: float,
+) -> List[MonteCarloResult]:
+    """One vectorised energy-grid pass over the whole sample population."""
+    from repro.delay.mep import DEFAULT_SUPPLY_GRID, MepPoint, refine_minima_grid
+    from repro.engine.device_math import BatchDeviceSet, BatchEnergyModel
+
+    batch = sampler.draw_arrays(samples)
+    technology = library.technology_at(
+        OperatingCondition(corner=corner, temperature_c=temperature_c)
+    )
+    devices = BatchDeviceSet.from_technology(
+        technology,
+        library.reference_delay_model.delay_constant,
+        nmos_vth_shifts=batch.nmos_vth_shift,
+        pmos_vth_shifts=batch.pmos_vth_shift,
+    )
+    model = BatchEnergyModel(devices, load)
+    grid = DEFAULT_SUPPLY_GRID
+    surface = model.total_energy(
+        np.broadcast_to(grid, (samples, grid.size)), temperature_c
+    )
+    v_opt, e_min = refine_minima_grid(grid, surface)
+    # Quantise each die's MEP onto the 18.75 mV DC-DC grid (vectorised
+    # voltage_to_code / code_to_voltage round trip).
+    from repro.devices.technology import DCDC_RESOLUTION_BITS, NOMINAL_SUPPLY_V
+
+    levels = 1 << DCDC_RESOLUTION_BITS
+    codes = np.clip(
+        np.rint(v_opt * levels / NOMINAL_SUPPLY_V).astype(np.int64),
+        0,
+        levels - 1,
+    )
+    compensated_supplies = codes * NOMINAL_SUPPLY_V / levels
+    uncompensated = model.total_energy(
+        np.full(samples, nominal_supply_q), temperature_c
+    )
+    compensated = model.total_energy(compensated_supplies, temperature_c)
+    return [
+        MonteCarloResult(
+            index=int(batch.indices[i]),
+            nmos_vth_shift=float(batch.nmos_vth_shift[i]),
+            pmos_vth_shift=float(batch.pmos_vth_shift[i]),
+            mep=MepPoint(
+                optimal_supply=float(v_opt[i]),
+                minimum_energy=float(e_min[i]),
+                temperature_c=temperature_c,
+                label=f"mc-{int(batch.indices[i])}",
+            ),
+            uncompensated_energy=float(uncompensated[i]),
+            compensated_energy=float(compensated[i]),
+        )
+        for i in range(samples)
+    ]
+
+
+def _monte_carlo_scalar(
+    sampler: MonteCarloSampler,
+    samples: int,
+    library: SubthresholdLibrary,
+    load: LoadCharacteristics,
+    corner: str,
+    temperature_c: float,
+    nominal_supply_q: float,
+) -> List[MonteCarloResult]:
+    """The original one-die-at-a-time loop (bench baseline / parity ref)."""
     results: List[MonteCarloResult] = []
     for sample in sampler.draw(samples):
         condition = OperatingCondition(
@@ -146,4 +240,4 @@ def monte_carlo_mep(
                 ),
             )
         )
-    return MonteCarloSummary(results=results, nominal_mep=nominal_mep)
+    return results

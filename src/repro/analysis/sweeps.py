@@ -23,7 +23,6 @@ from repro.delay.mep import (
     MepPoint,
     MepSweep,
     energy_spread_percent,
-    sweep_energy,
     vopt_spread_percent,
 )
 from repro.devices.temperature import ROOM_TEMPERATURE_C
@@ -131,6 +130,36 @@ class DelaySweepResult:
         return float(100.0 * (lowered - nominal) / nominal)
 
 
+def _batched_sweeps(
+    library: SubthresholdLibrary,
+    conditions: Sequence[OperatingCondition],
+    load: LoadCharacteristics,
+    labels: Sequence[str],
+    supplies: Optional[np.ndarray],
+    temperature_c,
+) -> Sequence[MepSweep]:
+    """Evaluate many bathtub sweeps as one (N, S) energy-grid pass."""
+    from repro.delay.mep import DEFAULT_SUPPLY_GRID, find_minimum_energy_points
+    from repro.engine.mep import batch_energy_model, batched_energy_surface
+
+    grid = np.asarray(
+        DEFAULT_SUPPLY_GRID if supplies is None else supplies, dtype=float
+    )
+    model = batch_energy_model(library, conditions, load)
+    # batched_energy_surface validates the grid (1-D, >= 3 points, > 0).
+    surface = batched_energy_surface(model, grid, temperature_c)
+    minima = find_minimum_energy_points(grid, surface, temperature_c, labels)
+    return [
+        MepSweep(
+            supplies=grid,
+            energies=surface[i],
+            minimum=minima[i],
+            label=labels[i],
+        )
+        for i in range(len(conditions))
+    ]
+
+
 def corner_energy_sweep(
     library: Optional[SubthresholdLibrary] = None,
     corners: Sequence[str] = FIG1_CORNERS,
@@ -139,19 +168,23 @@ def corner_energy_sweep(
     temperature_c: float = ROOM_TEMPERATURE_C,
     supplies: Optional[np.ndarray] = None,
 ) -> CornerSweepResult:
-    """Regenerate Fig. 1: MEP versus process corner."""
+    """Regenerate Fig. 1: MEP versus process corner.
+
+    All corners are evaluated in one vectorised ``(corners, supplies)``
+    energy-grid pass through :mod:`repro.engine`.
+    """
     library = library or default_library()
     base_load = load or library.ring_oscillator_load
     base_load = base_load.with_activity(switching_activity)
-    sweeps: Dict[str, MepSweep] = {}
-    for corner in corners:
-        condition = OperatingCondition(corner=corner, temperature_c=temperature_c)
-        model = library.energy_model(condition, base_load)
-        sweeps[corner] = sweep_energy(
-            model, supplies=supplies, temperature_c=temperature_c, label=corner
-        )
+    conditions = [
+        OperatingCondition(corner=corner, temperature_c=temperature_c)
+        for corner in corners
+    ]
+    batched = _batched_sweeps(
+        library, conditions, base_load, list(corners), supplies, temperature_c
+    )
     return CornerSweepResult(
-        sweeps=sweeps,
+        sweeps=dict(zip(corners, batched)),
         switching_activity=switching_activity,
         temperature_c=temperature_c,
     )
@@ -165,22 +198,32 @@ def temperature_energy_sweep(
     switching_activity: float = 0.1,
     supplies: Optional[np.ndarray] = None,
 ) -> TemperatureSweepResult:
-    """Regenerate Fig. 2: MEP versus temperature."""
+    """Regenerate Fig. 2: MEP versus temperature.
+
+    One batched energy-grid pass with a per-row temperature vector.
+    """
     library = library or default_library()
     base_load = load or library.ring_oscillator_load
     base_load = base_load.with_activity(switching_activity)
-    sweeps: Dict[float, MepSweep] = {}
-    for temperature in temperatures:
-        condition = OperatingCondition(corner=corner, temperature_c=temperature)
-        model = library.energy_model(condition, base_load)
-        sweeps[float(temperature)] = sweep_energy(
-            model,
-            supplies=supplies,
-            temperature_c=temperature,
-            label=f"T={temperature:g}C",
-        )
+    conditions = [
+        OperatingCondition(corner=corner, temperature_c=temperature)
+        for temperature in temperatures
+    ]
+    batched = _batched_sweeps(
+        library,
+        conditions,
+        base_load,
+        [f"T={temperature:g}C" for temperature in temperatures],
+        supplies,
+        np.asarray(temperatures, dtype=float),
+    )
     return TemperatureSweepResult(
-        sweeps=sweeps, corner=corner, switching_activity=switching_activity
+        sweeps={
+            float(temperature): sweep
+            for temperature, sweep in zip(temperatures, batched)
+        },
+        corner=corner,
+        switching_activity=switching_activity,
     )
 
 
@@ -192,20 +235,36 @@ def delay_sweep(
     stage: StageKind = StageKind.NAND2,
     stages_on_path: int = 1,
 ) -> DelaySweepResult:
-    """Regenerate Fig. 3: delay versus supply per corner."""
+    """Regenerate Fig. 3: delay versus supply per corner.
+
+    All corners are evaluated as one ``(corners, supplies)`` batched
+    propagation-delay pass.
+    """
+    from repro.engine.device_math import BatchDeviceSet
+
     library = library or default_library()
     grid = (
         np.linspace(0.1, 1.2, 111) if supplies is None
         else np.asarray(supplies, dtype=float)
     )
-    delays: Dict[str, np.ndarray] = {}
-    for corner in corners:
-        condition = OperatingCondition(corner=corner, temperature_c=temperature_c)
-        model = library.delay_model(condition)
-        per_stage = model.propagation_delay(
-            stage, grid, temperature_c=temperature_c, load_stage=stage
-        )
-        delays[corner] = np.asarray(per_stage) * stages_on_path
+    conditions = [
+        OperatingCondition(corner=corner, temperature_c=temperature_c)
+        for corner in corners
+    ]
+    devices = BatchDeviceSet.from_technologies(
+        [library.technology_at(condition) for condition in conditions],
+        library.reference_delay_model.delay_constant,
+    )
+    per_stage = devices.propagation_delay(
+        stage,
+        np.broadcast_to(grid, (len(conditions), grid.size)),
+        temperature_c=temperature_c,
+        load_stage=stage,
+    )
+    delays: Dict[str, np.ndarray] = {
+        corner: per_stage[i] * stages_on_path
+        for i, corner in enumerate(corners)
+    }
     return DelaySweepResult(
         supplies=grid, delays=delays, temperature_c=temperature_c
     )

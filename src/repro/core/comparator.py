@@ -58,6 +58,19 @@ class DigitalComparator:
         """Return how many times each decision has been issued."""
         return dict(self._decisions)
 
+    def record_decisions(self, up: int = 0, hold: int = 0, down: int = 0) -> None:
+        """Fold externally-evaluated decisions into the counters.
+
+        The batched engine compares whole populations without touching
+        this object; the batch-of-one wrapper uses this to keep the
+        telemetry counters in sync with what the engine decided.
+        """
+        if min(up, hold, down) < 0:
+            raise ValueError("decision counts must be non-negative")
+        self._decisions[ComparatorDecision.UP] += int(up)
+        self._decisions[ComparatorDecision.HOLD] += int(hold)
+        self._decisions[ComparatorDecision.DOWN] += int(down)
+
     def compare(self, measured_code: int, desired_code: int) -> ComparisonResult:
         """Return the up/hold/down decision for one system cycle."""
         error = int(desired_code) - int(measured_code)

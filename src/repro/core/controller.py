@@ -16,12 +16,27 @@ The controller advances in system cycles (1 us with the published
 64 MHz / 6-bit configuration).  Each cycle it moves input samples into
 the FIFO, lets the load drain as many samples as its supply allows,
 regulates the DC-DC output one step, and accumulates load energy.
+
+Since the :mod:`repro.engine` refactor the cycle loop itself lives in
+the vectorised :class:`~repro.engine.engine.BatchEngine`; this class is
+a batch-of-one wrapper that seeds the engine from its component state,
+runs it, and hands the resulting state back to the scalar components:
+FIFO occupancy and statistics, LUT correction history, DC-DC registers
+and filter state, and comparator decision counters all end a run
+exactly where the legacy loop would leave them.  One deliberate
+exception: engine-backed runs do not append per-cycle
+``DcDcCycleRecord`` objects to ``controller.dcdc.records`` (that
+per-object telemetry is exactly the overhead the engine removes) —
+the returned :class:`ControllerTrace` carries the per-cycle telemetry
+instead.  The original pure-Python loops survive as
+:meth:`run_reference` / :meth:`run_schedule_reference` and pin down the
+engine's cycle-for-cycle parity in ``tests/engine``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +53,13 @@ from repro.digital.signals import code_to_voltage
 from repro.spice.waveform import Waveform
 
 ArrivalFunction = Callable[[float, float], int]
+
+_DECISION_TO_INT = {
+    ComparatorDecision.UP: 1,
+    ComparatorDecision.HOLD: 0,
+    ComparatorDecision.DOWN: -1,
+}
+_INT_TO_DECISION = {value: key for key, value in _DECISION_TO_INT.items()}
 
 
 @dataclass
@@ -56,50 +78,196 @@ class ControllerCycleRecord:
     decision: ComparatorDecision
 
 
-@dataclass
-class ControllerTrace:
-    """Full telemetry of a controller run."""
+_TRACE_COLUMNS = (
+    ("times", float),
+    ("queue_lengths", np.int64),
+    ("desired_codes", np.int64),
+    ("output_voltages", float),
+    ("duty_values", np.int64),
+    ("operations_completed", np.int64),
+    ("samples_dropped", np.int64),
+    ("energies", float),
+    ("lut_corrections", np.int64),
+    ("decisions", np.int8),
+)
 
-    records: List[ControllerCycleRecord] = field(default_factory=list)
+
+class ControllerTrace:
+    """Full telemetry of a controller run, stored as columnar arrays.
+
+    Telemetry is recorded once into preallocated numpy columns (one per
+    channel); every array-valued property returns the stored column
+    directly instead of rebuilding ``np.array([r.x for r in records])``
+    per access.  The legacy per-cycle :class:`ControllerCycleRecord` view
+    is materialised lazily through :attr:`records`.
+    """
+
+    def __init__(
+        self, records: Optional[Sequence[ControllerCycleRecord]] = None
+    ) -> None:
+        records = list(records) if records else []
+        self._columns: Dict[str, np.ndarray] = {
+            "times": np.array([r.time for r in records], dtype=float),
+            "queue_lengths": np.array(
+                [r.queue_length for r in records], dtype=np.int64
+            ),
+            "desired_codes": np.array(
+                [r.desired_code for r in records], dtype=np.int64
+            ),
+            "output_voltages": np.array(
+                [r.output_voltage for r in records], dtype=float
+            ),
+            "duty_values": np.array(
+                [r.duty_value for r in records], dtype=np.int64
+            ),
+            "operations_completed": np.array(
+                [r.operations_completed for r in records], dtype=np.int64
+            ),
+            "samples_dropped": np.array(
+                [r.samples_dropped for r in records], dtype=np.int64
+            ),
+            "energies": np.array(
+                [r.energy_joules for r in records], dtype=float
+            ),
+            "lut_corrections": np.array(
+                [r.lut_correction for r in records], dtype=np.int64
+            ),
+            "decisions": np.array(
+                [_DECISION_TO_INT[r.decision] for r in records], dtype=np.int8
+            ),
+        }
+        self._freeze()
+        self._records: Optional[Tuple[ControllerCycleRecord, ...]] = (
+            tuple(records) if records else None
+        )
+
+    @classmethod
+    def from_columns(cls, **columns: np.ndarray) -> "ControllerTrace":
+        """Build a trace directly from telemetry columns (no record objects)."""
+        trace = cls.__new__(cls)
+        length = None
+        store: Dict[str, np.ndarray] = {}
+        for name, dtype in _TRACE_COLUMNS:
+            if name not in columns:
+                raise ValueError(f"missing trace column {name!r}")
+            array = np.array(columns[name], dtype=dtype)
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise ValueError("trace columns must have equal length")
+            store[name] = array
+        trace._columns = store
+        trace._freeze()
+        trace._records = None
+        return trace
+
+    def _freeze(self) -> None:
+        """Mark the stored columns read-only.
+
+        The array properties hand out the stored columns directly (no
+        per-access rebuild), so in-place mutation by a caller would
+        corrupt the trace; freezing turns that into a loud ValueError.
+        Callers that want a scratch array take a ``.copy()``.
+        """
+        for column in self._columns.values():
+            column.setflags(write=False)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return int(self._columns["times"].shape[0])
+
+    # ------------------------------------------------------------------
+    # Columnar channels
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> Tuple[ControllerCycleRecord, ...]:
+        """Return the per-cycle record view (materialised lazily, cached).
+
+        Returned as a tuple: the columnar arrays are the single source of
+        truth, so appending to this view cannot silently desync it —
+        mutation attempts fail loudly instead.
+        """
+        if self._records is None:
+            c = self._columns
+            self._records = tuple(
+                ControllerCycleRecord(
+                    time=float(c["times"][i]),
+                    queue_length=int(c["queue_lengths"][i]),
+                    desired_code=int(c["desired_codes"][i]),
+                    output_voltage=float(c["output_voltages"][i]),
+                    duty_value=int(c["duty_values"][i]),
+                    operations_completed=int(c["operations_completed"][i]),
+                    samples_dropped=int(c["samples_dropped"][i]),
+                    energy_joules=float(c["energies"][i]),
+                    lut_correction=int(c["lut_corrections"][i]),
+                    decision=_INT_TO_DECISION[int(c["decisions"][i])],
+                )
+                for i in range(len(self))
+            )
+        return self._records
 
     @property
     def times(self) -> np.ndarray:
         """Return the per-cycle timestamps (seconds)."""
-        return np.array([r.time for r in self.records])
+        return self._columns["times"]
 
     @property
     def output_voltages(self) -> np.ndarray:
         """Return the DC-DC output voltage per cycle."""
-        return np.array([r.output_voltage for r in self.records])
+        return self._columns["output_voltages"]
 
     @property
     def desired_codes(self) -> np.ndarray:
         """Return the desired-voltage word per cycle."""
-        return np.array([r.desired_code for r in self.records])
+        return self._columns["desired_codes"]
 
     @property
     def queue_lengths(self) -> np.ndarray:
         """Return the FIFO queue length per cycle."""
-        return np.array([r.queue_length for r in self.records])
+        return self._columns["queue_lengths"]
 
+    @property
+    def duty_values(self) -> np.ndarray:
+        """Return the PWM duty register value per cycle."""
+        return self._columns["duty_values"]
+
+    @property
+    def operations(self) -> np.ndarray:
+        """Return the completed load operations per cycle."""
+        return self._columns["operations_completed"]
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Return the load energy per cycle (joules)."""
+        return self._columns["energies"]
+
+    @property
+    def lut_corrections(self) -> np.ndarray:
+        """Return the LUT correction in effect per cycle (LSBs)."""
+        return self._columns["lut_corrections"]
+
+    @property
+    def decisions(self) -> np.ndarray:
+        """Return the comparator decision per cycle encoded as +1/0/-1."""
+        return self._columns["decisions"]
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
     def voltage_waveform(self) -> Waveform:
         """Return the output voltage as a measurable waveform."""
         return Waveform(self.times, self.output_voltages, name="v_out")
 
     def total_energy(self) -> float:
         """Return the total load energy consumed (joules)."""
-        return float(sum(r.energy_joules for r in self.records))
+        return float(self._columns["energies"].sum())
 
     def total_operations(self) -> int:
         """Return how many load operations completed."""
-        return int(sum(r.operations_completed for r in self.records))
+        return int(self._columns["operations_completed"].sum())
 
     def total_drops(self) -> int:
         """Return how many input samples were lost to FIFO overflow."""
-        return int(sum(r.samples_dropped for r in self.records))
+        return int(self._columns["samples_dropped"].sum())
 
     def energy_per_operation(self) -> float:
         """Return the average energy per completed operation (joules)."""
@@ -110,23 +278,24 @@ class ControllerTrace:
 
     def final_voltage(self, cycles: int = 8) -> float:
         """Return the mean output voltage over the last ``cycles`` cycles."""
-        if not self.records:
+        if len(self) == 0:
             raise ValueError("trace is empty")
         tail = self.output_voltages[-cycles:]
         return float(tail.mean())
 
     def final_correction(self) -> int:
         """Return the LUT correction in effect at the end of the run."""
-        if not self.records:
+        if len(self) == 0:
             return 0
-        return self.records[-1].lut_correction
+        return int(self._columns["lut_corrections"][-1])
 
     def segment(self, start_time: float, stop_time: float) -> "ControllerTrace":
         """Return the sub-trace between two times."""
-        selected = [
-            r for r in self.records if start_time <= r.time <= stop_time
-        ]
-        return ControllerTrace(records=selected)
+        times = self._columns["times"]
+        mask = (times >= start_time) & (times <= stop_time)
+        return ControllerTrace.from_columns(
+            **{name: column[mask] for name, column in self._columns.items()}
+        )
 
 
 class AdaptiveController:
@@ -148,12 +317,14 @@ class AdaptiveController:
         self.lut = lut
         self.compensation_enabled = compensation_enabled
         self.nominal_throughput = nominal_throughput
+        self.reference_delay_model = reference_delay_model
         self.fifo = Fifo(depth=self.config.fifo_depth, name="input-fifo")
         self.rate_controller = RateController(lut)
         # The TDC delay replica sits on the *actual* silicon (same die as
         # the load); the calibration table is characterised on the design
         # reference corner.
         replica_model = sensor_delay_model or load.delay_model
+        self._replica_model = replica_model
         actual_tdc = TimeToDigitalConverter(
             replica_model, self.config.tdc, temperature_c=load.temperature_c
         )
@@ -252,7 +423,125 @@ class AdaptiveController:
             self._signature_votes.clear()
 
     # ------------------------------------------------------------------
-    # Run loops
+    # Engine delegation
+    # ------------------------------------------------------------------
+    def _make_engine(self):
+        """Build a batch-of-one engine seeded with this controller's state."""
+        from repro.engine.device_math import BatchDeviceSet
+        from repro.engine.engine import BatchEngine, BatchPopulation
+
+        population = BatchPopulation(
+            load=self.load.characteristics,
+            load_devices=BatchDeviceSet.from_delay_model(self.load.delay_model),
+            sensor_devices=BatchDeviceSet.from_delay_model(self._replica_model),
+            expected_counts=self.dcdc.calibration.expected_counts,
+            temperature_c=self.load.temperature_c,
+        )
+        engine = BatchEngine(
+            population,
+            lut=self.lut,
+            config=self.config,
+            compensation_enabled=self.compensation_enabled,
+            feedback_mode=self.dcdc.feedback_mode,
+            nominal_throughput=self.nominal_throughput,
+            averaging_window=self.rate_controller.averaging_window,
+            enabled_segments=self.dcdc.power_stage.array.enabled_segments,
+        )
+        state = engine.state
+        state.cycles = self._cycles
+        state.queue_length[:] = self.fifo.queue_length
+        state.inductor_current[:] = self.dcdc.power_stage.state.inductor_current
+        state.output_voltage[:] = self.dcdc.power_stage.state.output_voltage
+        state.duty_value[:] = self.dcdc.pwm.duty_value
+        state.cycles_since_duty_update[:] = self.dcdc.cycles_since_duty_update
+        if self.dcdc.last_desired is not None:
+            state.last_desired[:] = self.dcdc.last_desired
+            state.has_last_desired[:] = True
+        state.work_accumulator[:] = self._work_accumulator
+        history = self.rate_controller.history
+        state.history_filled = len(history)
+        if history:
+            state.history[:, : len(history)] = np.asarray(history, dtype=np.int64)
+        window = state.votes.shape[1]
+        tail = self._signature_votes[-window:]
+        if tail:
+            state.votes[:, window - len(tail):] = np.asarray(tail, dtype=np.int64)
+        state.vote_count[:] = min(len(self._signature_votes), window)
+        return engine
+
+    def _sync_from_engine(self, engine, trace, rate_decisions: int) -> None:
+        """Hand the engine's final state back to the scalar components."""
+        state = engine.state
+        # LUT: replay each correction change so the history granularity
+        # matches what the scalar loop would have recorded.
+        for value in trace.lut_corrections[:, 0].tolist():
+            if value != self.lut.correction:
+                self.lut.apply_correction(value - self.lut.correction)
+        # FIFO occupancy and statistics.  The engine maintains the run's
+        # accepted/completed/dropped accumulators directly (the engine is
+        # created fresh per run, so its totals are this run's deltas).
+        stats = self.fifo.statistics
+        target = int(state.queue_length[0])
+        ops = int(state.operations_total[0])
+        drops = int(state.drops_total[0])
+        accepted = int(state.accepted_total[0])
+        # Peak occupancy occurs just after the push phase of a cycle,
+        # i.e. the recorded (post-pop) occupancy plus that cycle's pops.
+        queue_before_pop = (
+            trace.queue_lengths[:, 0] + trace.operations_completed[:, 0]
+        )
+        pushes = stats.pushes + accepted
+        pops = stats.pops + ops
+        overflows = stats.overflows + drops
+        peak = max(stats.peak_occupancy, int(queue_before_pop.max(initial=0)))
+        while self.fifo.queue_length < target:
+            # 0 rather than None: pop()/peek() use None as their
+            # empty-FIFO sentinel, so a None payload would be ambiguous.
+            self.fifo.push(0)
+        while self.fifo.queue_length > target:
+            self.fifo.pop()
+        stats.pushes = pushes
+        stats.pops = pops
+        stats.overflows = overflows
+        stats.peak_occupancy = peak
+        # Comparator telemetry: fold this run's decisions into the counters.
+        decisions = trace.decisions[:, 0]
+        self.dcdc.comparator.record_decisions(
+            up=int((decisions == 1).sum()),
+            hold=int((decisions == 0).sum()),
+            down=int((decisions == -1).sum()),
+        )
+        # DC-DC loop registers and filter state.
+        self.dcdc.power_stage.load_state(
+            float(state.inductor_current[0]), float(state.output_voltage[0])
+        )
+        self.dcdc.load_loop_state(
+            duty_value=int(state.duty_value[0]),
+            last_desired=(
+                int(state.last_desired[0])
+                if bool(state.has_last_desired[0])
+                else None
+            ),
+            cycles_since_duty_update=int(state.cycles_since_duty_update[0]),
+            elapsed_time=self.dcdc.elapsed_time
+            + (state.cycles - self._cycles) * self.config.system_cycle_period,
+        )
+        # Rate controller window and decision count.
+        self.rate_controller.load_history(
+            list(state.history[0, : state.history_filled]),
+            decisions_issued=self.rate_controller.decisions_issued
+            + rate_decisions,
+        )
+        # Compensation vote window.
+        count = int(state.vote_count[0])
+        self._signature_votes = [
+            int(v) for v in state.votes[0, state.votes.shape[1] - count:]
+        ] if count else []
+        self._work_accumulator = float(state.work_accumulator[0])
+        self._cycles = int(state.cycles)
+
+    # ------------------------------------------------------------------
+    # Run loops (delegating to the batched engine)
     # ------------------------------------------------------------------
     def run(
         self,
@@ -266,7 +555,46 @@ class AdaptiveController:
         """
         if system_cycles <= 0:
             raise ValueError("system_cycles must be positive")
-        trace = ControllerTrace()
+        engine = self._make_engine()
+        trace = engine.run(arrivals, system_cycles)
+        self._sync_from_engine(engine, trace, rate_decisions=system_cycles)
+        return trace.die(0)
+
+    def run_schedule(
+        self,
+        schedule: Sequence[Tuple[int, int]],
+        arrivals: Optional[ArrivalFunction] = None,
+    ) -> ControllerTrace:
+        """Drive an explicit sequence of desired words (Fig. 6 style).
+
+        ``schedule`` is a list of ``(desired_code, system_cycles)`` pairs;
+        the rate controller is bypassed, but FIFO movement, load energy
+        accounting and variation compensation all still run.  The word
+        actually issued to the DC-DC converter includes the LUT
+        correction, which is how the paper's slow-corner compensation
+        appears as an extra 18.75 mV on top of the scheduled 200 mV.
+        """
+        engine = self._make_engine()
+        trace = engine.run_schedule(schedule, arrivals)
+        self._sync_from_engine(engine, trace, rate_decisions=0)
+        return trace.die(0)
+
+    # ------------------------------------------------------------------
+    # Reference (legacy scalar) run loops
+    # ------------------------------------------------------------------
+    def run_reference(
+        self,
+        arrivals: ArrivalFunction,
+        system_cycles: int,
+    ) -> ControllerTrace:
+        """Original pure-Python cycle loop, kept as the parity reference.
+
+        Semantically identical to :meth:`run`; the batched engine is
+        validated cycle-for-cycle against this implementation.
+        """
+        if system_cycles <= 0:
+            raise ValueError("system_cycles must be positive")
+        records: List[ControllerCycleRecord] = []
         period = self.config.system_cycle_period
         for _ in range(system_cycles):
             time = self._cycles * period
@@ -286,7 +614,7 @@ class AdaptiveController:
             settled = record.decision is ComparatorDecision.HOLD
             self._update_compensation(desired_code, settled)
 
-            trace.records.append(
+            records.append(
                 ControllerCycleRecord(
                     time=time + period,
                     queue_length=self.fifo.queue_length,
@@ -301,25 +629,17 @@ class AdaptiveController:
                 )
             )
             self._cycles += 1
-        return trace
+        return ControllerTrace(records=records)
 
-    def run_schedule(
+    def run_schedule_reference(
         self,
         schedule: Sequence[Tuple[int, int]],
         arrivals: Optional[ArrivalFunction] = None,
     ) -> ControllerTrace:
-        """Drive an explicit sequence of desired words (Fig. 6 style).
-
-        ``schedule`` is a list of ``(desired_code, system_cycles)`` pairs;
-        the rate controller is bypassed, but FIFO movement, load energy
-        accounting and variation compensation all still run.  The word
-        actually issued to the DC-DC converter includes the LUT
-        correction, which is how the paper's slow-corner compensation
-        appears as an extra 18.75 mV on top of the scheduled 200 mV.
-        """
+        """Original pure-Python schedule loop (parity reference)."""
         if not schedule:
             raise ValueError("schedule must not be empty")
-        trace = ControllerTrace()
+        records: List[ControllerCycleRecord] = []
         period = self.config.system_cycle_period
         for scheduled_code, cycles in schedule:
             if cycles <= 0:
@@ -345,7 +665,7 @@ class AdaptiveController:
                 settled = record.decision is ComparatorDecision.HOLD
                 self._update_compensation(desired_code, settled)
 
-                trace.records.append(
+                records.append(
                     ControllerCycleRecord(
                         time=time + period,
                         queue_length=self.fifo.queue_length,
@@ -360,7 +680,7 @@ class AdaptiveController:
                     )
                 )
                 self._cycles += 1
-        return trace
+        return ControllerTrace(records=records)
 
     # ------------------------------------------------------------------
     # Convenience

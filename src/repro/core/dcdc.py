@@ -94,6 +94,33 @@ class DcDcConverter:
         """Return the simulated time so far (seconds)."""
         return self._time
 
+    @property
+    def last_desired(self) -> Optional[int]:
+        """Return the last desired word issued to the loop (None initially)."""
+        return self._last_desired
+
+    @property
+    def cycles_since_duty_update(self) -> int:
+        """Return system cycles elapsed since the last duty trim."""
+        return self._cycles_since_duty_update
+
+    def load_loop_state(
+        self,
+        duty_value: int,
+        last_desired: Optional[int],
+        cycles_since_duty_update: int,
+        elapsed_time: float,
+    ) -> None:
+        """Overwrite the regulation-loop registers.
+
+        Used by the batched engine wrapper to hand the converter the
+        state it would have reached had it stepped the cycles itself.
+        """
+        self.pwm.load(int(duty_value))
+        self._last_desired = None if last_desired is None else int(last_desired)
+        self._cycles_since_duty_update = int(cycles_since_duty_update)
+        self._time = float(elapsed_time)
+
     def sense_code(self) -> int:
         """Return the 6-bit word the regulation loop sees for Vout."""
         vout = self.power_stage.output_voltage

@@ -121,6 +121,16 @@ class BuckPowerStage:
         """Return the present output voltage."""
         return self._state.output_voltage
 
+    def load_state(
+        self, inductor_current: float, output_voltage: float
+    ) -> PowerStageState:
+        """Overwrite the filter state (used when an external engine owns it)."""
+        self._state = PowerStageState(
+            inductor_current=float(inductor_current),
+            output_voltage=float(output_voltage),
+        )
+        return self._state
+
     def reset(self, output_voltage: Optional[float] = None) -> None:
         """Reset the filter state."""
         self._state = PowerStageState(

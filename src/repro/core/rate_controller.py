@@ -57,6 +57,21 @@ class RateController:
         """Return how many desired words have been issued."""
         return self._decisions
 
+    @property
+    def history(self) -> List[int]:
+        """Return the queue lengths currently in the averaging window."""
+        return list(self._history)
+
+    def load_history(
+        self, history: List[int], decisions_issued: Optional[int] = None
+    ) -> None:
+        """Overwrite the averaging window (batched-engine state hand-off)."""
+        if len(history) > self.averaging_window:
+            raise ValueError("history longer than the averaging window")
+        self._history = [int(value) for value in history]
+        if decisions_issued is not None:
+            self._decisions = int(decisions_issued)
+
     def observe(self, fifo: Fifo) -> RateDecision:
         """Evaluate the rate control for the FIFO's present occupancy."""
         return self.evaluate(fifo.queue_length)

@@ -13,6 +13,8 @@ from repro.delay.mep import (
     MepPoint,
     MepSweep,
     find_minimum_energy_point,
+    find_minimum_energy_points,
+    refine_minima_grid,
     sweep_energy,
 )
 from repro.delay.calibration import (
@@ -33,6 +35,8 @@ __all__ = [
     "MepPoint",
     "MepSweep",
     "find_minimum_energy_point",
+    "find_minimum_energy_points",
+    "refine_minima_grid",
     "sweep_energy",
     "CalibrationAnchors",
     "CalibrationResult",

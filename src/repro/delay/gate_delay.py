@@ -103,6 +103,8 @@ class GateDelayModel:
         self._delay_constant = float(delay_constant)
         if self._delay_constant <= 0:
             raise ValueError("delay_constant must be positive")
+        self._nmos_vth_shift = float(nmos_vth_shift)
+        self._pmos_vth_shift = float(pmos_vth_shift)
         self._devices: Dict[StageKind, Dict[str, Mosfet]] = {}
         for stage, sizing in _STAGE_SIZING.items():
             nmos = Mosfet(
@@ -126,6 +128,16 @@ class GateDelayModel:
     def delay_constant(self) -> float:
         """Return the fitted delay constant ``k_delay``."""
         return self._delay_constant
+
+    @property
+    def nmos_vth_shift(self) -> float:
+        """Return the NMOS threshold shift this model was built with (V)."""
+        return self._nmos_vth_shift
+
+    @property
+    def pmos_vth_shift(self) -> float:
+        """Return the PMOS threshold shift this model was built with (V)."""
+        return self._pmos_vth_shift
 
     def with_delay_constant(self, delay_constant: float) -> "GateDelayModel":
         """Return a copy of this model with a new delay constant."""

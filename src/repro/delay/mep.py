@@ -12,7 +12,7 @@ limited to the sweep grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -144,6 +144,77 @@ def _refine_minimum(
         temperature_c=temperature_c,
         label=label,
     )
+
+
+def refine_minima_grid(
+    supplies: np.ndarray, energies: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised parabolic minimum refinement over a batch of sweeps.
+
+    ``energies`` has shape ``(N, S)`` (one bathtub per die) on the shared
+    ``(S,)`` supply grid.  Returns ``(v_opt, e_min)`` arrays of shape
+    ``(N,)``.  Each row applies exactly the per-sweep refinement of
+    :func:`_refine_minimum`, so a batch of one matches the scalar path.
+    """
+    grid = np.asarray(supplies, dtype=float)
+    surface = np.atleast_2d(np.asarray(energies, dtype=float))
+    if grid.ndim != 1 or surface.shape[1] != grid.shape[0]:
+        raise ValueError("energies must be (N, S) on an (S,) supply grid")
+    index = np.argmin(surface, axis=1)
+    rows = np.arange(surface.shape[0])
+    v_opt = grid[index]
+    e_min = surface[rows, index]
+    interior = (index > 0) & (index < grid.shape[0] - 1)
+    if np.any(interior):
+        left = np.clip(index - 1, 0, grid.shape[0] - 1)
+        right = np.clip(index + 1, 0, grid.shape[0] - 1)
+        e_left = surface[rows, left]
+        e_mid = surface[rows, index]
+        e_right = surface[rows, right]
+        denominator = e_left - 2.0 * e_mid + e_right
+        curved = interior & (denominator > 0)
+        safe_den = np.where(curved, denominator, 1.0)
+        offset = np.clip(0.5 * (e_left - e_right) / safe_den, -1.0, 1.0)
+        step = 0.5 * (grid[right] - grid[left])
+        v_refined = grid[index] + offset * step
+        e_refined = e_mid - 0.25 * (e_left - e_right) * offset
+        v_opt = np.where(curved, v_refined, v_opt)
+        e_min = np.where(curved, e_refined, e_min)
+    return v_opt, e_min
+
+
+def find_minimum_energy_points(
+    supplies: np.ndarray,
+    energies: np.ndarray,
+    temperature_c=ROOM_TEMPERATURE_C,
+    labels: Optional[Sequence[str]] = None,
+) -> List[MepPoint]:
+    """Batched counterpart of :func:`find_minimum_energy_point`.
+
+    Locates the refined minimum of every row of an ``(N, S)`` energy
+    surface (e.g. one produced by
+    :meth:`repro.engine.device_math.BatchEnergyModel.total_energy`) in a
+    single vectorised pass and wraps each as a :class:`MepPoint`.
+    """
+    surface = np.atleast_2d(np.asarray(energies, dtype=float))
+    v_opt, e_min = refine_minima_grid(supplies, surface)
+    count = surface.shape[0]
+    temps = np.broadcast_to(
+        np.asarray(temperature_c, dtype=float), (count,)
+    )
+    if labels is None:
+        labels = [""] * count
+    if len(labels) != count:
+        raise ValueError("labels must match the number of sweeps")
+    return [
+        MepPoint(
+            optimal_supply=float(v_opt[i]),
+            minimum_energy=float(e_min[i]),
+            temperature_c=float(temps[i]),
+            label=labels[i],
+        )
+        for i in range(count)
+    ]
 
 
 def vopt_shift_percent(reference: MepPoint, other: MepPoint) -> float:

@@ -30,6 +30,7 @@ from repro.devices.temperature import (
 from repro.devices.variation import (
     VariationModel,
     VariationSample,
+    VariationSampleBatch,
     MonteCarloSampler,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "kelvin_to_celsius",
     "VariationModel",
     "VariationSample",
+    "VariationSampleBatch",
     "MonteCarloSampler",
 ]

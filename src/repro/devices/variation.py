@@ -89,6 +89,38 @@ class VariationModel:
         return math.hypot(self.global_sigma_v, self.local_sigma_v)
 
 
+@dataclass(frozen=True)
+class VariationSampleBatch:
+    """A struct-of-arrays batch of Monte Carlo samples.
+
+    Columnar counterpart of a list of :class:`VariationSample`: the
+    threshold shifts are ``(N,)`` arrays ready for the vectorised engine
+    and batched MEP analysis, drawn from the exact same RNG stream as the
+    per-object path (draw-for-draw identical for a given seed).
+    """
+
+    indices: np.ndarray
+    nmos_vth_shift: np.ndarray
+    pmos_vth_shift: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __iter__(self):
+        return iter(self.to_samples())
+
+    def to_samples(self) -> List[VariationSample]:
+        """Materialise the batch as per-object samples."""
+        return [
+            VariationSample(
+                index=int(self.indices[i]),
+                nmos_vth_shift=float(self.nmos_vth_shift[i]),
+                pmos_vth_shift=float(self.pmos_vth_shift[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
 class MonteCarloSampler:
     """Reproducible sampler of :class:`VariationSample` objects."""
 
@@ -115,8 +147,13 @@ class MonteCarloSampler:
         """Return how many samples have been drawn so far."""
         return self._drawn
 
-    def draw(self, count: int) -> List[VariationSample]:
-        """Draw ``count`` correlated NMOS/PMOS threshold samples."""
+    def draw_arrays(self, count: int) -> VariationSampleBatch:
+        """Draw ``count`` samples as a struct-of-arrays batch.
+
+        Consumes the generator stream exactly like :meth:`draw`, so for a
+        given seed the batched and per-object paths produce identical
+        shifts draw-for-draw (pinned by the determinism regression tests).
+        """
         if count <= 0:
             raise ValueError("count must be positive")
         model = self._model
@@ -125,17 +162,17 @@ class MonteCarloSampler:
             [[1.0, model.correlation], [model.correlation, 1.0]]
         )
         local = self._rng.multivariate_normal(np.zeros(2), cov, size=count)
-        samples = []
-        for i in range(count):
-            samples.append(
-                VariationSample(
-                    index=self._drawn + i,
-                    nmos_vth_shift=float(global_shift[i] + local[i, 0]),
-                    pmos_vth_shift=float(global_shift[i] + local[i, 1]),
-                )
-            )
+        batch = VariationSampleBatch(
+            indices=np.arange(self._drawn, self._drawn + count),
+            nmos_vth_shift=global_shift + local[:, 0],
+            pmos_vth_shift=global_shift + local[:, 1],
+        )
         self._drawn += count
-        return samples
+        return batch
+
+    def draw(self, count: int) -> List[VariationSample]:
+        """Draw ``count`` correlated NMOS/PMOS threshold samples."""
+        return self.draw_arrays(count).to_samples()
 
     def apply_to(
         self, technology: Technology, count: int

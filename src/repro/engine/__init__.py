@@ -1,0 +1,48 @@
+"""Batched, vectorised simulation engine.
+
+This subpackage is the scale layer of the reproduction: it represents a
+*population* of dies/controllers as struct-of-arrays numpy state and
+advances (or analyses) all of them simultaneously.
+
+``device_math``  vectorised EKV / delay / energy math over die arrays
+``state``        :class:`BatchState` — per-die controller state arrays
+``trace``        :class:`BatchTrace` — columnar telemetry
+``engine``       :class:`BatchEngine` — the closed-loop population simulator
+``mep``          batched minimum-energy-point grid analysis
+
+The scalar :class:`~repro.core.controller.AdaptiveController` is a thin
+batch-of-one wrapper over :class:`BatchEngine`, and the analysis modules
+(:mod:`repro.analysis.monte_carlo`, :mod:`repro.analysis.sweeps`) use
+the batched MEP helpers for their statistical sweeps.
+"""
+
+from repro.engine.device_math import (
+    BatchDeviceSet,
+    BatchEnergyModel,
+    PolarityArrays,
+    batch_measure_tdc_counts,
+    codes_from_counts,
+)
+from repro.engine.engine import BatchEngine, BatchPopulation
+from repro.engine.mep import (
+    batch_energy_model,
+    batched_energy_surface,
+    batched_minimum_energy_points,
+)
+from repro.engine.state import BatchState
+from repro.engine.trace import BatchTrace
+
+__all__ = [
+    "BatchDeviceSet",
+    "BatchEnergyModel",
+    "BatchEngine",
+    "BatchPopulation",
+    "BatchState",
+    "BatchTrace",
+    "PolarityArrays",
+    "batch_energy_model",
+    "batch_measure_tdc_counts",
+    "batched_energy_surface",
+    "batched_minimum_energy_points",
+    "codes_from_counts",
+]

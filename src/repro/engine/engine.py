@@ -1,0 +1,585 @@
+"""Batched closed-loop simulation engine (the tentpole of ``repro.engine``).
+
+:class:`BatchEngine` advances a *population* of adaptive controllers —
+each die with its own threshold shifts and LUT correction — through the
+full paper loop (FIFO → rate controller → DC-DC → load → compensation)
+using struct-of-arrays numpy math.  One engine cycle performs a fixed
+number of vectorised operations regardless of the population size, so
+thousands of Monte Carlo dies or workload scenarios simulate in the time
+the scalar stack needs for a handful.
+
+The engine reproduces the scalar semantics of
+:class:`repro.core.controller.AdaptiveController` exactly (operation
+order included): a batch of one is cycle-for-cycle identical to the
+legacy loop, which is what lets the scalar controller delegate to the
+engine without moving any published number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.config import ControllerConfig
+from repro.core.dcdc import FeedbackMode
+from repro.core.lut import VoltageLut
+from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.gate_delay import GateDelayModel
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.engine.device_math import (
+    BatchDeviceSet,
+    BatchEnergyModel,
+    batch_measure_tdc_counts,
+    codes_from_counts,
+)
+from repro.engine.state import BatchState
+from repro.engine.trace import DECISION_HOLD, BatchTrace
+
+ArrivalsLike = Union[np.ndarray, Sequence[int], None]
+
+
+class BatchPopulation:
+    """The silicon a :class:`BatchEngine` simulates: N dies + their sensor.
+
+    Bundles the per-die device arrays for the load, the per-die device
+    arrays for the TDC replica (usually the same silicon), and the
+    design-reference calibration table the compensation path compares
+    against.
+    """
+
+    def __init__(
+        self,
+        load: LoadCharacteristics,
+        load_devices: BatchDeviceSet,
+        sensor_devices: Optional[BatchDeviceSet] = None,
+        expected_counts: Optional[np.ndarray] = None,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+    ) -> None:
+        self.load = load
+        self.load_devices = load_devices
+        self.sensor_devices = sensor_devices or load_devices
+        if self.sensor_devices.n != load_devices.n:
+            raise ValueError("sensor and load populations must match in size")
+        self.expected_counts = (
+            None if expected_counts is None
+            else np.asarray(expected_counts, dtype=float)
+        )
+        self.temperature_c = float(temperature_c)
+        self.energy = BatchEnergyModel(load_devices, load)
+
+    @property
+    def n(self) -> int:
+        """Return the population size."""
+        return self.load_devices.n
+
+    @classmethod
+    def from_digital_load(
+        cls,
+        load: DigitalLoad,
+        reference_delay_model: GateDelayModel,
+        config: Optional[ControllerConfig] = None,
+        sensor_delay_model: Optional[GateDelayModel] = None,
+        n: int = 1,
+    ) -> "BatchPopulation":
+        """Lift one scalar :class:`DigitalLoad` into a batch of ``n`` clones.
+
+        This is the constructor the scalar :class:`AdaptiveController`
+        wrapper uses; the reference calibration table is characterised
+        with the existing scalar :class:`TdcCalibration` so the table is
+        bit-identical to the legacy path.
+        """
+        config = config or ControllerConfig()
+        replica = sensor_delay_model or load.delay_model
+        reference_tdc = TimeToDigitalConverter(
+            reference_delay_model, config.tdc, temperature_c=load.temperature_c
+        )
+        calibration = TdcCalibration(
+            reference_tdc,
+            resolution_bits=config.resolution_bits,
+            full_scale=config.full_scale_voltage,
+        )
+        return cls(
+            load=load.characteristics,
+            load_devices=BatchDeviceSet.from_delay_model(load.delay_model, n=n),
+            sensor_devices=BatchDeviceSet.from_delay_model(replica, n=n),
+            expected_counts=calibration.expected_counts,
+            temperature_c=load.temperature_c,
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        library,
+        samples,
+        load: Optional[LoadCharacteristics] = None,
+        corner: str = "TT",
+        temperature_c: float = ROOM_TEMPERATURE_C,
+        config: Optional[ControllerConfig] = None,
+    ) -> "BatchPopulation":
+        """Build a Monte Carlo fleet from variation samples.
+
+        ``samples`` is either a list of
+        :class:`~repro.devices.variation.VariationSample` or a
+        :class:`~repro.devices.variation.VariationSampleBatch`; every die
+        shares the library's corner technology and carries its own
+        threshold shifts.
+        """
+        from repro.library import OperatingCondition
+
+        config = config or ControllerConfig()
+        if hasattr(samples, "nmos_vth_shift"):  # VariationSampleBatch
+            nmos = np.asarray(samples.nmos_vth_shift, dtype=float)
+            pmos = np.asarray(samples.pmos_vth_shift, dtype=float)
+        else:
+            nmos = np.array([s.nmos_vth_shift for s in samples], dtype=float)
+            pmos = np.array([s.pmos_vth_shift for s in samples], dtype=float)
+        condition = OperatingCondition(corner=corner, temperature_c=temperature_c)
+        technology = library.technology_at(condition)
+        devices = BatchDeviceSet.from_technology(
+            technology,
+            library.reference_delay_model.delay_constant,
+            nmos_vth_shifts=nmos,
+            pmos_vth_shifts=pmos,
+        )
+        reference_tdc = TimeToDigitalConverter(
+            library.reference_delay_model, config.tdc, temperature_c=temperature_c
+        )
+        calibration = TdcCalibration(
+            reference_tdc,
+            resolution_bits=config.resolution_bits,
+            full_scale=config.full_scale_voltage,
+        )
+        return cls(
+            load=load or library.ring_oscillator_load,
+            load_devices=devices,
+            expected_counts=calibration.expected_counts,
+            temperature_c=temperature_c,
+        )
+
+
+class BatchEngine:
+    """Vectorised closed-loop simulator of N adaptive controllers."""
+
+    def __init__(
+        self,
+        population: BatchPopulation,
+        lut: Union[VoltageLut, Sequence[int]],
+        config: Optional[ControllerConfig] = None,
+        compensation_enabled: bool = True,
+        feedback_mode: FeedbackMode = FeedbackMode.VOLTAGE_SENSE,
+        nominal_throughput: Optional[float] = None,
+        averaging_window: int = 4,
+        initial_correction=None,
+        enabled_segments: Optional[int] = None,
+    ) -> None:
+        self.population = population
+        self.config = config or ControllerConfig()
+        self.compensation_enabled = compensation_enabled
+        self.feedback_mode = feedback_mode
+        self.nominal_throughput = nominal_throughput
+        # The FIFO *capacity* comes from the controller config; the LUT
+        # carries its own (possibly different) depth that only scales the
+        # occupancy-to-bin mapping — exactly like the scalar stack, where
+        # Fifo(depth=config.fifo_depth) and VoltageLut.bin_for disagree
+        # when a LUT was programmed for another depth.
+        self.fifo_depth = self.config.fifo_depth
+        if isinstance(lut, VoltageLut):
+            entries = lut.raw_entries()
+            if initial_correction is None:
+                initial_correction = lut.correction
+            self.lut_fifo_depth = lut.fifo_depth
+        else:
+            entries = list(lut)
+            self.lut_fifo_depth = self.config.fifo_depth
+        self.lut_entries = np.asarray(entries, dtype=np.int64)
+        if self.lut_entries.size == 0:
+            raise ValueError("the LUT needs at least one entry")
+        if feedback_mode is FeedbackMode.DELAY_SERVO or compensation_enabled:
+            if population.expected_counts is None:
+                raise ValueError(
+                    "population needs a reference calibration table for "
+                    "compensation or delay-servo feedback"
+                )
+        self.state = BatchState.initial(
+            population.n,
+            self.config,
+            averaging_window=averaging_window,
+            initial_correction=0 if initial_correction is None else initial_correction,
+        )
+        # r_on of the power array for this run.  Segment selection happens
+        # before a run (PowerTransistorArray.select_for_load), never inside
+        # the cycle loop, so the enabled count is a per-run constant — but
+        # it must reflect whatever the caller configured, not always the
+        # full array.
+        segments = (
+            self.config.power_stage.segments
+            if enabled_segments is None
+            else max(1, min(self.config.power_stage.segments, int(enabled_segments)))
+        )
+        self._r_on = self.config.power_stage.segment_on_resistance / segments
+        self._max_code = (1 << self.config.resolution_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Elementary vectorised blocks
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Return the population size."""
+        return self.population.n
+
+    def _rate_decision(self) -> np.ndarray:
+        """Averaged-occupancy LUT lookup for every die (mirrors RateController)."""
+        s = self.state
+        window = s.history.shape[1]
+        if s.history_filled < window:
+            s.history[:, s.history_filled] = s.queue_length
+            s.history_filled += 1
+        else:
+            s.history[:, :-1] = s.history[:, 1:]
+            s.history[:, -1] = s.queue_length
+        filled = s.history_filled
+        averaged = s.history[:, :filled].sum(axis=1) / filled
+        rounded = np.rint(averaged).astype(np.int64)
+        clamped = np.minimum(rounded, self.lut_fifo_depth)
+        bins = self.lut_entries.shape[0]
+        index = (clamped * bins / (self.lut_fifo_depth + 1)).astype(np.int64)
+        index = np.minimum(index, bins - 1)
+        return np.clip(
+            self.lut_entries[index] + s.lut_correction, 0, self._max_code
+        )
+
+    def _sense_codes(self, vout: np.ndarray) -> np.ndarray:
+        """What the regulation loop reads for the present output voltage."""
+        if self.feedback_mode is FeedbackMode.VOLTAGE_SENSE:
+            raw = np.rint(
+                vout
+                * (1 << self.config.resolution_bits)
+                / self.config.full_scale_voltage
+            ).astype(np.int64)
+            return np.clip(raw, 0, self._max_code)
+        counts, _ = self._measure_tdc(vout)
+        return codes_from_counts(self.population.expected_counts, counts)
+
+    def _measure_tdc(self, vout: np.ndarray):
+        cfg = self.config.tdc
+        return batch_measure_tdc_counts(
+            self.population.sensor_devices,
+            vout,
+            self.population.temperature_c,
+            cfg.measurement_window,
+            cfg.max_count,
+            cfg.minimum_supply,
+        )
+
+    def _advance_power_stage(self, duty_cycle: np.ndarray, period: float) -> None:
+        """Semi-implicit Euler on the averaged buck equations (8 substeps)."""
+        cfg = self.config.power_stage
+        s = self.state
+        substeps = 8
+        h = period / substeps
+        il = s.inductor_current
+        vout = s.output_voltage
+        v_switch = duty_cycle * cfg.battery_voltage
+        energy = self.population.energy
+        for _ in range(substeps):
+            di = (v_switch - il * self._r_on - vout) / cfg.inductance
+            il = il + h * di
+            load_current = energy.current_draw(
+                vout,
+                self.population.temperature_c,
+                operations_per_second=self.nominal_throughput,
+            )
+            dv = (il - load_current) / cfg.capacitance
+            vout = vout + h * dv
+            vout = np.minimum(np.maximum(vout, 0.0), cfg.battery_voltage)
+        s.inductor_current = il
+        s.output_voltage = vout
+
+    def _operations_possible(self, vout: np.ndarray, period: float) -> np.ndarray:
+        """Completed-operation count per die, with fractional carry-over."""
+        s = self.state
+        runnable = vout > 0.05
+        safe = np.where(runnable, vout, 1.0)
+        cycle_time = self.population.energy.cycle_time(
+            safe, self.population.temperature_c
+        )
+        if self.nominal_throughput is not None:
+            cycle_time = np.maximum(cycle_time, 1.0 / self.nominal_throughput)
+        work = s.work_accumulator + period / cycle_time
+        completed = work.astype(np.int64)
+        s.work_accumulator = np.where(
+            runnable, work - completed, s.work_accumulator
+        )
+        return np.where(runnable, completed, 0)
+
+    def _cycle_energy(
+        self, vout: np.ndarray, operations: np.ndarray, period: float
+    ) -> np.ndarray:
+        """Load energy consumed this cycle per die (joules)."""
+        powered = vout > 0
+        safe = np.where(powered, vout, 1.0)
+        energy = self.population.energy
+        dynamic = (
+            energy.dynamic_energy(safe)
+            * (1.0 + self.population.load.short_circuit_fraction)
+            * operations
+        )
+        leakage = (
+            safe
+            * energy.leakage_current(safe, self.population.temperature_c)
+            * period
+        )
+        return np.where(powered, dynamic + leakage, 0.0)
+
+    def _signatures(
+        self, vout: np.ndarray, desired: np.ndarray
+    ) -> np.ndarray:
+        """Variation signature in DC-DC LSBs per die (mirrors tdc_signature)."""
+        counts, reliable = self._measure_tdc(vout)
+        apparent = codes_from_counts(self.population.expected_counts, counts)
+        if self.feedback_mode is FeedbackMode.VOLTAGE_SENSE:
+            voltage_code = np.clip(
+                np.rint(
+                    vout
+                    * (1 << self.config.resolution_bits)
+                    / self.config.full_scale_voltage
+                ).astype(np.int64),
+                0,
+                self._max_code,
+            )
+            shift = np.clip(voltage_code - apparent, -8, 8)
+        else:
+            shift = np.clip(desired, 0, self._max_code) - apparent
+        return np.where(reliable, shift, 0)
+
+    def _update_compensation(
+        self, vout: np.ndarray, desired: np.ndarray, settled: np.ndarray
+    ) -> None:
+        """Vote on persistent signatures and correct the per-die LUT offset."""
+        if not self.compensation_enabled:
+            return
+        s = self.state
+        cfg = self.config
+        active = settled
+        over_ceiling = active & (vout > cfg.signature_supply_ceiling)
+        s.vote_count[over_ceiling] = 0
+        collecting = active & ~over_ceiling
+        if not np.any(collecting):
+            return
+        signature = self._signatures(vout, desired)
+        s.votes[collecting, :-1] = s.votes[collecting, 1:]
+        s.votes[collecting, -1] = signature[collecting]
+        window = s.votes.shape[1]
+        s.vote_count[collecting] = np.minimum(
+            s.vote_count[collecting] + 1, window
+        )
+        ready = collecting & (s.vote_count >= window)
+        if not np.any(ready):
+            return
+        unanimous = ready & (s.votes == s.votes[:, :1]).all(axis=1)
+        limit = cfg.max_correction_lsb
+        agreed = np.clip(s.votes[:, 0], -limit, limit)
+        apply = unanimous & (
+            np.abs(agreed - s.lut_correction) > cfg.signature_deadband_counts
+        )
+        s.lut_correction = np.where(apply, agreed, s.lut_correction)
+        s.vote_count = np.where(apply, 0, s.vote_count)
+
+    # ------------------------------------------------------------------
+    # One system cycle
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        arriving: np.ndarray,
+        scheduled_codes: Optional[np.ndarray] = None,
+    ) -> dict:
+        """Advance every die by one system cycle.
+
+        ``arriving`` is the per-die input sample count for this cycle;
+        ``scheduled_codes`` bypasses the rate controller with an explicit
+        desired word per die (Fig. 6 schedule mode).  Returns the
+        telemetry row as a dict of ``(N,)`` arrays.
+        """
+        s = self.state
+        cfg = self.config
+        period = cfg.system_cycle_period
+        time = s.cycles * period
+
+        # 1. Input samples into the FIFO (overflow drops the excess).
+        arriving = np.asarray(arriving, dtype=np.int64)
+        space = self.fifo_depth - s.queue_length
+        accepted = np.minimum(arriving, space)
+        dropped = arriving - accepted
+        s.queue_length = s.queue_length + accepted
+        s.accepted_total += accepted
+        s.drops_total += dropped
+
+        # 2. Desired supply word.
+        if scheduled_codes is None:
+            desired_record = self._rate_decision()
+        else:
+            # Schedule mode mirrors run_schedule: the recorded word is
+            # min(scheduled + correction, max) *before* the DC-DC clamps
+            # it into [0, max].
+            desired_record = np.minimum(
+                np.asarray(scheduled_codes, dtype=np.int64) + s.lut_correction,
+                self._max_code,
+            )
+        desired = np.clip(desired_record, 0, self._max_code)
+
+        # 3. DC-DC regulation step (preset, sense, compare, trim, advance).
+        preset = ~s.has_last_desired | (np.abs(desired - s.last_desired) > 2)
+        if np.any(preset):
+            desired_voltage = (
+                desired * cfg.full_scale_voltage / (1 << cfg.resolution_bits)
+            )
+            duty_estimate = desired_voltage / cfg.power_stage.battery_voltage
+            duty_code = np.rint(
+                duty_estimate * (1 << cfg.resolution_bits)
+            ).astype(np.int64)
+            duty_code = np.clip(duty_code, 0, self._max_code)
+            duty_code = np.clip(
+                duty_code, cfg.code_lower_bound, cfg.code_upper_bound
+            )
+            s.duty_value = np.where(preset, duty_code, s.duty_value)
+            s.cycles_since_duty_update = np.where(
+                preset, 0, s.cycles_since_duty_update
+            )
+        s.last_desired = desired
+        s.has_last_desired = np.ones(self.n, dtype=bool)
+
+        measured = self._sense_codes(s.output_voltage)
+        error = desired - measured
+        decision = np.sign(error).astype(np.int8)
+
+        s.cycles_since_duty_update = s.cycles_since_duty_update + 1
+        trim = s.cycles_since_duty_update >= cfg.duty_update_interval
+        trimmed = np.clip(
+            s.duty_value + decision, cfg.code_lower_bound, cfg.code_upper_bound
+        )
+        s.duty_value = np.where(trim, trimmed, s.duty_value)
+        s.cycles_since_duty_update = np.where(
+            trim, 0, s.cycles_since_duty_update
+        )
+
+        duty_cycle = s.duty_value / (1 << cfg.resolution_bits)
+        self._advance_power_stage(duty_cycle, period)
+        vout = s.output_voltage
+
+        # 4. Load progress and FIFO drain.
+        possible = self._operations_possible(vout, period)
+        completed = np.minimum(possible, s.queue_length)
+        s.queue_length = s.queue_length - completed
+        s.operations_total += completed
+
+        # 5. Load energy.
+        energy = self._cycle_energy(vout, completed, period)
+        s.energy_total += energy
+
+        # 6. Variation compensation.
+        settled = decision == DECISION_HOLD
+        self._update_compensation(vout, desired, settled)
+
+        s.cycles += 1
+        return {
+            "time": time + period,
+            "queue_length": s.queue_length,
+            "desired_code": desired_record,
+            "output_voltage": vout,
+            "duty_value": s.duty_value,
+            "operations_completed": completed,
+            "samples_dropped": dropped,
+            "energy": energy,
+            "lut_correction": s.lut_correction,
+            "decision": decision,
+        }
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+    def _arrival_matrix(self, arrivals: ArrivalsLike, cycles: int) -> np.ndarray:
+        """Normalise the arrivals argument to an ``(N, cycles)`` int matrix."""
+        if arrivals is None:
+            return np.zeros((self.n, cycles), dtype=np.int64)
+        if callable(arrivals):
+            period = self.config.system_cycle_period
+            start = self.state.cycles
+            counts = [
+                int(arrivals((start + i) * period, period))
+                for i in range(cycles)
+            ]
+            return np.broadcast_to(
+                np.asarray(counts, dtype=np.int64), (self.n, cycles)
+            )
+        matrix = np.asarray(arrivals, dtype=np.int64)
+        if matrix.ndim == 1:
+            if matrix.shape[0] != cycles:
+                raise ValueError("arrival vector length must equal cycles")
+            return np.broadcast_to(matrix, (self.n, cycles))
+        if matrix.shape != (self.n, cycles):
+            raise ValueError(
+                f"arrival matrix must have shape ({self.n}, {cycles}), "
+                f"got {matrix.shape}"
+            )
+        return matrix
+
+    def run(
+        self,
+        arrivals: ArrivalsLike,
+        system_cycles: int,
+        scheduled_codes: Optional[np.ndarray] = None,
+    ) -> BatchTrace:
+        """Run the closed loop for ``system_cycles`` cycles on all dies.
+
+        ``arrivals`` may be an ``(N, cycles)`` matrix, a shared
+        ``(cycles,)`` vector, a scalar arrival callable
+        ``f(time, period) -> int``, or ``None`` (no input traffic).
+        ``scheduled_codes`` optionally bypasses the rate controller with
+        per-cycle scheduled words, shape ``(cycles,)`` or ``(N, cycles)``.
+        """
+        if system_cycles <= 0:
+            raise ValueError("system_cycles must be positive")
+        matrix = self._arrival_matrix(arrivals, system_cycles)
+        schedule = None
+        if scheduled_codes is not None:
+            schedule = np.asarray(scheduled_codes, dtype=np.int64)
+            if schedule.ndim == 1:
+                schedule = np.broadcast_to(schedule, (self.n, system_cycles))
+            if schedule.shape != (self.n, system_cycles):
+                raise ValueError("scheduled_codes shape mismatch")
+        trace = BatchTrace.preallocate(system_cycles, self.n)
+        for i in range(system_cycles):
+            row = self.step(
+                matrix[:, i],
+                None if schedule is None else schedule[:, i],
+            )
+            trace.times[i] = row["time"]
+            trace.queue_lengths[i] = row["queue_length"]
+            trace.desired_codes[i] = row["desired_code"]
+            trace.output_voltages[i] = row["output_voltage"]
+            trace.duty_values[i] = row["duty_value"]
+            trace.operations_completed[i] = row["operations_completed"]
+            trace.samples_dropped[i] = row["samples_dropped"]
+            trace.energies[i] = row["energy"]
+            trace.lut_corrections[i] = row["lut_correction"]
+            trace.decisions[i] = row["decision"]
+        return trace
+
+    def run_schedule(
+        self,
+        schedule: Sequence[Tuple[int, int]],
+        arrivals: ArrivalsLike = None,
+    ) -> BatchTrace:
+        """Drive an explicit ``(code, cycles)`` schedule on every die."""
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        codes = []
+        for scheduled_code, cycles in schedule:
+            if cycles <= 0:
+                raise ValueError("each schedule entry needs >= 1 cycle")
+            codes.extend([int(scheduled_code)] * int(cycles))
+        codes = np.asarray(codes, dtype=np.int64)
+        return self.run(arrivals, len(codes), scheduled_codes=codes)

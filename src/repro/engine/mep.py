@@ -1,0 +1,98 @@
+"""Batched minimum-energy-point analysis helpers.
+
+These functions bridge the calibrated :class:`SubthresholdLibrary` to
+the vectorised device math: build one :class:`BatchEnergyModel` for a
+whole set of operating conditions (corners, temperatures, Monte Carlo
+threshold shifts) and evaluate the full ``(N_samples, N_supplies)``
+energy surface in a single numpy pass, replacing N scalar
+:func:`find_minimum_energy_point` solves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.delay.energy import LoadCharacteristics
+from repro.delay.mep import (
+    DEFAULT_SUPPLY_GRID,
+    MepPoint,
+    find_minimum_energy_points,
+)
+from repro.devices.temperature import ROOM_TEMPERATURE_C
+from repro.engine.device_math import BatchDeviceSet, BatchEnergyModel
+
+
+def batch_energy_model(
+    library,
+    conditions: Sequence,
+    load: Optional[LoadCharacteristics] = None,
+) -> BatchEnergyModel:
+    """Build one vectorised energy model covering many operating conditions.
+
+    ``conditions`` is a sequence of
+    :class:`~repro.library.OperatingCondition`; each becomes one row of
+    the batch, with its corner technology and threshold shifts applied
+    exactly as :meth:`SubthresholdLibrary.delay_model` would.
+    """
+    if not conditions:
+        raise ValueError("conditions must not be empty")
+    corners = {c.corner for c in conditions}
+    if len(corners) == 1:
+        # Shared-corner fast path (the Monte Carlo case): resolve the
+        # corner technology once instead of once per die.
+        technology = library.technology_at(conditions[0])
+        devices = BatchDeviceSet.from_technology(
+            technology,
+            library.reference_delay_model.delay_constant,
+            nmos_vth_shifts=np.array([c.nmos_vth_shift for c in conditions]),
+            pmos_vth_shifts=np.array([c.pmos_vth_shift for c in conditions]),
+        )
+    else:
+        technologies = [library.technology_at(c) for c in conditions]
+        devices = BatchDeviceSet.from_technologies(
+            technologies,
+            library.reference_delay_model.delay_constant,
+            nmos_vth_shifts=np.array([c.nmos_vth_shift for c in conditions]),
+            pmos_vth_shifts=np.array([c.pmos_vth_shift for c in conditions]),
+        )
+    return BatchEnergyModel(devices, load or library.ring_oscillator_load)
+
+
+def batched_energy_surface(
+    model: BatchEnergyModel,
+    supplies: Optional[np.ndarray] = None,
+    temperature_c=None,
+) -> np.ndarray:
+    """Evaluate the per-die energy bathtub: ``(N, S)`` joules.
+
+    ``temperature_c`` may be a scalar or an ``(N,)`` array (one
+    temperature per die, e.g. for a batched Fig. 2 sweep).
+    """
+    grid = np.asarray(
+        DEFAULT_SUPPLY_GRID if supplies is None else supplies, dtype=float
+    )
+    if grid.ndim != 1 or grid.size < 3:
+        raise ValueError("supply grid must be a 1-D array with >= 3 points")
+    if np.any(grid <= 0):
+        raise ValueError("supply grid must be strictly positive")
+    tiled = np.broadcast_to(grid, (model.n, grid.size))
+    if temperature_c is None:
+        return model.total_energy(tiled)
+    return model.total_energy(tiled, temperature_c)
+
+
+def batched_minimum_energy_points(
+    model: BatchEnergyModel,
+    supplies: Optional[np.ndarray] = None,
+    temperature_c=None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[MepPoint]:
+    """Locate every die's MEP from one vectorised grid evaluation."""
+    grid = np.asarray(
+        DEFAULT_SUPPLY_GRID if supplies is None else supplies, dtype=float
+    )
+    surface = batched_energy_surface(model, grid, temperature_c)
+    temps = ROOM_TEMPERATURE_C if temperature_c is None else temperature_c
+    return find_minimum_energy_points(grid, surface, temps, labels)

@@ -1,0 +1,127 @@
+"""Struct-of-arrays state of a controller population.
+
+Every field of :class:`BatchState` is an ``(N,)`` array (or a small
+``(N, K)`` ring buffer) holding one value per simulated die, so the
+engine advances the entire population with elementwise numpy ops instead
+of N Python objects.  The fields map one-to-one onto the mutable state
+scattered across the scalar stack: FIFO occupancy, rate-controller
+averaging history, PWM duty register, power-stage filter state, the
+work/energy accumulators and the variation-compensation vote window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+
+
+@dataclass
+class BatchState:
+    """Dynamic state of N concurrently simulated controller/die pairs."""
+
+    queue_length: np.ndarray
+    """FIFO occupancy per die (int, ``(N,)``)."""
+
+    history: np.ndarray
+    """Rate-controller queue-length window (int, ``(N, W)``)."""
+
+    history_filled: int
+    """How many of the W history columns are valid (shared across dies)."""
+
+    duty_value: np.ndarray
+    """PWM duty register per die (int, ``(N,)``)."""
+
+    cycles_since_duty_update: np.ndarray
+    """System cycles since the last duty trim per die (int, ``(N,)``)."""
+
+    last_desired: np.ndarray
+    """Previous desired word per die (int, ``(N,)``)."""
+
+    has_last_desired: np.ndarray
+    """Whether a desired word has been seen yet (bool, ``(N,)``)."""
+
+    inductor_current: np.ndarray
+    """Buck filter inductor current per die (float, ``(N,)``)."""
+
+    output_voltage: np.ndarray
+    """Converter output voltage per die (float, ``(N,)``)."""
+
+    work_accumulator: np.ndarray
+    """Fractional load-operation progress per die (float, ``(N,)``)."""
+
+    lut_correction: np.ndarray
+    """Cumulative LUT compensation per die (int LSBs, ``(N,)``)."""
+
+    votes: np.ndarray
+    """Last K variation signatures per die (int, ``(N, K)``)."""
+
+    vote_count: np.ndarray
+    """Valid signatures in the vote window per die (int, ``(N,)``)."""
+
+    cycles: int = 0
+    """System cycles simulated so far (shared across dies)."""
+
+    energy_total: np.ndarray = field(default=None)
+    """Accumulated load energy per die (float joules, ``(N,)``)."""
+
+    operations_total: np.ndarray = field(default=None)
+    """Completed load operations per die (int, ``(N,)``)."""
+
+    drops_total: np.ndarray = field(default=None)
+    """Input samples lost to FIFO overflow per die (int, ``(N,)``)."""
+
+    accepted_total: np.ndarray = field(default=None)
+    """Input samples accepted into the FIFO per die (int, ``(N,)``)."""
+
+    @property
+    def n(self) -> int:
+        """Return the population size."""
+        return int(self.queue_length.shape[0])
+
+    @classmethod
+    def initial(
+        cls,
+        n: int,
+        config: ControllerConfig,
+        averaging_window: int = 4,
+        initial_correction=0,
+    ) -> "BatchState":
+        """Return the power-on state of ``n`` dies (mirrors the scalar stack).
+
+        The duty register starts at the counter's lower bound, the output
+        filter at the configured initial voltage, and every accumulator
+        at zero — exactly how ``AdaptiveController.__init__`` leaves its
+        component objects.
+        """
+        if n <= 0:
+            raise ValueError("population size must be positive")
+        if averaging_window <= 0:
+            raise ValueError("averaging_window must be positive")
+        correction = np.broadcast_to(
+            np.asarray(initial_correction, dtype=np.int64), (n,)
+        ).copy()
+        return cls(
+            queue_length=np.zeros(n, dtype=np.int64),
+            history=np.zeros((n, averaging_window), dtype=np.int64),
+            history_filled=0,
+            duty_value=np.full(n, config.code_lower_bound, dtype=np.int64),
+            cycles_since_duty_update=np.zeros(n, dtype=np.int64),
+            last_desired=np.zeros(n, dtype=np.int64),
+            has_last_desired=np.zeros(n, dtype=bool),
+            inductor_current=np.zeros(n, dtype=float),
+            output_voltage=np.full(
+                n, config.power_stage.initial_output_voltage, dtype=float
+            ),
+            work_accumulator=np.zeros(n, dtype=float),
+            lut_correction=correction,
+            votes=np.zeros((n, config.compensation_interval_cycles), dtype=np.int64),
+            vote_count=np.zeros(n, dtype=np.int64),
+            cycles=0,
+            energy_total=np.zeros(n, dtype=float),
+            operations_total=np.zeros(n, dtype=np.int64),
+            drops_total=np.zeros(n, dtype=np.int64),
+            accepted_total=np.zeros(n, dtype=np.int64),
+        )

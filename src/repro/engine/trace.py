@@ -1,0 +1,148 @@
+"""Columnar telemetry of a batched engine run.
+
+A :class:`BatchTrace` preallocates one ``(cycles, N)`` array per
+telemetry channel and fills a whole row per system cycle, so recording
+costs one vectorised store instead of N dataclass allocations.  A single
+die's view converts losslessly into the scalar
+:class:`~repro.core.controller.ControllerTrace` the rest of the codebase
+(and its tests) already speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DECISION_UP = 1
+DECISION_HOLD = 0
+DECISION_DOWN = -1
+"""Integer encoding of the comparator decision in the decision column."""
+
+
+@dataclass
+class BatchTrace:
+    """Full telemetry of a batched run: one ``(cycles, N)`` array per channel."""
+
+    times: np.ndarray
+    """End-of-cycle timestamps (seconds, shape ``(cycles,)``)."""
+
+    queue_lengths: np.ndarray
+    desired_codes: np.ndarray
+    output_voltages: np.ndarray
+    duty_values: np.ndarray
+    operations_completed: np.ndarray
+    samples_dropped: np.ndarray
+    energies: np.ndarray
+    lut_corrections: np.ndarray
+    decisions: np.ndarray
+    """Comparator decision per cycle/die encoded as +1/0/-1."""
+
+    @classmethod
+    def preallocate(cls, cycles: int, n: int) -> "BatchTrace":
+        """Return a trace with room for ``cycles`` rows of ``n`` dies."""
+        if cycles <= 0 or n <= 0:
+            raise ValueError("cycles and n must be positive")
+        return cls(
+            times=np.zeros(cycles, dtype=float),
+            queue_lengths=np.zeros((cycles, n), dtype=np.int64),
+            desired_codes=np.zeros((cycles, n), dtype=np.int64),
+            output_voltages=np.zeros((cycles, n), dtype=float),
+            duty_values=np.zeros((cycles, n), dtype=np.int64),
+            operations_completed=np.zeros((cycles, n), dtype=np.int64),
+            samples_dropped=np.zeros((cycles, n), dtype=np.int64),
+            energies=np.zeros((cycles, n), dtype=float),
+            lut_corrections=np.zeros((cycles, n), dtype=np.int64),
+            decisions=np.zeros((cycles, n), dtype=np.int8),
+        )
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Return the population size."""
+        return int(self.queue_lengths.shape[1])
+
+    # ------------------------------------------------------------------
+    # Population-level reductions
+    # ------------------------------------------------------------------
+    def total_energy(self) -> np.ndarray:
+        """Return the total load energy per die (joules, ``(N,)``)."""
+        return self.energies.sum(axis=0)
+
+    def total_operations(self) -> np.ndarray:
+        """Return the completed operations per die (``(N,)``)."""
+        return self.operations_completed.sum(axis=0)
+
+    def total_drops(self) -> np.ndarray:
+        """Return the dropped input samples per die (``(N,)``)."""
+        return self.samples_dropped.sum(axis=0)
+
+    def energy_per_operation(self) -> np.ndarray:
+        """Return the average energy per operation per die (``(N,)``)."""
+        operations = self.total_operations()
+        energy = self.total_energy()
+        return np.where(
+            operations > 0, energy / np.maximum(operations, 1), np.nan
+        )
+
+    def final_voltage(self, cycles: int = 8) -> np.ndarray:
+        """Return the mean tail output voltage per die (``(N,)``)."""
+        if len(self) == 0:
+            raise ValueError("trace is empty")
+        return self.output_voltages[-cycles:].mean(axis=0)
+
+    def final_correction(self) -> np.ndarray:
+        """Return the LUT correction at the end of the run (``(N,)``)."""
+        if len(self) == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return self.lut_corrections[-1].copy()
+
+    # ------------------------------------------------------------------
+    # Interop with the scalar trace type
+    # ------------------------------------------------------------------
+    def die(self, index: int):
+        """Return one die's telemetry as a scalar :class:`ControllerTrace`.
+
+        ``from_columns`` copies its inputs, so the view shares nothing
+        with (and cannot mutate) this batch trace.
+        """
+        from repro.core.controller import ControllerTrace
+
+        return ControllerTrace.from_columns(
+            times=self.times,
+            queue_lengths=self.queue_lengths[:, index],
+            desired_codes=self.desired_codes[:, index],
+            output_voltages=self.output_voltages[:, index],
+            duty_values=self.duty_values[:, index],
+            operations_completed=self.operations_completed[:, index],
+            samples_dropped=self.samples_dropped[:, index],
+            energies=self.energies[:, index],
+            lut_corrections=self.lut_corrections[:, index],
+            decisions=self.decisions[:, index],
+        )
+
+    @classmethod
+    def concatenate(cls, traces) -> "BatchTrace":
+        """Stitch sequential runs of the same population into one trace."""
+        traces = list(traces)
+        if not traces:
+            raise ValueError("traces must not be empty")
+        return cls(
+            **{
+                name: np.concatenate([getattr(t, name) for t in traces], axis=0)
+                for name in (
+                    "times",
+                    "queue_lengths",
+                    "desired_codes",
+                    "output_voltages",
+                    "duty_values",
+                    "operations_completed",
+                    "samples_dropped",
+                    "energies",
+                    "lut_corrections",
+                    "decisions",
+                )
+            }
+        )

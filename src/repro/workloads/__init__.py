@@ -21,6 +21,13 @@ from repro.workloads.generators import (
     chirp_samples,
     step_samples,
 )
+from repro.workloads.batch import (
+    arrival_matrix_from_processes,
+    bursty_arrival_matrix,
+    constant_arrival_matrix,
+    poisson_arrival_matrix,
+    stepped_arrival_matrix,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -32,4 +39,9 @@ __all__ = [
     "sine_with_noise",
     "chirp_samples",
     "step_samples",
+    "arrival_matrix_from_processes",
+    "bursty_arrival_matrix",
+    "constant_arrival_matrix",
+    "poisson_arrival_matrix",
+    "stepped_arrival_matrix",
 ]

@@ -1,0 +1,168 @@
+"""Batched arrival generation: ``(N, cycles)`` matrices for the engine.
+
+The scalar :class:`~repro.workloads.traffic.ArrivalProcess` objects are
+queried one cycle at a time; the batched engine wants the whole input
+schedule of a population up front.  The generators here produce
+``(N, cycles)`` integer arrival matrices and are draw-for-draw /
+count-for-count identical to stepping the corresponding scalar process
+(the deterministic ones replicate the fractional-rate accumulator with
+the exact same floating-point update; the Poisson one consumes each
+per-die generator stream exactly like repeated scalar draws).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.traffic import ArrivalProcess
+
+
+def _validate(period: float, cycles: int) -> None:
+    if period <= 0 or cycles <= 0:
+        raise ValueError("period and cycles must be positive")
+
+
+def _accumulate(rate_rows: np.ndarray, period: float) -> np.ndarray:
+    """Run the fractional-rate accumulator over a ``(N, cycles)`` rate grid.
+
+    Mirrors the scalar processes' per-cycle update
+    (``acc += rate * period; count = int(acc); acc -= count``) column by
+    column, vectorised across the population, so each row equals the
+    scalar sequence bit for bit.
+    """
+    n, cycles = rate_rows.shape
+    counts = np.zeros((n, cycles), dtype=np.int64)
+    accumulator = np.zeros(n, dtype=float)
+    for i in range(cycles):
+        accumulator = accumulator + rate_rows[:, i] * period
+        counts[:, i] = accumulator.astype(np.int64)
+        accumulator = accumulator - counts[:, i]
+    return counts
+
+
+def constant_arrival_matrix(
+    rates, period: float, cycles: int
+) -> np.ndarray:
+    """Arrival matrix of N constant-rate streams (one rate per die).
+
+    Row ``i`` equals ``ConstantArrivals(rates[i])`` stepped ``cycles``
+    times.
+    """
+    _validate(period, cycles)
+    rate_arr = np.atleast_1d(np.asarray(rates, dtype=float))
+    if np.any(rate_arr < 0):
+        raise ValueError("rates must be non-negative")
+    return _accumulate(
+        np.broadcast_to(rate_arr[:, None], (rate_arr.size, cycles)), period
+    )
+
+
+def stepped_arrival_matrix(
+    steps: Sequence[Sequence[Tuple[float, float]]],
+    period: float,
+    cycles: int,
+) -> np.ndarray:
+    """Arrival matrix of N piecewise-constant streams.
+
+    ``steps[i]`` is the ``[(start_time, rate), ...]`` schedule of die
+    ``i``, with the same ordering rules as
+    :class:`~repro.workloads.traffic.SteppedArrivals`.
+    """
+    _validate(period, cycles)
+    if not steps:
+        raise ValueError("steps must not be empty")
+    rate_rows = np.zeros((len(steps), cycles), dtype=float)
+    times = np.arange(cycles) * period
+    for row, schedule in enumerate(steps):
+        if not schedule:
+            raise ValueError("each step schedule must not be empty")
+        starts = np.array([start for start, _ in schedule])
+        if np.any(np.diff(starts) < 0):
+            raise ValueError("steps must be sorted by start time")
+        rates = np.array([rate for _, rate in schedule])
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        # rate_at(): the last segment whose start <= time, defaulting to
+        # the first segment's rate before any start.
+        index = np.searchsorted(starts, times, side="right") - 1
+        rate_rows[row] = rates[np.clip(index, 0, len(rates) - 1)]
+    return _accumulate(rate_rows, period)
+
+
+def bursty_arrival_matrix(
+    burst_rates,
+    burst_durations,
+    idle_durations,
+    period: float,
+    cycles: int,
+) -> np.ndarray:
+    """Arrival matrix of N burst/idle streams (per-die burst parameters)."""
+    _validate(period, cycles)
+    burst_rate = np.atleast_1d(np.asarray(burst_rates, dtype=float))
+    burst_duration = np.broadcast_to(
+        np.atleast_1d(np.asarray(burst_durations, dtype=float)),
+        burst_rate.shape,
+    )
+    idle_duration = np.broadcast_to(
+        np.atleast_1d(np.asarray(idle_durations, dtype=float)),
+        burst_rate.shape,
+    )
+    if np.any(burst_rate < 0):
+        raise ValueError("burst_rate must be non-negative")
+    if np.any(burst_duration <= 0) or np.any(idle_duration < 0):
+        raise ValueError("durations must be positive")
+    times = np.arange(cycles) * period
+    cycle_duration = burst_duration + idle_duration
+    in_burst = (times[None, :] % cycle_duration[:, None]) < burst_duration[:, None]
+    rate_rows = np.where(in_burst, burst_rate[:, None], 0.0)
+    return _accumulate(rate_rows, period)
+
+
+def poisson_arrival_matrix(
+    rates,
+    period: float,
+    cycles: int,
+    seeds,
+) -> np.ndarray:
+    """Arrival matrix of N Poisson streams (per-die rate and seed).
+
+    Row ``i`` is drawn from ``default_rng(seeds[i])`` with one sized
+    draw, which consumes the generator stream exactly like ``cycles``
+    sequential scalar draws of
+    :class:`~repro.workloads.traffic.PoissonArrivals`.
+    """
+    _validate(period, cycles)
+    rate_arr = np.atleast_1d(np.asarray(rates, dtype=float))
+    if np.any(rate_arr < 0):
+        raise ValueError("rates must be non-negative")
+    seed_arr = np.broadcast_to(np.atleast_1d(seeds), rate_arr.shape)
+    counts = np.zeros((rate_arr.size, cycles), dtype=np.int64)
+    for row in range(rate_arr.size):
+        rng = np.random.default_rng(int(seed_arr[row]))
+        counts[row] = rng.poisson(rate_arr[row] * period, size=cycles)
+    return counts
+
+
+def arrival_matrix_from_processes(
+    processes: Sequence[ArrivalProcess],
+    period: float,
+    cycles: int,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """Materialise arbitrary scalar processes into an ``(N, cycles)`` matrix.
+
+    Generic (Python-loop) fallback for process types without a dedicated
+    vectorised generator; each process is stepped with the same
+    ``(time, period)`` arguments the scalar controller would use.
+    """
+    _validate(period, cycles)
+    if not processes:
+        raise ValueError("processes must not be empty")
+    matrix = np.zeros((len(processes), cycles), dtype=np.int64)
+    for row, process in enumerate(processes):
+        matrix[row] = [
+            process((start_cycle + i) * period, period) for i in range(cycles)
+        ]
+    return matrix

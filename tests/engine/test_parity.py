@@ -1,0 +1,267 @@
+"""Scalar/batched parity: the engine must reproduce the legacy loops.
+
+The acceptance bar of the ``repro.engine`` refactor: a batch-of-one
+engine run matches the legacy scalar ``AdaptiveController`` loop
+cycle-for-cycle (voltages, queue lengths, energies, corrections), and a
+batch of N dies matches N independent scalar runs column-for-column.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.controller import AdaptiveController
+from repro.core.dcdc import FeedbackMode
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler
+from repro.engine import BatchEngine, BatchPopulation
+from repro.library import OperatingCondition
+from repro.workloads import ConstantArrivals
+from repro.workloads.traffic import trace_arrivals
+
+TRACE_CHANNELS = (
+    "times",
+    "queue_lengths",
+    "desired_codes",
+    "output_voltages",
+    "duty_values",
+    "operations",
+    "energies",
+    "lut_corrections",
+    "decisions",
+)
+
+
+def make_controller(library, corner, **kwargs):
+    reference = library.reference_delay_model
+    silicon = library.delay_model(OperatingCondition(corner=corner))
+    load = DigitalLoad(library.ring_oscillator_load, silicon)
+    reference_load = DigitalLoad(library.ring_oscillator_load, reference)
+    lut = program_lut_for_load(reference_load, sample_rate=1e5)
+    return AdaptiveController(
+        load=load, lut=lut, reference_delay_model=reference, **kwargs
+    )
+
+
+def assert_traces_match(reference_trace, engine_trace):
+    assert len(reference_trace) == len(engine_trace)
+    for channel in TRACE_CHANNELS:
+        expected = np.asarray(getattr(reference_trace, channel), dtype=float)
+        actual = np.asarray(getattr(engine_trace, channel), dtype=float)
+        np.testing.assert_allclose(
+            actual, expected, rtol=1e-12, atol=0.0, err_msg=channel
+        )
+
+
+class TestBatchOfOneParity:
+    def test_closed_loop_run_matches_reference(self, library):
+        reference = make_controller(library, "SS")
+        engine_backed = make_controller(library, "SS")
+        trace_a = reference.run_reference(ConstantArrivals(1e5), 400)
+        trace_b = engine_backed.run(ConstantArrivals(1e5), 400)
+        assert_traces_match(trace_a, trace_b)
+        assert reference.lut.correction == engine_backed.lut.correction
+        assert (
+            reference.lut.correction_history
+            == engine_backed.lut.correction_history
+        )
+        assert reference.fifo.queue_length == engine_backed.fifo.queue_length
+        assert reference.cycles_run == engine_backed.cycles_run
+
+    def test_schedule_run_matches_reference(self, library):
+        schedule = [(19, 100), (11, 200), (47, 150)]
+        reference = make_controller(library, "SS")
+        engine_backed = make_controller(library, "SS")
+        trace_a = reference.run_schedule_reference(schedule)
+        trace_b = engine_backed.run_schedule(schedule)
+        assert_traces_match(trace_a, trace_b)
+        assert trace_b.final_correction() == trace_a.final_correction()
+
+    def test_delay_servo_mode_matches_reference(self, library):
+        kwargs = dict(
+            feedback_mode=FeedbackMode.DELAY_SERVO, compensation_enabled=False
+        )
+        reference = make_controller(library, "SS", **kwargs)
+        engine_backed = make_controller(library, "SS", **kwargs)
+        trace_a = reference.run_schedule_reference([(11, 200)])
+        trace_b = engine_backed.run_schedule([(11, 200)])
+        assert_traces_match(trace_a, trace_b)
+
+    def test_custom_lut_depth_keeps_fifo_capacity_parity(self, library):
+        """A LUT programmed for a different depth only rescales the bin
+        mapping; the FIFO capacity (and thus overflow drops) must still
+        come from the controller config on both paths."""
+        reference_model = library.reference_delay_model
+        silicon = library.delay_model(OperatingCondition(corner="TT"))
+        reference_load = DigitalLoad(
+            library.ring_oscillator_load, reference_model
+        )
+
+        def build():
+            lut = program_lut_for_load(
+                reference_load, sample_rate=1e5, fifo_depth=16
+            )
+            return AdaptiveController(
+                load=DigitalLoad(library.ring_oscillator_load, silicon),
+                lut=lut,
+                reference_delay_model=reference_model,
+            )
+
+        reference = build()
+        engine_backed = build()
+        trace_a = reference.run_reference(ConstantArrivals(3e5), 300)
+        trace_b = engine_backed.run(ConstantArrivals(3e5), 300)
+        assert_traces_match(trace_a, trace_b)
+        assert trace_b.total_drops() == trace_a.total_drops()
+
+    def test_segment_selection_keeps_parity(self, library):
+        """select_segments_for() changes the switch r_on; the engine run
+        must honour the enabled-segment count like the scalar loop."""
+        reference = make_controller(library, "TT")
+        engine_backed = make_controller(library, "TT")
+        reference.dcdc.power_stage.array.enable_segments(1)
+        engine_backed.dcdc.power_stage.array.enable_segments(1)
+        trace_a = reference.run_schedule_reference([(19, 200)])
+        trace_b = engine_backed.run_schedule([(19, 200)])
+        assert_traces_match(trace_a, trace_b)
+
+    def test_sequential_runs_stay_in_lockstep(self, library):
+        """State hand-off: run() then run_schedule() continues exactly."""
+        reference = make_controller(library, "TT")
+        engine_backed = make_controller(library, "TT")
+        assert_traces_match(
+            reference.run_reference(ConstantArrivals(1e5), 150),
+            engine_backed.run(ConstantArrivals(1e5), 150),
+        )
+        assert_traces_match(
+            reference.run_schedule_reference([(19, 80)]),
+            engine_backed.run_schedule([(19, 80)]),
+        )
+        assert reference.fifo.statistics.pushes == (
+            engine_backed.fifo.statistics.pushes
+        )
+        assert reference.fifo.statistics.pops == (
+            engine_backed.fifo.statistics.pops
+        )
+        assert reference.fifo.statistics.peak_occupancy == (
+            engine_backed.fifo.statistics.peak_occupancy
+        )
+        assert reference.dcdc.comparator.decision_counts == (
+            engine_backed.dcdc.comparator.decision_counts
+        )
+
+    def test_trace_columns_are_immutable(self, library):
+        controller = make_controller(library, "TT")
+        trace = controller.run(ConstantArrivals(1e5), 30)
+        with pytest.raises(ValueError):
+            trace.output_voltages[0] = 99.0
+        with pytest.raises(AttributeError):
+            trace.records.append("nope")
+
+
+class TestPopulationParity:
+    def test_batch_of_three_matches_three_scalar_runs(self, library):
+        cycles = 250
+        samples = MonteCarloSampler(seed=5).draw(3)
+        reference_load = DigitalLoad(
+            library.ring_oscillator_load, library.reference_delay_model
+        )
+        population = BatchPopulation.from_samples(library, samples)
+        engine = BatchEngine(
+            population,
+            lut=program_lut_for_load(reference_load, sample_rate=1e5),
+        )
+        arrivals = np.asarray(
+            trace_arrivals(ConstantArrivals(1e5), 1e-6, cycles)
+        )
+        batch_trace = engine.run(
+            np.broadcast_to(arrivals, (3, cycles)), cycles
+        )
+        for i, sample in enumerate(samples):
+            silicon = library.delay_model(
+                OperatingCondition(
+                    corner="TT",
+                    nmos_vth_shift=sample.nmos_vth_shift,
+                    pmos_vth_shift=sample.pmos_vth_shift,
+                )
+            )
+            controller = AdaptiveController(
+                load=DigitalLoad(library.ring_oscillator_load, silicon),
+                lut=program_lut_for_load(reference_load, sample_rate=1e5),
+                reference_delay_model=library.reference_delay_model,
+            )
+            scalar = controller.run_reference(ConstantArrivals(1e5), cycles)
+            die = batch_trace.die(i)
+            assert_traces_match(scalar, die)
+
+    def test_trace_reductions_match_per_die_view(self, library):
+        samples = MonteCarloSampler(seed=9).draw(4)
+        reference_load = DigitalLoad(
+            library.ring_oscillator_load, library.reference_delay_model
+        )
+        engine = BatchEngine(
+            BatchPopulation.from_samples(library, samples),
+            lut=program_lut_for_load(reference_load, sample_rate=1e5),
+        )
+        trace = engine.run(
+            np.zeros((4, 60), dtype=np.int64), 60,
+            scheduled_codes=np.full(60, 11),
+        )
+        for i in range(4):
+            die = trace.die(i)
+            assert trace.total_energy()[i] == pytest.approx(die.total_energy())
+            assert int(trace.total_operations()[i]) == die.total_operations()
+            assert int(trace.final_correction()[i]) == die.final_correction()
+            assert trace.final_voltage()[i] == pytest.approx(
+                die.final_voltage()
+            )
+
+
+class TestBatchedMepParity:
+    def test_batched_mep_matches_scalar_solves(self, library):
+        from repro.analysis.monte_carlo import monte_carlo_mep
+        from repro.devices.variation import VariationModel
+
+        kwargs = dict(
+            samples=25,
+            library=library,
+            variation=VariationModel(global_sigma_v=0.015, local_sigma_v=0.005),
+            seed=2009,
+        )
+        scalar = monte_carlo_mep(method="scalar", **kwargs)
+        batched = monte_carlo_mep(method="batched", **kwargs)
+        assert scalar.count == batched.count
+        for a, b in zip(scalar.results, batched.results):
+            assert a.index == b.index
+            assert a.nmos_vth_shift == b.nmos_vth_shift
+            assert a.pmos_vth_shift == b.pmos_vth_shift
+            assert b.mep.optimal_supply == pytest.approx(
+                a.mep.optimal_supply, rel=1e-12
+            )
+            assert b.mep.minimum_energy == pytest.approx(
+                a.mep.minimum_energy, rel=1e-12
+            )
+            assert b.uncompensated_energy == pytest.approx(
+                a.uncompensated_energy, rel=1e-12
+            )
+            assert b.compensated_energy == pytest.approx(
+                a.compensated_energy, rel=1e-12
+            )
+
+    def test_batched_sweeps_match_scalar_sweeps(self, library):
+        from repro.analysis.sweeps import corner_energy_sweep
+        from repro.delay.mep import sweep_energy
+
+        result = corner_energy_sweep(library)
+        for corner, sweep in result.sweeps.items():
+            model = library.energy_model(
+                OperatingCondition(corner=corner),
+                library.ring_oscillator_load.with_activity(0.1),
+            )
+            reference = sweep_energy(model, label=corner)
+            np.testing.assert_allclose(
+                sweep.energies, reference.energies, rtol=1e-12
+            )
+            assert sweep.minimum.optimal_supply == pytest.approx(
+                reference.minimum.optimal_supply, rel=1e-12
+            )

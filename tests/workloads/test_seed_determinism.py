@@ -1,0 +1,111 @@
+"""Seed-determinism regressions: scalar and batched paths must agree.
+
+Two guarantees are pinned here:
+
+* identical seeds produce identical sequences (run-to-run determinism),
+* the batched struct-of-arrays generators reproduce the scalar
+  per-object paths draw-for-draw / count-for-count.
+"""
+
+import numpy as np
+
+from repro.devices.variation import MonteCarloSampler, VariationModel
+from repro.workloads.batch import (
+    arrival_matrix_from_processes,
+    bursty_arrival_matrix,
+    constant_arrival_matrix,
+    poisson_arrival_matrix,
+    stepped_arrival_matrix,
+)
+from repro.workloads.traffic import (
+    BurstyArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+    SteppedArrivals,
+    trace_arrivals,
+)
+
+PERIOD = 1e-6
+CYCLES = 700
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = MonteCarloSampler(seed=42).draw_arrays(64)
+        b = MonteCarloSampler(seed=42).draw_arrays(64)
+        np.testing.assert_array_equal(a.nmos_vth_shift, b.nmos_vth_shift)
+        np.testing.assert_array_equal(a.pmos_vth_shift, b.pmos_vth_shift)
+
+    def test_batched_draw_matches_scalar_draw_for_draw(self):
+        model = VariationModel(global_sigma_v=0.012, local_sigma_v=0.004)
+        scalar = MonteCarloSampler(model, seed=7).draw(50)
+        batch = MonteCarloSampler(model, seed=7).draw_arrays(50)
+        assert [s.nmos_vth_shift for s in scalar] == batch.nmos_vth_shift.tolist()
+        assert [s.pmos_vth_shift for s in scalar] == batch.pmos_vth_shift.tolist()
+        assert [s.index for s in scalar] == batch.indices.tolist()
+
+    def test_sequential_draws_continue_the_stream(self):
+        whole = MonteCarloSampler(seed=11).draw_arrays(20)
+        split = MonteCarloSampler(seed=11)
+        first = split.draw_arrays(20)
+        second = split.draw_arrays(20)
+        np.testing.assert_array_equal(first.nmos_vth_shift, whole.nmos_vth_shift)
+        assert second.indices.tolist() == list(range(20, 40))
+        assert split.samples_drawn == 40
+
+    def test_batch_to_samples_round_trip(self):
+        batch = MonteCarloSampler(seed=3).draw_arrays(5)
+        samples = batch.to_samples()
+        assert len(samples) == 5
+        assert samples[2].nmos_vth_shift == batch.nmos_vth_shift[2]
+
+
+class TestArrivalDeterminism:
+    def test_constant_matrix_matches_scalar_process(self):
+        for rate in (0.0, 3.3e4, 1e5, 4.7e5):
+            scalar = trace_arrivals(ConstantArrivals(rate), PERIOD, CYCLES)
+            matrix = constant_arrival_matrix([rate, rate], PERIOD, CYCLES)
+            assert matrix[0].tolist() == scalar
+            assert matrix[1].tolist() == scalar
+
+    def test_stepped_matrix_matches_scalar_process(self):
+        steps = [(0.0, 5e4), (2e-4, 3e5), (5e-4, 1e4)]
+        scalar = trace_arrivals(SteppedArrivals(steps=steps), PERIOD, CYCLES)
+        matrix = stepped_arrival_matrix([steps], PERIOD, CYCLES)
+        assert matrix[0].tolist() == scalar
+
+    def test_bursty_matrix_matches_scalar_process(self):
+        scalar = trace_arrivals(
+            BurstyArrivals(
+                burst_rate=4e5, burst_duration=150e-6, idle_duration=350e-6
+            ),
+            PERIOD,
+            CYCLES,
+        )
+        matrix = bursty_arrival_matrix([4e5], [150e-6], [350e-6], PERIOD, CYCLES)
+        assert matrix[0].tolist() == scalar
+
+    def test_poisson_matrix_matches_scalar_draw_for_draw(self):
+        for seed in (42, 7, 2009):
+            scalar = trace_arrivals(
+                PoissonArrivals(rate=1.5e5, seed=seed), PERIOD, CYCLES
+            )
+            matrix = poisson_arrival_matrix([1.5e5], PERIOD, CYCLES, [seed])
+            assert matrix[0].tolist() == scalar
+
+    def test_poisson_same_seed_same_matrix(self):
+        a = poisson_arrival_matrix([1e5, 2e5], PERIOD, 200, [1, 2])
+        b = poisson_arrival_matrix([1e5, 2e5], PERIOD, 200, [1, 2])
+        np.testing.assert_array_equal(a, b)
+
+    def test_generic_materialisation_matches_dedicated(self):
+        generic = arrival_matrix_from_processes(
+            [ConstantArrivals(1e5), ConstantArrivals(2e5)], PERIOD, 300
+        )
+        dedicated = constant_arrival_matrix([1e5, 2e5], PERIOD, 300)
+        np.testing.assert_array_equal(generic, dedicated)
+
+    def test_average_rate_recovered_over_long_runs(self):
+        matrix = constant_arrival_matrix([1.25e5], PERIOD, 100_000)
+        observed = matrix[0].sum() / (100_000 * PERIOD)
+        assert abs(observed - 1.25e5) / 1.25e5 < 1e-3
