@@ -1,21 +1,29 @@
-"""Engine throughput bench: scalar loops versus the batched engine.
+"""Engine throughput bench: scalar loops, batched engine, sharded fleet.
 
-Records two headline numbers into ``BENCH_engine.json`` at the repo
-root:
+Records the headline numbers into ``BENCH_engine.json`` at the repo
+root **only when** ``REPRO_BENCH_RECORD=1`` is set (the CI bench job
+sets it; a plain pytest run must not dirty the working tree):
 
 * closed-loop controller throughput — system die-cycles per second for
   the legacy scalar loop (one die) versus the batched engine (a Monte
-  Carlo fleet of dies advancing together), and
+  Carlo fleet of dies advancing together),
 * Monte Carlo MEP analysis throughput — samples per second for the
   seed's per-sample solve loop versus the single ``(N, S)`` energy-grid
-  evaluation.
+  evaluation,
+* sharded fleet throughput — die-cycles per second of the single-shard
+  engine versus a multi-worker :class:`FleetEngine` (plus the
+  bit-identity check between the two),
+* the streaming long run — a ``>= 100k cycles x 256 dies`` closed-loop
+  run under :class:`StreamingTrace`, completing within a fixed
+  telemetry-memory bound where a dense trace cannot.
 
-The acceptance bar of the ``repro.engine`` refactor is a >= 10x speedup
-of the 256-sample Monte Carlo MEP analysis, asserted here so CI catches
-a regression of the vectorised path.
+The batched speedup bars assert on every run; the fleet *scaling* bar
+only where it is physically meaningful (>= 2 CPUs).  The fleet parity
+check (sharded == single shard, bit for bit) runs unconditionally.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -27,17 +35,40 @@ from repro.circuits.loads import DigitalLoad
 from repro.core.controller import AdaptiveController
 from repro.core.rate_controller import program_lut_for_load
 from repro.devices.variation import MonteCarloSampler
-from repro.engine import BatchEngine, BatchPopulation
+from repro.engine import (
+    BatchEngine,
+    BatchPopulation,
+    BatchTrace,
+    FleetConfig,
+    FleetEngine,
+    NullTrace,
+)
 from repro.workloads import ConstantArrivals
 from repro.workloads.batch import constant_arrival_matrix
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
+FLEET_WORKERS = int(os.environ.get("REPRO_FLEET_WORKERS", "4"))
 
 MC_SAMPLES = 256
 CONTROLLER_CYCLES = 400
 FLEET_SIZE = 512
 ARRIVAL_RATE = 1e5
 SYSTEM_PERIOD = 1e-6
+
+FLEET_BENCH_DIES = 4096
+FLEET_BENCH_CYCLES = 200
+# 4096 dies keeps each shard numpy-dominated: the engine has a fixed
+# ~1 ms/cycle Python dispatch cost per shard, so thread scaling needs
+# shards large enough that the GIL-released kernel time dwarfs it.
+
+LONG_RUN_DIES = 256
+LONG_RUN_CYCLES = int(
+    os.environ.get("REPRO_BENCH_LONGRUN_CYCLES", "100000")
+)
+TELEMETRY_MEMORY_BOUND = 256 * 1024 * 1024
+"""Fixed telemetry budget (bytes) the streaming long run must fit in."""
 
 
 def _best_of(callable_, repeats=3):
@@ -57,9 +88,77 @@ def reference_lut(library):
     return program_lut_for_load(reference_load, sample_rate=1e5)
 
 
+def _fleet_bench(library, reference_lut):
+    """Single-shard engine versus the sharded multi-worker fleet."""
+    samples = MonteCarloSampler(seed=23).draw_arrays(FLEET_BENCH_DIES)
+    population = BatchPopulation.from_samples(library, samples)
+    # A shared (cycles,) arrival vector broadcasts with zero copies.
+    arrivals = constant_arrival_matrix(
+        [ARRIVAL_RATE], SYSTEM_PERIOD, FLEET_BENCH_CYCLES
+    )[0]
+
+    def single_shard():
+        BatchEngine(population, lut=reference_lut).run(
+            arrivals, FLEET_BENCH_CYCLES, sink=NullTrace()
+        )
+
+    def sharded():
+        FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(workers=FLEET_WORKERS, telemetry="null"),
+        ).run(arrivals, FLEET_BENCH_CYCLES)
+
+    single_seconds = _best_of(single_shard)
+    sharded_seconds = _best_of(sharded)
+    die_cycles = FLEET_BENCH_DIES * FLEET_BENCH_CYCLES
+    return {
+        "dies": FLEET_BENCH_DIES,
+        "system_cycles": FLEET_BENCH_CYCLES,
+        "workers": FLEET_WORKERS,
+        "single_shard_seconds": single_seconds,
+        "sharded_seconds": sharded_seconds,
+        "single_shard_die_cycles_per_second": die_cycles / single_seconds,
+        "sharded_die_cycles_per_second": die_cycles / sharded_seconds,
+        "speedup": single_seconds / sharded_seconds,
+    }
+
+
+def _streaming_long_run(library, reference_lut):
+    """A run whose dense trace cannot fit the telemetry memory bound."""
+    samples = MonteCarloSampler(seed=29).draw_arrays(LONG_RUN_DIES)
+    population = BatchPopulation.from_samples(library, samples)
+    engine = FleetEngine(
+        population,
+        reference_lut,
+        fleet=FleetConfig(
+            workers=FLEET_WORKERS, telemetry="streaming", stream_window=64
+        ),
+    )
+    arrivals = constant_arrival_matrix(
+        [ARRIVAL_RATE], SYSTEM_PERIOD, LONG_RUN_CYCLES
+    )[0]
+    start = time.perf_counter()
+    sink = engine.run(arrivals, LONG_RUN_CYCLES)
+    elapsed = time.perf_counter() - start
+    die_cycles = LONG_RUN_DIES * LONG_RUN_CYCLES
+    return {
+        "dies": LONG_RUN_DIES,
+        "system_cycles": LONG_RUN_CYCLES,
+        "workers": FLEET_WORKERS,
+        "seconds": elapsed,
+        "die_cycles_per_second": die_cycles / elapsed,
+        "streaming_buffer_bytes": sink.buffer_bytes(),
+        "dense_trace_required_bytes": BatchTrace.required_bytes(
+            LONG_RUN_CYCLES, LONG_RUN_DIES
+        ),
+        "telemetry_memory_bound_bytes": TELEMETRY_MEMORY_BOUND,
+    }
+
+
 @pytest.fixture(scope="module")
 def bench_results(library, reference_lut):
-    """Time all four configurations once and persist the JSON record."""
+    """Time all configurations once; persist JSON when recording."""
     # --- Monte Carlo MEP analysis: per-sample loop vs batched grid ----
     monte_carlo_mep(samples=4, library=library, method="scalar")
     monte_carlo_mep(samples=4, library=library, method="batched")
@@ -107,6 +206,10 @@ def bench_results(library, reference_lut):
     batched_loop = _best_of(batched_fleet)
 
     results = {
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "fleet_workers": FLEET_WORKERS,
+        },
         "monte_carlo_mep": {
             "samples": MC_SAMPLES,
             "scalar_seconds": scalar_mc,
@@ -128,14 +231,25 @@ def bench_results(library, reference_lut):
             ),
         },
     }
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    if RECORD:
+        # The fleet timing sweep and the (long) streaming run only
+        # execute on recording runs; plain pytest stays fast and leaves
+        # the committed BENCH_engine.json untouched.
+        results["fleet"] = _fleet_bench(library, reference_lut)
+        results["fleet"]["streaming_long_run"] = _streaming_long_run(
+            library, reference_lut
+        )
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     return results
 
 
 def test_engine_throughput_recorded(bench_results):
     mc = bench_results["monte_carlo_mep"]
     loop = bench_results["closed_loop"]
-    print("\nEngine throughput (recorded in BENCH_engine.json)")
+    mode = "recorded in BENCH_engine.json" if RECORD else (
+        "not recorded; set REPRO_BENCH_RECORD=1"
+    )
+    print(f"\nEngine throughput ({mode})")
     print(
         f"  Monte Carlo MEP ({mc['samples']} samples): "
         f"{mc['scalar_samples_per_second']:8.0f} samples/s scalar vs "
@@ -160,3 +274,104 @@ def test_batched_monte_carlo_meets_speedup_bar(bench_results):
 def test_batched_fleet_outscales_scalar_controller(bench_results):
     """The fleet must deliver far more die-cycles/s than one scalar die."""
     assert bench_results["closed_loop"]["throughput_gain"] >= 10.0
+
+
+def test_sharded_fleet_matches_single_shard(library, reference_lut):
+    """Determinism smoke (always runs): sharded == single shard, bit for
+    bit, at the worker count the CI bench job configures."""
+    dies, cycles = 40, 100
+    samples = MonteCarloSampler(seed=41).draw_arrays(dies)
+    population = BatchPopulation.from_samples(library, samples)
+    arrivals = constant_arrival_matrix(
+        np.full(dies, ARRIVAL_RATE), SYSTEM_PERIOD, cycles
+    )
+    single = BatchEngine(population, lut=reference_lut).run(arrivals, cycles)
+    sharded = FleetEngine(
+        population,
+        reference_lut,
+        fleet=FleetConfig(shard_size=16, workers=max(2, FLEET_WORKERS)),
+    ).run(arrivals, cycles)
+    for channel in (
+        "times",
+        "queue_lengths",
+        "desired_codes",
+        "output_voltages",
+        "duty_values",
+        "operations_completed",
+        "samples_dropped",
+        "energies",
+        "lut_corrections",
+        "decisions",
+    ):
+        np.testing.assert_array_equal(
+            getattr(sharded, channel),
+            getattr(single, channel),
+            err_msg=channel,
+        )
+
+
+@pytest.mark.skipif(
+    not RECORD, reason="fleet timing sweep needs REPRO_BENCH_RECORD=1"
+)
+def test_fleet_speedup_bar(bench_results):
+    """Acceptance: >= 1.5x die-cycles/s over single-core at 4 workers.
+
+    Thread-level scaling is physically impossible on a single-CPU
+    machine (the bit-identity contract is still asserted above), so the
+    scaling bar applies where >= 2 CPUs are available.
+    """
+    fleet = bench_results["fleet"]
+    print(
+        f"\nFleet: {fleet['single_shard_die_cycles_per_second']:8.0f} "
+        f"die-cycles/s single shard vs "
+        f"{fleet['sharded_die_cycles_per_second']:8.0f} die-cycles/s at "
+        f"{fleet['workers']} workers ({fleet['speedup']:.2f}x)"
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip("single-CPU machine: no parallel speedup available")
+    if FLEET_WORKERS >= 4 and cpus >= 4:
+        assert fleet["speedup"] >= 1.5
+    else:
+        # Fewer workers/CPUs (e.g. the CI smoke at 2 workers): threading
+        # must still pay for its own sharding overhead.
+        assert fleet["speedup"] >= 1.1
+
+
+@pytest.mark.skipif(
+    not RECORD, reason="long run needs REPRO_BENCH_RECORD=1"
+)
+def test_streaming_long_run_fits_memory_bound(bench_results):
+    """Acceptance: the >= 100k x 256 run completes under the telemetry
+    bound while a dense trace of the same run cannot fit it."""
+    long_run = bench_results["fleet"]["streaming_long_run"]
+    print(
+        f"\nStreaming long run: {long_run['system_cycles']} cycles x "
+        f"{long_run['dies']} dies in {long_run['seconds']:.1f}s, "
+        f"{long_run['streaming_buffer_bytes']/1e6:.2f} MB streaming vs "
+        f"{long_run['dense_trace_required_bytes']/1e9:.2f} GB dense"
+    )
+    bound = long_run["telemetry_memory_bound_bytes"]
+    assert long_run["streaming_buffer_bytes"] < bound
+    assert long_run["dense_trace_required_bytes"] > bound
+
+
+def test_bench_record_has_fleet_section():
+    """The committed BENCH_engine.json carries the fleet results."""
+    record = json.loads(RESULT_PATH.read_text())
+    fleet = record["fleet"]
+    for key in (
+        "single_shard_die_cycles_per_second",
+        "sharded_die_cycles_per_second",
+        "speedup",
+        "workers",
+        "streaming_long_run",
+    ):
+        assert key in fleet
+    long_run = fleet["streaming_long_run"]
+    assert long_run["streaming_buffer_bytes"] < (
+        long_run["telemetry_memory_bound_bytes"]
+    )
+    assert long_run["dense_trace_required_bytes"] > (
+        long_run["telemetry_memory_bound_bytes"]
+    )

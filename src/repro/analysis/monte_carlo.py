@@ -86,6 +86,110 @@ class MonteCarloSummary:
         )
 
 
+@dataclass(frozen=True)
+class ClosedLoopFleetResult:
+    """Population statistics of a closed-loop Monte Carlo fleet run."""
+
+    dies: int
+    cycles: int
+    telemetry: object
+    """The merged telemetry sink (a
+    :class:`~repro.engine.trace.StreamingTrace` by default, a
+    :class:`~repro.engine.trace.BatchTrace` in dense mode, ``None`` in
+    null mode)."""
+
+    energy: np.ndarray
+    """Total load energy per die (joules, ``(N,)``)."""
+
+    operations: np.ndarray
+    """Completed load operations per die (``(N,)``)."""
+
+    drops: np.ndarray
+    """Input samples lost to FIFO overflow per die (``(N,)``)."""
+
+    lut_correction: np.ndarray
+    """Final LUT correction per die (LSBs, ``(N,)``)."""
+
+    def energy_per_operation(self) -> np.ndarray:
+        """Return the average energy per operation per die (``(N,)``)."""
+        from repro.engine.trace import energy_per_operation_arrays
+
+        return energy_per_operation_arrays(self.energy, self.operations)
+
+    def mean_energy_per_operation(self) -> float:
+        """Return the fleet-mean energy per operation (joules)."""
+        return float(np.nanmean(self.energy_per_operation()))
+
+    def compensated_fraction(self) -> float:
+        """Return the fraction of dies that applied a LUT correction."""
+        return float(np.mean(self.lut_correction != 0))
+
+
+def monte_carlo_closed_loop(
+    dies: int = 64,
+    cycles: int = 1000,
+    library: Optional[SubthresholdLibrary] = None,
+    variation: Optional[VariationModel] = None,
+    corner: str = "TT",
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    seed: int = 2009,
+    sample_rate: float = 1e5,
+    fleet=None,
+) -> ClosedLoopFleetResult:
+    """Run a Monte Carlo *closed-loop* fleet: N varied dies, full loop.
+
+    Where :func:`monte_carlo_mep` asks where the MEP moves under
+    variation, this drives the complete adaptive-controller loop on a
+    fleet of varied dies under independent Poisson input traffic (the
+    scalar ``seed`` is spawned into per-die streams) and reports the
+    population outcome: per-die energy, throughput, overflow drops and
+    the LUT corrections the compensation path converged to.
+
+    ``fleet`` is an optional :class:`~repro.engine.fleet.FleetConfig`;
+    the default uses streaming telemetry, so arbitrarily long runs stay
+    within a fixed memory budget.
+    """
+    if dies <= 0 or cycles <= 0:
+        raise ValueError("dies and cycles must be positive")
+    from repro.circuits.loads import DigitalLoad
+    from repro.core.rate_controller import program_lut_for_load
+    from repro.engine.engine import BatchPopulation
+    from repro.engine.fleet import FleetConfig, FleetEngine
+    from repro.workloads.batch import poisson_arrival_matrix
+
+    library = library or default_library()
+    sampler = MonteCarloSampler(variation or VariationModel(), seed=seed)
+    population = BatchPopulation.from_samples(
+        library,
+        sampler.draw_arrays(dies),
+        corner=corner,
+        temperature_c=temperature_c,
+    )
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    lut = program_lut_for_load(reference_load, sample_rate=sample_rate)
+    engine = FleetEngine(
+        population, lut, fleet=fleet or FleetConfig(telemetry="streaming")
+    )
+    arrivals = poisson_arrival_matrix(
+        np.full(dies, sample_rate),
+        engine.config.system_cycle_period,
+        cycles,
+        seeds=seed,
+    )
+    telemetry = engine.run(arrivals, cycles)
+    return ClosedLoopFleetResult(
+        dies=dies,
+        cycles=cycles,
+        telemetry=telemetry,
+        energy=engine.total_energy(),
+        operations=engine.total_operations(),
+        drops=engine.total_drops(),
+        lut_correction=engine.final_correction(),
+    )
+
+
 def monte_carlo_mep(
     samples: int = 50,
     library: Optional[SubthresholdLibrary] = None,

@@ -268,3 +268,108 @@ def delay_sweep(
     return DelaySweepResult(
         supplies=grid, delays=delays, temperature_c=temperature_c
     )
+
+
+@dataclass(frozen=True)
+class ClosedLoopCornerResult:
+    """Closed-loop controller outcome per process corner.
+
+    Produced by :func:`closed_loop_corner_sweep`, which runs the full
+    adaptive loop on one die per corner as a sharded fleet with
+    streaming telemetry.
+    """
+
+    corners: Sequence[str]
+    cycles: int
+    telemetry: object
+    """The merged :class:`~repro.engine.trace.StreamingTrace`."""
+
+    energy_per_operation: Dict[str, float]
+    """Average energy per completed operation per corner (joules)."""
+
+    final_voltage: Dict[str, float]
+    """Mean tail output voltage per corner (volts)."""
+
+    settle_cycle: Dict[str, int]
+    """1-based cycle of the last comparator trim per corner (0 = never)."""
+
+    lut_correction: Dict[str, int]
+    """Final LUT correction per corner (LSBs)."""
+
+    def correction_spread_lsb(self) -> int:
+        """Return the corner-to-corner spread of the LUT correction."""
+        values = list(self.lut_correction.values())
+        return int(max(values) - min(values))
+
+
+def closed_loop_corner_sweep(
+    library: Optional[SubthresholdLibrary] = None,
+    corners: Sequence[str] = FIG1_CORNERS,
+    cycles: int = 1200,
+    sample_rate: float = 1e5,
+    temperature_c: float = ROOM_TEMPERATURE_C,
+    fleet=None,
+) -> ClosedLoopCornerResult:
+    """Run the full adaptive loop on one die per corner (Fig. 1 corners).
+
+    The corner characterisation sweeps above ask where the MEP sits;
+    this asks what the *controller* does about it: each corner die runs
+    the complete FIFO -> rate controller -> DC-DC -> compensation loop
+    under the same constant traffic, and the result reports the
+    settle time, converged supply and LUT correction per corner.  Runs
+    as a :class:`~repro.engine.fleet.FleetEngine` with streaming
+    telemetry by default.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    from dataclasses import replace
+
+    from repro.circuits.loads import DigitalLoad
+    from repro.core.rate_controller import program_lut_for_load
+    from repro.engine.engine import BatchPopulation
+    from repro.engine.fleet import FleetConfig, FleetEngine
+    from repro.workloads.batch import constant_arrival_matrix
+
+    library = library or default_library()
+    population = BatchPopulation.from_corners(
+        library, corners, temperature_c=temperature_c
+    )
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    lut = program_lut_for_load(reference_load, sample_rate=sample_rate)
+    # The settle/voltage reductions below need streaming reducers, so a
+    # caller-supplied FleetConfig (worker count, shard size) is honoured
+    # but its telemetry mode is forced to streaming.
+    fleet = replace(
+        fleet or FleetConfig(), telemetry="streaming"
+    )
+    engine = FleetEngine(population, lut, fleet=fleet)
+    arrivals = constant_arrival_matrix(
+        np.full(len(corners), sample_rate),
+        engine.config.system_cycle_period,
+        cycles,
+    )
+    sink = engine.run(arrivals, cycles)
+    epo = sink.energy_per_operation()
+    final_voltage = sink.final_voltage()
+    settle = sink.settle_cycle
+    correction = engine.final_correction()
+    return ClosedLoopCornerResult(
+        corners=tuple(corners),
+        cycles=cycles,
+        telemetry=sink,
+        energy_per_operation={
+            corner: float(epo[i]) for i, corner in enumerate(corners)
+        },
+        final_voltage={
+            corner: float(final_voltage[i])
+            for i, corner in enumerate(corners)
+        },
+        settle_cycle={
+            corner: int(settle[i]) for i, corner in enumerate(corners)
+        },
+        lut_correction={
+            corner: int(correction[i]) for i, corner in enumerate(corners)
+        },
+    )

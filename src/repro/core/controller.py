@@ -446,6 +446,7 @@ class AdaptiveController:
             nominal_throughput=self.nominal_throughput,
             averaging_window=self.rate_controller.averaging_window,
             enabled_segments=self.dcdc.power_stage.array.enabled_segments,
+            log_corrections=True,
         )
         state = engine.state
         state.cycles = self._cycles
@@ -469,12 +470,19 @@ class AdaptiveController:
         state.vote_count[:] = min(len(self._signature_votes), window)
         return engine
 
-    def _sync_from_engine(self, engine, trace, rate_decisions: int) -> None:
-        """Hand the engine's final state back to the scalar components."""
+    def _sync_from_engine(self, engine, rate_decisions: int) -> None:
+        """Hand the engine's final state back to the scalar components.
+
+        Works from the engine's state accumulators and sparse correction
+        log rather than a dense trace, so any telemetry sink (streaming,
+        null) still leaves the scalar components exactly where the
+        legacy loop would.
+        """
         state = engine.state
         # LUT: replay each correction change so the history granularity
         # matches what the scalar loop would have recorded.
-        for value in trace.lut_corrections[:, 0].tolist():
+        for values in engine.correction_log:
+            value = int(values[0])
             if value != self.lut.correction:
                 self.lut.apply_correction(value - self.lut.correction)
         # FIFO occupancy and statistics.  The engine maintains the run's
@@ -485,15 +493,10 @@ class AdaptiveController:
         ops = int(state.operations_total[0])
         drops = int(state.drops_total[0])
         accepted = int(state.accepted_total[0])
-        # Peak occupancy occurs just after the push phase of a cycle,
-        # i.e. the recorded (post-pop) occupancy plus that cycle's pops.
-        queue_before_pop = (
-            trace.queue_lengths[:, 0] + trace.operations_completed[:, 0]
-        )
         pushes = stats.pushes + accepted
         pops = stats.pops + ops
         overflows = stats.overflows + drops
-        peak = max(stats.peak_occupancy, int(queue_before_pop.max(initial=0)))
+        peak = max(stats.peak_occupancy, int(state.peak_queue[0]))
         while self.fifo.queue_length < target:
             # 0 rather than None: pop()/peek() use None as their
             # empty-FIFO sentinel, so a None payload would be ambiguous.
@@ -505,11 +508,10 @@ class AdaptiveController:
         stats.overflows = overflows
         stats.peak_occupancy = peak
         # Comparator telemetry: fold this run's decisions into the counters.
-        decisions = trace.decisions[:, 0]
         self.dcdc.comparator.record_decisions(
-            up=int((decisions == 1).sum()),
-            hold=int((decisions == 0).sum()),
-            down=int((decisions == -1).sum()),
+            up=int(state.decision_up_total[0]),
+            hold=int(state.decision_hold_total[0]),
+            down=int(state.decision_down_total[0]),
         )
         # DC-DC loop registers and filter state.
         self.dcdc.power_stage.load_state(
@@ -543,27 +545,43 @@ class AdaptiveController:
     # ------------------------------------------------------------------
     # Run loops (delegating to the batched engine)
     # ------------------------------------------------------------------
+    def _finish_run(self, result):
+        """Convert a batch-of-one engine result to the scalar view."""
+        from repro.engine.trace import BatchTrace
+
+        if isinstance(result, BatchTrace):
+            return result.die(0)
+        return result
+
     def run(
         self,
         arrivals: ArrivalFunction,
         system_cycles: int,
+        sink=None,
     ) -> ControllerTrace:
         """Run the full closed loop for ``system_cycles`` system cycles.
 
         ``arrivals(time, period)`` returns how many input samples arrive
-        during the system cycle starting at ``time``.
+        during the system cycle starting at ``time``.  ``sink`` selects
+        the telemetry layer (see :meth:`BatchEngine.run`): by default a
+        dense trace is recorded and returned as a
+        :class:`ControllerTrace`; with a custom sink (e.g. a
+        :class:`~repro.engine.trace.StreamingTrace` for very long runs)
+        the sink's result is returned instead — the controller state is
+        synchronised either way.
         """
         if system_cycles <= 0:
             raise ValueError("system_cycles must be positive")
         engine = self._make_engine()
-        trace = engine.run(arrivals, system_cycles)
-        self._sync_from_engine(engine, trace, rate_decisions=system_cycles)
-        return trace.die(0)
+        result = engine.run(arrivals, system_cycles, sink=sink)
+        self._sync_from_engine(engine, rate_decisions=system_cycles)
+        return self._finish_run(result)
 
     def run_schedule(
         self,
         schedule: Sequence[Tuple[int, int]],
         arrivals: Optional[ArrivalFunction] = None,
+        sink=None,
     ) -> ControllerTrace:
         """Drive an explicit sequence of desired words (Fig. 6 style).
 
@@ -575,9 +593,9 @@ class AdaptiveController:
         appears as an extra 18.75 mV on top of the scheduled 200 mV.
         """
         engine = self._make_engine()
-        trace = engine.run_schedule(schedule, arrivals)
-        self._sync_from_engine(engine, trace, rate_decisions=0)
-        return trace.die(0)
+        result = engine.run_schedule(schedule, arrivals, sink=sink)
+        self._sync_from_engine(engine, rate_decisions=0)
+        return self._finish_run(result)
 
     # ------------------------------------------------------------------
     # Reference (legacy scalar) run loops

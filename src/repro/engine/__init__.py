@@ -6,8 +6,10 @@ advances (or analyses) all of them simultaneously.
 
 ``device_math``  vectorised EKV / delay / energy math over die arrays
 ``state``        :class:`BatchState` — per-die controller state arrays
-``trace``        :class:`BatchTrace` — columnar telemetry
+``trace``        :class:`BatchTrace` + the :class:`TraceSink` telemetry
+                 layer (dense / streaming / null)
 ``engine``       :class:`BatchEngine` — the closed-loop population simulator
+``fleet``        :class:`FleetEngine` — sharded multi-threaded execution
 ``mep``          batched minimum-energy-point grid analysis
 
 The scalar :class:`~repro.core.controller.AdaptiveController` is a thin
@@ -23,14 +25,26 @@ from repro.engine.device_math import (
     batch_measure_tdc_counts,
     codes_from_counts,
 )
-from repro.engine.engine import BatchEngine, BatchPopulation
+from repro.engine.engine import (
+    BatchEngine,
+    BatchPopulation,
+    expand_schedule,
+    normalise_arrivals,
+)
+from repro.engine.fleet import FleetConfig, FleetEngine
 from repro.engine.mep import (
     batch_energy_model,
     batched_energy_surface,
     batched_minimum_energy_points,
 )
 from repro.engine.state import BatchState
-from repro.engine.trace import BatchTrace
+from repro.engine.trace import (
+    BatchTrace,
+    DenseTrace,
+    NullTrace,
+    StreamingTrace,
+    TraceSink,
+)
 
 __all__ = [
     "BatchDeviceSet",
@@ -39,10 +53,18 @@ __all__ = [
     "BatchPopulation",
     "BatchState",
     "BatchTrace",
+    "DenseTrace",
+    "FleetConfig",
+    "FleetEngine",
+    "NullTrace",
     "PolarityArrays",
+    "StreamingTrace",
+    "TraceSink",
     "batch_energy_model",
     "batch_measure_tdc_counts",
     "batched_energy_surface",
     "batched_minimum_energy_points",
     "codes_from_counts",
+    "expand_schedule",
+    "normalise_arrivals",
 ]

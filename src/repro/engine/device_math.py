@@ -268,6 +268,39 @@ class BatchDeviceSet:
             pmos_vth_shifts=np.full(n, model.pmos_vth_shift),
         )
 
+    def shard(self, index: slice) -> "BatchDeviceSet":
+        """Return the device arrays of a contiguous die shard.
+
+        The shard shares memory with the parent arrays (numpy views);
+        the engine never mutates device parameters, so views are safe to
+        evaluate from concurrent worker threads.
+        """
+        from dataclasses import fields
+
+        def cut(params: PolarityArrays) -> PolarityArrays:
+            return PolarityArrays(
+                **{
+                    f.name: getattr(params, f.name)[index]
+                    for f in fields(PolarityArrays)
+                }
+            )
+
+        temperature = TemperatureArrays(
+            reference_temperature_c=(
+                self.temperature.reference_temperature_c[index]
+            ),
+            vth_temperature_coefficient=(
+                self.temperature.vth_temperature_coefficient[index]
+            ),
+            mobility_exponent=self.temperature.mobility_exponent[index],
+        )
+        return BatchDeviceSet(
+            nmos=cut(self.nmos),
+            pmos=cut(self.pmos),
+            temperature=temperature,
+            delay_constant=self.delay_constant,
+        )
+
     # ------------------------------------------------------------------
     # Device currents (mirrors Mosfet.drain_current)
     # ------------------------------------------------------------------

@@ -36,9 +36,58 @@ from repro.engine.device_math import (
     codes_from_counts,
 )
 from repro.engine.state import BatchState
-from repro.engine.trace import DECISION_HOLD, BatchTrace
+from repro.engine.trace import DECISION_HOLD, DenseTrace, TraceSink
 
 ArrivalsLike = Union[np.ndarray, Sequence[int], None]
+
+
+def normalise_arrivals(
+    arrivals: ArrivalsLike,
+    cycles: int,
+    n: int,
+    period: float,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """Normalise an arrivals argument to an ``(n, cycles)`` int matrix.
+
+    Accepts the same forms as :meth:`BatchEngine.run`; shared by the
+    engine and the fleet executor (which normalises once for the whole
+    population and hands each shard a row slice, so a sharded run sees
+    exactly the arrivals a single-shard run would).
+    """
+    if arrivals is None:
+        return np.zeros((n, cycles), dtype=np.int64)
+    if callable(arrivals):
+        counts = [
+            int(arrivals((start_cycle + i) * period, period))
+            for i in range(cycles)
+        ]
+        return np.broadcast_to(
+            np.asarray(counts, dtype=np.int64), (n, cycles)
+        )
+    matrix = np.asarray(arrivals, dtype=np.int64)
+    if matrix.ndim == 1:
+        if matrix.shape[0] != cycles:
+            raise ValueError("arrival vector length must equal cycles")
+        return np.broadcast_to(matrix, (n, cycles))
+    if matrix.shape != (n, cycles):
+        raise ValueError(
+            f"arrival matrix must have shape ({n}, {cycles}), "
+            f"got {matrix.shape}"
+        )
+    return matrix
+
+
+def expand_schedule(schedule: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Flatten a ``(code, cycles)`` schedule into a per-cycle code vector."""
+    if not schedule:
+        raise ValueError("schedule must not be empty")
+    codes = []
+    for scheduled_code, cycles in schedule:
+        if cycles <= 0:
+            raise ValueError("each schedule entry needs >= 1 cycle")
+        codes.extend([int(scheduled_code)] * int(cycles))
+    return np.asarray(codes, dtype=np.int64)
 
 
 class BatchPopulation:
@@ -159,6 +208,70 @@ class BatchPopulation:
             temperature_c=temperature_c,
         )
 
+    @classmethod
+    def from_corners(
+        cls,
+        library,
+        corners: Sequence[str],
+        load: Optional[LoadCharacteristics] = None,
+        temperature_c: float = ROOM_TEMPERATURE_C,
+        config: Optional[ControllerConfig] = None,
+    ) -> "BatchPopulation":
+        """Build one die per process corner (SS/TT/FS sweep population)."""
+        if not corners:
+            raise ValueError("corners must not be empty")
+        from repro.library import OperatingCondition
+
+        config = config or ControllerConfig()
+        technologies = [
+            library.technology_at(
+                OperatingCondition(corner=corner, temperature_c=temperature_c)
+            )
+            for corner in corners
+        ]
+        devices = BatchDeviceSet.from_technologies(
+            technologies, library.reference_delay_model.delay_constant
+        )
+        reference_tdc = TimeToDigitalConverter(
+            library.reference_delay_model, config.tdc,
+            temperature_c=temperature_c,
+        )
+        calibration = TdcCalibration(
+            reference_tdc,
+            resolution_bits=config.resolution_bits,
+            full_scale=config.full_scale_voltage,
+        )
+        return cls(
+            load=load or library.ring_oscillator_load,
+            load_devices=devices,
+            expected_counts=calibration.expected_counts,
+            temperature_c=temperature_c,
+        )
+
+    def shard(self, index: slice) -> "BatchPopulation":
+        """Return a contiguous die shard of this population.
+
+        Device arrays are numpy views onto the parent population (safe:
+        they are never mutated); the reference calibration table, load
+        description and temperature are shared.  Because every per-die
+        quantity the engine computes is elementwise across dies, a
+        shard's simulation is bit-identical to the same dies inside the
+        full population — the invariant the fleet executor's
+        deterministic merge rests on.
+        """
+        sensor = (
+            None
+            if self.sensor_devices is self.load_devices
+            else self.sensor_devices.shard(index)
+        )
+        return BatchPopulation(
+            load=self.load,
+            load_devices=self.load_devices.shard(index),
+            sensor_devices=sensor,
+            expected_counts=self.expected_counts,
+            temperature_c=self.temperature_c,
+        )
+
 
 class BatchEngine:
     """Vectorised closed-loop simulator of N adaptive controllers."""
@@ -174,6 +287,7 @@ class BatchEngine:
         averaging_window: int = 4,
         initial_correction=None,
         enabled_segments: Optional[int] = None,
+        log_corrections: bool = False,
     ) -> None:
         self.population = population
         self.config = config or ControllerConfig()
@@ -221,6 +335,15 @@ class BatchEngine:
         )
         self._r_on = self.config.power_stage.segment_on_resistance / segments
         self._max_code = (1 << self.config.resolution_bits) - 1
+        self._log_corrections = bool(log_corrections)
+        self.correction_log: list = []
+        """Snapshots of ``state.lut_correction`` taken at every cycle a
+        correction was applied, in order — a sparse change log that lets
+        wrappers replay LUT correction history without a dense trace.
+        Only populated with ``log_corrections=True`` (the batch-of-one
+        controller wrapper sets it); population-scale runs keep it off
+        so a pathologically oscillating fleet cannot grow it without
+        bound and defeat the streaming sinks' fixed memory footprint."""
 
     # ------------------------------------------------------------------
     # Elementary vectorised blocks
@@ -385,8 +508,12 @@ class BatchEngine:
         apply = unanimous & (
             np.abs(agreed - s.lut_correction) > cfg.signature_deadband_counts
         )
+        if not np.any(apply):
+            return
         s.lut_correction = np.where(apply, agreed, s.lut_correction)
         s.vote_count = np.where(apply, 0, s.vote_count)
+        if self._log_corrections:
+            self.correction_log.append(s.lut_correction.copy())
 
     # ------------------------------------------------------------------
     # One system cycle
@@ -474,6 +601,14 @@ class BatchEngine:
         completed = np.minimum(possible, s.queue_length)
         s.queue_length = s.queue_length - completed
         s.operations_total += completed
+        # Peak occupancy occurs just after the push phase, i.e. the
+        # post-pop occupancy plus this cycle's pops.
+        np.maximum(
+            s.peak_queue, s.queue_length + completed, out=s.peak_queue
+        )
+        s.decision_up_total += decision == 1
+        s.decision_hold_total += decision == 0
+        s.decision_down_total += decision == -1
 
         # 5. Load energy.
         energy = self._cycle_energy(vout, completed, period)
@@ -502,36 +637,21 @@ class BatchEngine:
     # ------------------------------------------------------------------
     def _arrival_matrix(self, arrivals: ArrivalsLike, cycles: int) -> np.ndarray:
         """Normalise the arrivals argument to an ``(N, cycles)`` int matrix."""
-        if arrivals is None:
-            return np.zeros((self.n, cycles), dtype=np.int64)
-        if callable(arrivals):
-            period = self.config.system_cycle_period
-            start = self.state.cycles
-            counts = [
-                int(arrivals((start + i) * period, period))
-                for i in range(cycles)
-            ]
-            return np.broadcast_to(
-                np.asarray(counts, dtype=np.int64), (self.n, cycles)
-            )
-        matrix = np.asarray(arrivals, dtype=np.int64)
-        if matrix.ndim == 1:
-            if matrix.shape[0] != cycles:
-                raise ValueError("arrival vector length must equal cycles")
-            return np.broadcast_to(matrix, (self.n, cycles))
-        if matrix.shape != (self.n, cycles):
-            raise ValueError(
-                f"arrival matrix must have shape ({self.n}, {cycles}), "
-                f"got {matrix.shape}"
-            )
-        return matrix
+        return normalise_arrivals(
+            arrivals,
+            cycles,
+            self.n,
+            self.config.system_cycle_period,
+            start_cycle=self.state.cycles,
+        )
 
     def run(
         self,
         arrivals: ArrivalsLike,
         system_cycles: int,
         scheduled_codes: Optional[np.ndarray] = None,
-    ) -> BatchTrace:
+        sink: Optional[TraceSink] = None,
+    ):
         """Run the closed loop for ``system_cycles`` cycles on all dies.
 
         ``arrivals`` may be an ``(N, cycles)`` matrix, a shared
@@ -539,6 +659,12 @@ class BatchEngine:
         ``f(time, period) -> int``, or ``None`` (no input traffic).
         ``scheduled_codes`` optionally bypasses the rate controller with
         per-cycle scheduled words, shape ``(cycles,)`` or ``(N, cycles)``.
+        ``sink`` selects the telemetry layer: ``None`` keeps the default
+        dense recording and returns a :class:`BatchTrace`; a
+        :class:`~repro.engine.trace.StreamingTrace` bounds telemetry
+        memory for very long runs; a
+        :class:`~repro.engine.trace.NullTrace` records nothing.  The run
+        returns ``sink.result()``.
         """
         if system_cycles <= 0:
             raise ValueError("system_cycles must be positive")
@@ -550,36 +676,25 @@ class BatchEngine:
                 schedule = np.broadcast_to(schedule, (self.n, system_cycles))
             if schedule.shape != (self.n, system_cycles):
                 raise ValueError("scheduled_codes shape mismatch")
-        trace = BatchTrace.preallocate(system_cycles, self.n)
+        if sink is None:
+            sink = DenseTrace()
+        sink.begin(system_cycles, self.n)
         for i in range(system_cycles):
             row = self.step(
                 matrix[:, i],
                 None if schedule is None else schedule[:, i],
             )
-            trace.times[i] = row["time"]
-            trace.queue_lengths[i] = row["queue_length"]
-            trace.desired_codes[i] = row["desired_code"]
-            trace.output_voltages[i] = row["output_voltage"]
-            trace.duty_values[i] = row["duty_value"]
-            trace.operations_completed[i] = row["operations_completed"]
-            trace.samples_dropped[i] = row["samples_dropped"]
-            trace.energies[i] = row["energy"]
-            trace.lut_corrections[i] = row["lut_correction"]
-            trace.decisions[i] = row["decision"]
-        return trace
+            sink.record(row)
+        return sink.result()
 
     def run_schedule(
         self,
         schedule: Sequence[Tuple[int, int]],
         arrivals: ArrivalsLike = None,
-    ) -> BatchTrace:
+        sink: Optional[TraceSink] = None,
+    ):
         """Drive an explicit ``(code, cycles)`` schedule on every die."""
-        if not schedule:
-            raise ValueError("schedule must not be empty")
-        codes = []
-        for scheduled_code, cycles in schedule:
-            if cycles <= 0:
-                raise ValueError("each schedule entry needs >= 1 cycle")
-            codes.extend([int(scheduled_code)] * int(cycles))
-        codes = np.asarray(codes, dtype=np.int64)
-        return self.run(arrivals, len(codes), scheduled_codes=codes)
+        codes = expand_schedule(schedule)
+        return self.run(
+            arrivals, len(codes), scheduled_codes=codes, sink=sink
+        )

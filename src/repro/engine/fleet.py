@@ -1,0 +1,254 @@
+"""Sharded fleet execution: one population, many worker threads.
+
+:class:`FleetEngine` splits a :class:`~repro.engine.engine.BatchEngine`
+population into contiguous die shards and advances each shard on its own
+worker thread (numpy releases the GIL inside the hot elementwise
+kernels, so shards overlap on multi-core machines).  Because every
+per-die quantity the engine computes is elementwise across dies — no
+cross-die reduction anywhere in the cycle loop — a shard simulates its
+dies bit-identically to the same dies inside one big batch, and merging
+the shard results in shard order reproduces the single-shard run
+**bit for bit**.  That determinism is pinned by ``tests/engine/test_fleet.py``
+and re-asserted by the fleet benchmark.
+
+Telemetry per shard is a :class:`~repro.engine.trace.TraceSink` chosen
+by :attr:`FleetConfig.telemetry`:
+
+* ``"dense"`` — per-shard :class:`DenseTrace`, merged into one
+  :class:`~repro.engine.trace.BatchTrace` (today's behaviour),
+* ``"streaming"`` — per-shard :class:`StreamingTrace` ring buffers +
+  online reducers, merged per die; memory stays bounded however long
+  the run is,
+* ``"null"`` — no telemetry; only the engine state totals survive.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.engine.engine import (
+    ArrivalsLike,
+    BatchEngine,
+    BatchPopulation,
+    expand_schedule,
+    normalise_arrivals,
+)
+from repro.engine.trace import (
+    BatchTrace,
+    DenseTrace,
+    NullTrace,
+    StreamingTrace,
+    TraceSink,
+)
+
+TELEMETRY_MODES = ("dense", "streaming", "null")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How a fleet run is sharded and recorded."""
+
+    shard_size: Optional[int] = None
+    """Dies per shard; ``None`` splits the population evenly across the
+    resolved worker count."""
+
+    workers: Optional[int] = None
+    """Worker threads; ``None`` uses the machine's CPU count."""
+
+    telemetry: str = "dense"
+    """Telemetry mode: ``"dense"``, ``"streaming"`` or ``"null"``."""
+
+    stream_window: int = 64
+    """Ring-buffer rows kept per channel in streaming mode."""
+
+    def __post_init__(self) -> None:
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.telemetry not in TELEMETRY_MODES:
+            raise ValueError(
+                f"telemetry must be one of {TELEMETRY_MODES}, "
+                f"got {self.telemetry!r}"
+            )
+        if self.stream_window <= 0:
+            raise ValueError("stream_window must be positive")
+
+    def resolved_workers(self) -> int:
+        """Return the effective worker-thread count."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+class FleetEngine:
+    """Run one controller population as a sharded, threaded fleet.
+
+    Accepts the same constructor arguments as
+    :class:`~repro.engine.engine.BatchEngine` (population, LUT, config
+    and keyword options) plus a :class:`FleetConfig`.  Shard engines are
+    built once and keep their state across sequential :meth:`run` calls,
+    mirroring ``BatchEngine`` reuse semantics.
+    """
+
+    def __init__(
+        self,
+        population: BatchPopulation,
+        lut,
+        config: Optional[ControllerConfig] = None,
+        fleet: Optional[FleetConfig] = None,
+        **engine_kwargs,
+    ) -> None:
+        self.population = population
+        self.fleet = fleet or FleetConfig()
+        n = population.n
+        workers = self.fleet.resolved_workers()
+        shard_size = self.fleet.shard_size
+        if shard_size is None:
+            shard_size = -(-n // workers)  # ceil division
+        shard_size = min(shard_size, n)
+        self.shard_slices: Tuple[slice, ...] = tuple(
+            slice(lo, min(lo + shard_size, n))
+            for lo in range(0, n, shard_size)
+        )
+        initial_correction = engine_kwargs.pop("initial_correction", None)
+        self.engines = []
+        for index in self.shard_slices:
+            kwargs = dict(engine_kwargs)
+            if initial_correction is not None:
+                if np.ndim(initial_correction) > 0:
+                    kwargs["initial_correction"] = np.asarray(
+                        initial_correction
+                    )[index]
+                else:
+                    kwargs["initial_correction"] = initial_correction
+            self.engines.append(
+                BatchEngine(
+                    population.shard(index), lut, config=config, **kwargs
+                )
+            )
+        self.config = self.engines[0].config
+
+    @property
+    def n(self) -> int:
+        """Return the fleet population size."""
+        return self.population.n
+
+    @property
+    def num_shards(self) -> int:
+        """Return how many die shards the fleet runs."""
+        return len(self.engines)
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _make_sink(self) -> TraceSink:
+        mode = self.fleet.telemetry
+        if mode == "dense":
+            return DenseTrace()
+        if mode == "streaming":
+            return StreamingTrace(window=self.fleet.stream_window)
+        return NullTrace()
+
+    def _merge(self, results: Sequence):
+        mode = self.fleet.telemetry
+        if mode == "dense":
+            return BatchTrace.concatenate_dies(results)
+        if mode == "streaming":
+            return StreamingTrace.merge_dies(results)
+        return None
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: ArrivalsLike,
+        system_cycles: int,
+        scheduled_codes: Optional[np.ndarray] = None,
+    ):
+        """Run all shards for ``system_cycles`` cycles and merge results.
+
+        Accepts the same arrivals/schedule forms as
+        :meth:`BatchEngine.run`.  Arrivals are normalised **once** for
+        the full population and row-sliced per shard (an arrival
+        callable is evaluated exactly once), so the sharded run consumes
+        inputs identical to a single-shard run; results are merged in
+        shard order, making the output independent of worker scheduling.
+        """
+        if system_cycles <= 0:
+            raise ValueError("system_cycles must be positive")
+        start_cycle = self.engines[0].state.cycles
+        matrix = normalise_arrivals(
+            arrivals,
+            system_cycles,
+            self.n,
+            self.config.system_cycle_period,
+            start_cycle=start_cycle,
+        )
+        schedule = None
+        if scheduled_codes is not None:
+            schedule = np.asarray(scheduled_codes, dtype=np.int64)
+            if schedule.ndim == 1:
+                schedule = np.broadcast_to(
+                    schedule, (self.n, system_cycles)
+                )
+            if schedule.shape != (self.n, system_cycles):
+                raise ValueError("scheduled_codes shape mismatch")
+        sinks = [self._make_sink() for _ in self.engines]
+
+        def run_shard(index: int):
+            where = self.shard_slices[index]
+            return self.engines[index].run(
+                matrix[where],
+                system_cycles,
+                scheduled_codes=None if schedule is None else schedule[where],
+                sink=sinks[index],
+            )
+
+        workers = min(self.fleet.resolved_workers(), self.num_shards)
+        if workers <= 1 or self.num_shards == 1:
+            results = [run_shard(i) for i in range(self.num_shards)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(run_shard, range(self.num_shards)))
+        return self._merge(results)
+
+    def run_schedule(
+        self,
+        schedule: Sequence[Tuple[int, int]],
+        arrivals: ArrivalsLike = None,
+    ):
+        """Drive an explicit ``(code, cycles)`` schedule on every die."""
+        codes = expand_schedule(schedule)
+        return self.run(arrivals, len(codes), scheduled_codes=codes)
+
+    # ------------------------------------------------------------------
+    # Fleet-level state reductions (sink-independent run totals)
+    # ------------------------------------------------------------------
+    def _gather(self, field: str) -> np.ndarray:
+        return np.concatenate(
+            [getattr(engine.state, field) for engine in self.engines]
+        )
+
+    def total_energy(self) -> np.ndarray:
+        """Return the accumulated load energy per die (``(N,)``)."""
+        return self._gather("energy_total")
+
+    def total_operations(self) -> np.ndarray:
+        """Return the completed operations per die (``(N,)``)."""
+        return self._gather("operations_total")
+
+    def total_drops(self) -> np.ndarray:
+        """Return the FIFO-overflow drops per die (``(N,)``)."""
+        return self._gather("drops_total")
+
+    def final_correction(self) -> np.ndarray:
+        """Return the present LUT correction per die (``(N,)``)."""
+        return self._gather("lut_correction")

@@ -76,6 +76,18 @@ class BatchState:
     accepted_total: np.ndarray = field(default=None)
     """Input samples accepted into the FIFO per die (int, ``(N,)``)."""
 
+    peak_queue: np.ndarray = field(default=None)
+    """Highest post-push FIFO occupancy seen this run per die (int, ``(N,)``)."""
+
+    decision_up_total: np.ndarray = field(default=None)
+    """Comparator UP decisions this run per die (int, ``(N,)``)."""
+
+    decision_hold_total: np.ndarray = field(default=None)
+    """Comparator HOLD decisions this run per die (int, ``(N,)``)."""
+
+    decision_down_total: np.ndarray = field(default=None)
+    """Comparator DOWN decisions this run per die (int, ``(N,)``)."""
+
     @property
     def n(self) -> int:
         """Return the population size."""
@@ -124,4 +136,8 @@ class BatchState:
             operations_total=np.zeros(n, dtype=np.int64),
             drops_total=np.zeros(n, dtype=np.int64),
             accepted_total=np.zeros(n, dtype=np.int64),
+            peak_queue=np.zeros(n, dtype=np.int64),
+            decision_up_total=np.zeros(n, dtype=np.int64),
+            decision_hold_total=np.zeros(n, dtype=np.int64),
+            decision_down_total=np.zeros(n, dtype=np.int64),
         )

@@ -128,19 +128,34 @@ def poisson_arrival_matrix(
 ) -> np.ndarray:
     """Arrival matrix of N Poisson streams (per-die rate and seed).
 
-    Row ``i`` is drawn from ``default_rng(seeds[i])`` with one sized
-    draw, which consumes the generator stream exactly like ``cycles``
-    sequential scalar draws of
-    :class:`~repro.workloads.traffic.PoissonArrivals`.
+    ``seeds`` is either a per-die seed array (row ``i`` is drawn from
+    ``default_rng(seeds[i])``, consuming the generator stream exactly
+    like ``cycles`` sequential scalar draws of
+    :class:`~repro.workloads.traffic.PoissonArrivals`) or a single
+    scalar fleet seed, which is spawned into N statistically
+    *independent* per-die streams with
+    ``np.random.SeedSequence(seed).spawn(N)``.  A scalar seed used to be
+    broadcast verbatim to every row, which made all N dies draw the same
+    Poisson stream — a perfectly correlated fleet.
     """
     _validate(period, cycles)
     rate_arr = np.atleast_1d(np.asarray(rates, dtype=float))
     if np.any(rate_arr < 0):
         raise ValueError("rates must be non-negative")
-    seed_arr = np.broadcast_to(np.atleast_1d(seeds), rate_arr.shape)
+    if np.ndim(seeds) == 0:
+        generators = [
+            np.random.default_rng(sequence)
+            for sequence in np.random.SeedSequence(int(seeds)).spawn(
+                rate_arr.size
+            )
+        ]
+    else:
+        seed_arr = np.broadcast_to(np.atleast_1d(seeds), rate_arr.shape)
+        generators = [
+            np.random.default_rng(int(seed)) for seed in seed_arr
+        ]
     counts = np.zeros((rate_arr.size, cycles), dtype=np.int64)
-    for row in range(rate_arr.size):
-        rng = np.random.default_rng(int(seed_arr[row]))
+    for row, rng in enumerate(generators):
         counts[row] = rng.poisson(rate_arr[row] * period, size=cycles)
     return counts
 

@@ -1,0 +1,261 @@
+"""Sharded fleet execution: determinism, merging and configuration.
+
+The fleet contract: a sharded, multi-worker run is **bit-identical** to
+the same population advanced as one `BatchEngine` batch, whatever the
+shard size, worker count or telemetry mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler
+from repro.engine import (
+    BatchEngine,
+    BatchPopulation,
+    BatchTrace,
+    FleetConfig,
+    FleetEngine,
+    StreamingTrace,
+)
+
+ALL_CHANNELS = (
+    "times",
+    "queue_lengths",
+    "desired_codes",
+    "output_voltages",
+    "duty_values",
+    "operations_completed",
+    "samples_dropped",
+    "energies",
+    "lut_corrections",
+    "decisions",
+)
+
+DIES = 10
+CYCLES = 120
+
+
+@pytest.fixture(scope="module")
+def reference_lut(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    return program_lut_for_load(reference_load, sample_rate=1e5)
+
+
+@pytest.fixture(scope="module")
+def population(library):
+    samples = MonteCarloSampler(seed=13).draw_arrays(DIES)
+    return BatchPopulation.from_samples(library, samples)
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    rng = np.random.default_rng(99)
+    return rng.integers(0, 3, size=(DIES, CYCLES))
+
+
+def assert_bit_identical(expected: BatchTrace, actual: BatchTrace):
+    for channel in ALL_CHANNELS:
+        np.testing.assert_array_equal(
+            getattr(actual, channel),
+            getattr(expected, channel),
+            err_msg=channel,
+        )
+
+
+class TestFleetDeterminism:
+    def test_sharded_run_is_bit_identical_to_single_shard(
+        self, population, reference_lut, arrivals
+    ):
+        single = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2),
+        )
+        assert fleet.num_shards == 4  # 3+3+3+1: uneven tail shard
+        assert_bit_identical(single, fleet.run(arrivals, CYCLES))
+
+    def test_worker_count_does_not_change_results(
+        self, population, reference_lut, arrivals
+    ):
+        runs = []
+        for workers in (1, 2, 5):
+            fleet = FleetEngine(
+                population,
+                reference_lut,
+                fleet=FleetConfig(shard_size=2, workers=workers),
+            )
+            runs.append(fleet.run(arrivals, CYCLES))
+        assert_bit_identical(runs[0], runs[1])
+        assert_bit_identical(runs[0], runs[2])
+
+    def test_schedule_run_matches_single_shard(
+        self, population, reference_lut
+    ):
+        schedule = [(19, 40), (11, 50), (33, 30)]
+        single = BatchEngine(population, lut=reference_lut).run_schedule(
+            schedule
+        )
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=3),
+        )
+        assert_bit_identical(single, fleet.run_schedule(schedule))
+
+    def test_callable_and_vector_arrivals_match_matrix_form(
+        self, population, reference_lut
+    ):
+        vector = np.tile([2, 0, 1], CYCLES // 3).astype(np.int64)
+        matrix = np.broadcast_to(vector, (DIES, CYCLES))
+
+        def build():
+            return FleetEngine(
+                population,
+                reference_lut,
+                fleet=FleetConfig(shard_size=4, workers=2),
+            )
+
+        from_matrix = build().run(matrix, CYCLES)
+        from_vector = build().run(vector, CYCLES)
+        pattern = [2, 0, 1]
+
+        def arrival_fn(time, period):
+            return pattern[int(round(time / period)) % 3]
+
+        from_callable = build().run(arrival_fn, CYCLES)
+        assert_bit_identical(from_matrix, from_vector)
+        assert_bit_identical(from_matrix, from_callable)
+
+    def test_sequential_runs_continue_shard_state(
+        self, population, reference_lut, arrivals
+    ):
+        single_engine = BatchEngine(population, lut=reference_lut)
+        first = single_engine.run(arrivals[:, :60], 60)
+        second = single_engine.run(arrivals[:, 60:], 60)
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2),
+        )
+        assert_bit_identical(first, fleet.run(arrivals[:, :60], 60))
+        assert_bit_identical(second, fleet.run(arrivals[:, 60:], 60))
+
+    def test_initial_correction_array_is_shard_sliced(
+        self, population, reference_lut
+    ):
+        correction = np.arange(DIES, dtype=np.int64) % 3 - 1
+        single = BatchEngine(
+            population, lut=reference_lut, initial_correction=correction
+        ).run(None, 30, scheduled_codes=np.full(30, 12))
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=2),
+            initial_correction=correction,
+        )
+        assert_bit_identical(
+            single, fleet.run(None, 30, scheduled_codes=np.full(30, 12))
+        )
+
+
+class TestFleetTelemetryModes:
+    def test_streaming_merge_matches_unsharded_streaming(
+        self, population, reference_lut, arrivals
+    ):
+        single_sink = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES, sink=StreamingTrace(window=16)
+        )
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(
+                shard_size=3, workers=2,
+                telemetry="streaming", stream_window=16,
+            ),
+        )
+        merged = fleet.run(arrivals, CYCLES)
+        assert merged.n == DIES
+        assert merged.cycles == CYCLES
+        for channel in ("output_voltages", "energies", "duty_values"):
+            np.testing.assert_array_equal(
+                merged.minimum(channel), single_sink.minimum(channel)
+            )
+            np.testing.assert_array_equal(
+                merged.maximum(channel), single_sink.maximum(channel)
+            )
+            np.testing.assert_array_equal(
+                merged.total(channel), single_sink.total(channel)
+            )
+            np.testing.assert_array_equal(
+                merged.tail(channel), single_sink.tail(channel)
+            )
+        np.testing.assert_array_equal(
+            merged.settle_cycle, single_sink.settle_cycle
+        )
+        np.testing.assert_array_equal(
+            merged.violation_cycles, single_sink.violation_cycles
+        )
+
+    def test_null_mode_returns_none_but_totals_survive(
+        self, population, reference_lut, arrivals
+    ):
+        dense = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, telemetry="null"),
+        )
+        assert fleet.run(arrivals, CYCLES) is None
+        np.testing.assert_array_equal(
+            fleet.total_energy(), dense.total_energy()
+        )
+        np.testing.assert_array_equal(
+            fleet.total_operations(), dense.total_operations()
+        )
+        np.testing.assert_array_equal(
+            fleet.total_drops(), dense.total_drops()
+        )
+        np.testing.assert_array_equal(
+            fleet.final_correction(), dense.final_correction()
+        )
+
+
+class TestFleetConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(shard_size=0)
+        with pytest.raises(ValueError):
+            FleetConfig(workers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(telemetry="csv")
+        with pytest.raises(ValueError):
+            FleetConfig(stream_window=0)
+
+    def test_shard_size_larger_than_population(
+        self, population, reference_lut
+    ):
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=1000, workers=2),
+        )
+        assert fleet.num_shards == 1
+        assert fleet.n == DIES
+
+    def test_run_validation(self, population, reference_lut):
+        fleet = FleetEngine(population, reference_lut)
+        with pytest.raises(ValueError):
+            fleet.run(None, 0)
+        with pytest.raises(ValueError):
+            fleet.run(np.zeros((3, 10), dtype=int), 10)
+        with pytest.raises(ValueError):
+            fleet.run_schedule([])

@@ -1,0 +1,309 @@
+"""Telemetry sinks: streaming-vs-dense parity and trace interop.
+
+Covers the two test satellites of the fleet/telemetry PR:
+
+* ``BatchTrace.die(i)`` -> ``ControllerTrace`` round trip (every channel,
+  reductions, record view),
+* streaming-vs-dense parity: every reducer a ``StreamingTrace`` computes
+  online matches the same statistic computed from the ``DenseTrace`` of
+  an identical run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.comparator import ComparatorDecision
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler
+from repro.engine import (
+    BatchEngine,
+    BatchPopulation,
+    BatchTrace,
+    DenseTrace,
+    NullTrace,
+    StreamingTrace,
+)
+
+DIES = 6
+CYCLES = 130
+
+
+@pytest.fixture(scope="module")
+def reference_lut(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    return program_lut_for_load(reference_load, sample_rate=1e5)
+
+
+@pytest.fixture(scope="module")
+def population(library):
+    samples = MonteCarloSampler(seed=31).draw_arrays(DIES)
+    return BatchPopulation.from_samples(library, samples)
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    rng = np.random.default_rng(4)
+    return rng.integers(0, 4, size=(DIES, CYCLES))
+
+
+@pytest.fixture(scope="module")
+def dense(population, reference_lut, arrivals):
+    return BatchEngine(population, lut=reference_lut).run(arrivals, CYCLES)
+
+
+@pytest.fixture(scope="module")
+def streaming(population, reference_lut, arrivals):
+    return BatchEngine(population, lut=reference_lut).run(
+        arrivals, CYCLES, sink=StreamingTrace(window=32)
+    )
+
+
+class TestDieRoundTrip:
+    def test_every_channel_round_trips(self, dense):
+        for i in range(DIES):
+            die = dense.die(i)
+            assert len(die) == len(dense)
+            np.testing.assert_array_equal(die.times, dense.times)
+            np.testing.assert_array_equal(
+                die.queue_lengths, dense.queue_lengths[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.desired_codes, dense.desired_codes[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.output_voltages, dense.output_voltages[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.duty_values, dense.duty_values[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.operations, dense.operations_completed[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.energies, dense.energies[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.lut_corrections, dense.lut_corrections[:, i]
+            )
+            np.testing.assert_array_equal(
+                die.decisions, dense.decisions[:, i]
+            )
+
+    def test_reductions_round_trip(self, dense):
+        for i in range(DIES):
+            die = dense.die(i)
+            assert die.total_energy() == pytest.approx(
+                float(dense.total_energy()[i])
+            )
+            assert die.total_operations() == int(dense.total_operations()[i])
+            assert die.total_drops() == int(dense.total_drops()[i])
+            assert die.final_correction() == int(dense.final_correction()[i])
+
+    def test_record_view_materialises(self, dense):
+        die = dense.die(1)
+        records = die.records
+        assert len(records) == CYCLES
+        assert records[0].queue_length == int(dense.queue_lengths[0, 1])
+        assert records[-1].decision in tuple(ComparatorDecision)
+
+    def test_die_view_is_a_copy(self, dense):
+        die = dense.die(0)
+        # from_columns copies, so the view cannot alias the batch arrays.
+        assert not np.shares_memory(die.times, dense.times)
+
+
+class TestStreamingDenseParity:
+    REDUCED = (
+        "queue_lengths",
+        "desired_codes",
+        "output_voltages",
+        "duty_values",
+        "operations_completed",
+        "samples_dropped",
+        "energies",
+        "lut_corrections",
+        "decisions",
+    )
+
+    def test_min_max_last_match_exactly(self, dense, streaming):
+        for channel in self.REDUCED:
+            column = getattr(dense, channel)
+            np.testing.assert_array_equal(
+                streaming.minimum(channel), column.min(axis=0),
+                err_msg=channel,
+            )
+            np.testing.assert_array_equal(
+                streaming.maximum(channel), column.max(axis=0),
+                err_msg=channel,
+            )
+            np.testing.assert_array_equal(
+                streaming.last(channel), column[-1], err_msg=channel
+            )
+
+    def test_means_match(self, dense, streaming):
+        for channel in self.REDUCED:
+            column = getattr(dense, channel)
+            np.testing.assert_allclose(
+                streaming.mean(channel),
+                column.astype(float).sum(axis=0) / CYCLES,
+                rtol=1e-12,
+                err_msg=channel,
+            )
+
+    def test_integer_totals_are_exact(self, dense, streaming):
+        np.testing.assert_array_equal(
+            streaming.total("operations_completed"),
+            dense.total_operations(),
+        )
+        np.testing.assert_array_equal(
+            streaming.total("samples_dropped"), dense.total_drops()
+        )
+
+    def test_tail_matches_dense_tail(self, dense, streaming):
+        np.testing.assert_array_equal(
+            streaming.tail("output_voltages"), dense.output_voltages[-32:]
+        )
+        np.testing.assert_array_equal(
+            streaming.tail_times(), dense.times[-32:]
+        )
+        np.testing.assert_allclose(
+            streaming.final_voltage(), dense.final_voltage()
+        )
+
+    def test_settle_and_violation_counters(self, dense, streaming):
+        unsettled = dense.decisions != 0
+        expected_settle = np.where(
+            unsettled.any(axis=0),
+            CYCLES - np.argmax(unsettled[::-1], axis=0),
+            0,
+        )
+        np.testing.assert_array_equal(
+            streaming.settle_cycle, expected_settle
+        )
+        np.testing.assert_array_equal(
+            streaming.violation_cycles,
+            (dense.samples_dropped > 0).sum(axis=0),
+        )
+
+    def test_energy_per_operation_matches(self, dense, streaming):
+        np.testing.assert_allclose(
+            streaming.energy_per_operation(),
+            dense.energy_per_operation(),
+            rtol=1e-12,
+        )
+
+    def test_buffer_is_bounded(self, streaming):
+        # The streaming footprint must not scale with run length: it is
+        # strictly smaller than what a dense trace of this run needs and
+        # would be identical for a 100x longer run.
+        assert streaming.buffer_bytes() < BatchTrace.required_bytes(
+            CYCLES, DIES
+        )
+
+
+class TestSinkBehaviour:
+    def test_dense_sink_is_single_use(self, population, reference_lut):
+        sink = DenseTrace()
+        engine = BatchEngine(population, lut=reference_lut)
+        engine.run(None, 10, scheduled_codes=np.full(10, 11), sink=sink)
+        with pytest.raises(RuntimeError):
+            engine.run(None, 10, scheduled_codes=np.full(10, 11), sink=sink)
+
+    def test_streaming_sink_accumulates_sequential_runs(
+        self, population, reference_lut
+    ):
+        sink = StreamingTrace(window=8)
+        engine = BatchEngine(population, lut=reference_lut)
+        engine.run(None, 20, scheduled_codes=np.full(20, 11), sink=sink)
+        engine.run(None, 30, scheduled_codes=np.full(30, 11), sink=sink)
+        assert sink.cycles == 50
+        other = BatchEngine(population, lut=reference_lut)
+        dense = other.run(None, 50, scheduled_codes=np.full(50, 11))
+        np.testing.assert_array_equal(
+            sink.total("operations_completed"), dense.total_operations()
+        )
+        np.testing.assert_array_equal(
+            sink.tail("duty_values"), dense.duty_values[-8:]
+        )
+
+    def test_streaming_population_size_is_sticky(self):
+        sink = StreamingTrace()
+        sink.begin(10, 4)
+        with pytest.raises(ValueError):
+            sink.begin(10, 5)
+
+    def test_streaming_validation(self):
+        with pytest.raises(ValueError):
+            StreamingTrace(window=0)
+        sink = StreamingTrace()
+        sink.begin(10, 2)
+        with pytest.raises(ValueError):
+            sink.mean("output_voltages")  # nothing recorded yet
+
+    def test_null_sink_returns_none(self, population, reference_lut):
+        engine = BatchEngine(population, lut=reference_lut)
+        result = engine.run(
+            None, 10, scheduled_codes=np.full(10, 11), sink=NullTrace()
+        )
+        assert result is None
+        assert int(engine.state.cycles) == 10
+
+    def test_correction_log_is_opt_in(self, population, reference_lut, arrivals):
+        """Population-scale engines must not grow an unbounded change
+        log; only the batch-of-one controller wrapper opts in."""
+        plain = BatchEngine(population, lut=reference_lut)
+        plain.run(arrivals, CYCLES, sink=NullTrace())
+        assert plain.correction_log == []
+        logging = BatchEngine(
+            population, lut=reference_lut, log_corrections=True
+        )
+        trace = logging.run(arrivals, CYCLES)
+        changes = (np.diff(trace.lut_corrections, axis=0) != 0).any(axis=1)
+        assert len(logging.correction_log) == int(changes.sum())
+
+
+class TestControllerSinkPlumbing:
+    def test_streaming_sink_syncs_controller_like_dense(self, library):
+        from repro.core.controller import AdaptiveController
+        from repro.library import OperatingCondition
+        from repro.workloads import ConstantArrivals
+
+        def make():
+            reference = library.reference_delay_model
+            silicon = library.delay_model(OperatingCondition(corner="SS"))
+            lut = program_lut_for_load(
+                DigitalLoad(library.ring_oscillator_load, reference),
+                sample_rate=1e5,
+            )
+            return AdaptiveController(
+                load=DigitalLoad(library.ring_oscillator_load, silicon),
+                lut=lut,
+                reference_delay_model=reference,
+            )
+
+        dense_ctl, stream_ctl = make(), make()
+        trace = dense_ctl.run(ConstantArrivals(1e5), 300)
+        sink = stream_ctl.run(
+            ConstantArrivals(1e5), 300, sink=StreamingTrace(window=16)
+        )
+        assert isinstance(sink, StreamingTrace)
+        assert stream_ctl.lut.correction == dense_ctl.lut.correction
+        assert (
+            stream_ctl.lut.correction_history
+            == dense_ctl.lut.correction_history
+        )
+        assert (
+            stream_ctl.fifo.statistics.peak_occupancy
+            == dense_ctl.fifo.statistics.peak_occupancy
+        )
+        assert (
+            stream_ctl.dcdc.comparator.decision_counts
+            == dense_ctl.dcdc.comparator.decision_counts
+        )
+        assert stream_ctl.cycles_run == dense_ctl.cycles_run
+        np.testing.assert_allclose(
+            sink.last("output_voltages")[0], trace.output_voltages[-1]
+        )

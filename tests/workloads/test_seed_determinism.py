@@ -98,6 +98,32 @@ class TestArrivalDeterminism:
         b = poisson_arrival_matrix([1e5, 2e5], PERIOD, 200, [1, 2])
         np.testing.assert_array_equal(a, b)
 
+    def test_poisson_scalar_seed_decorrelates_rows(self):
+        """Regression: a scalar fleet seed used to be broadcast to every
+        row, so all dies drew the *same* Poisson stream.  A scalar seed
+        must spawn independent per-die streams (all rows distinct)."""
+        matrix = poisson_arrival_matrix(
+            np.full(8, 2e5), PERIOD, 400, seeds=123
+        )
+        assert np.unique(matrix, axis=0).shape[0] == 8
+
+    def test_poisson_scalar_seed_is_deterministic(self):
+        a = poisson_arrival_matrix(np.full(4, 1e5), PERIOD, 300, seeds=9)
+        b = poisson_arrival_matrix(np.full(4, 1e5), PERIOD, 300, seeds=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_poisson_explicit_seed_array_still_correlates_on_purpose(self):
+        """Explicit per-die seeds keep working verbatim: giving two dies
+        the same seed is an intentional request for identical streams."""
+        matrix = poisson_arrival_matrix(
+            [1.5e5, 1.5e5], PERIOD, 250, seeds=[5, 5]
+        )
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+        scalar = trace_arrivals(
+            PoissonArrivals(rate=1.5e5, seed=5), PERIOD, 250
+        )
+        assert matrix[0].tolist() == scalar
+
     def test_generic_materialisation_matches_dedicated(self):
         generic = arrival_matrix_from_processes(
             [ConstantArrivals(1e5), ConstantArrivals(2e5)], PERIOD, 300
