@@ -1,0 +1,98 @@
+"""Perf smoke: the fused cycle kernel must not be slower than legacy.
+
+A small 64-die x 200-cycle closed loop timed on both step
+implementations on whatever host runs the suite.  The gate is purely
+**relative** (fused <= legacy within a small noise margin) — no absolute
+wall-clock bars — so the single-CPU dev container and CI runners of any
+speed stay green.  The CI workflow runs this file as a dedicated step so
+a fused-kernel regression fails loudly, not just as a slower bench.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler
+from repro.engine import BatchEngine, BatchPopulation, NullTrace
+from repro.workloads.batch import constant_arrival_matrix
+
+SMOKE_DIES = 64
+SMOKE_CYCLES = 200
+NOISE_MARGIN = 1.25
+"""Timing-noise allowance on the fused/legacy ratio.  The two variants
+are timed in interleaved best-of-4 rounds so a transient slowdown on a
+shared runner hits both series alike; the margin then only has to cover
+residual jitter, not a one-sided scheduler hiccup."""
+
+
+@pytest.fixture(scope="module")
+def smoke_setup(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    lut = program_lut_for_load(reference_load, sample_rate=1e5)
+    samples = MonteCarloSampler(seed=47).draw_arrays(SMOKE_DIES)
+    population = BatchPopulation.from_samples(library, samples)
+    arrivals = constant_arrival_matrix(
+        np.full(SMOKE_DIES, 1e5), 1e-6, SMOKE_CYCLES
+    )
+    return population, lut, arrivals
+
+
+def _one_run_seconds(population, lut, arrivals, **kwargs):
+    engine = BatchEngine(population, lut=lut, **kwargs)
+    engine.run(
+        np.zeros((SMOKE_DIES, 1), dtype=np.int64), 1, sink=NullTrace()
+    )
+    start = time.perf_counter()
+    engine.run(arrivals, SMOKE_CYCLES, sink=NullTrace())
+    return time.perf_counter() - start
+
+
+def _interleaved_best(population, lut, arrivals, variants, rounds=4):
+    """Best-of-``rounds`` per variant, with the variants interleaved so
+    transient host slowdowns hit every series roughly equally."""
+    best = {name: None for name in variants}
+    for _ in range(rounds):
+        for name, kwargs in variants.items():
+            elapsed = _one_run_seconds(population, lut, arrivals, **kwargs)
+            current = best[name]
+            best[name] = elapsed if current is None else min(current, elapsed)
+    return best
+
+
+def test_fused_kernel_not_slower_than_legacy(smoke_setup):
+    """Relative gate: fused kernel <= legacy path on the same host."""
+    population, lut, arrivals = smoke_setup
+    best = _interleaved_best(
+        population,
+        lut,
+        arrivals,
+        {"legacy": {"step_kernel": "legacy"}, "fused": {}},
+    )
+    die_cycles = SMOKE_DIES * SMOKE_CYCLES
+    print(
+        f"\nKernel perf smoke ({SMOKE_DIES} dies x {SMOKE_CYCLES} cycles): "
+        f"{die_cycles / best['legacy']:8.0f} die-cycles/s legacy vs "
+        f"{die_cycles / best['fused']:8.0f} die-cycles/s fused "
+        f"({best['legacy'] / best['fused']:.2f}x)"
+    )
+    assert best["fused"] <= best["legacy"] * NOISE_MARGIN
+
+
+def test_tabulated_not_slower_than_legacy(smoke_setup):
+    """The tabulated response must beat legacy once tables are built."""
+    population, lut, arrivals = smoke_setup
+    best = _interleaved_best(
+        population,
+        lut,
+        arrivals,
+        {
+            "legacy": {"step_kernel": "legacy"},
+            "tabulated": {"device_model": "tabulated"},
+        },
+    )
+    assert best["tabulated"] <= best["legacy"] * NOISE_MARGIN

@@ -135,6 +135,7 @@ def monte_carlo_closed_loop(
     seed: int = 2009,
     sample_rate: float = 1e5,
     fleet=None,
+    device_model: str = "exact",
 ) -> ClosedLoopFleetResult:
     """Run a Monte Carlo *closed-loop* fleet: N varied dies, full loop.
 
@@ -147,7 +148,10 @@ def monte_carlo_closed_loop(
 
     ``fleet`` is an optional :class:`~repro.engine.fleet.FleetConfig`;
     the default uses streaming telemetry, so arbitrarily long runs stay
-    within a fixed memory budget.
+    within a fixed memory budget.  ``device_model="tabulated"`` trades
+    bit-exact device math for interpolated response tables — the right
+    choice for very large fleets or very long horizons (see
+    :mod:`repro.engine.response_tables`).
     """
     if dies <= 0 or cycles <= 0:
         raise ValueError("dies and cycles must be positive")
@@ -170,7 +174,10 @@ def monte_carlo_closed_loop(
     )
     lut = program_lut_for_load(reference_load, sample_rate=sample_rate)
     engine = FleetEngine(
-        population, lut, fleet=fleet or FleetConfig(telemetry="streaming")
+        population,
+        lut,
+        fleet=fleet or FleetConfig(telemetry="streaming"),
+        device_model=device_model,
     )
     arrivals = poisson_arrival_matrix(
         np.full(dies, sample_rate),

@@ -309,6 +309,7 @@ def closed_loop_corner_sweep(
     sample_rate: float = 1e5,
     temperature_c: float = ROOM_TEMPERATURE_C,
     fleet=None,
+    device_model: str = "exact",
 ) -> ClosedLoopCornerResult:
     """Run the full adaptive loop on one die per corner (Fig. 1 corners).
 
@@ -318,7 +319,8 @@ def closed_loop_corner_sweep(
     under the same constant traffic, and the result reports the
     settle time, converged supply and LUT correction per corner.  Runs
     as a :class:`~repro.engine.fleet.FleetEngine` with streaming
-    telemetry by default.
+    telemetry by default; ``device_model="tabulated"`` swaps the exact
+    per-cycle device math for interpolated response tables.
     """
     if cycles <= 0:
         raise ValueError("cycles must be positive")
@@ -344,7 +346,9 @@ def closed_loop_corner_sweep(
     fleet = replace(
         fleet or FleetConfig(), telemetry="streaming"
     )
-    engine = FleetEngine(population, lut, fleet=fleet)
+    engine = FleetEngine(
+        population, lut, fleet=fleet, device_model=device_model
+    )
     arrivals = constant_arrival_matrix(
         np.full(len(corners), sample_rate),
         engine.config.system_cycle_period,

@@ -311,12 +311,17 @@ class AdaptiveController:
         feedback_mode: FeedbackMode = FeedbackMode.VOLTAGE_SENSE,
         sensor_delay_model: Optional[GateDelayModel] = None,
         nominal_throughput: Optional[float] = None,
+        device_model: str = "exact",
     ) -> None:
         self.config = config or ControllerConfig()
         self.load = load
         self.lut = lut
         self.compensation_enabled = compensation_enabled
         self.nominal_throughput = nominal_throughput
+        # "exact" (default) keeps engine-backed runs bit-identical to
+        # the legacy loops; "tabulated" trades that for interpolated
+        # device responses (see repro.engine.response_tables).
+        self.device_model = device_model
         self.reference_delay_model = reference_delay_model
         self.fifo = Fifo(depth=self.config.fifo_depth, name="input-fifo")
         self.rate_controller = RateController(lut)
@@ -447,6 +452,7 @@ class AdaptiveController:
             averaging_window=self.rate_controller.averaging_window,
             enabled_segments=self.dcdc.power_stage.array.enabled_segments,
             log_corrections=True,
+            device_model=self.device_model,
         )
         state = engine.state
         state.cycles = self._cycles
@@ -459,15 +465,10 @@ class AdaptiveController:
             state.last_desired[:] = self.dcdc.last_desired
             state.has_last_desired[:] = True
         state.work_accumulator[:] = self._work_accumulator
-        history = self.rate_controller.history
-        state.history_filled = len(history)
-        if history:
-            state.history[:, : len(history)] = np.asarray(history, dtype=np.int64)
+        state.seed_history(self.rate_controller.history)
         window = state.votes.shape[1]
         tail = self._signature_votes[-window:]
-        if tail:
-            state.votes[:, window - len(tail):] = np.asarray(tail, dtype=np.int64)
-        state.vote_count[:] = min(len(self._signature_votes), window)
+        state.seed_votes(tail, min(len(self._signature_votes), window))
         return engine
 
     def _sync_from_engine(self, engine, rate_decisions: int) -> None:
@@ -528,17 +529,17 @@ class AdaptiveController:
             elapsed_time=self.dcdc.elapsed_time
             + (state.cycles - self._cycles) * self.config.system_cycle_period,
         )
-        # Rate controller window and decision count.
+        # Rate controller window and decision count (layout-independent
+        # chronological reads; the fused engine keeps ring buffers).
         self.rate_controller.load_history(
-            list(state.history[0, : state.history_filled]),
+            [int(v) for v in state.history_window()[0]],
             decisions_issued=self.rate_controller.decisions_issued
             + rate_decisions,
         )
         # Compensation vote window.
-        count = int(state.vote_count[0])
         self._signature_votes = [
-            int(v) for v in state.votes[0, state.votes.shape[1] - count:]
-        ] if count else []
+            int(v) for v in state.die_vote_tail(0)
+        ]
         self._work_accumulator = float(state.work_accumulator[0])
         self._cycles = int(state.cycles)
 

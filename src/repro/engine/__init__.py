@@ -4,13 +4,17 @@ This subpackage is the scale layer of the reproduction: it represents a
 *population* of dies/controllers as struct-of-arrays numpy state and
 advances (or analyses) all of them simultaneously.
 
-``device_math``  vectorised EKV / delay / energy math over die arrays
-``state``        :class:`BatchState` — per-die controller state arrays
-``trace``        :class:`BatchTrace` + the :class:`TraceSink` telemetry
-                 layer (dense / streaming / null)
-``engine``       :class:`BatchEngine` — the closed-loop population simulator
-``fleet``        :class:`FleetEngine` — sharded multi-threaded execution
-``mep``          batched minimum-energy-point grid analysis
+``device_math``      vectorised EKV / delay / energy math over die arrays
+``state``            :class:`BatchState` — per-die controller state arrays
+``trace``            :class:`BatchTrace` + the :class:`TraceSink` telemetry
+                     layer (dense / streaming / null)
+``engine``           :class:`BatchEngine` — the closed-loop population simulator
+``kernels``          :class:`CycleKernel` — the fused per-cycle hot path
+                     (preallocated scratch, ring-buffered windows)
+``response_tables``  :class:`ResponseTables` — tabulated per-die device
+                     response (opt-in ``device_model="tabulated"``)
+``fleet``            :class:`FleetEngine` — sharded multi-threaded execution
+``mep``              batched minimum-energy-point grid analysis
 
 The scalar :class:`~repro.core.controller.AdaptiveController` is a thin
 batch-of-one wrapper over :class:`BatchEngine`, and the analysis modules
@@ -32,6 +36,11 @@ from repro.engine.engine import (
     normalise_arrivals,
 )
 from repro.engine.fleet import FleetConfig, FleetEngine
+from repro.engine.kernels import CycleKernel, ScratchBuffers
+from repro.engine.response_tables import (
+    ExactDeviceResponse,
+    ResponseTables,
+)
 from repro.engine.mep import (
     batch_energy_model,
     batched_energy_surface,
@@ -53,11 +62,15 @@ __all__ = [
     "BatchPopulation",
     "BatchState",
     "BatchTrace",
+    "CycleKernel",
     "DenseTrace",
+    "ExactDeviceResponse",
     "FleetConfig",
     "FleetEngine",
     "NullTrace",
     "PolarityArrays",
+    "ResponseTables",
+    "ScratchBuffers",
     "StreamingTrace",
     "TraceSink",
     "batch_energy_model",

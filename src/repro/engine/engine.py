@@ -58,13 +58,19 @@ def normalise_arrivals(
     if arrivals is None:
         return np.zeros((n, cycles), dtype=np.int64)
     if callable(arrivals):
-        counts = [
-            int(arrivals((start_cycle + i) * period, period))
-            for i in range(cycles)
-        ]
-        return np.broadcast_to(
-            np.asarray(counts, dtype=np.int64), (n, cycles)
+        # Arrival processes are stateful (fractional-rate accumulators),
+        # so the callable itself must be invoked once per cycle in
+        # order; everything around it is vectorised — the cycle start
+        # times in one pass, the counts straight into an int64 vector
+        # (C-cast truncation == the old per-element int()), and a single
+        # zero-copy broadcast to the (n, cycles) matrix.
+        times = (start_cycle + np.arange(cycles, dtype=np.int64)) * period
+        counts = np.fromiter(
+            (arrivals(t, period) for t in times.tolist()),
+            dtype=np.int64,
+            count=cycles,
         )
+        return np.broadcast_to(counts, (n, cycles))
     matrix = np.asarray(arrivals, dtype=np.int64)
     if matrix.ndim == 1:
         if matrix.shape[0] != cycles:
@@ -273,6 +279,18 @@ class BatchPopulation:
         )
 
 
+DEVICE_MODELS = ("exact", "tabulated")
+"""How the engine answers per-cycle device queries: ``"exact"`` runs the
+full EKV pipeline (bit-identical to the scalar stack), ``"tabulated"``
+interpolates precomputed :class:`~repro.engine.response_tables.ResponseTables`."""
+
+STEP_KERNELS = ("fused", "legacy")
+"""Cycle-loop implementations: ``"fused"`` is the preallocated-scratch /
+ring-buffer :class:`~repro.engine.kernels.CycleKernel` (bit-identical to
+``"legacy"`` under the exact device model); ``"legacy"`` keeps the
+original allocating, window-shifting step as the parity reference."""
+
+
 class BatchEngine:
     """Vectorised closed-loop simulator of N adaptive controllers."""
 
@@ -288,12 +306,36 @@ class BatchEngine:
         initial_correction=None,
         enabled_segments: Optional[int] = None,
         log_corrections: bool = False,
+        device_model: str = "exact",
+        step_kernel: str = "fused",
+        response_tables=None,
+        table_points: Optional[int] = None,
     ) -> None:
+        if device_model not in DEVICE_MODELS:
+            raise ValueError(
+                f"device_model must be one of {DEVICE_MODELS}, "
+                f"got {device_model!r}"
+            )
+        if step_kernel not in STEP_KERNELS:
+            raise ValueError(
+                f"step_kernel must be one of {STEP_KERNELS}, "
+                f"got {step_kernel!r}"
+            )
+        if device_model == "tabulated" and step_kernel == "legacy":
+            raise ValueError(
+                "the tabulated device model requires the fused step kernel"
+            )
         self.population = population
         self.config = config or ControllerConfig()
         self.compensation_enabled = compensation_enabled
         self.feedback_mode = feedback_mode
         self.nominal_throughput = nominal_throughput
+        self.device_model = device_model
+        self.step_kernel = step_kernel
+        self._response_tables = response_tables
+        self._table_points = table_points
+        self._response = None
+        self._kernel = None
         # The FIFO *capacity* comes from the controller config; the LUT
         # carries its own (possibly different) depth that only scales the
         # occupancy-to-bin mapping — exactly like the scalar stack, where
@@ -323,6 +365,7 @@ class BatchEngine:
             averaging_window=averaging_window,
             initial_correction=0 if initial_correction is None else initial_correction,
         )
+        self.state.ring_buffers = step_kernel == "fused"
         # r_on of the power array for this run.  Segment selection happens
         # before a run (PowerTransistorArray.select_for_load), never inside
         # the cycle loop, so the enabled count is a per-run constant — but
@@ -352,6 +395,43 @@ class BatchEngine:
     def n(self) -> int:
         """Return the population size."""
         return self.population.n
+
+    @property
+    def response(self):
+        """Return the device-response model answering per-cycle queries.
+
+        Built lazily: ``"exact"`` wraps the population's
+        :class:`~repro.engine.device_math.BatchEnergyModel` directly;
+        ``"tabulated"`` builds (or adopts a pre-sharded set of)
+        :class:`~repro.engine.response_tables.ResponseTables`.
+        """
+        if self._response is None:
+            from repro.engine.response_tables import (
+                ExactDeviceResponse,
+                ResponseTables,
+            )
+
+            if self.device_model == "tabulated":
+                tables = self._response_tables
+                if tables is None:
+                    tables = ResponseTables.from_population(
+                        self.population,
+                        self.config,
+                        nominal_throughput=self.nominal_throughput,
+                        points=self._table_points,
+                    )
+                if tables.n != self.n:
+                    raise ValueError(
+                        "response tables cover a different population size"
+                    )
+                self._response = tables
+            else:
+                self._response = ExactDeviceResponse(
+                    self.population.energy,
+                    self.population.temperature_c,
+                    nominal_throughput=self.nominal_throughput,
+                )
+        return self._response
 
     def _rate_decision(self) -> np.ndarray:
         """Averaged-occupancy LUT lookup for every die (mirrors RateController)."""
@@ -528,8 +608,28 @@ class BatchEngine:
         ``arriving`` is the per-die input sample count for this cycle;
         ``scheduled_codes`` bypasses the rate controller with an explicit
         desired word per die (Fig. 6 schedule mode).  Returns the
-        telemetry row as a dict of ``(N,)`` arrays.
+        telemetry row as a dict of ``(N,)`` arrays; row arrays are live
+        views that the **next** ``step`` call overwrites (sinks copy what
+        they keep).
+
+        Dispatches to the fused :class:`~repro.engine.kernels.CycleKernel`
+        by default; ``step_kernel="legacy"`` keeps the original
+        window-shifting implementation below (the parity baseline).
         """
+        if self.step_kernel == "fused":
+            if self._kernel is None:
+                from repro.engine.kernels import CycleKernel
+
+                self._kernel = CycleKernel(self)
+            return self._kernel.step(arriving, scheduled_codes)
+        return self._step_legacy(arriving, scheduled_codes)
+
+    def _step_legacy(
+        self,
+        arriving: np.ndarray,
+        scheduled_codes: Optional[np.ndarray] = None,
+    ) -> dict:
+        """The original allocating step pipeline (shifted windows)."""
         s = self.state
         cfg = self.config
         period = cfg.system_cycle_period

@@ -118,6 +118,23 @@ class FleetEngine:
             for lo in range(0, n, shard_size)
         )
         initial_correction = engine_kwargs.pop("initial_correction", None)
+        # Under the tabulated device model the response tables are built
+        # once for the whole population and row-sliced per shard (views
+        # share the table memory), so the one-time build cost does not
+        # multiply with the worker count.
+        shared_tables = engine_kwargs.pop("response_tables", None)
+        if (
+            engine_kwargs.get("device_model") == "tabulated"
+            and shared_tables is None
+        ):
+            from repro.engine.response_tables import ResponseTables
+
+            shared_tables = ResponseTables.from_population(
+                population,
+                config or ControllerConfig(),
+                nominal_throughput=engine_kwargs.get("nominal_throughput"),
+                points=engine_kwargs.get("table_points"),
+            )
         self.engines = []
         for index in self.shard_slices:
             kwargs = dict(engine_kwargs)
@@ -128,6 +145,8 @@ class FleetEngine:
                     )[index]
                 else:
                     kwargs["initial_correction"] = initial_correction
+            if shared_tables is not None:
+                kwargs["response_tables"] = shared_tables.shard(index)
             self.engines.append(
                 BatchEngine(
                     population.shard(index), lut, config=config, **kwargs

@@ -64,6 +64,28 @@ class BatchState:
     cycles: int = 0
     """System cycles simulated so far (shared across dies)."""
 
+    ring_buffers: bool = False
+    """Layout marker: ``True`` when ``history``/``votes`` are ring
+    buffers written at ``history_pos``/``votes_pos`` (the fused kernel's
+    layout), ``False`` for the legacy shift-down layout (newest entry in
+    the last column).  Both layouts hold exactly the same *set* of
+    values; use :meth:`history_window` / :meth:`die_vote_tail` to read
+    them chronologically without caring which layout is active."""
+
+    history_pos: int = 0
+    """Next ring slot the occupancy history writes (shared across dies;
+    the history is appended unconditionally every cycle)."""
+
+    history_sum: np.ndarray = field(default=None)
+    """Rolling sum of the valid history columns per die (int, ``(N,)``).
+    Integer arithmetic, so the rolling update is exactly equal to
+    re-summing the window — what keeps the ring rewrite bit-identical
+    to the shifted implementation."""
+
+    votes_pos: np.ndarray = field(default=None)
+    """Next ring slot each die's vote window writes (int, ``(N,)``;
+    per-die because votes are only collected while a die is settled)."""
+
     energy_total: np.ndarray = field(default=None)
     """Accumulated load energy per die (float joules, ``(N,)``)."""
 
@@ -92,6 +114,80 @@ class BatchState:
     def n(self) -> int:
         """Return the population size."""
         return int(self.queue_length.shape[0])
+
+    # ------------------------------------------------------------------
+    # Layout-independent window access
+    # ------------------------------------------------------------------
+    def history_window(self) -> np.ndarray:
+        """Return the valid occupancy history, oldest first (``(N, filled)``).
+
+        Works for both buffer layouts: while the window is partially
+        filled, both layouts keep entries chronologically in columns
+        ``0..filled-1``; once full, the ring layout wraps at
+        ``history_pos`` whereas the shifted layout stays chronological.
+        """
+        window = self.history.shape[1]
+        filled = self.history_filled
+        if not self.ring_buffers or filled < window:
+            return self.history[:, :filled]
+        index = (self.history_pos + np.arange(window)) % window
+        return self.history[:, index]
+
+    def die_vote_tail(self, die: int) -> np.ndarray:
+        """Return one die's valid signature votes, oldest first."""
+        window = self.votes.shape[1]
+        count = int(self.vote_count[die])
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        if not self.ring_buffers:
+            return self.votes[die, window - count:].copy()
+        index = (
+            int(self.votes_pos[die]) - count + np.arange(count)
+        ) % window
+        return self.votes[die, index]
+
+    # ------------------------------------------------------------------
+    # Layout-independent window seeding (the scalar wrapper's hand-off)
+    # ------------------------------------------------------------------
+    def seed_history(self, values) -> None:
+        """Load a chronological occupancy window shared by every die.
+
+        ``values`` is a 1-D chronological sequence of at most ``window``
+        entries (the scalar rate controller's history).  Valid for both
+        layouts: entries land in columns ``0..k-1`` with the ring write
+        position parked just past them.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        window = self.history.shape[1]
+        k = int(values.shape[-1]) if values.ndim else int(values.size)
+        if k > window:
+            raise ValueError("history seed longer than the window")
+        self.history_filled = k
+        self.history_pos = k % window
+        if k:
+            self.history[:, :k] = values
+            self.history_sum[:] = self.history[:, :k].sum(axis=1)
+        else:
+            self.history_sum[:] = 0
+
+    def seed_votes(self, tail, count: int) -> None:
+        """Load a chronological signature tail shared by every die.
+
+        ``tail`` holds the last ``count`` votes, oldest first
+        (``count == len(tail)``, at most the window length).
+        """
+        tail = np.asarray(tail, dtype=np.int64)
+        window = self.votes.shape[1]
+        k = int(tail.shape[-1]) if tail.ndim else int(tail.size)
+        if k > window or k != int(count):
+            raise ValueError("vote seed must hold exactly `count` entries")
+        if self.ring_buffers:
+            if k:
+                self.votes[:, :k] = tail
+            self.votes_pos[:] = k % window
+        elif k:
+            self.votes[:, window - k:] = tail
+        self.vote_count[:] = count
 
     @classmethod
     def initial(
@@ -132,6 +228,9 @@ class BatchState:
             votes=np.zeros((n, config.compensation_interval_cycles), dtype=np.int64),
             vote_count=np.zeros(n, dtype=np.int64),
             cycles=0,
+            history_pos=0,
+            history_sum=np.zeros(n, dtype=np.int64),
+            votes_pos=np.zeros(n, dtype=np.int64),
             energy_total=np.zeros(n, dtype=float),
             operations_total=np.zeros(n, dtype=np.int64),
             drops_total=np.zeros(n, dtype=np.int64),

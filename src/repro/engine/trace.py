@@ -240,6 +240,7 @@ class DenseTrace(TraceSink):
     def __init__(self) -> None:
         self._trace: Optional[BatchTrace] = None
         self._cursor = 0
+        self._bindings = ()
 
     def begin(self, cycles: int, n: int) -> None:
         if self._trace is not None:
@@ -248,13 +249,18 @@ class DenseTrace(TraceSink):
             )
         self._trace = BatchTrace.preallocate(cycles, n)
         self._cursor = 0
+        # Bind (column array, row key) once; record() then runs without
+        # attribute lookups in the per-cycle loop.
+        self._bindings = tuple(
+            (getattr(self._trace, column), key)
+            for column, key, _ in DIE_CHANNELS
+        )
 
     def record(self, row: Dict[str, np.ndarray]) -> None:
-        trace = self._trace
         i = self._cursor
-        trace.times[i] = row["time"]
-        for column, key, _ in DIE_CHANNELS:
-            getattr(trace, column)[i] = row[key]
+        self._trace.times[i] = row["time"]
+        for column, key in self._bindings:
+            column[i] = row[key]
         self._cursor = i + 1
 
     def result(self) -> BatchTrace:
@@ -297,6 +303,29 @@ class StreamingTrace(TraceSink):
         self.settle_cycle: Optional[np.ndarray] = None
         self.settle_time: Optional[np.ndarray] = None
         self.violation_cycles: Optional[np.ndarray] = None
+        self._bindings = ()
+        self._mask: Optional[np.ndarray] = None
+
+    def _bind(self) -> None:
+        """Precompute the per-channel (key, reducer arrays) bindings.
+
+        ``record`` runs once per system cycle; resolving the channel
+        dict lookups here (and reusing one boolean mask workspace for
+        the settle/violation tests) keeps the per-cycle cost to pure
+        in-place array updates.  Re-run whenever the backing arrays are
+        replaced (``begin`` after a :meth:`merge_dies`).
+        """
+        self._bindings = tuple(
+            (
+                key,
+                self._ring[column],
+                self._sums[column],
+                self._mins[column],
+                self._maxs[column],
+            )
+            for column, key, _ in DIE_CHANNELS
+        )
+        self._mask = np.empty(self.n, dtype=bool)
 
     def begin(self, cycles: int, n: int) -> None:
         if self.n is not None:
@@ -304,6 +333,7 @@ class StreamingTrace(TraceSink):
                 raise ValueError(
                     "sink already bound to a different population size"
                 )
+            self._bind()
             return
         self.n = int(n)
         self._ring_times = np.zeros(self.window, dtype=float)
@@ -327,20 +357,23 @@ class StreamingTrace(TraceSink):
         self.settle_cycle = np.zeros(n, dtype=np.int64)
         self.settle_time = np.zeros(n, dtype=float)
         self.violation_cycles = np.zeros(n, dtype=np.int64)
+        self._bind()
 
     def record(self, row: Dict[str, np.ndarray]) -> None:
         slot = self.cycles % self.window
         self._ring_times[slot] = row["time"]
-        for column, key, _ in DIE_CHANNELS:
+        for key, ring, sums, mins, maxs in self._bindings:
             values = row[key]
-            self._ring[column][slot] = values
-            self._sums[column] += values
-            np.minimum(self._mins[column], values, out=self._mins[column])
-            np.maximum(self._maxs[column], values, out=self._maxs[column])
-        unsettled = row["decision"] != DECISION_HOLD
-        np.copyto(self.settle_cycle, self.cycles + 1, where=unsettled)
-        np.copyto(self.settle_time, row["time"], where=unsettled)
-        self.violation_cycles += row["samples_dropped"] > 0
+            ring[slot] = values
+            sums += values
+            np.minimum(mins, values, out=mins)
+            np.maximum(maxs, values, out=maxs)
+        mask = self._mask
+        np.not_equal(row["decision"], DECISION_HOLD, out=mask)
+        np.copyto(self.settle_cycle, self.cycles + 1, where=mask)
+        np.copyto(self.settle_time, row["time"], where=mask)
+        np.greater(row["samples_dropped"], 0, out=mask)
+        self.violation_cycles += mask
         self.last_time = float(row["time"])
         self.cycles += 1
 

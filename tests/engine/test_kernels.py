@@ -1,0 +1,218 @@
+"""Bit-identity of the fused kernel against the legacy step pipeline.
+
+The fused :class:`~repro.engine.kernels.CycleKernel` (preallocated
+scratch, ``out=`` ufuncs, ring-buffered history/vote windows) must
+reproduce the legacy shifted-window implementation **bit for bit** under
+the exact device model — across partially filled windows, full windows,
+and vote-collection resets (supply-ceiling resets and applied
+corrections).  These tests pin that, plus the vectorised
+``normalise_arrivals`` shape/dtype contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler, VariationModel
+from repro.engine import (
+    BatchEngine,
+    BatchPopulation,
+    normalise_arrivals,
+)
+from repro.workloads import ConstantArrivals
+from repro.workloads.batch import constant_arrival_matrix
+
+CHANNELS = (
+    "times",
+    "queue_lengths",
+    "desired_codes",
+    "output_voltages",
+    "duty_values",
+    "operations_completed",
+    "samples_dropped",
+    "energies",
+    "lut_corrections",
+    "decisions",
+)
+
+
+@pytest.fixture(scope="module")
+def reference_lut(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    return program_lut_for_load(reference_load, sample_rate=1e5)
+
+
+def make_engines(library, reference_lut, n=6, seed=13, **kwargs):
+    samples = MonteCarloSampler(
+        VariationModel(global_sigma_v=0.02), seed=seed
+    ).draw_arrays(n)
+    population = BatchPopulation.from_samples(library, samples)
+    fused = BatchEngine(
+        population, lut=reference_lut, step_kernel="fused", **kwargs
+    )
+    legacy = BatchEngine(
+        population, lut=reference_lut, step_kernel="legacy", **kwargs
+    )
+    return fused, legacy
+
+
+def assert_bit_identical(fused_trace, legacy_trace):
+    for channel in CHANNELS:
+        np.testing.assert_array_equal(
+            getattr(fused_trace, channel),
+            getattr(legacy_trace, channel),
+            err_msg=channel,
+        )
+
+
+def assert_states_match(fused, legacy):
+    """Final engine state equality, read layout-independently."""
+    fs, ls = fused.state, legacy.state
+    for field in (
+        "queue_length",
+        "duty_value",
+        "cycles_since_duty_update",
+        "last_desired",
+        "inductor_current",
+        "output_voltage",
+        "work_accumulator",
+        "lut_correction",
+        "vote_count",
+        "energy_total",
+        "operations_total",
+        "drops_total",
+        "accepted_total",
+        "peak_queue",
+        "decision_up_total",
+        "decision_hold_total",
+        "decision_down_total",
+    ):
+        np.testing.assert_array_equal(
+            getattr(fs, field), getattr(ls, field), err_msg=field
+        )
+    np.testing.assert_array_equal(
+        fs.history_window(), ls.history_window(), err_msg="history"
+    )
+    for die in range(fs.n):
+        np.testing.assert_array_equal(
+            fs.die_vote_tail(die),
+            ls.die_vote_tail(die),
+            err_msg=f"votes die {die}",
+        )
+
+
+class TestRingVsShiftedBitIdentity:
+    def test_partial_window_run(self, library, reference_lut):
+        """Fewer cycles than the averaging window: partial history."""
+        fused, legacy = make_engines(library, reference_lut, averaging_window=8)
+        arrivals = constant_arrival_matrix(np.full(6, 1e5), 1e-6, 5)
+        assert_bit_identical(
+            fused.run(arrivals, 5), legacy.run(arrivals, 5)
+        )
+        assert fused.state.history_filled == 5
+        assert_states_match(fused, legacy)
+
+    def test_full_window_closed_loop(self, library, reference_lut):
+        """Long closed loop: wrapped history ring + vote collection."""
+        cycles = 500
+        fused, legacy = make_engines(library, reference_lut)
+        arrivals = constant_arrival_matrix(np.full(6, 1e5), 1e-6, cycles)
+        assert_bit_identical(
+            fused.run(arrivals, cycles), legacy.run(arrivals, cycles)
+        )
+        assert_states_match(fused, legacy)
+
+    def test_vote_reset_transitions(self, library, reference_lut):
+        """Corner dies converge to non-zero corrections: the run crosses
+        vote-window fills and applied-correction resets, then a
+        high-voltage schedule segment exercises the over-ceiling reset
+        before dropping back into the sensing range."""
+        corners = ("SS", "TT", "FS")
+        population = BatchPopulation.from_corners(library, corners)
+        cycles = 900
+        arrivals = constant_arrival_matrix(np.full(3, 1e5), 1e-6, cycles)
+        fused = BatchEngine(
+            population, lut=reference_lut, step_kernel="fused"
+        )
+        legacy = BatchEngine(
+            population, lut=reference_lut, step_kernel="legacy"
+        )
+        trace_f = fused.run(arrivals, cycles)
+        trace_l = legacy.run(arrivals, cycles)
+        assert_bit_identical(trace_f, trace_l)
+        # The scenario must actually exercise a correction (vote reset).
+        assert np.any(trace_f.final_correction() != 0)
+        schedule = [(47, 200), (11, 250)]
+        sched_f = fused.run_schedule(schedule)
+        sched_l = legacy.run_schedule(schedule)
+        assert_bit_identical(sched_f, sched_l)
+        # The first segment regulates above the signature ceiling, so
+        # the over-ceiling vote reset ran while settled.
+        ceiling = fused.config.signature_supply_ceiling
+        assert np.any(sched_f.output_voltages > ceiling)
+        assert_states_match(fused, legacy)
+
+    def test_schedule_mode_and_sequential_runs(self, library, reference_lut):
+        """Ring state carries across sequential runs exactly."""
+        fused, legacy = make_engines(library, reference_lut)
+        arrivals = ConstantArrivals(1e5)
+        arrivals_l = ConstantArrivals(1e5)
+        assert_bit_identical(
+            fused.run(arrivals, 150), legacy.run(arrivals_l, 150)
+        )
+        assert_bit_identical(
+            fused.run_schedule([(19, 80), (11, 90)]),
+            legacy.run_schedule([(19, 80), (11, 90)]),
+        )
+        assert_states_match(fused, legacy)
+
+    def test_row_arrays_stable_until_next_step(self, library, reference_lut):
+        """A recorded row must not change before the following step."""
+        fused, _ = make_engines(library, reference_lut)
+        row = fused.step(np.full(6, 3, dtype=np.int64))
+        snapshot = {key: np.copy(value) for key, value in row.items()}
+        for key, value in snapshot.items():
+            np.testing.assert_array_equal(row[key], value, err_msg=key)
+
+
+class TestNormaliseArrivals:
+    def test_callable_matches_sequential_reference(self):
+        """The vectorised path must call the (stateful) process in cycle
+        order and truncate like the old per-cycle int()."""
+        cycles, period = 37, 1e-6
+        matrix = normalise_arrivals(
+            ConstantArrivals(3.3e5), cycles, 4, period, start_cycle=11
+        )
+        reference_process = ConstantArrivals(3.3e5)
+        reference = [
+            int(reference_process((11 + i) * period, period))
+            for i in range(cycles)
+        ]
+        assert matrix.shape == (4, cycles)
+        assert matrix.dtype == np.int64
+        np.testing.assert_array_equal(matrix[0], reference)
+        # Every row is the same shared stream (zero-copy broadcast).
+        np.testing.assert_array_equal(matrix, np.tile(reference, (4, 1)))
+        assert matrix.base is not None
+
+    def test_vector_and_matrix_shapes_pinned(self):
+        vector = np.arange(5)
+        matrix = normalise_arrivals(vector, 5, 3, 1e-6)
+        assert matrix.shape == (3, 5)
+        assert matrix.dtype == np.int64
+        full = normalise_arrivals(np.ones((3, 5)), 5, 3, 1e-6)
+        assert full.shape == (3, 5)
+        assert full.dtype == np.int64
+        none = normalise_arrivals(None, 4, 2, 1e-6)
+        assert none.shape == (2, 4)
+        assert none.dtype == np.int64
+        assert not none.any()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            normalise_arrivals(np.arange(3), 5, 2, 1e-6)
+        with pytest.raises(ValueError):
+            normalise_arrivals(np.ones((4, 5)), 5, 2, 1e-6)
