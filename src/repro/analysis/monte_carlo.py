@@ -136,6 +136,7 @@ def monte_carlo_closed_loop(
     sample_rate: float = 1e5,
     fleet=None,
     device_model: str = "exact",
+    executor: Optional[str] = None,
 ) -> ClosedLoopFleetResult:
     """Run a Monte Carlo *closed-loop* fleet: N varied dies, full loop.
 
@@ -151,10 +152,15 @@ def monte_carlo_closed_loop(
     within a fixed memory budget.  ``device_model="tabulated"`` trades
     bit-exact device math for interpolated response tables — the right
     choice for very large fleets or very long horizons (see
-    :mod:`repro.engine.response_tables`).
+    :mod:`repro.engine.response_tables`).  ``executor`` overrides the
+    fleet's executor backend (``"serial"``/``"thread"``/``"process"``);
+    every backend produces bit-identical results, so the choice is
+    purely a throughput decision.
     """
     if dies <= 0 or cycles <= 0:
         raise ValueError("dies and cycles must be positive")
+    from dataclasses import replace
+
     from repro.circuits.loads import DigitalLoad
     from repro.core.rate_controller import program_lut_for_load
     from repro.engine.engine import BatchPopulation
@@ -173,10 +179,13 @@ def monte_carlo_closed_loop(
         library.ring_oscillator_load, library.reference_delay_model
     )
     lut = program_lut_for_load(reference_load, sample_rate=sample_rate)
+    fleet = fleet or FleetConfig(telemetry="streaming")
+    if executor is not None:
+        fleet = replace(fleet, executor=executor)
     engine = FleetEngine(
         population,
         lut,
-        fleet=fleet or FleetConfig(telemetry="streaming"),
+        fleet=fleet,
         device_model=device_model,
     )
     arrivals = poisson_arrival_matrix(
@@ -185,16 +194,19 @@ def monte_carlo_closed_loop(
         cycles,
         seeds=seed,
     )
-    telemetry = engine.run(arrivals, cycles)
-    return ClosedLoopFleetResult(
-        dies=dies,
-        cycles=cycles,
-        telemetry=telemetry,
-        energy=engine.total_energy(),
-        operations=engine.total_operations(),
-        drops=engine.total_drops(),
-        lut_correction=engine.final_correction(),
-    )
+    try:
+        telemetry = engine.run(arrivals, cycles)
+        return ClosedLoopFleetResult(
+            dies=dies,
+            cycles=cycles,
+            telemetry=telemetry,
+            energy=engine.total_energy(),
+            operations=engine.total_operations(),
+            drops=engine.total_drops(),
+            lut_correction=engine.final_correction(),
+        )
+    finally:
+        engine.close()
 
 
 def monte_carlo_mep(

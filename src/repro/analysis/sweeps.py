@@ -310,6 +310,7 @@ def closed_loop_corner_sweep(
     temperature_c: float = ROOM_TEMPERATURE_C,
     fleet=None,
     device_model: str = "exact",
+    executor: Optional[str] = None,
 ) -> ClosedLoopCornerResult:
     """Run the full adaptive loop on one die per corner (Fig. 1 corners).
 
@@ -320,7 +321,9 @@ def closed_loop_corner_sweep(
     settle time, converged supply and LUT correction per corner.  Runs
     as a :class:`~repro.engine.fleet.FleetEngine` with streaming
     telemetry by default; ``device_model="tabulated"`` swaps the exact
-    per-cycle device math for interpolated response tables.
+    per-cycle device math for interpolated response tables, and
+    ``executor`` picks the fleet backend
+    (``"serial"``/``"thread"``/``"process"`` — bit-identical results).
     """
     if cycles <= 0:
         raise ValueError("cycles must be positive")
@@ -346,6 +349,8 @@ def closed_loop_corner_sweep(
     fleet = replace(
         fleet or FleetConfig(), telemetry="streaming"
     )
+    if executor is not None:
+        fleet = replace(fleet, executor=executor)
     engine = FleetEngine(
         population, lut, fleet=fleet, device_model=device_model
     )
@@ -354,11 +359,14 @@ def closed_loop_corner_sweep(
         engine.config.system_cycle_period,
         cycles,
     )
-    sink = engine.run(arrivals, cycles)
-    epo = sink.energy_per_operation()
-    final_voltage = sink.final_voltage()
-    settle = sink.settle_cycle
-    correction = engine.final_correction()
+    try:
+        sink = engine.run(arrivals, cycles)
+        epo = sink.energy_per_operation()
+        final_voltage = sink.final_voltage()
+        settle = sink.settle_cycle
+        correction = engine.final_correction()
+    finally:
+        engine.close()
     return ClosedLoopCornerResult(
         corners=tuple(corners),
         cycles=cycles,

@@ -13,7 +13,10 @@ advances (or analyses) all of them simultaneously.
                      (preallocated scratch, ring-buffered windows)
 ``response_tables``  :class:`ResponseTables` — tabulated per-die device
                      response (opt-in ``device_model="tabulated"``)
-``fleet``            :class:`FleetEngine` — sharded multi-threaded execution
+``fleet``            :class:`FleetEngine` — sharded execution on a
+                     serial / thread / process executor backend
+``procfleet``        the process backend: shared-memory population
+                     state + worker-pool shard execution
 ``mep``              batched minimum-energy-point grid analysis
 
 The scalar :class:`~repro.core.controller.AdaptiveController` is a thin
@@ -35,8 +38,27 @@ from repro.engine.engine import (
     expand_schedule,
     normalise_arrivals,
 )
-from repro.engine.fleet import FleetConfig, FleetEngine
+from repro.engine.fleet import EXECUTORS, FleetConfig, FleetEngine
 from repro.engine.kernels import CycleKernel, ScratchBuffers
+
+_PROCFLEET_EXPORTS = (
+    "ProcessFleetBackend",
+    "SharedArrayBlock",
+    "SharedBlockSpec",
+)
+
+
+def __getattr__(name: str):
+    # The process backend (multiprocessing / shared_memory machinery)
+    # loads lazily: serial/thread-only users never pay its import cost,
+    # matching the deferred import inside FleetEngine.__init__.
+    if name in _PROCFLEET_EXPORTS:
+        from repro.engine import procfleet
+
+        return getattr(procfleet, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 from repro.engine.response_tables import (
     ExactDeviceResponse,
     ResponseTables,
@@ -64,10 +86,14 @@ __all__ = [
     "BatchTrace",
     "CycleKernel",
     "DenseTrace",
+    "EXECUTORS",
     "ExactDeviceResponse",
     "FleetConfig",
     "FleetEngine",
     "NullTrace",
+    "ProcessFleetBackend",
+    "SharedArrayBlock",
+    "SharedBlockSpec",
     "PolarityArrays",
     "ResponseTables",
     "ScratchBuffers",

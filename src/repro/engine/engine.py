@@ -56,7 +56,13 @@ def normalise_arrivals(
     exactly the arrivals a single-shard run would).
     """
     if arrivals is None:
-        return np.zeros((n, cycles), dtype=np.int64)
+        # Broadcast rather than materialise: the cycle loop only reads
+        # arrival columns, and the process fleet collapses zero-stride
+        # rows back to a single row instead of pickling N x cycles
+        # zeros to every worker.
+        return np.broadcast_to(
+            np.zeros(cycles, dtype=np.int64), (n, cycles)
+        )
     if callable(arrivals):
         # Arrival processes are stateful (fractional-rate accumulators),
         # so the callable itself must be invoked once per cycle in
@@ -395,6 +401,30 @@ class BatchEngine:
     def n(self) -> int:
         """Return the population size."""
         return self.population.n
+
+    def adopt_state(self, state: BatchState) -> None:
+        """Replace the engine's state with an externally owned one.
+
+        The process fleet backend swaps in shared-memory shard *views*
+        so worker writes land in the parent's arrays; the scalar wrapper
+        and tests may swap in copies.  The state must cover the same
+        population and use the buffer layout the configured step kernel
+        expects (ring buffers for ``"fused"``, shifted windows for
+        ``"legacy"``) — the step loop reads ``self.state`` afresh every
+        cycle, so adoption is effective immediately.
+        """
+        if state.n != self.n:
+            raise ValueError(
+                f"state covers {state.n} dies, engine simulates {self.n}"
+            )
+        expected_ring = self.step_kernel == "fused"
+        if bool(state.ring_buffers) != expected_ring:
+            raise ValueError(
+                "state buffer layout does not match the step kernel "
+                f"(ring_buffers={state.ring_buffers!r}, "
+                f"step_kernel={self.step_kernel!r})"
+            )
+        self.state = state
 
     @property
     def response(self):

@@ -1,15 +1,29 @@
-"""Sharded fleet execution: one population, many worker threads.
+"""Sharded fleet execution: one population, pluggable executor backends.
 
 :class:`FleetEngine` splits a :class:`~repro.engine.engine.BatchEngine`
-population into contiguous die shards and advances each shard on its own
-worker thread (numpy releases the GIL inside the hot elementwise
-kernels, so shards overlap on multi-core machines).  Because every
-per-die quantity the engine computes is elementwise across dies — no
-cross-die reduction anywhere in the cycle loop — a shard simulates its
-dies bit-identically to the same dies inside one big batch, and merging
-the shard results in shard order reproduces the single-shard run
-**bit for bit**.  That determinism is pinned by ``tests/engine/test_fleet.py``
-and re-asserted by the fleet benchmark.
+population into contiguous die shards and advances the shards on an
+executor backend chosen by :attr:`FleetConfig.executor`:
+
+* ``"serial"`` — shards run sequentially in the calling thread (the
+  zero-overhead baseline, and what the other backends must match bit
+  for bit),
+* ``"thread"`` (default) — one worker thread per shard batch; numpy
+  releases the GIL inside the hot elementwise kernels, so shards
+  overlap on multi-core machines,
+* ``"process"`` — one worker *process* per shard batch with the
+  population state in shared memory
+  (:mod:`repro.engine.procfleet`); sidesteps the GIL entirely, for
+  populations where per-cycle cost is numpy **dispatch** rather than
+  array arithmetic.
+
+Because every per-die quantity the engine computes is elementwise
+across dies — no cross-die reduction anywhere in the cycle loop — a
+shard simulates its dies bit-identically to the same dies inside one
+big batch, and merging the shard results in shard order reproduces the
+single-shard run **bit for bit** on every backend.  That determinism is
+pinned by ``tests/engine/test_fleet.py``, fuzzed across backends by
+``tests/engine/test_differential_fuzz.py``, and re-asserted by the
+fleet benchmarks.
 
 Telemetry per shard is a :class:`~repro.engine.trace.TraceSink` chosen
 by :attr:`FleetConfig.telemetry`:
@@ -41,31 +55,37 @@ from repro.engine.engine import (
 )
 from repro.engine.trace import (
     BatchTrace,
-    DenseTrace,
-    NullTrace,
     StreamingTrace,
     TraceSink,
+    make_sink,
 )
 
 TELEMETRY_MODES = ("dense", "streaming", "null")
 
+EXECUTORS = ("serial", "thread", "process")
+"""Executor backends a fleet can run its shards on."""
+
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """How a fleet run is sharded and recorded."""
+    """How a fleet run is sharded, executed and recorded."""
 
     shard_size: Optional[int] = None
     """Dies per shard; ``None`` splits the population evenly across the
     resolved worker count."""
 
     workers: Optional[int] = None
-    """Worker threads; ``None`` uses the machine's CPU count."""
+    """Workers; ``None`` uses the CPUs actually available to this
+    process (CPU-affinity aware, see :meth:`resolved_workers`)."""
 
     telemetry: str = "dense"
     """Telemetry mode: ``"dense"``, ``"streaming"`` or ``"null"``."""
 
     stream_window: int = 64
     """Ring-buffer rows kept per channel in streaming mode."""
+
+    executor: str = "thread"
+    """Executor backend: ``"serial"``, ``"thread"`` or ``"process"``."""
 
     def __post_init__(self) -> None:
         if self.shard_size is not None and self.shard_size <= 0:
@@ -79,11 +99,32 @@ class FleetConfig:
             )
         if self.stream_window <= 0:
             raise ValueError("stream_window must be positive")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
 
     def resolved_workers(self) -> int:
-        """Return the effective worker-thread count."""
+        """Return the effective worker count.
+
+        Containers and batch schedulers routinely pin a process to a
+        CPU subset (cgroup quotas, ``taskset``); ``os.cpu_count()``
+        reports the whole machine and would oversubscribe workers
+        there, so the scheduling affinity is consulted first and the
+        raw CPU count is only the fallback for platforms without
+        ``sched_getaffinity``.
+        """
         if self.workers is not None:
             return self.workers
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                available = len(affinity(0))
+                if available > 0:
+                    return available
+            except OSError:
+                pass
         return os.cpu_count() or 1
 
 
@@ -107,6 +148,7 @@ class FleetEngine:
     ) -> None:
         self.population = population
         self.fleet = fleet or FleetConfig()
+        self._closed = False
         n = population.n
         workers = self.fleet.resolved_workers()
         shard_size = self.fleet.shard_size
@@ -153,6 +195,38 @@ class FleetEngine:
                 )
             )
         self.config = self.engines[0].config
+        self._proc = None
+        if self.fleet.executor == "process":
+            if self.engines[0].step_kernel != "fused":
+                # The legacy step rebinds its state arrays every cycle
+                # (s.queue_length = s.queue_length + accepted, ...), so
+                # worker writes would never land in the shared block —
+                # the parent would gather a silently stale population.
+                # Only the in-place fused kernel is shared-memory safe.
+                raise ValueError(
+                    "executor='process' requires step_kernel='fused' "
+                    "(the legacy step does not write state in place)"
+                )
+            if self.engines[0]._log_corrections:
+                # The sparse correction log is a Python list accumulated
+                # inside each worker interpreter; it is a scalar-wrapper
+                # facility, not fleet telemetry, and is never shipped
+                # back — reject rather than silently return empty logs.
+                raise ValueError(
+                    "executor='process' does not support "
+                    "log_corrections=True (the log stays in worker "
+                    "memory); use the thread or serial executor"
+                )
+            from repro.engine.procfleet import ProcessFleetBackend
+
+            self._proc = ProcessFleetBackend(
+                population,
+                self.config,
+                self.engines,
+                self.shard_slices,
+                engine_kwargs=dict(engine_kwargs),
+                shared_tables=shared_tables,
+            )
 
     @property
     def n(self) -> int:
@@ -165,15 +239,46 @@ class FleetEngine:
         return len(self.engines)
 
     # ------------------------------------------------------------------
+    # Lifecycle (only the process backend owns external resources)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources and retire the engine.
+
+        Closing marks the fleet finished on every backend (further
+        ``run`` calls raise; gather methods stay usable).  Only the
+        process executor holds external resources — its worker pool is
+        shut down and every shared segment unlinked, with the final
+        state copied out first.  Safe to call repeatedly.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._proc is not None:
+            self._proc.close()
+
+    def shared_block_names(self) -> Tuple[str, ...]:
+        """Return the shared-memory segment names (process executor)."""
+        if self._proc is None:
+            return ()
+        return self._proc.block_names
+
+    def __enter__(self) -> "FleetEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     # Telemetry plumbing
     # ------------------------------------------------------------------
     def _make_sink(self) -> TraceSink:
-        mode = self.fleet.telemetry
-        if mode == "dense":
-            return DenseTrace()
-        if mode == "streaming":
-            return StreamingTrace(window=self.fleet.stream_window)
-        return NullTrace()
+        return make_sink(self.fleet.telemetry, self.fleet.stream_window)
 
     def _merge(self, results: Sequence):
         mode = self.fleet.telemetry
@@ -199,10 +304,13 @@ class FleetEngine:
         the full population and row-sliced per shard (an arrival
         callable is evaluated exactly once), so the sharded run consumes
         inputs identical to a single-shard run; results are merged in
-        shard order, making the output independent of worker scheduling.
+        shard order, making the output independent of worker scheduling
+        — and of the executor backend.
         """
         if system_cycles <= 0:
             raise ValueError("system_cycles must be positive")
+        if self._closed:
+            raise RuntimeError("fleet engine is closed")
         start_cycle = self.engines[0].state.cycles
         matrix = normalise_arrivals(
             arrivals,
@@ -220,6 +328,25 @@ class FleetEngine:
                 )
             if schedule.shape != (self.n, system_cycles):
                 raise ValueError("scheduled_codes shape mismatch")
+        workers = min(self.fleet.resolved_workers(), self.num_shards)
+        if self._proc is not None:
+            # Worker processes mutate the shared state in place; a
+            # failed run leaves it half-advanced, so tear the fleet
+            # down (unlinking the shared segments) rather than let a
+            # corrupt population be run again.
+            try:
+                results = self._proc.run(
+                    matrix,
+                    system_cycles,
+                    schedule,
+                    self.fleet.telemetry,
+                    self.fleet.stream_window,
+                    workers,
+                )
+            except Exception:
+                self.close()
+                raise
+            return self._merge(results)
         sinks = [self._make_sink() for _ in self.engines]
 
         def run_shard(index: int):
@@ -231,8 +358,11 @@ class FleetEngine:
                 sink=sinks[index],
             )
 
-        workers = min(self.fleet.resolved_workers(), self.num_shards)
-        if workers <= 1 or self.num_shards == 1:
+        if (
+            self.fleet.executor == "serial"
+            or workers <= 1
+            or self.num_shards == 1
+        ):
             results = [run_shard(i) for i in range(self.num_shards)]
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:

@@ -1,0 +1,742 @@
+"""Process-based fleet execution over shared-memory population state.
+
+The thread fleet (:mod:`repro.engine.fleet`) overlaps shards only while
+numpy holds the GIL released; once per-cycle cost is dominated by numpy
+*dispatch* (the Python-side ufunc bookkeeping), threads serialise and
+the next lever is separate interpreters.  This module provides that
+backend: ``FleetConfig(executor="process")`` runs every shard in a
+worker process of a reusable :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Design:
+
+* **Shared-memory state.**  The full population's :class:`BatchState`
+  arrays live in one :class:`multiprocessing.shared_memory.SharedMemory`
+  block (:class:`SharedArrayBlock`).  Workers attach zero-copy row-shard
+  views (``state.shard_view``), advance them in place, and the parent's
+  gather methods read the same physical memory — no state is ever
+  pickled in either direction.  The :class:`BatchPopulation` device
+  arrays (and, under ``device_model="tabulated"``, the response/TDC
+  tables) sit in further read-only blocks that every worker attaches
+  once.
+* **Pickling-free spec.**  A block travels to workers as a
+  :class:`SharedBlockSpec` — the segment name plus ``(name, dtype,
+  shape, offset)`` per array — so attachment is pure ``np.ndarray``
+  construction over the mapped buffer.
+* **Determinism.**  Arrivals are normalised once in the parent (arrival
+  processes and Poisson matrices are drawn there, with per-die
+  ``SeedSequence.spawn`` streams, so workers need no RNG), shards are
+  row slices, the engine's cycle loop is elementwise across dies, and
+  results are merged in shard order — a process run is **bit-identical**
+  to the serial and thread backends.
+* **Lifecycle.**  The parent owns every segment: blocks are unlinked on
+  :meth:`ProcessFleetBackend.close`, on construction failure, and on a
+  worker crash mid-run (the failed run closes the fleet), so no
+  ``/dev/shm`` segment outlives the fleet — pinned by
+  ``tests/engine/test_procfleet.py``.  Shared scalars
+  (``cycles``/``history_filled``/``history_pos``) travel by value per
+  task and the parent re-adopts them after each run, which is what lets
+  sequential ``run()`` calls continue exactly.
+
+``REPRO_PROCFLEET_FAULT=<shard index>`` is a fault-injection hook: the
+worker assigned that shard raises before touching shared state, which is
+how the lifecycle tests exercise crash cleanup without killing
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, Optional, Sequence, Tuple
+
+import multiprocessing
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.engine.device_math import (
+    BatchDeviceSet,
+    PolarityArrays,
+    TemperatureArrays,
+)
+from repro.engine.state import BatchState, STATE_SCALAR_FIELDS
+
+_ALIGNMENT = 64
+"""Byte alignment of every array inside a shared block (cache line)."""
+
+FAULT_ENV = "REPRO_PROCFLEET_FAULT"
+"""Set to a shard index to make that shard's worker raise on entry
+(fault injection for the shared-memory lifecycle tests)."""
+
+START_METHOD_ENV = "REPRO_PROCFLEET_START_METHOD"
+"""Override the multiprocessing start method (``fork``/``spawn``/
+``forkserver``).  The default is ``fork`` on Linux (fast, payload
+inherited) and the platform default elsewhere; the spawn parity test
+uses this to exercise the pickled-payload path everywhere."""
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifecycle.
+
+    The parent owns creation and unlinking; a worker (or a second
+    attachment in the parent) must not register the segment with its
+    resource tracker, or the tracker would unlink it — and warn about
+    "leaked" memory — when that process exits.  Python >= 3.13 exposes
+    ``track=False``; older versions need the unregister workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: suppress the tracker registration entirely.
+        # Under the fork start method every process talks to the same
+        # tracker, so attach-then-unregister would strip the *parent's*
+        # registration and leave the tracker confused at unlink time.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Location of one array inside a shared block."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedBlockSpec:
+    """Pickling-free description of a shared block: name + array layout.
+
+    This is all a worker needs to attach: no numpy data crosses the
+    process boundary, only this spec.
+    """
+
+    segment_name: str
+    nbytes: int
+    arrays: Tuple[SharedArraySpec, ...]
+
+
+class SharedArrayBlock:
+    """One shared-memory segment holding a set of named numpy arrays.
+
+    ``create`` copies the given arrays into a fresh segment (the only
+    copy the process backend ever performs); ``attach`` maps an existing
+    segment from its spec and exposes zero-copy views.  The creating
+    side owns the segment and unlinks it on :meth:`close`; attachments
+    only unmap.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        spec: SharedBlockSpec,
+        views: Dict[str, np.ndarray],
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.spec = spec
+        self._views: Optional[Dict[str, np.ndarray]] = views
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayBlock":
+        """Allocate a segment sized for ``arrays`` and copy them in."""
+        if not arrays:
+            raise ValueError("a shared block needs at least one array")
+        specs = []
+        offset = 0
+        for name, array in arrays.items():
+            offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+            specs.append(
+                SharedArraySpec(
+                    name=name,
+                    dtype=str(array.dtype),
+                    shape=tuple(int(s) for s in array.shape),
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        segment_name = f"repro-fleet-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=segment_name
+        )
+        spec = SharedBlockSpec(
+            segment_name=segment.name,
+            nbytes=max(offset, 1),
+            arrays=tuple(specs),
+        )
+        views = _map_views(segment, spec)
+        for array_spec in spec.arrays:
+            views[array_spec.name][...] = arrays[array_spec.name]
+        return cls(segment, spec, views, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedBlockSpec) -> "SharedArrayBlock":
+        """Map an existing segment from its spec (zero-copy views)."""
+        segment = _attach_segment(spec.segment_name)
+        if segment.size < spec.nbytes:
+            # The OS may round a segment *up* to page size, never down;
+            # a smaller mapping means the spec and segment diverged.
+            segment.close()
+            raise ValueError(
+                f"shared segment {spec.segment_name!r} holds "
+                f"{segment.size} bytes but the spec describes "
+                f"{spec.nbytes}"
+            )
+        return cls(segment, spec, _map_views(segment, spec), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Return the shared segment's name."""
+        return self.spec.segment_name
+
+    def view(self, name: str) -> np.ndarray:
+        """Return the named array (a live view into the segment)."""
+        if self._views is None:
+            raise RuntimeError("shared block is closed")
+        return self._views[name]
+
+    def views(self) -> Dict[str, np.ndarray]:
+        """Return every array of the block as ``{name: view}``."""
+        if self._views is None:
+            raise RuntimeError("shared block is closed")
+        return dict(self._views)
+
+    def close(self) -> None:
+        """Drop the views, unmap the segment and (if owner) unlink it.
+
+        Idempotent.  Unlinking always runs for the owner even when
+        unmapping is blocked by still-exported buffers elsewhere — the
+        name disappears from ``/dev/shm`` either way, and the memory is
+        reclaimed once the last mapping goes away.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views = None
+        try:
+            self._segment.close()
+        except BufferError:
+            # A consumer still holds a view; the segment stays mapped in
+            # this process but must not stay *named* — fall through to
+            # the unlink below.
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _map_views(
+    segment: shared_memory.SharedMemory, spec: SharedBlockSpec
+) -> Dict[str, np.ndarray]:
+    return {
+        array.name: np.ndarray(
+            array.shape,
+            dtype=np.dtype(array.dtype),
+            buffer=segment.buf,
+            offset=array.offset,
+        )
+        for array in spec.arrays
+    }
+
+
+# ----------------------------------------------------------------------
+# Device-array flattening (BatchDeviceSet <-> named shared arrays)
+# ----------------------------------------------------------------------
+def _device_arrays(
+    devices: BatchDeviceSet, prefix: str
+) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for polarity, params in (("nmos", devices.nmos), ("pmos", devices.pmos)):
+        for field in dataclass_fields(PolarityArrays):
+            out[f"{prefix}{polarity}.{field.name}"] = getattr(
+                params, field.name
+            )
+    for field in dataclass_fields(TemperatureArrays):
+        out[f"{prefix}temperature.{field.name}"] = getattr(
+            devices.temperature, field.name
+        )
+    return out
+
+
+def _device_set_from_views(
+    views: Dict[str, np.ndarray], prefix: str, delay_constant: float
+) -> BatchDeviceSet:
+    def polarity(name: str) -> PolarityArrays:
+        return PolarityArrays(
+            **{
+                field.name: views[f"{prefix}{name}.{field.name}"]
+                for field in dataclass_fields(PolarityArrays)
+            }
+        )
+
+    temperature = TemperatureArrays(
+        **{
+            field.name: views[f"{prefix}temperature.{field.name}"]
+            for field in dataclass_fields(TemperatureArrays)
+        }
+    )
+    return BatchDeviceSet(
+        nmos=polarity("nmos"),
+        pmos=polarity("pmos"),
+        temperature=temperature,
+        delay_constant=delay_constant,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableMeta:
+    """Scalar metadata rebuilding :class:`ResponseTables` from views."""
+
+    points: int
+    v_max: float
+    short_circuit_fraction: float
+    tdc_minimum_supply: Optional[float]
+    tdc_base_code: Optional[int]
+
+
+@dataclass(frozen=True)
+class ProcFleetPayload:
+    """Everything a worker needs once per pool (sent via initializer).
+
+    Arrays travel exclusively as :class:`SharedBlockSpec`; the pickled
+    remainder is small scalar configuration (the controller config, the
+    LUT entries, the load description).
+    """
+
+    state_spec: SharedBlockSpec
+    device_spec: SharedBlockSpec
+    table_spec: Optional[SharedBlockSpec]
+    table_meta: Optional[TableMeta]
+    shard_bounds: Tuple[Tuple[int, int], ...]
+    config: object
+    lut_entries: np.ndarray
+    lut_fifo_depth: int
+    engine_kwargs: dict
+    load: object
+    expected_counts: Optional[np.ndarray]
+    temperature_c: float
+    delay_constant: float
+    sensor_delay_constant: float
+    sensor_distinct: bool
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work order for one ``run`` call."""
+
+    index: int
+    cycles: int
+    arrivals: Tuple[str, np.ndarray]
+    schedule: Optional[Tuple[str, np.ndarray]]
+    telemetry: str
+    stream_window: int
+    scalars: dict
+
+
+def _encode_rows(
+    matrix: Optional[np.ndarray], where: slice
+) -> Optional[Tuple[str, np.ndarray]]:
+    """Ship a shard's row block, collapsing broadcasts to one row.
+
+    A shared ``(cycles,)`` arrival vector reaches the parent as a
+    zero-stride broadcast; pickling the broadcast slice would
+    materialise ``shard_n * cycles`` values, so send the single row and
+    re-broadcast inside the worker instead.
+    """
+    if matrix is None:
+        return None
+    if matrix.ndim == 2 and matrix.strides[0] == 0:
+        return ("row", np.ascontiguousarray(matrix[0]))
+    return ("rows", np.ascontiguousarray(matrix[where]))
+
+
+def _decode_rows(
+    payload: Optional[Tuple[str, np.ndarray]], n: int
+) -> Optional[np.ndarray]:
+    if payload is None:
+        return None
+    kind, data = payload
+    if kind == "row":
+        return np.broadcast_to(data, (n, data.shape[0]))
+    return data
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+_PAYLOAD: Optional[ProcFleetPayload] = None
+_BLOCKS: Dict[str, SharedArrayBlock] = {}
+_POPULATION = None
+_TABLES = None
+_ENGINES: Dict[int, object] = {}
+
+
+def _worker_init(payload: ProcFleetPayload) -> None:
+    global _PAYLOAD, _POPULATION, _TABLES
+    _PAYLOAD = payload
+    _POPULATION = None
+    _TABLES = None
+    _BLOCKS.clear()
+    _ENGINES.clear()
+
+
+def _worker_block(key: str, spec: SharedBlockSpec) -> SharedArrayBlock:
+    block = _BLOCKS.get(key)
+    if block is None:
+        block = SharedArrayBlock.attach(spec)
+        _BLOCKS[key] = block
+    return block
+
+
+def _worker_population(payload: ProcFleetPayload):
+    """Rebuild the full population over attached device views (cached)."""
+    global _POPULATION
+    if _POPULATION is not None:
+        return _POPULATION
+    from repro.engine.engine import BatchPopulation
+
+    views = _worker_block("devices", payload.device_spec).views()
+    load_devices = _device_set_from_views(
+        views, "load.", payload.delay_constant
+    )
+    sensor = (
+        _device_set_from_views(
+            views, "sensor.", payload.sensor_delay_constant
+        )
+        if payload.sensor_distinct
+        else None
+    )
+    _POPULATION = BatchPopulation(
+        load=payload.load,
+        load_devices=load_devices,
+        sensor_devices=sensor,
+        expected_counts=payload.expected_counts,
+        temperature_c=payload.temperature_c,
+    )
+    return _POPULATION
+
+
+def _worker_tables(payload: ProcFleetPayload):
+    """Rebuild the full response tables over attached views (cached)."""
+    global _TABLES
+    if _TABLES is not None or payload.table_spec is None:
+        return _TABLES
+    from repro.engine.response_tables import ResponseTables, TdcCodeTables
+
+    views = _worker_block("tables", payload.table_spec).views()
+    meta = payload.table_meta
+    tdc = None
+    if meta.tdc_base_code is not None:
+        tdc = TdcCodeTables.adopt(
+            code_breaks=views["tdc.code_breaks"],
+            positive_break=views["tdc.positive_break"],
+            saturation_break=views["tdc.saturation_break"],
+            minimum_supply=meta.tdc_minimum_supply,
+            base_code=meta.tdc_base_code,
+        )
+    _TABLES = ResponseTables.adopt(
+        {
+            name.split(".", 1)[1]: view
+            for name, view in views.items()
+            if name.startswith("response.")
+        },
+        temperature_c=payload.temperature_c,
+        nominal_throughput=payload.engine_kwargs.get("nominal_throughput"),
+        points=meta.points,
+        v_max=meta.v_max,
+        short_circuit_fraction=meta.short_circuit_fraction,
+        tdc=tdc,
+    )
+    return _TABLES
+
+
+def _worker_engine(index: int):
+    """Build (or fetch) the cached shard engine for one shard index.
+
+    The engine's state is a shard view into the shared state block, so
+    a worker that served the shard in an earlier ``run`` call resumes
+    from exactly the arrays the previous run left behind — only the
+    shared scalars arrive per task.
+    """
+    engine = _ENGINES.get(index)
+    if engine is not None:
+        return engine
+    from repro.engine.engine import BatchEngine
+
+    payload = _PAYLOAD
+    lo, hi = payload.shard_bounds[index]
+    where = slice(lo, hi)
+    population = _worker_population(payload).shard(where)
+    kwargs = dict(payload.engine_kwargs)
+    kwargs.pop("table_points", None)
+    tables = _worker_tables(payload)
+    if tables is not None:
+        kwargs["response_tables"] = tables.shard(where)
+    engine = BatchEngine(
+        population, payload.lut_entries, config=payload.config, **kwargs
+    )
+    engine.lut_fifo_depth = payload.lut_fifo_depth
+    state_views = _worker_block("state", payload.state_spec).views()
+    # Placeholder scalars: every task carries the authoritative values
+    # and applies them just before running (ring_buffers must be right
+    # immediately, though — adopt_state validates the buffer layout).
+    placeholder = {name: 0 for name in STATE_SCALAR_FIELDS}
+    placeholder["ring_buffers"] = engine.step_kernel == "fused"
+    full_state = BatchState.from_arrays(state_views, placeholder)
+    engine.adopt_state(full_state.shard_view(where))
+    _ENGINES[index] = engine
+    return engine
+
+
+def _run_shard(task: ShardTask):
+    """Advance one shard for one run and return its serialised results."""
+    fault = os.environ.get(FAULT_ENV)
+    if fault is not None and fault == str(task.index):
+        raise RuntimeError(
+            f"injected worker fault on shard {task.index} ({FAULT_ENV})"
+        )
+    from repro.engine.trace import make_sink
+
+    engine = _worker_engine(task.index)
+    engine.state.apply_scalars(task.scalars)
+    n = engine.n
+    arrivals = _decode_rows(task.arrivals, n)
+    schedule = _decode_rows(task.schedule, n)
+    sink = make_sink(task.telemetry, task.stream_window)
+    result = engine.run(
+        arrivals, task.cycles, scheduled_codes=schedule, sink=sink
+    )
+    return task.index, result, engine.state.scalar_fields()
+
+
+# ----------------------------------------------------------------------
+# Parent-side backend
+# ----------------------------------------------------------------------
+class ProcessFleetBackend:
+    """Parent half of the process executor: blocks, pool, shard merge.
+
+    Owns the shared segments and the worker pool for one
+    :class:`~repro.engine.fleet.FleetEngine`.  On construction it moves
+    the already-initialised per-shard states into one shared block and
+    re-points the parent engines at shard views of it, so the parent's
+    gather methods keep working unchanged while workers mutate the same
+    memory.
+    """
+
+    def __init__(
+        self,
+        population,
+        config,
+        engines: Sequence,
+        shard_slices: Sequence[slice],
+        engine_kwargs: dict,
+        shared_tables=None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self._engines = list(engines)
+        self._shard_slices = tuple(shard_slices)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._closed = False
+        self.blocks: Dict[str, SharedArrayBlock] = {}
+        try:
+            self._build_blocks(population, engines, shared_tables)
+            self._payload = self._build_payload(
+                population, config, engines, engine_kwargs, shared_tables
+            )
+        except BaseException:
+            self.close()
+            raise
+        if mp_context is None:
+            mp_context = os.environ.get(START_METHOD_ENV) or None
+        if mp_context is not None:
+            self._mp_context = multiprocessing.get_context(mp_context)
+        elif sys.platform == "linux":
+            # fork reuses the parent's already-imported interpreter
+            # (numpy, repro) — worker start is milliseconds, and the
+            # initializer payload is inherited instead of pickled.
+            # Linux only: on macOS fork-without-exec is unreliable
+            # (the reason CPython's default there moved to spawn).
+            self._mp_context = multiprocessing.get_context("fork")
+        else:
+            self._mp_context = multiprocessing.get_context()
+
+    # -- construction ---------------------------------------------------
+    def _build_blocks(self, population, engines, shared_tables) -> None:
+        state_arrays = {
+            name: np.concatenate(
+                [engine.state.array_fields()[name] for engine in engines],
+                axis=0,
+            )
+            for name in engines[0].state.array_fields()
+        }
+        self.blocks["state"] = SharedArrayBlock.create(state_arrays)
+        # Re-point every parent shard engine at its view of the shared
+        # state so worker writes are what the gather methods read.
+        full_state = BatchState.from_arrays(
+            self.blocks["state"].views(),
+            engines[0].state.scalar_fields(),
+        )
+        for engine, where in zip(engines, self._shard_slices):
+            engine.adopt_state(full_state.shard_view(where))
+
+        device_arrays = _device_arrays(population.load_devices, "load.")
+        if population.sensor_devices is not population.load_devices:
+            device_arrays.update(
+                _device_arrays(population.sensor_devices, "sensor.")
+            )
+        self.blocks["devices"] = SharedArrayBlock.create(device_arrays)
+
+        if shared_tables is not None:
+            table_arrays = {
+                f"response.{name}": table
+                for name, table in shared_tables._tables.items()
+            }
+            if shared_tables.tdc is not None:
+                tdc = shared_tables.tdc
+                table_arrays["tdc.code_breaks"] = tdc.code_breaks
+                table_arrays["tdc.positive_break"] = tdc.positive_break
+                table_arrays["tdc.saturation_break"] = tdc.saturation_break
+            self.blocks["tables"] = SharedArrayBlock.create(table_arrays)
+
+    def _build_payload(
+        self, population, config, engines, engine_kwargs, shared_tables
+    ) -> ProcFleetPayload:
+        table_meta = None
+        if shared_tables is not None:
+            tdc = shared_tables.tdc
+            table_meta = TableMeta(
+                points=shared_tables.points,
+                v_max=shared_tables.v_max,
+                short_circuit_fraction=shared_tables.short_circuit_fraction,
+                tdc_minimum_supply=(
+                    None if tdc is None else tdc.minimum_supply
+                ),
+                tdc_base_code=None if tdc is None else tdc.base_code,
+            )
+        first = engines[0]
+        kwargs = dict(engine_kwargs)
+        kwargs.pop("response_tables", None)
+        return ProcFleetPayload(
+            state_spec=self.blocks["state"].spec,
+            device_spec=self.blocks["devices"].spec,
+            table_spec=(
+                self.blocks["tables"].spec
+                if "tables" in self.blocks else None
+            ),
+            table_meta=table_meta,
+            shard_bounds=tuple(
+                (int(where.start), int(where.stop))
+                for where in self._shard_slices
+            ),
+            config=first.config,
+            lut_entries=first.lut_entries,
+            lut_fifo_depth=int(first.lut_fifo_depth),
+            engine_kwargs=kwargs,
+            load=population.load,
+            expected_counts=population.expected_counts,
+            temperature_c=population.temperature_c,
+            delay_constant=population.load_devices.delay_constant,
+            sensor_delay_constant=population.sensor_devices.delay_constant,
+            sensor_distinct=(
+                population.sensor_devices is not population.load_devices
+            ),
+        )
+
+    # -- execution ------------------------------------------------------
+    @property
+    def block_names(self) -> Tuple[str, ...]:
+        """Return the names of the shared segments this fleet owns."""
+        return tuple(block.name for block in self.blocks.values())
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("process fleet backend is closed")
+        if self._pool is None or self._pool_workers != workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=self._mp_context,
+                initializer=_worker_init,
+                initargs=(self._payload,),
+            )
+            self._pool_workers = workers
+        return self._pool
+
+    def run(
+        self,
+        matrix: np.ndarray,
+        system_cycles: int,
+        schedule: Optional[np.ndarray],
+        telemetry: str,
+        stream_window: int,
+        workers: int,
+    ) -> list:
+        """Run every shard in the pool; return results in shard order."""
+        scalars = self._engines[0].state.scalar_fields()
+        tasks = [
+            ShardTask(
+                index=index,
+                cycles=system_cycles,
+                arrivals=_encode_rows(matrix, where),
+                schedule=_encode_rows(schedule, where),
+                telemetry=telemetry,
+                stream_window=stream_window,
+                scalars=scalars,
+            )
+            for index, where in enumerate(self._shard_slices)
+        ]
+        pool = self._ensure_pool(max(1, min(workers, len(tasks))))
+        # Executor.map yields in submission order, i.e. shard order —
+        # the merge below is deterministic regardless of which worker
+        # ran which shard.
+        outcomes = list(pool.map(_run_shard, tasks))
+        final_scalars = outcomes[0][2]
+        for engine in self._engines:
+            engine.state.apply_scalars(final_scalars)
+        return [result for _, result, _ in outcomes]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment.
+
+        Safe to call any number of times, including after a partial
+        construction or a failed run.  Parent engine states are detached
+        (copied out of shared memory) first so they stay readable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        for engine in self._engines:
+            state = getattr(engine, "state", None)
+            if state is not None:
+                state.detach()
+        for block in self.blocks.values():
+            block.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

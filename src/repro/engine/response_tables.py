@@ -195,14 +195,38 @@ class TdcCodeTables:
 
     def shard(self, index: slice) -> "TdcCodeTables":
         """Return a contiguous die shard of these breakpoints (views)."""
-        shard = object.__new__(TdcCodeTables)
-        shard.minimum_supply = self.minimum_supply
-        shard.base_code = self.base_code
-        shard.code_breaks = self.code_breaks[index]
-        shard.positive_break = self.positive_break[index]
-        shard.saturation_break = self.saturation_break[index]
-        shard._init_lookup(shard.code_breaks.shape[0])
-        return shard
+        return TdcCodeTables.adopt(
+            code_breaks=self.code_breaks[index],
+            positive_break=self.positive_break[index],
+            saturation_break=self.saturation_break[index],
+            minimum_supply=self.minimum_supply,
+            base_code=self.base_code,
+        )
+
+    @classmethod
+    def adopt(
+        cls,
+        *,
+        code_breaks: np.ndarray,
+        positive_break: np.ndarray,
+        saturation_break: np.ndarray,
+        minimum_supply: float,
+        base_code: int,
+    ) -> "TdcCodeTables":
+        """Wrap already-computed breakpoint arrays (no bisection).
+
+        Used by :meth:`shard` and by process-fleet workers attaching the
+        parent's breakpoints through shared memory — the arrays are
+        adopted as views, never copied.
+        """
+        tables = object.__new__(cls)
+        tables.minimum_supply = float(minimum_supply)
+        tables.base_code = int(base_code)
+        tables.code_breaks = code_breaks
+        tables.positive_break = positive_break
+        tables.saturation_break = saturation_break
+        tables._init_lookup(code_breaks.shape[0])
+        return tables
 
     def lookup(self, vout: np.ndarray):
         """Return ``(codes, reliable)`` for the present output voltage.
@@ -347,19 +371,50 @@ class ResponseTables:
         shares table memory with the parent — a fleet pays the build
         cost once regardless of worker count.
         """
-        shard = object.__new__(ResponseTables)
-        shard.temperature_c = self.temperature_c
-        shard.nominal_throughput = self.nominal_throughput
-        shard.points = self.points
-        shard.v_max = self.v_max
-        shard.grid = self.grid
-        shard._tables = {
-            name: table[index] for name, table in self._tables.items()
-        }
-        shard.short_circuit_fraction = self.short_circuit_fraction
-        shard.tdc = None if self.tdc is None else self.tdc.shard(index)
-        shard._init_lookup(shard._tables["current_draw"].shape[0])
-        return shard
+        return ResponseTables.adopt(
+            {name: table[index] for name, table in self._tables.items()},
+            temperature_c=self.temperature_c,
+            nominal_throughput=self.nominal_throughput,
+            points=self.points,
+            v_max=self.v_max,
+            short_circuit_fraction=self.short_circuit_fraction,
+            tdc=None if self.tdc is None else self.tdc.shard(index),
+        )
+
+    @classmethod
+    def adopt(
+        cls,
+        tables: dict,
+        *,
+        temperature_c: float,
+        nominal_throughput: Optional[float],
+        points: int,
+        v_max: float,
+        short_circuit_fraction: float,
+        tdc: Optional[TdcCodeTables] = None,
+    ) -> "ResponseTables":
+        """Wrap already-evaluated channel tables (no device evaluation).
+
+        ``tables`` maps every channel in ``_RESPONSE_CHANNELS`` to its
+        ``(N, points)`` array; the arrays are adopted as-is (views into
+        the parent's tables, or into a shared-memory block for process
+        workers) and must be C-contiguous rows so the flat-index lookup
+        can reshape them without copying.
+        """
+        missing = [c for c in _RESPONSE_CHANNELS if c not in tables]
+        if missing:
+            raise ValueError(f"missing response channels: {missing}")
+        adopted = object.__new__(cls)
+        adopted.temperature_c = float(temperature_c)
+        adopted.nominal_throughput = nominal_throughput
+        adopted.points = int(points)
+        adopted.v_max = float(v_max)
+        adopted.grid = np.linspace(0.0, adopted.v_max, adopted.points)
+        adopted._tables = {c: tables[c] for c in _RESPONSE_CHANNELS}
+        adopted.short_circuit_fraction = float(short_circuit_fraction)
+        adopted.tdc = tdc
+        adopted._init_lookup(adopted._tables["current_draw"].shape[0])
+        return adopted
 
     # ------------------------------------------------------------------
     # In-loop lookups (one (N,) query per call, answered into `out`)

@@ -11,7 +11,7 @@ work/energy accumulators and the variation-compensation vote window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -189,6 +189,76 @@ class BatchState:
             self.votes[:, window - k:] = tail
         self.vote_count[:] = count
 
+    # ------------------------------------------------------------------
+    # Array/scalar field partition (the process fleet's shared-memory
+    # hand-off: arrays live in shared blocks, scalars travel per task)
+    # ------------------------------------------------------------------
+    def array_fields(self) -> dict:
+        """Return every per-die array field as ``{name: ndarray}``.
+
+        This is the exact set of arrays a process-fleet run places in a
+        shared-memory block; together with :meth:`scalar_fields` it
+        covers the whole dataclass (pinned by the procfleet tests so a
+        new field cannot silently escape the shared state).
+        """
+        return {
+            name: getattr(self, name) for name in STATE_ARRAY_FIELDS
+        }
+
+    def scalar_fields(self) -> dict:
+        """Return the shared-across-dies scalars as plain Python values.
+
+        These advance identically in every shard (the engine bumps them
+        once per cycle regardless of die values), so a worker receives
+        them by value per task and the parent re-adopts any one worker's
+        result after the run.  Derived from ``STATE_SCALAR_FIELDS`` so a
+        newly added scalar automatically joins the hand-off.
+        """
+        return {
+            name: getattr(self, name) for name in STATE_SCALAR_FIELDS
+        }
+
+    def apply_scalars(self, scalars: dict) -> None:
+        """Adopt the scalar fields a worker reported after its run."""
+        for name in STATE_SCALAR_FIELDS:
+            setattr(self, name, scalars[name])
+
+    @classmethod
+    def from_arrays(cls, arrays: dict, scalars: dict) -> "BatchState":
+        """Rebuild a state from an array dict + scalar dict.
+
+        The arrays are adopted as-is (typically zero-copy views into a
+        shared-memory block), so mutations made through the returned
+        state are visible to every other attachment of the same block.
+        """
+        return cls(**arrays, **scalars)
+
+    def shard_view(self, index: slice) -> "BatchState":
+        """Return a state over row views of a contiguous die shard.
+
+        Every array field is sliced along the die axis (axis 0) without
+        copying; the shared scalars are copied by value.  Mutating the
+        view mutates the parent arrays — which is the point: process
+        workers and the parent observe one set of arrays.
+        """
+        return BatchState.from_arrays(
+            {
+                name: array[index]
+                for name, array in self.array_fields().items()
+            },
+            self.scalar_fields(),
+        )
+
+    def detach(self) -> None:
+        """Replace every array field with a private in-memory copy.
+
+        Called before a shared-memory backing is closed/unlinked so the
+        state object stays safely readable afterwards (gather methods,
+        post-mortem inspection) without referencing unmapped memory.
+        """
+        for name in STATE_ARRAY_FIELDS:
+            setattr(self, name, np.array(getattr(self, name)))
+
     @classmethod
     def initial(
         cls,
@@ -240,3 +310,16 @@ class BatchState:
             decision_hold_total=np.zeros(n, dtype=np.int64),
             decision_down_total=np.zeros(n, dtype=np.int64),
         )
+
+
+STATE_SCALAR_FIELDS = (
+    "history_filled", "cycles", "ring_buffers", "history_pos"
+)
+"""The :class:`BatchState` fields shared across dies as plain scalars."""
+
+STATE_ARRAY_FIELDS = tuple(
+    f.name for f in fields(BatchState)
+    if f.name not in STATE_SCALAR_FIELDS
+)
+"""Every per-die array field, derived from the dataclass so a newly
+added field automatically joins the shared-memory hand-off."""

@@ -359,6 +359,24 @@ class StreamingTrace(TraceSink):
         self.violation_cycles = np.zeros(n, dtype=np.int64)
         self._bind()
 
+    def __getstate__(self) -> dict:
+        """Serialise without the per-run binding caches.
+
+        Process-fleet workers return their shard sinks by pickling; the
+        bindings only alias the reducer arrays (and would pickle fine),
+        but dropping them keeps the payload lean and guarantees the
+        parent re-binds against *its* arrays on the next ``begin``.
+        """
+        state = dict(self.__dict__)
+        state["_bindings"] = ()
+        state["_mask"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.n is not None:
+            self._bind()
+
     def record(self, row: Dict[str, np.ndarray]) -> None:
         slot = self.cycles % self.window
         self._ring_times[slot] = row["time"]
@@ -516,3 +534,19 @@ class NullTrace(TraceSink):
 
     def result(self) -> None:
         return None
+
+
+def make_sink(mode: str, stream_window: int = 64) -> TraceSink:
+    """Build the sink for a fleet telemetry mode.
+
+    The single mode-to-sink mapping shared by the thread fleet (parent
+    side) and the process fleet (worker side), so the two backends
+    cannot drift apart on telemetry construction.
+    """
+    if mode == "dense":
+        return DenseTrace()
+    if mode == "streaming":
+        return StreamingTrace(window=stream_window)
+    if mode == "null":
+        return NullTrace()
+    raise ValueError(f"unknown telemetry mode {mode!r}")

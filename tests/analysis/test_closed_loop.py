@@ -46,6 +46,27 @@ class TestMonteCarloClosedLoop:
         with pytest.raises(ValueError):
             monte_carlo_closed_loop(cycles=0, library=library)
 
+    def test_executor_backends_agree(self, library):
+        """The executor= plumbing must not change any result: serial,
+        thread and process fleets produce identical populations."""
+        kwargs = dict(dies=5, cycles=100, library=library, seed=31)
+        reference = monte_carlo_closed_loop(executor="serial", **kwargs)
+        for executor in ("thread", "process"):
+            result = monte_carlo_closed_loop(
+                executor=executor,
+                fleet=FleetConfig(
+                    shard_size=2, workers=2, telemetry="streaming"
+                ),
+                **kwargs,
+            )
+            np.testing.assert_array_equal(result.energy, reference.energy)
+            np.testing.assert_array_equal(
+                result.operations, reference.operations
+            )
+            np.testing.assert_array_equal(
+                result.lut_correction, reference.lut_correction
+            )
+
 
 class TestClosedLoopCornerSweep:
     def test_one_result_per_corner(self, library):

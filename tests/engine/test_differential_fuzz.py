@@ -1,0 +1,521 @@
+"""Differential fuzzing of the engine stack across every backend axis.
+
+Hand-picked parity cases (``test_parity.py``, ``test_kernels.py``,
+``test_fleet.py``) pin known-tricky transitions; this harness instead
+generates *randomized* scenarios — population, variation, workload,
+schedule, window sizes, sharding — and drives each one through every
+``(step_kernel, device_model, executor, sink)`` combination, asserting
+
+* **bit-identity** between all exact paths: legacy vs fused kernel, and
+  the serial / thread / process fleet executors vs one plain
+  ``BatchEngine`` batch (dense traces channel-for-channel, streaming
+  reducers, null-sink state totals),
+* **bit-identity** between executors under the tabulated device model
+  (the backends must agree with each other regardless of device model),
+* **tolerance parity** of the tabulated model against the exact one,
+* **scalar parity**: the fused engine against the legacy pure-Python
+  ``AdaptiveController.run_reference`` loop for a die of the population
+  (rtol 1e-12, the same bar as ``test_parity.py``), on every scenario
+  whose knobs the scalar stack can express.
+
+Scenario count and seeds are environment-tunable:
+
+* ``REPRO_FUZZ_SCENARIOS`` — how many seeds to run (default 8 for the
+  tier-1 suite; CI runs 50),
+* ``REPRO_FUZZ_BASE_SEED`` — first seed of the contiguous budget,
+* ``REPRO_FUZZ_SEEDS`` — comma/space-separated explicit seed list,
+  overriding the budget.  **Every assertion message carries the
+  scenario seed**, so a CI failure is replayed locally with e.g.
+  ``REPRO_FUZZ_SEEDS=20090013 pytest tests/engine/test_differential_fuzz.py``.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.circuits.loads import DigitalLoad
+from repro.core.controller import AdaptiveController
+from repro.core.dcdc import FeedbackMode
+from repro.core.rate_controller import program_lut_for_load
+from repro.devices.variation import MonteCarloSampler, VariationModel
+from repro.engine import (
+    BatchEngine,
+    BatchPopulation,
+    FleetConfig,
+    FleetEngine,
+    StreamingTrace,
+)
+from repro.library import OperatingCondition
+
+SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "8"))
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_BASE_SEED", "20090000"))
+
+
+def _seeds():
+    explicit = os.environ.get("REPRO_FUZZ_SEEDS")
+    if explicit:
+        return [int(s) for s in explicit.replace(",", " ").split()]
+    return [BASE_SEED + i for i in range(SCENARIOS)]
+
+
+SEEDS = _seeds()
+
+EXECUTORS = ("serial", "thread", "process")
+
+TRACE_CHANNELS = (
+    "times",
+    "queue_lengths",
+    "desired_codes",
+    "output_voltages",
+    "duty_values",
+    "operations_completed",
+    "samples_dropped",
+    "energies",
+    "lut_corrections",
+    "decisions",
+)
+
+# Tabulated-vs-exact tolerance: the response tables track the exact
+# device model to ~1e-4 relative per query, but the closed loop
+# *quantises* — a trajectory may settle one DC-DC LSB (18.75 mV) away
+# when an averaged occupancy or TDC code lands on a rounding boundary.
+# The bounds below allow a couple of LSBs of trajectory divergence
+# while still catching real table corruption (which shows up volts or
+# orders of magnitude off).
+TAB_VOLTAGE_ATOL = 3 * 1.2 / 64
+TAB_ENERGY_RTOL = 0.05
+TAB_CODE_ATOL = 3
+
+
+@dataclass
+class Scenario:
+    """One randomized configuration drawn from a seed."""
+
+    seed: int
+    dies: int
+    cycles: int
+    averaging_window: int
+    compensation: bool
+    feedback: FeedbackMode
+    initial_correction: Optional[np.ndarray]
+    arrivals: Optional[np.ndarray]
+    schedule_codes: Optional[np.ndarray]
+    schedule_pairs: Optional[Tuple[Tuple[int, int], ...]]
+    shard_size: int
+    workers: int
+    stream_window: int
+    nmos_shifts: np.ndarray
+    pmos_shifts: np.ndarray
+
+    @property
+    def scalar_eligible(self) -> bool:
+        """Whether the scalar controller can express these knobs.
+
+        ``AdaptiveController`` hard-wires the rate controller's
+        averaging window to 4 and carries its LUT correction inside the
+        ``VoltageLut``, so only default-window, zero-initial-correction
+        scenarios have a scalar twin.
+        """
+        return self.averaging_window == 4 and self.initial_correction is None
+
+    def engine_kwargs(self) -> dict:
+        kwargs = dict(
+            compensation_enabled=self.compensation,
+            feedback_mode=self.feedback,
+            averaging_window=self.averaging_window,
+        )
+        if self.initial_correction is not None:
+            kwargs["initial_correction"] = self.initial_correction
+        return kwargs
+
+    def replay_message(self) -> str:
+        return (
+            f"[fuzz seed {self.seed}] replay with "
+            f"REPRO_FUZZ_SEEDS={self.seed} pytest "
+            f"tests/engine/test_differential_fuzz.py"
+        )
+
+
+def draw_scenario(seed: int) -> Scenario:
+    rng = np.random.default_rng(seed)
+    dies = int(rng.integers(1, 9))
+    cycles = int(rng.integers(24, 97))
+    # Half the budget keeps the scalar stack's window so run_reference
+    # parity gets real coverage; the rest stresses odd windows.
+    averaging_window = 4 if rng.random() < 0.5 else int(rng.integers(1, 7))
+    compensation = bool(rng.random() < 0.8)
+    feedback = FeedbackMode.VOLTAGE_SENSE
+    if rng.random() < 0.15:
+        feedback = FeedbackMode.DELAY_SERVO
+        compensation = False
+    initial_correction = None
+    if rng.random() < 0.25:
+        initial_correction = rng.integers(-3, 4, size=dies)
+    arrival_kind = rng.choice(["matrix", "vector", "none", "bursty"])
+    if arrival_kind == "matrix":
+        arrivals = rng.integers(0, 4, size=(dies, cycles))
+    elif arrival_kind == "vector":
+        arrivals = rng.integers(0, 4, size=cycles)
+    elif arrival_kind == "bursty":
+        arrivals = rng.poisson(0.2, size=(dies, cycles))
+        burst_every = int(rng.integers(8, 24))
+        arrivals[:, ::burst_every] += int(rng.integers(8, 40))
+    else:
+        arrivals = None
+    schedule_codes = None
+    schedule_pairs = None
+    if rng.random() < 0.3:
+        pairs = []
+        remaining = cycles
+        while remaining > 0:
+            span = int(min(remaining, rng.integers(5, 40)))
+            pairs.append((int(rng.integers(0, 64)), span))
+            remaining -= span
+        schedule_pairs = tuple(pairs)
+        schedule_codes = np.concatenate(
+            [np.full(span, code, dtype=np.int64) for code, span in pairs]
+        )
+    variation = VariationModel(
+        global_sigma_v=float(rng.uniform(0.005, 0.03)),
+        local_sigma_v=float(rng.uniform(0.0, 0.01)),
+    )
+    samples = MonteCarloSampler(variation, seed=seed).draw_arrays(dies)
+    return Scenario(
+        seed=seed,
+        dies=dies,
+        cycles=cycles,
+        averaging_window=averaging_window,
+        compensation=compensation,
+        feedback=feedback,
+        initial_correction=initial_correction,
+        arrivals=arrivals,
+        schedule_codes=schedule_codes,
+        schedule_pairs=schedule_pairs,
+        shard_size=int(rng.integers(1, dies + 1)),
+        workers=int(rng.integers(1, 4)),
+        stream_window=int(rng.choice([4, 8, 16, 128])),
+        nmos_shifts=np.asarray(samples.nmos_vth_shift, dtype=float),
+        pmos_shifts=np.asarray(samples.pmos_vth_shift, dtype=float),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-seed scenario cache (population construction and the reference
+# runs are shared by the three test functions below).
+# ----------------------------------------------------------------------
+_CACHE: dict = {}
+
+
+class ScenarioRuns:
+    def __init__(self, seed: int, library, lut):
+        from types import SimpleNamespace
+
+        self.sc = draw_scenario(seed)
+        self.lut = lut
+        # from_samples stacks the scenario's shift arrays over the TT
+        # corner technology — the same construction test_parity.py pins
+        # against library.delay_model(...) with identical shifts, which
+        # is what makes the scalar run_reference twin exact.
+        self.population = BatchPopulation.from_samples(
+            library,
+            SimpleNamespace(
+                nmos_vth_shift=self.sc.nmos_shifts,
+                pmos_vth_shift=self.sc.pmos_shifts,
+            ),
+        )
+        self.library = library
+        self._exact = None
+        self._exact_totals = None
+        self._tabulated = None
+
+    def run_batch(self, **overrides):
+        kwargs = self.sc.engine_kwargs()
+        kwargs.update(overrides)
+        engine = BatchEngine(self.population, lut=self.lut, **kwargs)
+        trace = engine.run(
+            self.sc.arrivals,
+            self.sc.cycles,
+            scheduled_codes=self.sc.schedule_codes,
+        )
+        totals = {
+            "energy": engine.state.energy_total.copy(),
+            "operations": engine.state.operations_total.copy(),
+            "drops": engine.state.drops_total.copy(),
+            "correction": engine.state.lut_correction.copy(),
+        }
+        return trace, totals
+
+    @property
+    def exact(self):
+        if self._exact is None:
+            self._exact, self._exact_totals = self.run_batch()
+        return self._exact
+
+    @property
+    def exact_totals(self):
+        self.exact
+        return self._exact_totals
+
+    @property
+    def tabulated(self):
+        if self._tabulated is None:
+            self._tabulated, _ = self.run_batch(device_model="tabulated")
+        return self._tabulated
+
+    def run_fleet(self, executor, telemetry="dense", **overrides):
+        sc = self.sc
+        kwargs = sc.engine_kwargs()
+        kwargs.update(overrides)
+        with FleetEngine(
+            self.population,
+            self.lut,
+            fleet=FleetConfig(
+                shard_size=sc.shard_size,
+                workers=sc.workers,
+                executor=executor,
+                telemetry=telemetry,
+                stream_window=sc.stream_window,
+            ),
+            **kwargs,
+        ) as fleet:
+            result = fleet.run(
+                sc.arrivals, sc.cycles, scheduled_codes=sc.schedule_codes
+            )
+            totals = {
+                "energy": fleet.total_energy(),
+                "operations": fleet.total_operations(),
+                "drops": fleet.total_drops(),
+                "correction": fleet.final_correction(),
+            }
+        return result, totals
+
+
+def get_runs(seed: int, library, lut) -> ScenarioRuns:
+    runs = _CACHE.get(seed)
+    if runs is None:
+        runs = ScenarioRuns(seed, library, lut)
+        _CACHE[seed] = runs
+        # The cache exists to share work within one session; cap it so
+        # an explicit large seed sweep cannot hoard memory.
+        if len(_CACHE) > 256:
+            _CACHE.pop(next(iter(_CACHE)))
+    return runs
+
+
+@pytest.fixture(scope="module")
+def fuzz_lut(library):
+    reference_load = DigitalLoad(
+        library.ring_oscillator_load, library.reference_delay_model
+    )
+    return program_lut_for_load(reference_load, sample_rate=1e5)
+
+
+def assert_traces_identical(expected, actual, message):
+    for channel in TRACE_CHANNELS:
+        np.testing.assert_array_equal(
+            getattr(actual, channel),
+            getattr(expected, channel),
+            err_msg=f"{channel} {message}",
+        )
+
+
+def assert_totals_identical(expected, actual, message):
+    for key, value in expected.items():
+        np.testing.assert_array_equal(
+            actual[key], value, err_msg=f"totals[{key}] {message}"
+        )
+
+
+class ReplayArrivals:
+    """Scalar arrival process replaying one die's arrival row."""
+
+    def __init__(self, row: np.ndarray, period: float) -> None:
+        self.row = np.asarray(row, dtype=np.int64)
+        self.period = period
+
+    def __call__(self, time: float, period: float) -> int:
+        index = int(round(time / self.period))
+        if 0 <= index < self.row.shape[0]:
+            return int(self.row[index])
+        return 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exact_paths_bit_identical(seed, library, fuzz_lut):
+    """Legacy kernel and every (executor, sink) combination must equal
+    the fused single-batch reference bit for bit under the exact device
+    model."""
+    runs = get_runs(seed, library, fuzz_lut)
+    message = runs.sc.replay_message()
+    reference = runs.exact
+
+    legacy, legacy_totals = runs.run_batch(step_kernel="legacy")
+    assert_traces_identical(reference, legacy, f"(legacy kernel) {message}")
+    assert_totals_identical(
+        runs.exact_totals, legacy_totals, f"(legacy kernel) {message}"
+    )
+
+    for executor in EXECUTORS:
+        dense, dense_totals = runs.run_fleet(executor)
+        assert_traces_identical(
+            reference, dense, f"(executor={executor}, dense) {message}"
+        )
+        assert_totals_identical(
+            runs.exact_totals,
+            dense_totals,
+            f"(executor={executor}) {message}",
+        )
+
+        null_result, null_totals = runs.run_fleet(executor, telemetry="null")
+        assert null_result is None
+        assert_totals_identical(
+            runs.exact_totals,
+            null_totals,
+            f"(executor={executor}, null) {message}",
+        )
+
+    # Streaming reducers: every executor must reproduce the dense-trace
+    # statistics of the identical run (min/max/last/int-totals exactly).
+    window = runs.sc.stream_window
+    for executor in EXECUTORS:
+        sink, _ = runs.run_fleet(executor, telemetry="streaming")
+        label = f"(executor={executor}, streaming) {message}"
+        for channel in (
+            "output_voltages", "duty_values", "energies", "lut_corrections"
+        ):
+            column = getattr(reference, channel)
+            np.testing.assert_array_equal(
+                sink.minimum(channel), column.min(axis=0),
+                err_msg=f"{channel} min {label}",
+            )
+            np.testing.assert_array_equal(
+                sink.maximum(channel), column.max(axis=0),
+                err_msg=f"{channel} max {label}",
+            )
+            np.testing.assert_array_equal(
+                sink.last(channel), column[-1],
+                err_msg=f"{channel} last {label}",
+            )
+            np.testing.assert_array_equal(
+                sink.tail(channel), column[-window:],
+                err_msg=f"{channel} tail {label}",
+            )
+        np.testing.assert_array_equal(
+            sink.total("operations_completed"),
+            reference.operations_completed.sum(axis=0),
+            err_msg=f"operations total {label}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tabulated_backends_bit_identical_and_near_exact(
+    seed, library, fuzz_lut
+):
+    """Under the tabulated device model the executors must agree with a
+    single tabulated batch bit for bit, and the tabulated trajectory
+    must stay within quantisation distance of the exact one."""
+    runs = get_runs(seed, library, fuzz_lut)
+    message = runs.sc.replay_message()
+    tabulated = runs.tabulated
+
+    for executor in ("serial", "process"):
+        dense, _ = runs.run_fleet(executor, device_model="tabulated")
+        assert_traces_identical(
+            tabulated, dense,
+            f"(tabulated, executor={executor}) {message}",
+        )
+
+    exact = runs.exact
+    np.testing.assert_allclose(
+        tabulated.output_voltages,
+        exact.output_voltages,
+        rtol=0.0,
+        atol=TAB_VOLTAGE_ATOL,
+        err_msg=f"tabulated voltages {message}",
+    )
+    np.testing.assert_allclose(
+        np.abs(
+            tabulated.desired_codes.astype(np.int64)
+            - exact.desired_codes.astype(np.int64)
+        ).max(initial=0),
+        0,
+        atol=TAB_CODE_ATOL,
+        err_msg=f"tabulated desired codes {message}",
+    )
+    exact_energy = exact.total_energy()
+    tab_energy = tabulated.total_energy()
+    np.testing.assert_allclose(
+        tab_energy,
+        exact_energy,
+        rtol=TAB_ENERGY_RTOL,
+        atol=exact_energy.max(initial=0.0) * 1e-6,
+        err_msg=f"tabulated energy {message}",
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scalar_run_reference_parity(seed, library, fuzz_lut):
+    """The batch reference must match the pure-Python scalar loop
+    (``run_reference`` / ``run_schedule_reference``) for die 0 of the
+    population, whenever the scenario's knobs exist on the scalar
+    stack."""
+    runs = get_runs(seed, library, fuzz_lut)
+    sc = runs.sc
+    if not sc.scalar_eligible:
+        pytest.skip("scenario uses engine-only knobs (window/correction)")
+    message = sc.replay_message()
+    silicon = library.delay_model(
+        OperatingCondition(
+            corner="TT",
+            nmos_vth_shift=float(sc.nmos_shifts[0]),
+            pmos_vth_shift=float(sc.pmos_shifts[0]),
+        )
+    )
+    controller = AdaptiveController(
+        load=DigitalLoad(library.ring_oscillator_load, silicon),
+        lut=program_lut_for_load(
+            DigitalLoad(
+                library.ring_oscillator_load, library.reference_delay_model
+            ),
+            sample_rate=1e5,
+        ),
+        reference_delay_model=library.reference_delay_model,
+        compensation_enabled=sc.compensation,
+        feedback_mode=sc.feedback,
+    )
+    period = controller.config.system_cycle_period
+    matrix = np.zeros((sc.dies, sc.cycles), dtype=np.int64)
+    if sc.arrivals is not None:
+        matrix = np.broadcast_to(
+            np.asarray(sc.arrivals, dtype=np.int64), matrix.shape
+        ) if np.ndim(sc.arrivals) == 1 else np.asarray(
+            sc.arrivals, dtype=np.int64
+        )
+    replay = ReplayArrivals(matrix[0], period)
+    if sc.schedule_pairs is not None:
+        scalar_trace = controller.run_schedule_reference(
+            list(sc.schedule_pairs), arrivals=replay
+        )
+    else:
+        scalar_trace = controller.run_reference(replay, sc.cycles)
+    die = runs.exact.die(0)
+    for channel in (
+        "times",
+        "queue_lengths",
+        "desired_codes",
+        "output_voltages",
+        "duty_values",
+        "energies",
+        "lut_corrections",
+        "decisions",
+    ):
+        np.testing.assert_allclose(
+            np.asarray(getattr(die, channel), dtype=float),
+            np.asarray(getattr(scalar_trace, channel), dtype=float),
+            rtol=1e-12,
+            atol=0.0,
+            err_msg=f"{channel} (scalar reference) {message}",
+        )

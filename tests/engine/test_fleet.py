@@ -2,8 +2,11 @@
 
 The fleet contract: a sharded, multi-worker run is **bit-identical** to
 the same population advanced as one `BatchEngine` batch, whatever the
-shard size, worker count or telemetry mode.
+shard size, worker count, telemetry mode or executor backend
+(serial / thread / process).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -229,6 +232,116 @@ class TestFleetTelemetryModes:
         )
 
 
+class TestExecutorBackends:
+    """serial/thread/process runs must be bit-identical to one batch."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_dense_run_is_bit_identical(
+        self, population, reference_lut, arrivals, executor
+    ):
+        single = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, executor=executor),
+        ) as fleet:
+            assert_bit_identical(single, fleet.run(arrivals, CYCLES))
+            np.testing.assert_array_equal(
+                fleet.total_energy(), single.total_energy()
+            )
+            np.testing.assert_array_equal(
+                fleet.final_correction(), single.final_correction()
+            )
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_streaming_run_matches_thread_backend(
+        self, population, reference_lut, arrivals, executor
+    ):
+        def run(backend):
+            with FleetEngine(
+                population,
+                reference_lut,
+                fleet=FleetConfig(
+                    shard_size=4, workers=2, executor=backend,
+                    telemetry="streaming", stream_window=16,
+                ),
+            ) as fleet:
+                return fleet.run(arrivals, CYCLES)
+
+        reference = run("thread")
+        sink = run(executor)
+        for channel in ("output_voltages", "energies", "duty_values"):
+            np.testing.assert_array_equal(
+                sink.total(channel), reference.total(channel)
+            )
+            np.testing.assert_array_equal(
+                sink.tail(channel), reference.tail(channel)
+            )
+        np.testing.assert_array_equal(
+            sink.settle_cycle, reference.settle_cycle
+        )
+        np.testing.assert_array_equal(
+            sink.violation_cycles, reference.violation_cycles
+        )
+
+    def test_process_schedule_run_matches_single_shard(
+        self, population, reference_lut
+    ):
+        schedule = [(19, 40), (11, 50), (33, 30)]
+        single = BatchEngine(population, lut=reference_lut).run_schedule(
+            schedule
+        )
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=2, executor="process"),
+        ) as fleet:
+            assert_bit_identical(single, fleet.run_schedule(schedule))
+
+    def test_process_sequential_runs_continue_state(
+        self, population, reference_lut, arrivals
+    ):
+        single_engine = BatchEngine(population, lut=reference_lut)
+        first = single_engine.run(arrivals[:, :60], 60)
+        second = single_engine.run(arrivals[:, 60:], 60)
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, executor="process"),
+        ) as fleet:
+            assert_bit_identical(first, fleet.run(arrivals[:, :60], 60))
+            assert_bit_identical(second, fleet.run(arrivals[:, 60:], 60))
+
+
+class TestResolvedWorkers:
+    """Worker resolution must respect the process's CPU affinity."""
+
+    def test_uses_sched_affinity_not_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert FleetConfig().resolved_workers() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert FleetConfig().resolved_workers() == 7
+
+    def test_explicit_workers_bypass_affinity(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2, 3}, raising=False
+        )
+        assert FleetConfig(workers=2).resolved_workers() == 2
+
+
 class TestFleetConfigValidation:
     def test_invalid_values_rejected(self):
         with pytest.raises(ValueError):
@@ -239,6 +352,8 @@ class TestFleetConfigValidation:
             FleetConfig(telemetry="csv")
         with pytest.raises(ValueError):
             FleetConfig(stream_window=0)
+        with pytest.raises(ValueError):
+            FleetConfig(executor="greenlet")
 
     def test_shard_size_larger_than_population(
         self, population, reference_lut

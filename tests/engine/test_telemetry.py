@@ -265,6 +265,182 @@ class TestSinkBehaviour:
         assert len(logging.correction_log) == int(changes.sum())
 
 
+class TestStreamingEdgeCases:
+    """Ring-buffer boundary conditions and counter semantics."""
+
+    def run_pair(self, population, reference_lut, arrivals, cycles, window):
+        dense = BatchEngine(population, lut=reference_lut).run(
+            arrivals[:, :cycles], cycles
+        )
+        streaming = BatchEngine(population, lut=reference_lut).run(
+            arrivals[:, :cycles], cycles, sink=StreamingTrace(window=window)
+        )
+        return dense, streaming
+
+    def test_window_longer_than_run_keeps_everything(
+        self, population, reference_lut, arrivals
+    ):
+        cycles = 20
+        dense, streaming = self.run_pair(
+            population, reference_lut, arrivals, cycles, window=64
+        )
+        for channel in ("output_voltages", "queue_lengths", "energies"):
+            np.testing.assert_array_equal(
+                streaming.tail(channel),
+                getattr(dense, channel),
+                err_msg=channel,
+            )
+        np.testing.assert_array_equal(streaming.tail_times(), dense.times)
+        np.testing.assert_array_equal(
+            streaming.last("duty_values"), dense.duty_values[-1]
+        )
+
+    @pytest.mark.parametrize("cycles,window", [(16, 16), (48, 16), (64, 32)])
+    def test_exact_multiple_wraparound(
+        self, population, reference_lut, arrivals, cycles, window
+    ):
+        """When the run length is an exact multiple of the window, the
+        write cursor sits at slot 0 again; tail/last must still read the
+        chronological final rows, not a stale wrap."""
+        dense, streaming = self.run_pair(
+            population, reference_lut, arrivals, cycles, window=window
+        )
+        assert streaming.cycles % streaming.window == 0
+        for channel in ("output_voltages", "duty_values", "decisions"):
+            np.testing.assert_array_equal(
+                streaming.tail(channel),
+                getattr(dense, channel)[-window:],
+                err_msg=channel,
+            )
+        np.testing.assert_array_equal(
+            streaming.last("queue_lengths"), dense.queue_lengths[-1]
+        )
+        np.testing.assert_array_equal(
+            streaming.tail_times(), dense.times[-window:]
+        )
+
+    def test_counters_under_vote_resets(self, library, reference_lut):
+        """Settle/overflow counters must track the dense ground truth
+        through LUT-correction events (each correction resets the vote
+        window and disturbs the loop) and FIFO-overflow bursts."""
+        population = BatchPopulation.from_corners(library, ["SS", "TT", "FS"])
+        cycles = 300
+        rng = np.random.default_rng(17)
+        # Nominal traffic with periodic bursts that overflow the FIFO.
+        arrivals = rng.poisson(0.1, size=(population.n, cycles))
+        arrivals[:, 50::60] += 40
+        dense = BatchEngine(population, lut=reference_lut).run(
+            arrivals, cycles
+        )
+        streaming = BatchEngine(population, lut=reference_lut).run(
+            arrivals, cycles, sink=StreamingTrace(window=32)
+        )
+        # The scenario must actually contain what it claims to test.
+        corrections_changed = (
+            np.diff(dense.lut_corrections, axis=0) != 0
+        ).any()
+        assert corrections_changed, "no vote reset occurred in this run"
+        assert (dense.samples_dropped > 0).any(), "no overflow occurred"
+        unsettled = dense.decisions != 0
+        expected_settle = np.where(
+            unsettled.any(axis=0),
+            cycles - np.argmax(unsettled[::-1], axis=0),
+            0,
+        )
+        np.testing.assert_array_equal(
+            streaming.settle_cycle, expected_settle
+        )
+        np.testing.assert_array_equal(
+            streaming.violation_cycles,
+            (dense.samples_dropped > 0).sum(axis=0),
+        )
+        np.testing.assert_array_equal(
+            streaming.last("lut_corrections"), dense.lut_corrections[-1]
+        )
+
+    def test_merge_dies_is_associative(
+        self, population, reference_lut, arrivals
+    ):
+        """Process shards may be merged in any grouping: pairwise merges
+        must equal the flat merge exactly (the reducers are all
+        associative: concatenation along the die axis)."""
+        shards = [slice(0, 2), slice(2, 3), slice(3, DIES)]
+        sinks = []
+        for where in shards:
+            engine = BatchEngine(
+                population.shard(where), lut=reference_lut
+            )
+            sinks.append(
+                engine.run(
+                    arrivals[where], CYCLES, sink=StreamingTrace(window=16)
+                )
+            )
+        flat = StreamingTrace.merge_dies(sinks)
+        left = StreamingTrace.merge_dies(
+            [StreamingTrace.merge_dies(sinks[:2]), sinks[2]]
+        )
+        right = StreamingTrace.merge_dies(
+            [sinks[0], StreamingTrace.merge_dies(sinks[1:])]
+        )
+        for merged in (left, right):
+            assert merged.n == flat.n
+            assert merged.cycles == flat.cycles
+            for channel in (
+                "output_voltages", "energies", "duty_values",
+                "lut_corrections",
+            ):
+                np.testing.assert_array_equal(
+                    merged.total(channel), flat.total(channel)
+                )
+                np.testing.assert_array_equal(
+                    merged.minimum(channel), flat.minimum(channel)
+                )
+                np.testing.assert_array_equal(
+                    merged.maximum(channel), flat.maximum(channel)
+                )
+                np.testing.assert_array_equal(
+                    merged.tail(channel), flat.tail(channel)
+                )
+            np.testing.assert_array_equal(
+                merged.settle_cycle, flat.settle_cycle
+            )
+            np.testing.assert_array_equal(
+                merged.violation_cycles, flat.violation_cycles
+            )
+
+    def test_merged_sink_round_trips_through_pickle(
+        self, population, reference_lut, arrivals
+    ):
+        """Process workers return their shard sinks by pickling; every
+        reducer must survive the round trip, and a re-begun sink must
+        keep recording (the bindings are rebuilt lazily)."""
+        import pickle
+
+        engine = BatchEngine(population, lut=reference_lut)
+        sink = engine.run(
+            arrivals[:, :65], 65, sink=StreamingTrace(window=16)
+        )
+        clone = pickle.loads(pickle.dumps(sink))
+        for channel in ("output_voltages", "energies"):
+            np.testing.assert_array_equal(
+                clone.total(channel), sink.total(channel)
+            )
+            np.testing.assert_array_equal(
+                clone.tail(channel), sink.tail(channel)
+            )
+        np.testing.assert_array_equal(clone.settle_cycle, sink.settle_cycle)
+        # The unpickled sink must accept further recording.
+        engine.run(arrivals[:, 65:], 65, sink=clone)
+        engine2 = BatchEngine(population, lut=reference_lut)
+        reference = engine2.run(
+            arrivals[:, :65], 65, sink=StreamingTrace(window=16)
+        )
+        engine2.run(arrivals[:, 65:], 65, sink=reference)
+        np.testing.assert_array_equal(
+            clone.total("energies"), reference.total("energies")
+        )
+
+
 class TestControllerSinkPlumbing:
     def test_streaming_sink_syncs_controller_like_dense(self, library):
         from repro.core.controller import AdaptiveController
