@@ -1,0 +1,175 @@
+"""Service throughput smoke: coalescing and cache-warm speedups.
+
+Relative, same-host gates (no absolute wall-clock bars, so they assert
+on every run):
+
+* **coalescing** — draining N single-die requests through the service's
+  micro-batching coalescer must be >= 5x the throughput of running the
+  same N requests one engine batch-of-one at a time (the per-request
+  serial baseline).  This is the whole point of the service layer: N
+  requests cost one fused-kernel batch instead of N scalar-sized runs.
+* **cache warmth** — resubmitting the same request set against a warm
+  scenario cache must be >= 10x the cold coalesced pass (a warm request
+  is a canonical hash plus a dictionary lookup).
+
+With ``REPRO_BENCH_RECORD=1`` the numbers are merged into the
+``service`` section of ``BENCH_engine.json`` (read-modify-write, so the
+engine bench's sections survive regardless of execution order).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceConfig, SimRequest, SimulationService, WorkloadSpec
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
+
+SERVICE_REQUESTS = 96
+SERVICE_CYCLES = 60
+
+COALESCE_SPEEDUP_BAR = 5.0
+WARM_SPEEDUP_BAR = 10.0
+
+
+def _requests():
+    rng = np.random.default_rng(20090701)
+    corners = ("SS", "TT", "FS")
+    return [
+        SimRequest(
+            cycles=SERVICE_CYCLES,
+            corner=corners[i % 3],
+            nmos_vth_shift=float(rng.normal(0.0, 0.015)),
+            pmos_vth_shift=float(rng.normal(0.0, 0.015)),
+            workload=WorkloadSpec(kind="constant", rate=1e5),
+        )
+        for i in range(SERVICE_REQUESTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def service_bench(library):
+    """Time the serial / coalesced / cache-warm passes once."""
+    requests = _requests()
+
+    # Warm shared resources (LUT, calibration, numpy code paths) so the
+    # serial baseline is not charged one-time costs.
+    warmup = SimulationService(library=library)
+    warmup.simulate_requests([requests[0]])
+
+    serial_service = SimulationService(
+        library=library, config=ServiceConfig(cache_bytes=0)
+    )
+    start = time.perf_counter()
+    serial_results = [
+        serial_service.simulate_requests([request])[0]
+        for request in requests
+    ]
+    serial_seconds = time.perf_counter() - start
+
+    service = SimulationService(library=library)
+    start = time.perf_counter()
+    cold_results = service.run(requests)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_results = service.run(requests)
+    warm_seconds = time.perf_counter() - start
+
+    stats = service.stats()
+    return {
+        "requests": SERVICE_REQUESTS,
+        "system_cycles": SERVICE_CYCLES,
+        "serial_seconds": serial_seconds,
+        "coalesced_seconds": cold_seconds,
+        "cache_warm_seconds": warm_seconds,
+        "serial_requests_per_second": SERVICE_REQUESTS / serial_seconds,
+        "coalesced_requests_per_second": SERVICE_REQUESTS / cold_seconds,
+        "cache_warm_requests_per_second": SERVICE_REQUESTS / warm_seconds,
+        "coalesce_speedup": serial_seconds / cold_seconds,
+        "cache_warm_speedup": cold_seconds / warm_seconds,
+        "coalesce_factor": stats.coalesce_factor,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "_serial_results": serial_results,
+        "_cold_results": cold_results,
+        "_warm_results": warm_results,
+    }
+
+
+def test_service_results_match_serial_baseline(service_bench):
+    """Bit-identity first: the coalesced and cache-warm passes must
+    return exactly the per-request values of the serial baseline."""
+    for cold, warm, serial in zip(
+        service_bench["_cold_results"],
+        service_bench["_warm_results"],
+        service_bench["_serial_results"],
+    ):
+        assert cold.values == serial
+        assert warm.values == serial
+        assert warm.cached
+
+
+def test_coalescing_speedup_bar(service_bench):
+    """Acceptance: coalesced >= 5x per-request serial throughput."""
+    print(
+        f"\nService: "
+        f"{service_bench['serial_requests_per_second']:8.1f} requests/s "
+        f"serial vs "
+        f"{service_bench['coalesced_requests_per_second']:8.1f} coalesced "
+        f"({service_bench['coalesce_speedup']:.1f}x) vs "
+        f"{service_bench['cache_warm_requests_per_second']:8.1f} warm "
+        f"({service_bench['cache_warm_speedup']:.1f}x over cold)"
+    )
+    assert service_bench["coalesce_speedup"] >= COALESCE_SPEEDUP_BAR
+
+
+def test_cache_warm_speedup_bar(service_bench):
+    """Acceptance: a warm cache answers >= 10x faster than cold."""
+    assert service_bench["cache_warm_speedup"] >= WARM_SPEEDUP_BAR
+    assert service_bench["cache_hit_rate"] >= 0.5
+
+
+@pytest.mark.skipif(
+    not RECORD, reason="recording needs REPRO_BENCH_RECORD=1"
+)
+def test_record_service_section(service_bench):
+    """Merge the service numbers into BENCH_engine.json (record mode).
+
+    Read-modify-write: the engine throughput bench owns the rest of the
+    file and may have (re)written it earlier in this session.
+    """
+    record = {}
+    if RESULT_PATH.exists():
+        record = json.loads(RESULT_PATH.read_text())
+    record["service"] = {
+        key: value
+        for key, value in service_bench.items()
+        if not key.startswith("_")
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def test_bench_record_has_service_section():
+    """The committed BENCH_engine.json carries the service results and
+    meets the relative speedup bars."""
+    record = json.loads(RESULT_PATH.read_text())
+    service = record["service"]
+    for key in (
+        "requests",
+        "system_cycles",
+        "serial_requests_per_second",
+        "coalesced_requests_per_second",
+        "cache_warm_requests_per_second",
+        "coalesce_speedup",
+        "cache_warm_speedup",
+        "coalesce_factor",
+    ):
+        assert key in service, key
+    assert service["coalesce_speedup"] >= COALESCE_SPEEDUP_BAR
+    assert service["cache_warm_speedup"] >= WARM_SPEEDUP_BAR

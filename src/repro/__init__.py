@@ -15,6 +15,8 @@ Package layout
 ``repro.digital``    FIFO, counters, encoders, event kernel
 ``repro.core``       the adaptive controller (TDC, DC-DC, rate control)
 ``repro.engine``     batched struct-of-arrays simulation engine
+``repro.service``    micro-batching simulation service (coalescer,
+                     scenario cache, admission control, repro-serve CLI)
 ``repro.analysis``   figure/table sweeps, Monte Carlo, energy savings
 ``repro.workloads``  input-traffic and sample-stream generators
 

@@ -20,6 +20,10 @@ from repro.analysis.monte_carlo import (
     MonteCarloSummary,
     monte_carlo_mep,
 )
+from repro.analysis.bulk import (
+    BulkClosedLoopResult,
+    bulk_closed_loop,
+)
 from repro.analysis.energy_savings import (
     EnergyComparison,
     SavingsReport,
@@ -33,6 +37,8 @@ from repro.analysis.reporting import (
 )
 
 __all__ = [
+    "BulkClosedLoopResult",
+    "bulk_closed_loop",
     "CornerSweepResult",
     "DelaySweepResult",
     "TemperatureSweepResult",

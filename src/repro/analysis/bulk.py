@@ -1,0 +1,101 @@
+"""Service-backed bulk closed-loop evaluation.
+
+The fleet analyses (:func:`monte_carlo_closed_loop`,
+:func:`closed_loop_corner_sweep`) each build a bespoke population and
+engine; this module instead routes arbitrary *lists of operating
+conditions* through the :mod:`repro.service` micro-batching layer, so
+bulk studies inherit the service's coalescing (one engine run per
+compatible group), scenario cache (repeated conditions are free across
+calls that share a service) and telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.library import OperatingCondition
+
+
+@dataclass(frozen=True)
+class BulkClosedLoopResult:
+    """Per-condition reducer columns of one bulk evaluation."""
+
+    conditions: Sequence[OperatingCondition]
+    cycles: int
+    values: Dict[str, np.ndarray]
+    """Reducer name -> per-condition ``(N,)`` column, condition order."""
+
+    stats: object
+    """The :class:`~repro.service.core.ServiceStats` snapshot after the
+    evaluation (coalesce factor, cache hit rate, ...)."""
+
+    def column(self, reducer: str) -> np.ndarray:
+        """Return one reducer's per-condition column."""
+        return self.values[reducer]
+
+    def energy_per_operation(self) -> np.ndarray:
+        """Return the per-condition mean energy per operation (J)."""
+        return self.values["energy_per_operation"]
+
+
+def bulk_closed_loop(
+    conditions: Sequence[OperatingCondition],
+    cycles: int = 400,
+    sample_rate: float = 1e5,
+    library=None,
+    service=None,
+    device_model: str = "exact",
+    workload=None,
+) -> BulkClosedLoopResult:
+    """Run the full adaptive loop for every operating condition.
+
+    ``conditions`` may repeat (repeats are deduplicated by the service's
+    content-addressed coalescer and cost one simulated die), and may mix
+    corners and local threshold shifts freely; conditions sharing a
+    temperature coalesce into one engine batch.  ``service`` accepts a
+    pre-built :class:`~repro.service.core.SimulationService` so several
+    bulk calls can share one scenario cache; by default a private
+    service is created.  ``workload`` is a shared
+    :class:`~repro.service.request.WorkloadSpec` (default: constant
+    traffic at ``sample_rate``).
+    """
+    from repro.service.core import RESULT_FIELDS, SimulationService
+    from repro.service.request import SimRequest, WorkloadSpec
+
+    conditions = list(conditions)
+    if not conditions:
+        raise ValueError("conditions must not be empty")
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    if service is None:
+        service = SimulationService(library=library)
+    workload = workload or WorkloadSpec(kind="constant", rate=sample_rate)
+    requests = [
+        SimRequest(
+            cycles=cycles,
+            corner=condition.corner,
+            nmos_vth_shift=condition.nmos_vth_shift,
+            pmos_vth_shift=condition.pmos_vth_shift,
+            temperature_c=condition.temperature_c,
+            workload=workload,
+            sample_rate=sample_rate,
+            device_model=device_model,
+        )
+        for condition in conditions
+    ]
+    results = service.run(requests)
+    columns: Dict[str, List] = {name: [] for name in RESULT_FIELDS}
+    for result in results:
+        for name in RESULT_FIELDS:
+            columns[name].append(result.values[name])
+    return BulkClosedLoopResult(
+        conditions=tuple(conditions),
+        cycles=cycles,
+        values={
+            name: np.asarray(column) for name, column in columns.items()
+        },
+        stats=service.stats(),
+    )

@@ -146,9 +146,14 @@ class FleetEngine:
         fleet: Optional[FleetConfig] = None,
         **engine_kwargs,
     ) -> None:
+        # Lifecycle flags first: __init__ can fail partway (bad LUT,
+        # invalid executor/kernel combination, backend construction
+        # errors) and close() — called directly or via __del__ — must
+        # be safe on such a half-built engine.
+        self._closed = False
+        self._proc = None
         self.population = population
         self.fleet = fleet or FleetConfig()
-        self._closed = False
         n = population.n
         workers = self.fleet.resolved_workers()
         shard_size = self.fleet.shard_size
@@ -195,7 +200,6 @@ class FleetEngine:
                 )
             )
         self.config = self.engines[0].config
-        self._proc = None
         if self.fleet.executor == "process":
             if self.engines[0].step_kernel != "fused":
                 # The legacy step rebinds its state arrays every cycle
@@ -248,13 +252,16 @@ class FleetEngine:
         ``run`` calls raise; gather methods stay usable).  Only the
         process executor holds external resources — its worker pool is
         shut down and every shared segment unlinked, with the final
-        state copied out first.  Safe to call repeatedly.
+        state copied out first.  Idempotent, and safe on engines whose
+        construction failed partway (or never ran): a missing attribute
+        means there is nothing to release.
         """
-        if self._closed:
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        if self._proc is not None:
-            self._proc.close()
+        proc = getattr(self, "_proc", None)
+        if proc is not None:
+            proc.close()
 
     def shared_block_names(self) -> Tuple[str, ...]:
         """Return the shared-memory segment names (process executor)."""

@@ -461,6 +461,37 @@ class StreamingTrace(TraceSink):
             self.total("energies"), self.total("operations_completed")
         )
 
+    def die_reducers(self) -> Dict[str, np.ndarray]:
+        """Return the standard per-die reducer set as ``(N,)`` arrays.
+
+        This is the sink half of the simulation service's result
+        extraction (the other half comes from the ``BatchState`` run
+        totals): every reducer is computed per die from this sink's
+        online accumulators, so the values are identical however the
+        die's population was batched or sharded.  The tail-voltage mean
+        is summed row by row rather than via ``np.mean`` — numpy's
+        pairwise reduction picks a different addition order for
+        different array widths, which would leak the batch size into
+        the last ULP of an otherwise composition-independent value.
+        """
+        if self.cycles == 0:
+            raise ValueError("no cycles recorded yet")
+        tail = self.tail("output_voltages")[-8:]
+        final_voltage = np.zeros(self.n, dtype=float)
+        for row in tail:
+            final_voltage += row
+        final_voltage /= tail.shape[0]
+        return {
+            "mean_queue_length": self.mean("queue_lengths"),
+            "mean_voltage": self.mean("output_voltages"),
+            "min_voltage": self.minimum("output_voltages"),
+            "max_voltage": self.maximum("output_voltages"),
+            "final_voltage": final_voltage,
+            "settle_cycle": self.settle_cycle.copy(),
+            "violation_cycles": self.violation_cycles.copy(),
+            "energy_per_operation": self.energy_per_operation(),
+        }
+
     def buffer_bytes(self) -> int:
         """Return the bytes held by the ring buffers and reducers.
 

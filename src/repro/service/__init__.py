@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: micro-batching, scenario cache, admission.
+
+The compute core (:mod:`repro.engine`) is fastest when thousands of dies
+advance in one batch; real traffic arrives as many small independent
+questions.  This subpackage bridges the two:
+
+``canonical``  canonical content hashing of request payloads
+``request``    :class:`SimRequest` / :class:`WorkloadSpec` /
+               :class:`SimResult` — the typed request model
+``cache``      :class:`ResultCache` — byte-budgeted LRU scenario cache
+``core``       :class:`SimulationService` — the coalescer, admission
+               control and :class:`ServiceStats` telemetry
+``cli``        the ``repro-serve`` synthetic load generator
+
+Quick start::
+
+    from repro.service import SimRequest, SimulationService
+
+    service = SimulationService()
+    future = service.submit(SimRequest(cycles=400, corner="SS"))
+    result = future.result()        # ticks the service as needed
+    result.values["energy_total"]   # per-die reducers
+    service.stats().describe()      # requests/s, coalesce factor, ...
+"""
+
+from repro.service.cache import ResultCache, estimate_entry_bytes
+from repro.service.canonical import canonical_bytes, content_hash
+from repro.service.core import (
+    EXECUTION_MODES,
+    RESULT_FIELDS,
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceConfig,
+    ServiceFuture,
+    ServiceStats,
+    SimulationService,
+)
+from repro.service.request import (
+    FEEDBACK_MODES,
+    WORKLOAD_KINDS,
+    SimRequest,
+    SimResult,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DeadlineExceeded",
+    "EXECUTION_MODES",
+    "FEEDBACK_MODES",
+    "RESULT_FIELDS",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceFuture",
+    "ServiceStats",
+    "SimRequest",
+    "SimResult",
+    "SimulationService",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "canonical_bytes",
+    "content_hash",
+    "estimate_entry_bytes",
+]

@@ -1,0 +1,99 @@
+"""Content-addressed result cache with a byte budget (LRU eviction).
+
+Keys are canonical request hashes (:meth:`SimRequest.cache_key`), values
+are the per-die reducer dicts a request resolves to.  The cache is sized
+in *bytes* rather than entries so capacity planning composes with the
+rest of the telemetry story (``BatchTrace.required_bytes``,
+``StreamingTrace.buffer_bytes``): the service can promise a fixed memory
+footprint no matter how many distinct scenarios flow past it.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+Value = Dict[str, Union[int, float]]
+
+
+def estimate_entry_bytes(key: str, value: Value) -> int:
+    """Estimate the resident cost of one cache entry.
+
+    Reducer values are plain Python scalars; the estimate charges the
+    key string, each name string and a boxed scalar per value, plus
+    dict bookkeeping.  It only needs to be *consistent* — the byte
+    budget is a bound on this estimate, and eviction tests pin the
+    accounting, not the allocator.
+    """
+    total = sys.getsizeof(key) + 64
+    for name, item in value.items():
+        total += sys.getsizeof(name) + sys.getsizeof(item) + 16
+    return total
+
+
+class ResultCache:
+    """LRU scenario cache bounded by an estimated byte budget.
+
+    ``get`` refreshes recency; ``put`` inserts and then evicts
+    least-recently-used entries until the running estimate fits the
+    budget again.  A single entry larger than the whole budget is not
+    stored (it would only evict everything else and then miss anyway).
+    A budget of 0 disables storage entirely.
+    """
+
+    def __init__(self, max_bytes: int = 32 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, Value]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Value]:
+        """Return a copy of the cached value (refreshing recency)."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        # Values are dicts of immutable scalars; a shallow copy keeps
+        # callers from mutating the cached entry.
+        return dict(value)
+
+    def put(self, key: str, value: Value) -> None:
+        """Insert (or refresh) an entry, evicting LRU past the budget."""
+        size = estimate_entry_bytes(key, value)
+        if size > self.max_bytes:
+            return
+        if key in self._entries:
+            self.current_bytes -= self._sizes[key]
+            del self._entries[key]
+        self._entries[key] = dict(value)
+        self._sizes[key] = size
+        self.current_bytes += size
+        while self.current_bytes > self.max_bytes and self._entries:
+            old_key, _ = self._entries.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(old_key)
+            self.evictions += 1
+
+    def hit_rate(self) -> float:
+        """Return hits / lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        self._entries.clear()
+        self._sizes.clear()
+        self.current_bytes = 0

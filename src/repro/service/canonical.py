@@ -1,0 +1,116 @@
+"""Canonical content hashing for simulation requests.
+
+The service's result cache is content-addressed: two requests that
+describe the *same* scenario must hash to the same key no matter how the
+caller spelled the payload, and two different scenarios must never
+collide structurally.  The canonical encoding therefore normalises away
+representation noise while keeping value distinctions:
+
+* **numpy arrays** — integer dtypes widen to ``int64``, float dtypes to
+  ``float64`` (an exact widening, so ``float32(0.1)`` keeps its own
+  value and does *not* collide with ``float64(0.1)``), booleans to
+  ``uint8``; Fortran-ordered / strided / non-contiguous arrays are
+  rewritten C-contiguous, so memory layout never leaks into the key,
+* **floats** — ``-0.0`` folds to ``+0.0`` (they compare equal and the
+  simulation cannot tell them apart) and every NaN payload folds to the
+  single canonical quiet NaN, so ``nan`` == ``nan`` for cache purposes;
+  ``+inf``/``-inf`` keep their distinct encodings,
+* **dicts** — entries are encoded sorted by key, so insertion order
+  never leaks into the key,
+* **sequences** — lists and tuples encode identically (both are just
+  ordered values),
+* every value is framed with a type tag and a length, so structurally
+  different payloads (``"1"`` vs ``1`` vs ``[1]``) cannot collide by
+  byte coincidence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import Any
+
+import numpy as np
+
+_CANONICAL_NAN = struct.pack(">d", float("nan"))
+"""The single byte encoding every NaN folds to."""
+
+
+def _frame(tag: bytes, payload: bytes) -> bytes:
+    """Frame a payload with its type tag and byte length."""
+    return tag + struct.pack(">Q", len(payload)) + payload
+
+
+def _float_bytes(value: float) -> bytes:
+    if math.isnan(value):
+        return _CANONICAL_NAN
+    # +0.0 absorbs the sign of a negative zero and is exact elsewhere.
+    return struct.pack(">d", float(value) + 0.0)
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    """Encode an array canonically: widened dtype, C order, folded NaNs."""
+    if array.dtype == bool:
+        canonical = np.ascontiguousarray(array, dtype=np.uint8)
+        kind = b"b"
+    elif np.issubdtype(array.dtype, np.integer):
+        canonical = np.ascontiguousarray(array, dtype=np.int64)
+        kind = b"i"
+    elif np.issubdtype(array.dtype, np.floating):
+        canonical = np.ascontiguousarray(array, dtype=np.float64)
+        # x + 0.0 folds -0.0 to +0.0 bit-exactly without moving any
+        # other value; NaN payloads are then rewritten to the canonical
+        # quiet NaN.
+        canonical = canonical + 0.0
+        mask = np.isnan(canonical)
+        if mask.any():
+            canonical[mask] = np.float64("nan")
+        kind = b"f"
+    else:
+        raise TypeError(
+            f"cannot canonicalise array dtype {array.dtype!r}"
+        )
+    shape = ",".join(str(int(dim)) for dim in array.shape).encode()
+    return _frame(b"s", shape) + _frame(kind, canonical.tobytes())
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Return the canonical byte encoding of a request payload value."""
+    if value is None:
+        return _frame(b"N", b"")
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return _frame(b"B", b"\x01" if value else b"\x00")
+    if isinstance(value, (int, np.integer)):
+        return _frame(b"I", str(int(value)).encode())
+    if isinstance(value, (float, np.floating)):
+        return _frame(b"F", _float_bytes(float(value)))
+    if isinstance(value, str):
+        return _frame(b"S", value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return _frame(b"Y", value)
+    if isinstance(value, np.ndarray):
+        return _frame(b"A", _array_bytes(value))
+    if isinstance(value, (list, tuple)):
+        return _frame(
+            b"L", b"".join(canonical_bytes(item) for item in value)
+        )
+    if isinstance(value, dict):
+        items = sorted(
+            (str(key), item) for key, item in value.items()
+        )
+        return _frame(
+            b"D",
+            b"".join(
+                canonical_bytes(key) + canonical_bytes(item)
+                for key, item in items
+            ),
+        )
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for hashing"
+    )
+
+
+def content_hash(value: Any) -> str:
+    """Return the hex SHA-256 of a payload's canonical encoding."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()

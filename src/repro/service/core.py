@@ -1,0 +1,661 @@
+"""The micro-batching simulation service.
+
+:class:`SimulationService` turns many small independent
+:class:`~repro.service.request.SimRequest`\\ s into the large
+populations the batched engine is fast at:
+
+* :meth:`~SimulationService.submit` admits a request (bounded queue,
+  optional per-request deadline) and probes the content-addressed
+  scenario cache — a repeated corner/scenario resolves immediately
+  without touching the engine;
+* :meth:`~SimulationService.tick` drains one **micro-batch**: expired
+  requests are shed, the oldest pending request picks the coalescing
+  group (:meth:`SimRequest.group_key`), up to
+  :attr:`ServiceConfig.max_batch_dies` *unique* scenarios of that group
+  are packed into one :class:`~repro.engine.engine.BatchEngine` (or
+  :class:`~repro.engine.fleet.FleetEngine`) run, and the per-die
+  reducers are scattered back to every waiting future (duplicates of
+  one scenario share a single simulated die);
+* :meth:`~SimulationService.stats` snapshots the service telemetry
+  (requests/s, coalesce factor, cache hit rate, queue depth).
+
+**Batch-composition independence.**  A request's result is bit-identical
+however it was coalesced: arrival rows are generated per request from
+the request's own spec/seed, the population is assembled per die from
+per-request device parameters, and the engine's cycle loop is
+elementwise across dies (the PR-2 invariant that already makes sharded
+fleets bit-identical to single batches).  ``simulate_requests`` — one
+plain engine batch over a request list — is therefore both the
+coalescer's work-horse and the reference the parity property tests pin
+every partition against.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.core.dcdc import FeedbackMode
+from repro.service.cache import ResultCache
+from repro.service.request import SimRequest, SimResult
+
+Scalar = Union[int, float]
+
+STATE_RESULT_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("energy_total", float),
+    ("operations_total", int),
+    ("accepted_total", int),
+    ("drops_total", int),
+    ("peak_queue", int),
+    ("decision_up_total", int),
+    ("decision_hold_total", int),
+    ("decision_down_total", int),
+    ("lut_correction", int),
+)
+"""Per-die run totals read from :class:`BatchState` accumulators."""
+
+SINK_RESULT_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("mean_queue_length", float),
+    ("mean_voltage", float),
+    ("min_voltage", float),
+    ("max_voltage", float),
+    ("final_voltage", float),
+    ("settle_cycle", int),
+    ("violation_cycles", int),
+    ("energy_per_operation", float),
+)
+"""Per-die reducers read from :meth:`StreamingTrace.die_reducers`."""
+
+RESULT_FIELDS: Tuple[str, ...] = tuple(
+    name for name, _ in STATE_RESULT_FIELDS + SINK_RESULT_FIELDS
+)
+"""Every reducer a :class:`SimResult` can carry."""
+
+EXECUTION_MODES = ("direct", "serial", "thread", "process")
+"""``"direct"`` runs batches on a plain :class:`BatchEngine`; the other
+modes run them as a :class:`FleetEngine` on that executor backend
+(bit-identical results — a throughput/isolation choice)."""
+
+
+class AdmissionError(RuntimeError):
+    """The request was rejected at the door (queue at capacity)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request sat in the queue past its deadline and was shed."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Capacity, batching and caching knobs of one service instance."""
+
+    max_queue_depth: int = 4096
+    """Pending requests admitted before :class:`AdmissionError`."""
+
+    max_batch_dies: int = 1024
+    """Unique scenarios (simulated dies) coalesced into one engine run —
+    the in-flight die bound per tick."""
+
+    cache_bytes: int = 32 * 1024 * 1024
+    """Scenario-cache byte budget (0 disables caching)."""
+
+    stream_window: int = 64
+    """Ring-buffer rows of the per-batch streaming telemetry sink."""
+
+    execution: str = "direct"
+    """One of :data:`EXECUTION_MODES`."""
+
+    workers: Optional[int] = None
+    """Fleet worker count (fleet execution modes only)."""
+
+    shard_size: Optional[int] = None
+    """Fleet shard size (fleet execution modes only)."""
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if self.max_batch_dies <= 0:
+            raise ValueError("max_batch_dies must be positive")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+        if self.stream_window < 8:
+            # final_voltage averages the last 8 rows; a shorter window
+            # would silently change reducer values with the window size.
+            raise ValueError("stream_window must be at least 8")
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Telemetry snapshot of a :class:`SimulationService`."""
+
+    submitted: int
+    completed: int
+    rejected: int
+    shed: int
+    failed: int
+    cache_hits: int
+    cache_misses: int
+    batches: int
+    simulated_dies: int
+    coalesced_requests: int
+    queue_depth: int
+    cache_entries: int
+    cache_bytes: int
+    elapsed_s: float
+
+    @property
+    def requests_per_second(self) -> float:
+        """Completed requests per wall-clock second since service start."""
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Requests satisfied per engine run (dedup included)."""
+        return self.coalesced_requests / self.batches if self.batches else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over all cache lookups."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        """Return a multi-line human-readable summary (the CLI output)."""
+        return "\n".join(
+            (
+                f"requests    submitted={self.submitted} "
+                f"completed={self.completed} rejected={self.rejected} "
+                f"shed={self.shed} failed={self.failed}",
+                f"throughput  {self.requests_per_second:.1f} requests/s "
+                f"({self.elapsed_s:.3f}s elapsed)",
+                f"coalescing  {self.batches} batches, "
+                f"{self.simulated_dies} dies simulated, "
+                f"coalesce factor {self.coalesce_factor:.2f}",
+                f"cache       hit rate {self.cache_hit_rate:.1%} "
+                f"({self.cache_hits} hits / {self.cache_misses} misses), "
+                f"{self.cache_entries} entries, "
+                f"{self.cache_bytes} bytes",
+                f"queue       depth {self.queue_depth}",
+            )
+        )
+
+
+class ServiceFuture:
+    """Handle to one submitted request.
+
+    The service is synchronous and in-process: :meth:`result` drives
+    :meth:`SimulationService.tick` until this request resolves, so a
+    caller that only ever submits and asks for results never needs to
+    manage ticks itself.
+    """
+
+    def __init__(self, service: "SimulationService", key: str) -> None:
+        self._service = service
+        self.key = key
+        self.done = False
+        self._result: Optional[SimResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def _resolve(self, result: SimResult) -> None:
+        self._result = result
+        self.done = True
+
+    def _reject(self, exc: BaseException) -> None:
+        self._exception = exc
+        self.done = True
+
+    def result(self) -> SimResult:
+        """Return the resolved result, ticking the service as needed.
+
+        Raises :class:`DeadlineExceeded` if the request was shed.
+        """
+        while not self.done:
+            if self._service.tick() == 0 and not self.done:
+                raise RuntimeError(
+                    "service made no progress while this request is "
+                    "still pending (was the queue cleared externally?)"
+                )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the shed/rejection exception, if any (no ticking)."""
+        return self._exception
+
+
+@dataclass
+class _Pending:
+    request: SimRequest
+    key: str
+    future: ServiceFuture
+    submitted_at: float
+
+
+class SimulationService:
+    """In-process simulation-as-a-service over the batched engine."""
+
+    def __init__(
+        self,
+        library=None,
+        config: Optional[ServiceConfig] = None,
+        controller: Optional[ControllerConfig] = None,
+    ) -> None:
+        from repro.library import default_library
+
+        self.library = library or default_library()
+        self.config = config or ServiceConfig()
+        self.controller = controller or ControllerConfig()
+        self.cache = ResultCache(self.config.cache_bytes)
+        self._queue: Deque[_Pending] = deque()
+        self._luts: Dict[float, object] = {}
+        self._calibrations: Dict[float, np.ndarray] = {}
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._shed = 0
+        self._failed = 0
+        self._batches = 0
+        self._simulated_dies = 0
+        self._coalesced_requests = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Shared, content-independent resources (built once, reused)
+    # ------------------------------------------------------------------
+    def _lut(self, sample_rate: float):
+        """Return the reference-programmed LUT for a sample rate."""
+        lut = self._luts.get(sample_rate)
+        if lut is None:
+            from repro.circuits.loads import DigitalLoad
+            from repro.core.rate_controller import program_lut_for_load
+
+            reference_load = DigitalLoad(
+                self.library.ring_oscillator_load,
+                self.library.reference_delay_model,
+            )
+            lut = program_lut_for_load(
+                reference_load, sample_rate=sample_rate
+            )
+            self._luts[sample_rate] = lut
+        return lut
+
+    def _calibration(self, temperature_c: float) -> np.ndarray:
+        """Return the reference TDC calibration table at a temperature."""
+        counts = self._calibrations.get(temperature_c)
+        if counts is None:
+            from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
+
+            reference_tdc = TimeToDigitalConverter(
+                self.library.reference_delay_model,
+                self.controller.tdc,
+                temperature_c=temperature_c,
+            )
+            counts = TdcCalibration(
+                reference_tdc,
+                resolution_bits=self.controller.resolution_bits,
+                full_scale=self.controller.full_scale_voltage,
+            ).expected_counts
+            self._calibrations[temperature_c] = counts
+        return counts
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Return the number of pending (admitted, unresolved) requests."""
+        return len(self._queue)
+
+    def _validate(self, request: SimRequest) -> None:
+        if request.reducers is not None:
+            unknown = set(request.reducers) - set(RESULT_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown reducers {sorted(unknown)}; "
+                    f"available: {RESULT_FIELDS}"
+                )
+        if (
+            self.config.execution == "process"
+            and request.step_kernel != "fused"
+        ):
+            raise ValueError(
+                "execution='process' requires step_kernel='fused' "
+                "(the legacy step does not write state in place)"
+            )
+
+    def submit(self, request: SimRequest) -> ServiceFuture:
+        """Admit one request; resolve immediately on a cache hit.
+
+        Raises :class:`AdmissionError` when the pending queue is at
+        :attr:`ServiceConfig.max_queue_depth` — the caller's signal to
+        back off (or tick the service) before retrying.
+        """
+        self._validate(request)
+        key = request.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            future = ServiceFuture(self, key)
+            future._resolve(
+                SimResult(
+                    key=key,
+                    values=self._select(cached, request),
+                    cached=True,
+                    batch_size=0,
+                )
+            )
+            self._submitted += 1
+            self._completed += 1
+            return future
+        if len(self._queue) >= self.config.max_queue_depth:
+            # Not counted as submitted: callers retry after draining,
+            # and counting every attempt would overstate offered load
+            # (one logical request could inflate both counters).
+            self._rejected += 1
+            raise AdmissionError(
+                f"queue at capacity "
+                f"({self.config.max_queue_depth} pending requests)"
+            )
+        self._submitted += 1
+        future = ServiceFuture(self, key)
+        self._queue.append(
+            _Pending(request, key, future, time.monotonic())
+        )
+        return future
+
+    # ------------------------------------------------------------------
+    # The micro-batch tick
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Drain one micro-batch; return the requests resolved.
+
+        Shedding counts as resolution (the future raises
+        :class:`DeadlineExceeded`), so a return of 0 means the queue is
+        empty.
+        """
+        if not self._queue:
+            return 0
+        resolved = self._shed_expired()
+        if not self._queue:
+            return resolved
+
+        group = self._queue[0].request.group_key()
+        batch: List[_Pending] = []
+        order: Dict[str, int] = {}
+        unique: List[SimRequest] = []
+        kept: Deque[_Pending] = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if pending.request.group_key() != group:
+                kept.append(pending)
+                continue
+            if (
+                pending.key not in order
+                and len(unique) >= self.config.max_batch_dies
+            ):
+                kept.append(pending)
+                continue
+            if pending.key not in order:
+                order[pending.key] = len(unique)
+                unique.append(pending.request)
+            batch.append(pending)
+        self._queue = kept
+
+        try:
+            values = self.simulate_requests(unique)
+        except Exception as exc:
+            # The batch was already dequeued; a failed engine build or
+            # run must fail *these* requests (each future re-raises the
+            # error), never strand their futures unresolved or take the
+            # service down with them.
+            for pending in batch:
+                pending.future._reject(exc)
+                self._failed += 1
+                resolved += 1
+            return resolved
+        self._batches += 1
+        self._simulated_dies += len(unique)
+        self._coalesced_requests += len(batch)
+        for request, value in zip(unique, values):
+            self.cache.put(request.cache_key(), value)
+        for pending in batch:
+            pending.future._resolve(
+                SimResult(
+                    key=pending.key,
+                    values=self._select(
+                        values[order[pending.key]], pending.request
+                    ),
+                    cached=False,
+                    batch_size=len(unique),
+                )
+            )
+            self._completed += 1
+            resolved += 1
+        return resolved
+
+    def _shed_expired(self) -> int:
+        now = time.monotonic()
+        kept: Deque[_Pending] = deque()
+        shed = 0
+        while self._queue:
+            pending = self._queue.popleft()
+            deadline = pending.request.deadline_s
+            if (
+                deadline is not None
+                and now - pending.submitted_at > deadline
+            ):
+                pending.future._reject(
+                    DeadlineExceeded(
+                        f"request waited "
+                        f"{now - pending.submitted_at:.3f}s, deadline "
+                        f"was {deadline:.3f}s"
+                    )
+                )
+                self._shed += 1
+                shed += 1
+            else:
+                kept.append(pending)
+        self._queue = kept
+        return shed
+
+    @staticmethod
+    def _select(
+        values: Dict[str, Scalar], request: SimRequest
+    ) -> Dict[str, Scalar]:
+        if request.reducers is None:
+            return dict(values)
+        return {name: values[name] for name in request.reducers}
+
+    # ------------------------------------------------------------------
+    # Bulk convenience
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[SimRequest]) -> List[SimResult]:
+        """Submit a request list and drain to completion, in order.
+
+        Backpressure-aware: when admission rejects, the service ticks
+        (draining a micro-batch) and the submit retries.  Shed requests
+        re-raise :class:`DeadlineExceeded` from their ``result()``.
+        """
+        futures: List[ServiceFuture] = []
+        for request in requests:
+            while True:
+                try:
+                    futures.append(self.submit(request))
+                    break
+                except AdmissionError:
+                    if self.tick() == 0:
+                        raise
+        while self.tick():
+            pass
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # The engine batch (coalescer work-horse AND parity reference)
+    # ------------------------------------------------------------------
+    def simulate_requests(
+        self, requests: Sequence[SimRequest]
+    ) -> List[Dict[str, Scalar]]:
+        """Run a homogeneous request list as **one** engine batch.
+
+        Every request must share a :meth:`SimRequest.group_key`.
+        Returns one reducer dict per request, in order.  This is the
+        path the coalescer uses per tick — and, called with the full
+        request list, the standalone-batch reference the coalescing
+        parity tests compare every partition against.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        first = requests[0]
+        group = first.group_key()
+        for request in requests[1:]:
+            if request.group_key() != group:
+                raise ValueError(
+                    "requests in one batch must share a group_key"
+                )
+        from repro.engine.device_math import BatchDeviceSet
+        from repro.engine.engine import BatchEngine, BatchPopulation
+        from repro.engine.trace import StreamingTrace
+        from repro.library import OperatingCondition
+
+        n = len(requests)
+        period = self.controller.system_cycle_period
+        technologies = [
+            self.library.technology_at(
+                OperatingCondition(
+                    corner=request.corner,
+                    temperature_c=request.temperature_c,
+                )
+            )
+            for request in requests
+        ]
+        devices = BatchDeviceSet.from_technologies(
+            technologies,
+            self.library.reference_delay_model.delay_constant,
+            nmos_vth_shifts=np.array(
+                [request.nmos_vth_shift for request in requests], dtype=float
+            ),
+            pmos_vth_shifts=np.array(
+                [request.pmos_vth_shift for request in requests], dtype=float
+            ),
+        )
+        population = BatchPopulation(
+            load=self.library.ring_oscillator_load,
+            load_devices=devices,
+            expected_counts=self._calibration(first.temperature_c),
+            temperature_c=first.temperature_c,
+        )
+        arrivals = np.stack(
+            [
+                request.workload.arrival_row(period, first.cycles)
+                for request in requests
+            ]
+        )
+        schedule = None
+        if first.schedule_codes is not None:
+            schedule = np.stack(
+                [
+                    np.asarray(request.schedule_codes, dtype=np.int64)
+                    for request in requests
+                ]
+            )
+        engine_kwargs = dict(
+            compensation_enabled=first.compensation_enabled,
+            feedback_mode=FeedbackMode[first.feedback.upper()],
+            averaging_window=first.averaging_window,
+            initial_correction=np.array(
+                [request.initial_correction for request in requests],
+                dtype=np.int64,
+            ),
+            device_model=first.device_model,
+            step_kernel=first.step_kernel,
+        )
+        lut = self._lut(first.sample_rate)
+
+        if self.config.execution == "direct":
+            engine = BatchEngine(
+                population, lut, config=self.controller, **engine_kwargs
+            )
+            sink = StreamingTrace(window=self.config.stream_window)
+            engine.run(
+                arrivals,
+                first.cycles,
+                scheduled_codes=schedule,
+                sink=sink,
+            )
+            totals = self._state_totals([engine])
+        else:
+            from repro.engine.fleet import FleetConfig, FleetEngine
+
+            fleet = FleetEngine(
+                population,
+                lut,
+                config=self.controller,
+                fleet=FleetConfig(
+                    executor=self.config.execution,
+                    workers=self.config.workers,
+                    shard_size=self.config.shard_size,
+                    telemetry="streaming",
+                    stream_window=self.config.stream_window,
+                ),
+                **engine_kwargs,
+            )
+            try:
+                sink = fleet.run(
+                    arrivals, first.cycles, scheduled_codes=schedule
+                )
+                totals = self._state_totals(fleet.engines)
+            finally:
+                fleet.close()
+
+        reducers = sink.die_reducers()
+        results: List[Dict[str, Scalar]] = []
+        for i in range(n):
+            values: Dict[str, Scalar] = {}
+            for name, caster in STATE_RESULT_FIELDS:
+                values[name] = caster(totals[name][i])
+            for name, caster in SINK_RESULT_FIELDS:
+                values[name] = caster(reducers[name][i])
+            results.append(values)
+        return results
+
+    @staticmethod
+    def _state_totals(engines) -> Dict[str, np.ndarray]:
+        return {
+            name: np.concatenate(
+                [getattr(engine.state, name) for engine in engines]
+            )
+            for name, _ in STATE_RESULT_FIELDS
+        }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Return a telemetry snapshot of the service so far."""
+        return ServiceStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            rejected=self._rejected,
+            shed=self._shed,
+            failed=self._failed,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            batches=self._batches,
+            simulated_dies=self._simulated_dies,
+            coalesced_requests=self._coalesced_requests,
+            queue_depth=len(self._queue),
+            cache_entries=len(self.cache),
+            cache_bytes=self.cache.current_bytes,
+            elapsed_s=time.monotonic() - self._started,
+        )

@@ -160,6 +160,23 @@ def poisson_arrival_matrix(
     return counts
 
 
+def poisson_arrival_row(
+    rate: float, period: float, cycles: int, seed: int
+) -> np.ndarray:
+    """One die's Poisson arrival row from its own spawned seed stream.
+
+    The simulation service generates each request's arrivals
+    *independently* — keyed by the request's seed, never by its position
+    inside whatever micro-batch it was coalesced into — which is what
+    makes service results independent of batch composition.  The row
+    equals row 0 of ``poisson_arrival_matrix([rate], ..., seeds=seed)``:
+    the scalar seed is spawned exactly like a one-die fleet, so a
+    request promoted into a larger population later (with its own seed
+    per die) keeps drawing the same stream.
+    """
+    return poisson_arrival_matrix([rate], period, cycles, seeds=seed)[0]
+
+
 def arrival_matrix_from_processes(
     processes: Sequence[ArrivalProcess],
     period: float,

@@ -1,0 +1,79 @@
+"""Service-backed bulk closed-loop evaluation (`analysis.bulk`)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bulk import bulk_closed_loop
+from repro.library import OperatingCondition
+from repro.service import SimulationService
+from repro.service.core import RESULT_FIELDS
+
+
+@pytest.fixture(scope="module")
+def conditions():
+    return [
+        OperatingCondition(corner="SS"),
+        OperatingCondition(corner="TT"),
+        OperatingCondition(corner="FS"),
+        OperatingCondition(corner="TT", nmos_vth_shift=0.02),
+        OperatingCondition(corner="TT"),  # repeat: dedup by content
+    ]
+
+
+def test_bulk_columns_match_per_request_singles(library, conditions):
+    result = bulk_closed_loop(
+        conditions, cycles=40, library=library
+    )
+    assert set(result.values) == set(RESULT_FIELDS)
+    for column in result.values.values():
+        assert column.shape == (len(conditions),)
+    # The repeated condition resolved from the same simulated die.
+    assert result.stats.simulated_dies == 4
+    assert result.stats.batches == 1
+    np.testing.assert_array_equal(
+        result.column("energy_total")[4], result.column("energy_total")[1]
+    )
+    # Each column slot equals the condition simulated alone.
+    service = SimulationService(library=library)
+    from repro.service import SimRequest, WorkloadSpec
+
+    single = service.simulate_requests(
+        [
+            SimRequest(
+                cycles=40,
+                corner="SS",
+                workload=WorkloadSpec(kind="constant", rate=1e5),
+            )
+        ]
+    )[0]
+    for name in RESULT_FIELDS:
+        expected = single[name]
+        got = result.values[name][0]
+        if isinstance(expected, float) and np.isnan(expected):
+            assert np.isnan(got)
+        else:
+            assert got == expected, name
+
+
+def test_bulk_shares_a_service_cache(library, conditions):
+    service = SimulationService(library=library)
+    first = bulk_closed_loop(
+        conditions[:2], cycles=40, library=library, service=service
+    )
+    second = bulk_closed_loop(
+        conditions[:2], cycles=40, library=library, service=service
+    )
+    assert second.stats.cache_hits >= 2
+    for name in RESULT_FIELDS:
+        np.testing.assert_array_equal(
+            second.values[name], first.values[name]
+        )
+
+
+def test_bulk_validation(library):
+    with pytest.raises(ValueError):
+        bulk_closed_loop([], cycles=40, library=library)
+    with pytest.raises(ValueError):
+        bulk_closed_loop(
+            [OperatingCondition()], cycles=0, library=library
+        )

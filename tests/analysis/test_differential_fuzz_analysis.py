@@ -1,0 +1,189 @@
+"""Differential fuzzing of the analysis layer against scalar solves.
+
+The engine fuzz harness (``tests/engine/test_differential_fuzz.py``)
+covers the closed-loop stack; this closes the remaining ROADMAP loop by
+fuzzing the *analysis* layer: randomized ``monte_carlo_mep`` and
+corner/temperature sweep conditions, with every batched result checked
+against the original one-condition-at-a-time scalar solves.
+
+Seeds follow the shared protocol (:mod:`repro.testing`): budget via
+``REPRO_FUZZ_SCENARIOS`` / ``REPRO_FUZZ_BASE_SEED``, explicit replay via
+``REPRO_FUZZ_SEEDS=<seed>`` — every assertion message carries the seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.monte_carlo import monte_carlo_mep
+from repro.analysis.sweeps import (
+    corner_energy_sweep,
+    temperature_energy_sweep,
+)
+from repro.delay.mep import find_minimum_energy_point
+from repro.devices.variation import VariationModel
+from repro.library import OperatingCondition
+from repro.testing import fuzz_seeds, replay_message
+
+SEEDS = fuzz_seeds()
+
+CORNERS = ("SS", "TT", "FS")
+
+# The batched analyses evaluate the identical energy expressions over
+# the identical supply grids; the only divergence budget is float
+# round-off of vectorised vs scalar evaluation order — the established
+# parity bar (tests/engine/test_parity.py) is rtol 1e-12.
+RTOL = 1e-12
+
+
+def _draw(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_monte_carlo_mep_batched_matches_scalar(seed, library):
+    """Randomized Monte Carlo conditions: the batched (N, S) energy-grid
+    pass must reproduce the per-sample scalar MEP solves."""
+    rng = _draw(seed)
+    message = replay_message(
+        seed, "tests/analysis/test_differential_fuzz_analysis.py"
+    )
+    kwargs = dict(
+        samples=int(rng.integers(3, 11)),
+        library=library,
+        variation=VariationModel(
+            global_sigma_v=float(rng.uniform(0.002, 0.03)),
+            local_sigma_v=float(rng.uniform(0.0, 0.012)),
+        ),
+        corner=CORNERS[int(rng.integers(0, len(CORNERS)))],
+        temperature_c=float(rng.uniform(0.0, 110.0)),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    scalar = monte_carlo_mep(method="scalar", **kwargs)
+    batched = monte_carlo_mep(method="batched", **kwargs)
+    assert scalar.count == batched.count, message
+    for a, b in zip(scalar.results, batched.results):
+        assert a.index == b.index, message
+        assert a.nmos_vth_shift == b.nmos_vth_shift, message
+        assert a.pmos_vth_shift == b.pmos_vth_shift, message
+        np.testing.assert_allclose(
+            b.mep.optimal_supply, a.mep.optimal_supply, rtol=RTOL,
+            err_msg=f"optimal_supply {message}",
+        )
+        np.testing.assert_allclose(
+            b.mep.minimum_energy, a.mep.minimum_energy, rtol=RTOL,
+            err_msg=f"minimum_energy {message}",
+        )
+        np.testing.assert_allclose(
+            b.uncompensated_energy, a.uncompensated_energy, rtol=RTOL,
+            err_msg=f"uncompensated_energy {message}",
+        )
+        np.testing.assert_allclose(
+            b.compensated_energy, a.compensated_energy, rtol=RTOL,
+            err_msg=f"compensated_energy {message}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_corner_sweep_matches_scalar_solves(seed, library):
+    """Randomized corner-sweep conditions (activity, temperature, grid):
+    each batched per-corner minimum must match the scalar MEP solve of
+    that corner's energy model."""
+    rng = _draw(seed)
+    message = replay_message(
+        seed, "tests/analysis/test_differential_fuzz_analysis.py"
+    )
+    activity = float(rng.uniform(0.02, 0.6))
+    temperature_c = float(rng.uniform(0.0, 110.0))
+    count = int(rng.integers(1, len(CORNERS) + 1))
+    corners = tuple(
+        rng.choice(CORNERS, size=count, replace=False).tolist()
+    )
+    supplies = None
+    if rng.random() < 0.5:
+        supplies = np.linspace(
+            float(rng.uniform(0.12, 0.16)),
+            float(rng.uniform(0.8, 1.2)),
+            int(rng.integers(40, 200)),
+        )
+    result = corner_energy_sweep(
+        library,
+        corners=corners,
+        switching_activity=activity,
+        temperature_c=temperature_c,
+        supplies=supplies,
+    )
+    load = library.ring_oscillator_load.with_activity(activity)
+    for corner, sweep in result.sweeps.items():
+        model = library.energy_model(
+            OperatingCondition(corner=corner, temperature_c=temperature_c),
+            load,
+        )
+        scalar = find_minimum_energy_point(
+            model,
+            temperature_c=temperature_c,
+            supplies=sweep.supplies,
+            label=corner,
+        )
+        np.testing.assert_allclose(
+            sweep.minimum.optimal_supply, scalar.optimal_supply,
+            rtol=RTOL, err_msg=f"{corner} optimal_supply {message}",
+        )
+        np.testing.assert_allclose(
+            sweep.minimum.minimum_energy, scalar.minimum_energy,
+            rtol=RTOL, err_msg=f"{corner} minimum_energy {message}",
+        )
+        np.testing.assert_allclose(
+            sweep.energies,
+            np.asarray(
+                model.total_energy(
+                    sweep.supplies, temperature_c=temperature_c
+                ),
+                dtype=float,
+            ),
+            rtol=RTOL,
+            err_msg=f"{corner} energy curve {message}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_temperature_sweep_matches_scalar_solves(seed, library):
+    """Randomized temperature-sweep conditions: the batched per-row
+    temperature vector pass must match per-temperature scalar solves."""
+    rng = _draw(seed)
+    message = replay_message(
+        seed, "tests/analysis/test_differential_fuzz_analysis.py"
+    )
+    activity = float(rng.uniform(0.02, 0.6))
+    corner = CORNERS[int(rng.integers(0, len(CORNERS)))]
+    temperatures = sorted(
+        float(t) for t in rng.uniform(0.0, 120.0, size=int(rng.integers(2, 5)))
+    )
+    result = temperature_energy_sweep(
+        library,
+        temperatures=temperatures,
+        corner=corner,
+        switching_activity=activity,
+    )
+    load = library.ring_oscillator_load.with_activity(activity)
+    for temperature, sweep in result.sweeps.items():
+        model = library.energy_model(
+            OperatingCondition(corner=corner, temperature_c=temperature),
+            load,
+        )
+        scalar = find_minimum_energy_point(
+            model,
+            temperature_c=temperature,
+            supplies=sweep.supplies,
+            label=f"T={temperature:g}C",
+        )
+        np.testing.assert_allclose(
+            sweep.minimum.optimal_supply, scalar.optimal_supply,
+            rtol=RTOL,
+            err_msg=f"T={temperature:g} optimal_supply {message}",
+        )
+        np.testing.assert_allclose(
+            sweep.minimum.minimum_energy, scalar.minimum_energy,
+            rtol=RTOL,
+            err_msg=f"T={temperature:g} minimum_energy {message}",
+        )

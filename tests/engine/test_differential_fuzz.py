@@ -29,12 +29,13 @@ Scenario count and seeds are environment-tunable:
   ``REPRO_FUZZ_SEEDS=20090013 pytest tests/engine/test_differential_fuzz.py``.
 """
 
-import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 import pytest
+
+from repro.testing import fuzz_seeds, replay_message
 
 from repro.circuits.loads import DigitalLoad
 from repro.core.controller import AdaptiveController
@@ -50,18 +51,9 @@ from repro.engine import (
 )
 from repro.library import OperatingCondition
 
-SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "8"))
-BASE_SEED = int(os.environ.get("REPRO_FUZZ_BASE_SEED", "20090000"))
-
-
-def _seeds():
-    explicit = os.environ.get("REPRO_FUZZ_SEEDS")
-    if explicit:
-        return [int(s) for s in explicit.replace(",", " ").split()]
-    return [BASE_SEED + i for i in range(SCENARIOS)]
-
-
-SEEDS = _seeds()
+# Seed budget / replay protocol shared across every fuzz suite
+# (engine, analysis, service) — see repro.testing.
+SEEDS = fuzz_seeds()
 
 EXECUTORS = ("serial", "thread", "process")
 
@@ -132,10 +124,8 @@ class Scenario:
         return kwargs
 
     def replay_message(self) -> str:
-        return (
-            f"[fuzz seed {self.seed}] replay with "
-            f"REPRO_FUZZ_SEEDS={self.seed} pytest "
-            f"tests/engine/test_differential_fuzz.py"
+        return replay_message(
+            self.seed, "tests/engine/test_differential_fuzz.py"
         )
 
 

@@ -1,0 +1,62 @@
+"""``repro-serve`` CLI smoke: argument handling and end-to-end output."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.service.cli import build_parser, generate_requests, main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_main_runs_a_small_load(capsys):
+    code = main(
+        [
+            "--requests", "12",
+            "--unique", "4",
+            "--cycles", "25",
+            "--seed", "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "drained 12 results" in out
+    assert "requests/s" in out
+    assert "coalesce factor" in out
+    assert "hit rate" in out
+
+
+def test_generator_is_deterministic_and_pool_bounded():
+    a = generate_requests(20, 5, 30, seed=3, device_model="exact")
+    b = generate_requests(20, 5, 30, seed=3, device_model="exact")
+    assert [r.cache_key() for r in a] == [r.cache_key() for r in b]
+    assert len({r.cache_key() for r in a}) <= 5
+
+
+def test_invalid_arguments_fail_fast(capsys):
+    assert main(["--requests", "0"]) == 2
+    parser = build_parser()
+    assert parser.prog == "repro-serve"
+
+
+def test_module_entry_point_subprocess():
+    """`python -m repro.service.cli` is the uninstalled spelling of the
+    repro-serve console script; one tiny end-to-end run."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.service.cli",
+            "--requests", "8", "--unique", "3", "--cycles", "20",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "drained 8 results" in proc.stdout
+    assert "coalesce factor" in proc.stdout
