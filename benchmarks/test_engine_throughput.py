@@ -18,7 +18,13 @@ sets it; a plain pytest run must not dirty the working tree):
   streaming configuration (the PR-3 ``step_kernel`` section),
 * the streaming long run — a ``>= 100k cycles x 256 dies`` closed-loop
   run under :class:`StreamingTrace`, completing within a fixed
-  telemetry-memory bound where a dense trace cannot,
+  telemetry-memory bound where a dense trace cannot (timed over a
+  bounded slice and extrapolated — streaming throughput is cycle-count
+  independent),
+* the persistent-fleet overhead sweep (the PR-6 ``fleet.persistent``
+  section) — resident thread and process fleets at the resolved worker
+  count versus a warm single engine, with a <= 1.10x dispatch-overhead
+  bar that asserts even on 1 CPU,
 * the process-fleet sweep (the PR-4 ``procfleet`` section) — the
   shared-memory ``executor="process"`` backend versus a single shard,
   with the same CPU-gated scaling bar as the thread fleet and an
@@ -74,6 +80,17 @@ LONG_RUN_DIES = 256
 LONG_RUN_CYCLES = int(
     os.environ.get("REPRO_BENCH_LONGRUN_CYCLES", "100000")
 )
+LONG_RUN_RECORD_CYCLES = int(
+    os.environ.get("REPRO_BENCH_LONGRUN_RECORD_CYCLES", "20000")
+)
+"""Cycles actually *timed* for the streaming long run.  Streaming
+throughput is cycle-count independent (bounded ring buffers, zero
+per-cycle growth), so the full nominal horizon is extrapolated from a
+bounded recording instead of crawled through — the PR-5 RECORD run
+spent 437 s here for a number a fifth of the cycles reproduces."""
+
+PERSISTENT_CHUNK = 50
+"""Chunk size of the persistent fleet's chunked-dispatch measurement."""
 TELEMETRY_MEMORY_BOUND = 256 * 1024 * 1024
 """Fixed telemetry budget (bytes) the streaming long run must fit in."""
 
@@ -194,7 +211,17 @@ def _process_fleet_bench(library, reference_lut):
 
 
 def _streaming_long_run(library, reference_lut):
-    """A run whose dense trace cannot fit the telemetry memory bound."""
+    """A run whose dense trace cannot fit the telemetry memory bound.
+
+    Times a bounded ``LONG_RUN_RECORD_CYCLES`` slice and extrapolates
+    the nominal horizon from it: streaming throughput is constant per
+    cycle (ring buffers never grow), so ``seconds`` for the full run is
+    ``recorded_seconds * nominal / recorded``.  The memory-bound claim
+    keys — ``streaming_buffer_bytes`` (cycle-count independent) versus
+    ``dense_trace_required_bytes`` — are still quoted at the nominal
+    ``LONG_RUN_CYCLES`` geometry.
+    """
+    recorded_cycles = min(LONG_RUN_CYCLES, LONG_RUN_RECORD_CYCLES)
     samples = MonteCarloSampler(seed=29).draw_arrays(LONG_RUN_DIES)
     population = BatchPopulation.from_samples(library, samples)
     engine = FleetEngine(
@@ -205,23 +232,119 @@ def _streaming_long_run(library, reference_lut):
         ),
     )
     arrivals = constant_arrival_matrix(
-        [ARRIVAL_RATE], SYSTEM_PERIOD, LONG_RUN_CYCLES
+        [ARRIVAL_RATE], SYSTEM_PERIOD, recorded_cycles
     )[0]
-    start = time.perf_counter()
-    sink = engine.run(arrivals, LONG_RUN_CYCLES)
-    elapsed = time.perf_counter() - start
-    die_cycles = LONG_RUN_DIES * LONG_RUN_CYCLES
+    try:
+        start = time.perf_counter()
+        sink = engine.run(arrivals, recorded_cycles)
+        recorded_seconds = time.perf_counter() - start
+        buffer_bytes = sink.buffer_bytes()
+    finally:
+        engine.close()
+    rate = LONG_RUN_DIES * recorded_cycles / recorded_seconds
     return {
         "dies": LONG_RUN_DIES,
         "system_cycles": LONG_RUN_CYCLES,
+        "recorded_cycles": recorded_cycles,
         "workers": FLEET_WORKERS,
-        "seconds": elapsed,
-        "die_cycles_per_second": die_cycles / elapsed,
-        "streaming_buffer_bytes": sink.buffer_bytes(),
+        "recorded_seconds": recorded_seconds,
+        "seconds": recorded_seconds * LONG_RUN_CYCLES / recorded_cycles,
+        "die_cycles_per_second": rate,
+        "streaming_buffer_bytes": buffer_bytes,
         "dense_trace_required_bytes": BatchTrace.required_bytes(
             LONG_RUN_CYCLES, LONG_RUN_DIES
         ),
         "telemetry_memory_bound_bytes": TELEMETRY_MEMORY_BOUND,
+    }
+
+
+def _persistent_fleet_bench(library, reference_lut):
+    """Dispatch overhead of a *persistent* fleet vs a warm single engine.
+
+    The question this section answers is different from the cold
+    ``fleet``/``procfleet`` speedup sweeps: not "does sharding scale?"
+    but "what does the fleet *abstraction* cost per run once workers
+    are resident?".  Everything is warm on both sides — the single
+    ``BatchEngine`` is built and warmed once and only ``run()`` is
+    timed; the fleets are built at the **resolved** worker count
+    (``workers=None``, i.e. the CPUs actually available, so on a 1-CPU
+    container this is one shard), their residents started and kernels
+    warmed by a 1-cycle run, and then only the steady-state ``run()``
+    round-trip is timed.  The headline ``thread_overhead`` /
+    ``process_overhead`` ratios must stay <= 1.10 on any machine,
+    including 1 CPU — that is the RECORD-gated bar.
+
+    Forced ``FLEET_WORKERS``-worker numbers (the geometry the cold
+    sweeps use, oversubscribed on small containers) and a chunked
+    dispatch measurement ride along for transparency.
+    """
+    samples = MonteCarloSampler(seed=23).draw_arrays(FLEET_BENCH_DIES)
+    population = BatchPopulation.from_samples(library, samples)
+    arrivals = constant_arrival_matrix(
+        [ARRIVAL_RATE], SYSTEM_PERIOD, FLEET_BENCH_CYCLES
+    )[0]
+
+    engine = BatchEngine(population, lut=reference_lut)
+    engine.run(np.zeros((FLEET_BENCH_DIES, 1), dtype=np.int64), 1,
+               sink=NullTrace())
+    single_seconds = _best_of(
+        lambda: engine.run(arrivals, FLEET_BENCH_CYCLES, sink=NullTrace())
+    )
+
+    def persistent(executor, workers):
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(
+                workers=workers, telemetry="null", executor=executor
+            ),
+        )
+        try:
+            fleet.run(arrivals[:1], 1)  # residents up, kernels warm
+            run_seconds = _best_of(
+                lambda: fleet.run(arrivals, FLEET_BENCH_CYCLES)
+            )
+            chunked_seconds = _best_of(
+                lambda: fleet.run_chunked(
+                    arrivals, FLEET_BENCH_CYCLES, PERSISTENT_CHUNK
+                )
+            )
+        finally:
+            fleet.close()
+        return run_seconds, chunked_seconds
+
+    resolved = FleetConfig(telemetry="null").resolved_workers()
+    thread_seconds, thread_chunked = persistent("thread", None)
+    process_seconds, process_chunked = persistent("process", None)
+    forced_thread, forced_thread_chunked = persistent(
+        "thread", FLEET_WORKERS
+    )
+    forced_process, forced_process_chunked = persistent(
+        "process", FLEET_WORKERS
+    )
+    die_cycles = FLEET_BENCH_DIES * FLEET_BENCH_CYCLES
+    return {
+        "dies": FLEET_BENCH_DIES,
+        "system_cycles": FLEET_BENCH_CYCLES,
+        "chunk_cycles": PERSISTENT_CHUNK,
+        "resolved_workers": resolved,
+        "single_warm_seconds": single_seconds,
+        "single_warm_die_cycles_per_second": die_cycles / single_seconds,
+        "thread_seconds": thread_seconds,
+        "process_seconds": process_seconds,
+        "thread_overhead": thread_seconds / single_seconds,
+        "process_overhead": process_seconds / single_seconds,
+        "thread_chunked_seconds": thread_chunked,
+        "process_chunked_seconds": process_chunked,
+        "thread_chunked_overhead": thread_chunked / single_seconds,
+        "process_chunked_overhead": process_chunked / single_seconds,
+        "forced_workers": FLEET_WORKERS,
+        "forced_thread_seconds": forced_thread,
+        "forced_process_seconds": forced_process,
+        "forced_thread_overhead": forced_thread / single_seconds,
+        "forced_process_overhead": forced_process / single_seconds,
+        "forced_thread_chunked_seconds": forced_thread_chunked,
+        "forced_process_chunked_seconds": forced_process_chunked,
     }
 
 
@@ -413,6 +536,9 @@ def bench_results(library, reference_lut):
         results["step_kernel"] = _step_kernel_bench(library, reference_lut)
         results["fleet"] = _fleet_bench(library, reference_lut)
         results["fleet"]["streaming_long_run"] = _streaming_long_run(
+            library, reference_lut
+        )
+        results["fleet"]["persistent"] = _persistent_fleet_bench(
             library, reference_lut
         )
         results["procfleet"] = _process_fleet_bench(library, reference_lut)
@@ -694,6 +820,7 @@ def test_bench_record_has_fleet_section():
         "speedup",
         "workers",
         "streaming_long_run",
+        "persistent",
     ):
         assert key in fleet
     long_run = fleet["streaming_long_run"]
@@ -703,3 +830,56 @@ def test_bench_record_has_fleet_section():
     assert long_run["dense_trace_required_bytes"] > (
         long_run["telemetry_memory_bound_bytes"]
     )
+
+
+@pytest.mark.skipif(
+    not RECORD, reason="persistent fleet sweep needs REPRO_BENCH_RECORD=1"
+)
+def test_persistent_fleet_overhead_bar(bench_results):
+    """Acceptance: a persistent fleet at the *resolved* worker count
+    adds <= 10% dispatch overhead over a warm single engine.
+
+    Unlike the scaling bars above, this one asserts on every machine —
+    including 1 CPU, where the resolved fleet is one resident shard and
+    the ratio isolates pure fleet-abstraction cost (command dispatch,
+    shard-view indirection, result merge / IPC round-trip)."""
+    persistent = bench_results["fleet"]["persistent"]
+    print(
+        f"\nPersistent fleet ({persistent['resolved_workers']} resolved "
+        f"workers): warm single "
+        f"{persistent['single_warm_seconds']:.3f}s vs thread "
+        f"{persistent['thread_seconds']:.3f}s "
+        f"({persistent['thread_overhead']:.3f}x) vs process "
+        f"{persistent['process_seconds']:.3f}s "
+        f"({persistent['process_overhead']:.3f}x)"
+    )
+    assert persistent["thread_overhead"] <= 1.10
+    assert persistent["process_overhead"] <= 1.10
+
+
+def test_bench_record_has_persistent_section():
+    """The committed BENCH_engine.json carries the persistent-fleet
+    dispatch-overhead results and meets the <= 1.10x bar (the record is
+    self-relative, so the bar is portable to any reader)."""
+    record = json.loads(RESULT_PATH.read_text())
+    persistent = record["fleet"]["persistent"]
+    for key in (
+        "resolved_workers",
+        "single_warm_seconds",
+        "thread_seconds",
+        "process_seconds",
+        "thread_overhead",
+        "process_overhead",
+        "thread_chunked_overhead",
+        "process_chunked_overhead",
+        "forced_workers",
+        "forced_thread_overhead",
+        "forced_process_overhead",
+    ):
+        assert key in persistent
+    assert persistent["thread_overhead"] <= 1.10
+    assert persistent["process_overhead"] <= 1.10
+    long_run = record["fleet"]["streaming_long_run"]
+    # Satellite: RECORD runs time a bounded slice and extrapolate.
+    assert long_run["recorded_cycles"] <= long_run["system_cycles"]
+    assert long_run["recorded_seconds"] <= long_run["seconds"]

@@ -35,7 +35,7 @@ from repro.engine.device_math import (
     batch_measure_tdc_counts,
     codes_from_counts,
 )
-from repro.engine.state import BatchState
+from repro.engine.state import BatchState, STATE_ARRAY_FIELDS
 from repro.engine.trace import DECISION_HOLD, DenseTrace, TraceSink
 
 ArrivalsLike = Union[np.ndarray, Sequence[int], None]
@@ -365,11 +365,17 @@ class BatchEngine:
                     "population needs a reference calibration table for "
                     "compensation or delay-servo feedback"
                 )
+        # The resolved power-on correction (LUT default unless the
+        # caller overrode it) is kept so :meth:`reset` can restore the
+        # exact cold-construction state without re-resolving the LUT.
+        self._initial_correction = (
+            0 if initial_correction is None else initial_correction
+        )
         self.state = BatchState.initial(
             population.n,
             self.config,
             averaging_window=averaging_window,
-            initial_correction=0 if initial_correction is None else initial_correction,
+            initial_correction=self._initial_correction,
         )
         self.state.ring_buffers = step_kernel == "fused"
         # r_on of the power array for this run.  Segment selection happens
@@ -425,6 +431,68 @@ class BatchEngine:
                 f"step_kernel={self.step_kernel!r})"
             )
         self.state = state
+
+    def reset(
+        self,
+        population: Optional[BatchPopulation] = None,
+        initial_correction=None,
+        response_tables=None,
+    ) -> None:
+        """Return the engine to its cold-construction state, in place.
+
+        The reuse contract behind persistent fleets and warm service
+        engines: after ``reset()`` the next run is bit-identical to the
+        run a freshly constructed engine would produce.  ``population``
+        swaps in new silicon of the **same size** (device-response and
+        kernel caches are invalidated; pass ``response_tables`` to reuse
+        precomputed tables, else tabulated engines rebuild lazily).
+        ``initial_correction`` overrides the per-die power-on correction;
+        ``None`` restores the value resolved at construction (the LUT
+        default).
+
+        State arrays are reinitialised **in place** — the state object
+        (possibly a shared-memory shard view adopted via
+        :meth:`adopt_state`) keeps its identity and its backing buffers,
+        so process-fleet workers attached to the same block observe the
+        reset without re-attaching.
+        """
+        if population is not None:
+            if population.n != self.n:
+                raise ValueError(
+                    f"replacement population covers {population.n} dies, "
+                    f"engine simulates {self.n}"
+                )
+            if (
+                self.feedback_mode is FeedbackMode.DELAY_SERVO
+                or self.compensation_enabled
+            ) and population.expected_counts is None:
+                raise ValueError(
+                    "population needs a reference calibration table for "
+                    "compensation or delay-servo feedback"
+                )
+            self.population = population
+            self._response_tables = response_tables
+            self._response = None
+            self._kernel = None
+        elif response_tables is not None:
+            self._response_tables = response_tables
+            self._response = None
+            self._kernel = None
+        if initial_correction is None:
+            initial_correction = self._initial_correction
+        fresh = BatchState.initial(
+            self.n,
+            self.config,
+            averaging_window=self.state.history.shape[1],
+            initial_correction=initial_correction,
+        )
+        state = self.state
+        for name in STATE_ARRAY_FIELDS:
+            getattr(state, name)[...] = getattr(fresh, name)
+        scalars = fresh.scalar_fields()
+        scalars["ring_buffers"] = self.step_kernel == "fused"
+        state.apply_scalars(scalars)
+        self.correction_log.clear()
 
     @property
     def response(self):

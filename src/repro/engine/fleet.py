@@ -7,14 +7,24 @@ executor backend chosen by :attr:`FleetConfig.executor`:
 * ``"serial"`` — shards run sequentially in the calling thread (the
   zero-overhead baseline, and what the other backends must match bit
   for bit),
-* ``"thread"`` (default) — one worker thread per shard batch; numpy
+* ``"thread"`` (default) — a resident team of pinned worker threads
+  (:class:`_ResidentThreadTeam`), spun up once per fleet; numpy
   releases the GIL inside the hot elementwise kernels, so shards
   overlap on multi-core machines,
-* ``"process"`` — one worker *process* per shard batch with the
-  population state in shared memory
-  (:mod:`repro.engine.procfleet`); sidesteps the GIL entirely, for
-  populations where per-cycle cost is numpy **dispatch** rather than
-  array arithmetic.
+* ``"process"`` — resident worker *processes* with the population
+  state in shared memory (:mod:`repro.engine.procfleet`); sidesteps
+  the GIL entirely, for populations where per-cycle cost is numpy
+  **dispatch** rather than array arithmetic.
+
+Both parallel backends are **resident**: workers start on the first
+parallel run, stay pinned to a fixed shard subset, and every subsequent
+call costs only one lightweight command/ack round-trip per worker — no
+executor construction, no state re-fan-out.  :meth:`FleetEngine.run_chunked`
+amortises even that round-trip over ``chunk`` system cycles at a time,
+and :meth:`FleetEngine.reset` returns a live fleet to its
+cold-construction state (optionally swapping in a new same-size
+population) so one fleet serves many logically independent runs —
+bit-identically to building a fresh fleet each time.
 
 Because every per-die quantity the engine computes is elementwise
 across dies — no cross-die reduction anywhere in the cycle loop — a
@@ -39,9 +49,10 @@ by :attr:`FleetConfig.telemetry`:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import queue
+import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -128,6 +139,91 @@ class FleetConfig:
         return os.cpu_count() or 1
 
 
+class _ResidentThreadTeam:
+    """Pinned resident worker threads driving fleet shards.
+
+    Spun up once per fleet and reused for every subsequent call: worker
+    ``w`` permanently owns the strided shard set
+    ``range(w, num_shards, workers)``.  A :meth:`dispatch` posts one
+    lightweight command (a callable of shard index) per worker and
+    waits for one ack per worker, so the steady-state per-call cost is
+    pure queue traffic — no thread or executor construction.  Workers
+    are daemons parked on their command queues between calls (the
+    *idle* state of the resident-worker lifecycle); :meth:`close`
+    drains them with a sentinel.
+    """
+
+    def __init__(self, num_shards: int, workers: int) -> None:
+        self.num_shards = int(num_shards)
+        self.workers = int(workers)
+        self._commands: List[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(self.workers)
+        ]
+        self._acks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Spin the pinned workers up (once per team)."""
+        if self._started:
+            raise RuntimeError("resident fleet workers already started")
+        self._started = True
+        for w in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(w,),
+                name=f"repro-fleet-{w}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self, w: int) -> None:
+        pinned = range(w, self.num_shards, self.workers)
+        commands = self._commands[w]
+        while True:
+            fn = commands.get()
+            if fn is None:
+                return
+            error = None
+            try:
+                for index in pinned:
+                    fn(index)
+            except BaseException as exc:  # ack *every* command
+                error = exc
+            self._acks.put(error)
+
+    def dispatch(self, fn: Callable[[int], None]) -> None:
+        """Run ``fn(shard_index)`` for every shard on its pinned worker.
+
+        Blocks until every worker acked (a barrier — chunked dispatch
+        needs chunk *k* complete on all shards before chunk *k+1*
+        starts) and re-raises the first worker error.
+        """
+        if not self._started:
+            raise RuntimeError("resident fleet workers are not running")
+        for commands in self._commands:
+            commands.put(fn)
+        first_error = None
+        for _ in range(self.workers):
+            error = self._acks.get()
+            if error is not None and first_error is None:
+                first_error = error
+        if first_error is not None:
+            raise first_error
+
+    def close(self) -> None:
+        """Drain the team: send sentinels and join every worker."""
+        if not self._started:
+            return
+        self._started = False
+        for commands in self._commands:
+            commands.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+
 class FleetEngine:
     """Run one controller population as a sharded, threaded fleet.
 
@@ -152,6 +248,7 @@ class FleetEngine:
         # be safe on such a half-built engine.
         self._closed = False
         self._proc = None
+        self._team: Optional[_ResidentThreadTeam] = None
         self.population = population
         self.fleet = fleet or FleetConfig()
         n = population.n
@@ -200,6 +297,9 @@ class FleetEngine:
                 )
             )
         self.config = self.engines[0].config
+        # Kept for reset(): rebuilding shared response tables for a
+        # replacement population needs the residual engine kwargs.
+        self._engine_kwargs = dict(engine_kwargs)
         if self.fleet.executor == "process":
             if self.engines[0].step_kernel != "fused":
                 # The legacy step rebinds its state arrays every cycle
@@ -259,6 +359,10 @@ class FleetEngine:
         if getattr(self, "_closed", True):
             return
         self._closed = True
+        team = getattr(self, "_team", None)
+        if team is not None:
+            team.close()
+            self._team = None
         proc = getattr(self, "_proc", None)
         if proc is not None:
             proc.close()
@@ -298,6 +402,59 @@ class FleetEngine:
     # ------------------------------------------------------------------
     # Run loops
     # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        arrivals: ArrivalsLike,
+        system_cycles: int,
+        scheduled_codes: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Normalise arrivals/schedule once for the whole population."""
+        if system_cycles <= 0:
+            raise ValueError("system_cycles must be positive")
+        if self._closed:
+            raise RuntimeError("fleet engine is closed")
+        matrix = normalise_arrivals(
+            arrivals,
+            system_cycles,
+            self.n,
+            self.config.system_cycle_period,
+            start_cycle=self.engines[0].state.cycles,
+        )
+        schedule = None
+        if scheduled_codes is not None:
+            schedule = np.asarray(scheduled_codes, dtype=np.int64)
+            if schedule.ndim == 1:
+                schedule = np.broadcast_to(
+                    schedule, (self.n, system_cycles)
+                )
+            if schedule.shape != (self.n, system_cycles):
+                raise ValueError("scheduled_codes shape mismatch")
+        return matrix, schedule
+
+    def _dispatch(self, fn: Callable[[int], None], workers: int) -> None:
+        """Run ``fn(shard_index)`` for every shard on the chosen backend.
+
+        The serial path stays inline; the thread path lazily starts the
+        resident team on the first parallel call and reuses it for the
+        fleet's lifetime.
+        """
+        if (
+            self.fleet.executor == "serial"
+            or workers <= 1
+            or self.num_shards == 1
+        ):
+            for index in range(self.num_shards):
+                fn(index)
+            return
+        team = self._team
+        if team is None or team.workers != workers:
+            if team is not None:
+                team.close()
+            team = _ResidentThreadTeam(self.num_shards, workers)
+            team.start()
+            self._team = team
+        team.dispatch(fn)
+
     def run(
         self,
         arrivals: ArrivalsLike,
@@ -314,27 +471,9 @@ class FleetEngine:
         shard order, making the output independent of worker scheduling
         — and of the executor backend.
         """
-        if system_cycles <= 0:
-            raise ValueError("system_cycles must be positive")
-        if self._closed:
-            raise RuntimeError("fleet engine is closed")
-        start_cycle = self.engines[0].state.cycles
-        matrix = normalise_arrivals(
-            arrivals,
-            system_cycles,
-            self.n,
-            self.config.system_cycle_period,
-            start_cycle=start_cycle,
+        matrix, schedule = self._prepare(
+            arrivals, system_cycles, scheduled_codes
         )
-        schedule = None
-        if scheduled_codes is not None:
-            schedule = np.asarray(scheduled_codes, dtype=np.int64)
-            if schedule.ndim == 1:
-                schedule = np.broadcast_to(
-                    schedule, (self.n, system_cycles)
-                )
-            if schedule.shape != (self.n, system_cycles):
-                raise ValueError("scheduled_codes shape mismatch")
         workers = min(self.fleet.resolved_workers(), self.num_shards)
         if self._proc is not None:
             # Worker processes mutate the shared state in place; a
@@ -355,26 +494,155 @@ class FleetEngine:
                 raise
             return self._merge(results)
         sinks = [self._make_sink() for _ in self.engines]
+        results: list = [None] * self.num_shards
 
-        def run_shard(index: int):
+        def run_shard(index: int) -> None:
             where = self.shard_slices[index]
-            return self.engines[index].run(
+            results[index] = self.engines[index].run(
                 matrix[where],
                 system_cycles,
                 scheduled_codes=None if schedule is None else schedule[where],
                 sink=sinks[index],
             )
 
-        if (
-            self.fleet.executor == "serial"
-            or workers <= 1
-            or self.num_shards == 1
-        ):
-            results = [run_shard(i) for i in range(self.num_shards)]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(run_shard, range(self.num_shards)))
+        self._dispatch(run_shard, workers)
         return self._merge(results)
+
+    def run_chunked(
+        self,
+        arrivals: ArrivalsLike,
+        system_cycles: int,
+        chunk: int,
+        scheduled_codes: Optional[np.ndarray] = None,
+    ):
+        """Run ``system_cycles`` cycles in worker round-trips of ``chunk``.
+
+        Equivalent to one :meth:`run` call over the full horizon — bit
+        for bit, on every backend and telemetry mode — but each worker
+        command advances up to ``chunk`` system cycles, so per-call
+        synchronisation cost amortises over the chunk.  Arrivals and
+        schedules are normalised once for the whole horizon and
+        column-sliced per chunk (engine state carries across chunks
+        natively, exactly like sequential ``run`` calls).
+
+        Telemetry: dense chunks are stitched with
+        :meth:`BatchTrace.concatenate`; streaming sinks accumulate
+        across chunks inside their worker and ship results once, on the
+        final chunk (zero per-chunk result traffic).
+        """
+        chunk = int(chunk)
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        matrix, schedule = self._prepare(
+            arrivals, system_cycles, scheduled_codes
+        )
+        bounds = tuple(
+            (lo, min(lo + chunk, system_cycles))
+            for lo in range(0, system_cycles, chunk)
+        )
+        workers = min(self.fleet.resolved_workers(), self.num_shards)
+        if self._proc is not None:
+            try:
+                results = self._proc.run_chunked(
+                    matrix,
+                    schedule,
+                    bounds,
+                    self.fleet.telemetry,
+                    self.fleet.stream_window,
+                    workers,
+                )
+            except Exception:
+                self.close()
+                raise
+            return self._merge(results)
+        dense = self.fleet.telemetry == "dense"
+        pieces: list = [[] for _ in range(self.num_shards)]
+        sinks = (
+            None if dense else [self._make_sink() for _ in self.engines]
+        )
+        results: list = [None] * self.num_shards
+        for lo, hi in bounds:
+
+            def run_shard(index: int, lo: int = lo, hi: int = hi) -> None:
+                where = self.shard_slices[index]
+                out = self.engines[index].run(
+                    matrix[where, lo:hi],
+                    hi - lo,
+                    scheduled_codes=(
+                        None if schedule is None else schedule[where, lo:hi]
+                    ),
+                    sink=self._make_sink() if dense else sinks[index],
+                )
+                if dense:
+                    pieces[index].append(out)
+                else:
+                    results[index] = out
+
+            self._dispatch(run_shard, workers)
+        if dense:
+            results = [BatchTrace.concatenate(p) for p in pieces]
+        return self._merge(results)
+
+    def reset(
+        self,
+        population: Optional[BatchPopulation] = None,
+        initial_correction=None,
+    ) -> None:
+        """Return the live fleet to its cold-construction state.
+
+        The fleet-level face of :meth:`BatchEngine.reset`: after
+        ``reset()`` the next run is bit-identical to a run on a freshly
+        built fleet, while workers stay resident and shard pinning
+        (including shared-memory attachments on the process backend)
+        survives.  ``population`` swaps in new same-size silicon —
+        shared response tables are rebuilt once and re-sharded, device
+        and table arrays are refreshed **in place** inside the shared
+        blocks, and live process workers are re-pointed with one
+        ``reset`` command.  A pure state reset (``population=None``)
+        costs no worker traffic at all.
+        """
+        if self._closed:
+            raise RuntimeError("fleet engine is closed")
+        shared_tables = None
+        if population is not None:
+            if population.n != self.n:
+                raise ValueError(
+                    f"replacement population covers {population.n} dies, "
+                    f"fleet simulates {self.n}"
+                )
+            if self._engine_kwargs.get("device_model") == "tabulated":
+                from repro.engine.response_tables import ResponseTables
+
+                shared_tables = ResponseTables.from_population(
+                    population,
+                    self.config,
+                    nominal_throughput=self._engine_kwargs.get(
+                        "nominal_throughput"
+                    ),
+                    points=self._engine_kwargs.get("table_points"),
+                )
+            self.population = population
+        for engine, where in zip(self.engines, self.shard_slices):
+            correction = initial_correction
+            if correction is not None and np.ndim(correction) > 0:
+                correction = np.asarray(correction)[where]
+            engine.reset(
+                population=(
+                    None if population is None else population.shard(where)
+                ),
+                initial_correction=correction,
+                response_tables=(
+                    None
+                    if shared_tables is None
+                    else shared_tables.shard(where)
+                ),
+            )
+        if self._proc is not None and population is not None:
+            try:
+                self._proc.reset(population, shared_tables)
+            except Exception:
+                self.close()
+                raise
 
     def run_schedule(
         self,

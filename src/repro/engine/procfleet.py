@@ -5,7 +5,7 @@ numpy holds the GIL released; once per-cycle cost is dominated by numpy
 *dispatch* (the Python-side ufunc bookkeeping), threads serialise and
 the next lever is separate interpreters.  This module provides that
 backend: ``FleetConfig(executor="process")`` runs every shard in a
-worker process of a reusable :class:`~concurrent.futures.ProcessPoolExecutor`.
+**resident pinned worker process** driven over a command pipe.
 
 Design:
 
@@ -22,6 +22,17 @@ Design:
   :class:`SharedBlockSpec` — the segment name plus ``(name, dtype,
   shape, offset)`` per array — so attachment is pure ``np.ndarray``
   construction over the mapped buffer.
+* **Resident pinned workers.**  Workers start once (on the first run)
+  and stay pinned to a strided shard subset for the fleet's lifetime:
+  worker ``w`` owns shards ``w, w+W, w+2W, ...`` and keeps its block
+  attachments, rebuilt population/table views, shard engines and
+  worker-local scratch across calls.  Each call is one command message
+  (``("run", RunOrder)``) and one ack per worker over a
+  :func:`multiprocessing.Pipe` — no pool construction, no per-run
+  re-fan-out of state.  Chunked dispatch
+  (:meth:`ProcessFleetBackend.run_chunked`) keeps streaming sinks
+  *inside* the workers between chunks (``sink_mode`` keep/finish) so
+  only the final chunk ships results.
 * **Determinism.**  Arrivals are normalised once in the parent (arrival
   processes and Poisson matrices are drawn there, with per-die
   ``SeedSequence.spawn`` streams, so workers need no RNG), shards are
@@ -34,12 +45,14 @@ Design:
   ``/dev/shm`` segment outlives the fleet — pinned by
   ``tests/engine/test_procfleet.py``.  Shared scalars
   (``cycles``/``history_filled``/``history_pos``) travel by value per
-  task and the parent re-adopts them after each run, which is what lets
-  sequential ``run()`` calls continue exactly.
+  command and the parent re-adopts them after each run, which is what
+  lets sequential ``run()`` calls continue exactly.
 
-``REPRO_PROCFLEET_FAULT=<shard index>`` is a fault-injection hook: the
-worker assigned that shard raises before touching shared state, which is
-how the lifecycle tests exercise crash cleanup without killing
+``REPRO_PROCFLEET_FAULT=<shard>[:<min_cycle>]`` is a fault-injection
+hook: the worker pinned to that shard raises before touching shared
+state — immediately, or (with the optional ``:<min_cycle>`` suffix)
+on the first command whose start cycle has reached ``min_cycle``, which
+lets the lifecycle tests crash a worker *mid-chunk* without killing
 processes.
 """
 
@@ -48,9 +61,8 @@ from __future__ import annotations
 import os
 import sys
 import uuid
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields as dataclass_fields
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 import numpy as np
@@ -67,8 +79,11 @@ _ALIGNMENT = 64
 """Byte alignment of every array inside a shared block (cache line)."""
 
 FAULT_ENV = "REPRO_PROCFLEET_FAULT"
-"""Set to a shard index to make that shard's worker raise on entry
-(fault injection for the shared-memory lifecycle tests)."""
+"""Fault injection for the shared-memory lifecycle tests.  Set to a
+shard index to make the worker pinned to that shard raise on its next
+command; ``"<shard>:<min_cycle>"`` defers the fault until the first
+command whose start cycle has reached ``min_cycle`` (a mid-chunk
+crash)."""
 
 START_METHOD_ENV = "REPRO_PROCFLEET_START_METHOD"
 """Override the multiprocessing start method (``fork``/``spawn``/
@@ -337,17 +352,30 @@ class ProcFleetPayload:
     sensor_distinct: bool
 
 
-@dataclass(frozen=True)
-class ShardTask:
-    """One shard's work order for one ``run`` call."""
+SINK_MODES = ("fresh", "keep", "finish")
+"""How a worker handles telemetry sinks for one command: ``"fresh"``
+builds a new sink and ships its result (a plain run, or one dense
+chunk); ``"keep"`` feeds the shard's persistent sink and ships nothing
+(an intermediate streaming/null chunk); ``"finish"`` feeds the
+persistent sink one last time and ships the accumulated result."""
 
-    index: int
+
+@dataclass(frozen=True)
+class RunOrder:
+    """One worker's work order for one run (or chunk) command.
+
+    Covers every shard the worker is pinned to: ``arrivals`` and
+    ``schedule`` map shard index to encoded row blocks (broadcast rows
+    collapse to a single row, see :func:`_encode_rows`).
+    """
+
     cycles: int
-    arrivals: Tuple[str, np.ndarray]
-    schedule: Optional[Tuple[str, np.ndarray]]
+    arrivals: Dict[int, Tuple[str, np.ndarray]]
+    schedule: Optional[Dict[int, Tuple[str, np.ndarray]]]
     telemetry: str
     stream_window: int
     scalars: dict
+    sink_mode: str = "fresh"
 
 
 def _encode_rows(
@@ -378,166 +406,306 @@ def _decode_rows(
     return data
 
 
+def _table_arrays(shared_tables) -> Dict[str, np.ndarray]:
+    """Flatten shared response tables into named block arrays."""
+    table_arrays = {
+        f"response.{name}": table
+        for name, table in shared_tables._tables.items()
+    }
+    if shared_tables.tdc is not None:
+        tdc = shared_tables.tdc
+        table_arrays["tdc.code_breaks"] = tdc.code_breaks
+        table_arrays["tdc.positive_break"] = tdc.positive_break
+        table_arrays["tdc.saturation_break"] = tdc.saturation_break
+    return table_arrays
+
+
+def _table_meta(shared_tables) -> Optional[TableMeta]:
+    if shared_tables is None:
+        return None
+    tdc = shared_tables.tdc
+    return TableMeta(
+        points=shared_tables.points,
+        v_max=shared_tables.v_max,
+        short_circuit_fraction=shared_tables.short_circuit_fraction,
+        tdc_minimum_supply=None if tdc is None else tdc.minimum_supply,
+        tdc_base_code=None if tdc is None else tdc.base_code,
+    )
+
+
 # ----------------------------------------------------------------------
-# Worker process
+# Worker process (resident)
 # ----------------------------------------------------------------------
-_PAYLOAD: Optional[ProcFleetPayload] = None
-_BLOCKS: Dict[str, SharedArrayBlock] = {}
-_POPULATION = None
-_TABLES = None
-_ENGINES: Dict[int, object] = {}
-
-
-def _worker_init(payload: ProcFleetPayload) -> None:
-    global _PAYLOAD, _POPULATION, _TABLES
-    _PAYLOAD = payload
-    _POPULATION = None
-    _TABLES = None
-    _BLOCKS.clear()
-    _ENGINES.clear()
-
-
-def _worker_block(key: str, spec: SharedBlockSpec) -> SharedArrayBlock:
-    block = _BLOCKS.get(key)
-    if block is None:
-        block = SharedArrayBlock.attach(spec)
-        _BLOCKS[key] = block
-    return block
-
-
-def _worker_population(payload: ProcFleetPayload):
-    """Rebuild the full population over attached device views (cached)."""
-    global _POPULATION
-    if _POPULATION is not None:
-        return _POPULATION
-    from repro.engine.engine import BatchPopulation
-
-    views = _worker_block("devices", payload.device_spec).views()
-    load_devices = _device_set_from_views(
-        views, "load.", payload.delay_constant
-    )
-    sensor = (
-        _device_set_from_views(
-            views, "sensor.", payload.sensor_delay_constant
-        )
-        if payload.sensor_distinct
-        else None
-    )
-    _POPULATION = BatchPopulation(
-        load=payload.load,
-        load_devices=load_devices,
-        sensor_devices=sensor,
-        expected_counts=payload.expected_counts,
-        temperature_c=payload.temperature_c,
-    )
-    return _POPULATION
-
-
-def _worker_tables(payload: ProcFleetPayload):
-    """Rebuild the full response tables over attached views (cached)."""
-    global _TABLES
-    if _TABLES is not None or payload.table_spec is None:
-        return _TABLES
-    from repro.engine.response_tables import ResponseTables, TdcCodeTables
-
-    views = _worker_block("tables", payload.table_spec).views()
-    meta = payload.table_meta
-    tdc = None
-    if meta.tdc_base_code is not None:
-        tdc = TdcCodeTables.adopt(
-            code_breaks=views["tdc.code_breaks"],
-            positive_break=views["tdc.positive_break"],
-            saturation_break=views["tdc.saturation_break"],
-            minimum_supply=meta.tdc_minimum_supply,
-            base_code=meta.tdc_base_code,
-        )
-    _TABLES = ResponseTables.adopt(
-        {
-            name.split(".", 1)[1]: view
-            for name, view in views.items()
-            if name.startswith("response.")
-        },
-        temperature_c=payload.temperature_c,
-        nominal_throughput=payload.engine_kwargs.get("nominal_throughput"),
-        points=meta.points,
-        v_max=meta.v_max,
-        short_circuit_fraction=meta.short_circuit_fraction,
-        tdc=tdc,
-    )
-    return _TABLES
-
-
-def _worker_engine(index: int):
-    """Build (or fetch) the cached shard engine for one shard index.
-
-    The engine's state is a shard view into the shared state block, so
-    a worker that served the shard in an earlier ``run`` call resumes
-    from exactly the arrays the previous run left behind — only the
-    shared scalars arrive per task.
-    """
-    engine = _ENGINES.get(index)
-    if engine is not None:
-        return engine
-    from repro.engine.engine import BatchEngine
-
-    payload = _PAYLOAD
-    lo, hi = payload.shard_bounds[index]
-    where = slice(lo, hi)
-    population = _worker_population(payload).shard(where)
-    kwargs = dict(payload.engine_kwargs)
-    kwargs.pop("table_points", None)
-    tables = _worker_tables(payload)
-    if tables is not None:
-        kwargs["response_tables"] = tables.shard(where)
-    engine = BatchEngine(
-        population, payload.lut_entries, config=payload.config, **kwargs
-    )
-    engine.lut_fifo_depth = payload.lut_fifo_depth
-    state_views = _worker_block("state", payload.state_spec).views()
-    # Placeholder scalars: every task carries the authoritative values
-    # and applies them just before running (ring_buffers must be right
-    # immediately, though — adopt_state validates the buffer layout).
-    placeholder = {name: 0 for name in STATE_SCALAR_FIELDS}
-    placeholder["ring_buffers"] = engine.step_kernel == "fused"
-    full_state = BatchState.from_arrays(state_views, placeholder)
-    engine.adopt_state(full_state.shard_view(where))
-    _ENGINES[index] = engine
-    return engine
-
-
-def _run_shard(task: ShardTask):
-    """Advance one shard for one run and return its serialised results."""
+def _check_fault(index: int, start_cycle: int) -> None:
+    """Raise the injected fault for this shard, if armed and due."""
     fault = os.environ.get(FAULT_ENV)
-    if fault is not None and fault == str(task.index):
-        raise RuntimeError(
-            f"injected worker fault on shard {task.index} ({FAULT_ENV})"
-        )
-    from repro.engine.trace import make_sink
-
-    engine = _worker_engine(task.index)
-    engine.state.apply_scalars(task.scalars)
-    n = engine.n
-    arrivals = _decode_rows(task.arrivals, n)
-    schedule = _decode_rows(task.schedule, n)
-    sink = make_sink(task.telemetry, task.stream_window)
-    result = engine.run(
-        arrivals, task.cycles, scheduled_codes=schedule, sink=sink
+    if fault is None:
+        return
+    shard, _, threshold = fault.partition(":")
+    if shard != str(index):
+        return
+    if threshold and start_cycle < int(threshold):
+        return
+    raise RuntimeError(
+        f"injected worker fault on shard {index} ({FAULT_ENV})"
     )
-    return task.index, result, engine.state.scalar_fields()
+
+
+class _WorkerRuntime:
+    """One resident worker's pinned world: blocks, engines, sinks.
+
+    Lives for the worker process's whole life.  Block attachments,
+    the rebuilt population/table views and the per-shard engines are
+    created lazily on the first command and then *stay pinned* — every
+    later command reuses them, which is the zero-refanout property the
+    resident design exists for.  A ``reset`` command swaps the payload
+    and drops the derived caches while keeping the attachments.
+    """
+
+    def __init__(self, payload: ProcFleetPayload, indices) -> None:
+        self.payload = payload
+        self.indices = tuple(int(i) for i in indices)
+        self.blocks: Dict[str, SharedArrayBlock] = {}
+        self.population = None
+        self.tables = None
+        self.engines: Dict[int, object] = {}
+        self.sinks: Dict[int, object] = {}
+
+    # -- pinned resources -----------------------------------------------
+    def _block(self, key: str, spec: SharedBlockSpec) -> SharedArrayBlock:
+        block = self.blocks.get(key)
+        if block is None:
+            block = SharedArrayBlock.attach(spec)
+            self.blocks[key] = block
+        return block
+
+    def _population(self):
+        """Rebuild the full population over attached device views (cached)."""
+        if self.population is not None:
+            return self.population
+        from repro.engine.engine import BatchPopulation
+
+        payload = self.payload
+        views = self._block("devices", payload.device_spec).views()
+        load_devices = _device_set_from_views(
+            views, "load.", payload.delay_constant
+        )
+        sensor = (
+            _device_set_from_views(
+                views, "sensor.", payload.sensor_delay_constant
+            )
+            if payload.sensor_distinct
+            else None
+        )
+        self.population = BatchPopulation(
+            load=payload.load,
+            load_devices=load_devices,
+            sensor_devices=sensor,
+            expected_counts=payload.expected_counts,
+            temperature_c=payload.temperature_c,
+        )
+        return self.population
+
+    def _tables(self):
+        """Rebuild the full response tables over attached views (cached)."""
+        payload = self.payload
+        if self.tables is not None or payload.table_spec is None:
+            return self.tables
+        from repro.engine.response_tables import ResponseTables, TdcCodeTables
+
+        views = self._block("tables", payload.table_spec).views()
+        meta = payload.table_meta
+        tdc = None
+        if meta.tdc_base_code is not None:
+            tdc = TdcCodeTables.adopt(
+                code_breaks=views["tdc.code_breaks"],
+                positive_break=views["tdc.positive_break"],
+                saturation_break=views["tdc.saturation_break"],
+                minimum_supply=meta.tdc_minimum_supply,
+                base_code=meta.tdc_base_code,
+            )
+        self.tables = ResponseTables.adopt(
+            {
+                name.split(".", 1)[1]: view
+                for name, view in views.items()
+                if name.startswith("response.")
+            },
+            temperature_c=payload.temperature_c,
+            nominal_throughput=payload.engine_kwargs.get(
+                "nominal_throughput"
+            ),
+            points=meta.points,
+            v_max=meta.v_max,
+            short_circuit_fraction=meta.short_circuit_fraction,
+            tdc=tdc,
+        )
+        return self.tables
+
+    def _engine(self, index: int):
+        """Build (or fetch) the pinned shard engine for one shard index.
+
+        The engine's state is a shard view into the shared state block,
+        so a shard resumes from exactly the arrays the previous command
+        left behind — only the shared scalars arrive per command.
+        """
+        engine = self.engines.get(index)
+        if engine is not None:
+            return engine
+        from repro.engine.engine import BatchEngine
+
+        payload = self.payload
+        lo, hi = payload.shard_bounds[index]
+        where = slice(lo, hi)
+        population = self._population().shard(where)
+        kwargs = dict(payload.engine_kwargs)
+        kwargs.pop("table_points", None)
+        tables = self._tables()
+        if tables is not None:
+            kwargs["response_tables"] = tables.shard(where)
+        engine = BatchEngine(
+            population, payload.lut_entries, config=payload.config, **kwargs
+        )
+        engine.lut_fifo_depth = payload.lut_fifo_depth
+        state_views = self._block("state", payload.state_spec).views()
+        # Placeholder scalars: every command carries the authoritative
+        # values and applies them just before running (ring_buffers must
+        # be right immediately, though — adopt_state validates the
+        # buffer layout).
+        placeholder = {name: 0 for name in STATE_SCALAR_FIELDS}
+        placeholder["ring_buffers"] = engine.step_kernel == "fused"
+        full_state = BatchState.from_arrays(state_views, placeholder)
+        engine.adopt_state(full_state.shard_view(where))
+        self.engines[index] = engine
+        return engine
+
+    def _sink(self, index: int, order: RunOrder):
+        from repro.engine.trace import make_sink
+
+        if order.sink_mode == "fresh":
+            return make_sink(order.telemetry, order.stream_window)
+        sink = self.sinks.get(index)
+        if sink is None:
+            sink = make_sink(order.telemetry, order.stream_window)
+            self.sinks[index] = sink
+        if order.sink_mode == "finish":
+            self.sinks.pop(index, None)
+        return sink
+
+    # -- command handlers ------------------------------------------------
+    def handle(self, message: tuple) -> tuple:
+        kind = message[0]
+        if kind == "run":
+            return self._run(message[1])
+        if kind == "reset":
+            self._reset(message[1])
+            return ("ok", None, None)
+        raise RuntimeError(f"unknown fleet worker command {kind!r}")
+
+    def _run(self, order: RunOrder) -> tuple:
+        start_cycle = int(order.scalars["cycles"])
+        results: Dict[int, object] = {}
+        scalars = None
+        for index in self.indices:
+            _check_fault(index, start_cycle)
+            engine = self._engine(index)
+            engine.state.apply_scalars(order.scalars)
+            arrivals = _decode_rows(order.arrivals.get(index), engine.n)
+            schedule = _decode_rows(
+                None if order.schedule is None
+                else order.schedule.get(index),
+                engine.n,
+            )
+            out = engine.run(
+                arrivals,
+                order.cycles,
+                scheduled_codes=schedule,
+                sink=self._sink(index, order),
+            )
+            results[index] = None if order.sink_mode == "keep" else out
+            scalars = engine.state.scalar_fields()
+        return ("ok", results, scalars)
+
+    def _reset(self, payload: ProcFleetPayload) -> None:
+        """Adopt a new payload (population swap), keeping attachments.
+
+        The parent refreshed the shared device/table arrays in place
+        before sending this command, so only the derived caches —
+        population wrapper, table wrapper, shard engines, persistent
+        sinks — need rebuilding; the block attachments (and the shard
+        pinning) survive.
+        """
+        self.payload = payload
+        self.population = None
+        self.tables = None
+        self.engines.clear()
+        self.sinks.clear()
+
+    def teardown(self) -> None:
+        for block in self.blocks.values():
+            block.close()
+        self.blocks.clear()
+
+
+def _worker_main(conn, payload: ProcFleetPayload, indices) -> None:
+    """Entry point of one resident worker process.
+
+    A strict request/reply loop: receive a command, reply exactly once
+    — ``("ok", results, scalars)`` or ``("error", exception)`` — and
+    park on the pipe again.  Exits on the ``("close",)`` command or
+    when the parent's end of the pipe goes away.
+    """
+    runtime = _WorkerRuntime(payload, indices)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "close":
+                try:
+                    conn.send(("ok", None, None))
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+            try:
+                reply = runtime.handle(message)
+            except BaseException as exc:
+                reply = ("error", exc)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+            except Exception as exc:  # unpicklable result/exception
+                conn.send(
+                    ("error", RuntimeError(f"worker reply failed: {exc!r}"))
+                )
+    finally:
+        runtime.teardown()
+        conn.close()
 
 
 # ----------------------------------------------------------------------
 # Parent-side backend
 # ----------------------------------------------------------------------
-class ProcessFleetBackend:
-    """Parent half of the process executor: blocks, pool, shard merge.
+@dataclass
+class _ResidentWorker:
+    """Parent-side handle of one pinned worker process."""
 
-    Owns the shared segments and the worker pool for one
+    process: object
+    conn: object
+    indices: Tuple[int, ...]
+
+
+class ProcessFleetBackend:
+    """Parent half of the process executor: blocks, workers, shard merge.
+
+    Owns the shared segments and the resident worker processes for one
     :class:`~repro.engine.fleet.FleetEngine`.  On construction it moves
     the already-initialised per-shard states into one shared block and
     re-points the parent engines at shard views of it, so the parent's
     gather methods keep working unchanged while workers mutate the same
-    memory.
+    memory.  Workers start on the first run (:meth:`start`) and stay
+    pinned to their strided shard subset until :meth:`close`.
     """
 
     def __init__(
@@ -552,8 +720,7 @@ class ProcessFleetBackend:
     ) -> None:
         self._engines = list(engines)
         self._shard_slices = tuple(shard_slices)
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_workers = 0
+        self._workers: List[_ResidentWorker] = []
         self._closed = False
         self.blocks: Dict[str, SharedArrayBlock] = {}
         try:
@@ -605,32 +772,14 @@ class ProcessFleetBackend:
         self.blocks["devices"] = SharedArrayBlock.create(device_arrays)
 
         if shared_tables is not None:
-            table_arrays = {
-                f"response.{name}": table
-                for name, table in shared_tables._tables.items()
-            }
-            if shared_tables.tdc is not None:
-                tdc = shared_tables.tdc
-                table_arrays["tdc.code_breaks"] = tdc.code_breaks
-                table_arrays["tdc.positive_break"] = tdc.positive_break
-                table_arrays["tdc.saturation_break"] = tdc.saturation_break
-            self.blocks["tables"] = SharedArrayBlock.create(table_arrays)
+            self.blocks["tables"] = SharedArrayBlock.create(
+                _table_arrays(shared_tables)
+            )
 
     def _build_payload(
         self, population, config, engines, engine_kwargs, shared_tables
     ) -> ProcFleetPayload:
-        table_meta = None
-        if shared_tables is not None:
-            tdc = shared_tables.tdc
-            table_meta = TableMeta(
-                points=shared_tables.points,
-                v_max=shared_tables.v_max,
-                short_circuit_fraction=shared_tables.short_circuit_fraction,
-                tdc_minimum_supply=(
-                    None if tdc is None else tdc.minimum_supply
-                ),
-                tdc_base_code=None if tdc is None else tdc.base_code,
-            )
+        table_meta = _table_meta(shared_tables)
         first = engines[0]
         kwargs = dict(engine_kwargs)
         kwargs.pop("response_tables", None)
@@ -666,20 +815,135 @@ class ProcessFleetBackend:
         """Return the names of the shared segments this fleet owns."""
         return tuple(block.name for block in self.blocks.values())
 
-    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+    def start(self, workers: int) -> None:
+        """Spin up the resident pinned workers (once per fleet).
+
+        Worker ``w`` of ``W`` is pinned to shards ``w, w+W, ...`` for
+        the backend's whole life; each receives the payload and its
+        pinned indices once, at start.  Starting an already-started
+        backend is a hard error — pinning is a per-lifetime decision,
+        not a per-run one.
+        """
         if self._closed:
             raise RuntimeError("process fleet backend is closed")
-        if self._pool is None or self._pool_workers != workers:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=self._mp_context,
-                initializer=_worker_init,
-                initargs=(self._payload,),
+        if self._workers:
+            raise RuntimeError("resident fleet workers already started")
+        workers = max(1, min(int(workers), len(self._shard_slices)))
+        ctx = self._mp_context
+        started: List[_ResidentWorker] = []
+        try:
+            for w in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                indices = tuple(
+                    range(w, len(self._shard_slices), workers)
+                )
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._payload, indices),
+                    name=f"repro-fleet-{w}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                started.append(
+                    _ResidentWorker(process, parent_conn, indices)
+                )
+        except BaseException:
+            for worker in started:
+                try:
+                    worker.conn.close()
+                except Exception:
+                    pass
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            raise
+        self._workers = started
+
+    def _ensure_workers(self, workers: int) -> List[_ResidentWorker]:
+        if self._closed:
+            raise RuntimeError("process fleet backend is closed")
+        if not self._workers:
+            self.start(workers)
+        return self._workers
+
+    def _command(self, messages: Sequence[tuple]) -> List[tuple]:
+        """One command round: send per-worker messages, gather one ack each.
+
+        Replies arrive in worker order (each worker answers exactly once
+        per command), so downstream merges are deterministic.  A dead
+        worker (EOF/broken pipe) or an ``("error", exc)`` reply raises —
+        after draining every remaining reply, so no stale ack can be
+        mistaken for the answer to a later command.
+        """
+        for worker, message in zip(self._workers, messages):
+            try:
+                worker.conn.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    f"fleet worker {worker.process.name} is gone: {exc}"
+                )
+        replies: List[tuple] = []
+        first_error: Optional[BaseException] = None
+        for worker in self._workers:
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError) as exc:
+                reply = (
+                    "error",
+                    RuntimeError(
+                        f"fleet worker {worker.process.name} died "
+                        f"mid-command: {exc!r}"
+                    ),
+                )
+            if reply[0] == "error" and first_error is None:
+                first_error = reply[1]
+            replies.append(reply)
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def _run_round(
+        self,
+        matrix: np.ndarray,
+        system_cycles: int,
+        schedule: Optional[np.ndarray],
+        telemetry: str,
+        stream_window: int,
+        sink_mode: str,
+    ) -> list:
+        """Dispatch one run command to every worker; merge shard order."""
+        scalars = self._engines[0].state.scalar_fields()
+        messages = []
+        for worker in self._workers:
+            order = RunOrder(
+                cycles=system_cycles,
+                arrivals={
+                    i: _encode_rows(matrix, self._shard_slices[i])
+                    for i in worker.indices
+                },
+                schedule=(
+                    None
+                    if schedule is None
+                    else {
+                        i: _encode_rows(schedule, self._shard_slices[i])
+                        for i in worker.indices
+                    }
+                ),
+                telemetry=telemetry,
+                stream_window=stream_window,
+                scalars=scalars,
+                sink_mode=sink_mode,
             )
-            self._pool_workers = workers
-        return self._pool
+            messages.append(("run", order))
+        replies = self._command(messages)
+        results: Dict[int, object] = {}
+        final_scalars = None
+        for _, shard_results, reply_scalars in replies:
+            results.update(shard_results)
+            final_scalars = reply_scalars
+        for engine in self._engines:
+            engine.state.apply_scalars(final_scalars)
+        return [results[i] for i in range(len(self._shard_slices))]
 
     def run(
         self,
@@ -690,44 +954,160 @@ class ProcessFleetBackend:
         stream_window: int,
         workers: int,
     ) -> list:
-        """Run every shard in the pool; return results in shard order."""
-        scalars = self._engines[0].state.scalar_fields()
-        tasks = [
-            ShardTask(
-                index=index,
-                cycles=system_cycles,
-                arrivals=_encode_rows(matrix, where),
-                schedule=_encode_rows(schedule, where),
-                telemetry=telemetry,
-                stream_window=stream_window,
-                scalars=scalars,
+        """Run every shard on the residents; return results in shard order."""
+        self._ensure_workers(workers)
+        return self._run_round(
+            matrix, system_cycles, schedule, telemetry, stream_window,
+            sink_mode="fresh",
+        )
+
+    def run_chunked(
+        self,
+        matrix: np.ndarray,
+        schedule: Optional[np.ndarray],
+        bounds: Sequence[Tuple[int, int]],
+        telemetry: str,
+        stream_window: int,
+        workers: int,
+    ) -> list:
+        """Run the horizon in chunks, one command round-trip per chunk.
+
+        Dense chunks ship results every round and the parent stitches
+        them; streaming/null chunks keep the sink inside the worker
+        (``sink_mode="keep"``) and ship results only on the final chunk
+        (``"finish"``) — zero per-chunk result traffic.
+        """
+        self._ensure_workers(workers)
+        dense = telemetry == "dense"
+        pieces: List[list] = [[] for _ in self._shard_slices]
+        results: Optional[list] = None
+        last = len(bounds) - 1
+        for k, (lo, hi) in enumerate(bounds):
+            chunk_results = self._run_round(
+                matrix[:, lo:hi],
+                hi - lo,
+                None if schedule is None else schedule[:, lo:hi],
+                telemetry,
+                stream_window,
+                sink_mode=(
+                    "fresh" if dense else ("finish" if k == last else "keep")
+                ),
             )
-            for index, where in enumerate(self._shard_slices)
-        ]
-        pool = self._ensure_pool(max(1, min(workers, len(tasks))))
-        # Executor.map yields in submission order, i.e. shard order —
-        # the merge below is deterministic regardless of which worker
-        # ran which shard.
-        outcomes = list(pool.map(_run_shard, tasks))
-        final_scalars = outcomes[0][2]
-        for engine in self._engines:
-            engine.state.apply_scalars(final_scalars)
-        return [result for _, result, _ in outcomes]
+            if dense:
+                for index, out in enumerate(chunk_results):
+                    pieces[index].append(out)
+            else:
+                results = chunk_results
+        if dense:
+            from repro.engine.trace import BatchTrace
+
+            return [BatchTrace.concatenate(p) for p in pieces]
+        return results
+
+    def reset(self, population, shared_tables=None) -> None:
+        """Re-point the resident fleet at a replacement population.
+
+        The parent has already reset the shared *state* arrays in place
+        (through its adopted shard views); this refreshes the shared
+        device and table blocks in place, swaps the payload scalars
+        (load description, calibration table, temperature, delay
+        constants) and sends live workers one ``reset`` command so they
+        rebuild their derived caches over the existing attachments.
+        The block layout is fixed at construction: a population that
+        would change it (different sensor-device sharing, different
+        array shapes) needs a fresh fleet and is rejected loudly.
+        """
+        if self._closed:
+            raise RuntimeError("process fleet backend is closed")
+        distinct = population.sensor_devices is not population.load_devices
+        if distinct != self._payload.sensor_distinct:
+            raise ValueError(
+                "replacement population changes the sensor-device block "
+                "layout; build a fresh fleet"
+            )
+        device_arrays = _device_arrays(population.load_devices, "load.")
+        if distinct:
+            device_arrays.update(
+                _device_arrays(population.sensor_devices, "sensor.")
+            )
+        self._refresh_block("devices", device_arrays)
+        if (shared_tables is not None) != ("tables" in self.blocks):
+            raise ValueError(
+                "replacement population changes the response-table block "
+                "layout; build a fresh fleet"
+            )
+        if shared_tables is not None:
+            self._refresh_block("tables", _table_arrays(shared_tables))
+        self._payload = replace(
+            self._payload,
+            table_meta=_table_meta(shared_tables),
+            load=population.load,
+            expected_counts=population.expected_counts,
+            temperature_c=population.temperature_c,
+            delay_constant=population.load_devices.delay_constant,
+            sensor_delay_constant=population.sensor_devices.delay_constant,
+        )
+        if self._workers:
+            self._command(
+                [("reset", self._payload)] * len(self._workers)
+            )
+
+    def _refresh_block(
+        self, key: str, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        block = self.blocks[key]
+        names = {spec.name for spec in block.spec.arrays}
+        if set(arrays) != names:
+            raise ValueError(
+                f"replacement population changes the {key} block layout; "
+                "build a fresh fleet"
+            )
+        for name, array in arrays.items():
+            view = block.view(name)
+            if view.shape != array.shape or view.dtype != array.dtype:
+                raise ValueError(
+                    f"replacement population changes the {key} array "
+                    f"{name!r} layout; build a fresh fleet"
+                )
+            view[...] = array
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down and unlink every shared segment.
+        """Retire the residents and unlink every shared segment.
 
         Safe to call any number of times, including after a partial
-        construction or a failed run.  Parent engine states are detached
-        (copied out of shared memory) first so they stay readable.
+        construction, a failed run or a worker crash.  Parent engine
+        states are detached (copied out of shared memory) first so they
+        stay readable; workers that do not drain within the timeout are
+        terminated — the segments are unlinked either way.
         """
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.conn.send(("close",))
+            except Exception:
+                pass
+        for worker in workers:
+            # Drain at most the pending ack so the worker's send cannot
+            # block, then drop the pipe; a hung or dead worker just
+            # skips ahead to the join/terminate below.
+            try:
+                if worker.conn.poll(1.0):
+                    worker.conn.recv()
+            except Exception:
+                pass
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - hang path
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
         for engine in self._engines:
             state = getattr(engine, "state", None)
             if state is not None:

@@ -75,6 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch execution mode (default direct)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "fleet worker count for fleet execution modes "
+            "(default: CPUs available to this process)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-cycles", type=int, default=None,
+        help=(
+            "system cycles per fleet worker round-trip (chunked "
+            "dispatch; default: whole horizon in one dispatch)"
+        ),
+    )
+    parser.add_argument(
+        "--engine-cache", type=int, default=4,
+        help=(
+            "warm engines kept resident across ticks, 0 disables "
+            "reuse (default 4)"
+        ),
+    )
+    parser.add_argument(
         "--device-model", choices=("exact", "tabulated"), default="exact",
         help="engine device model for every request (default exact)",
     )
@@ -124,6 +145,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_batch_dies=args.max_batch,
             cache_bytes=int(args.cache_mb * 1024 * 1024),
             execution=args.execution,
+            workers=args.workers,
+            chunk_cycles=args.chunk_cycles,
+            engine_cache=args.engine_cache,
         )
     )
     requests = generate_requests(
@@ -138,7 +162,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     started = time.perf_counter()
     # run() is the open-loop client: it submits the whole budget,
     # draining a micro-batch whenever admission control pushes back.
-    results = service.run(requests)
+    try:
+        results = service.run(requests)
+    finally:
+        service.close()
     elapsed = time.perf_counter() - started
     energies = [result.values["energy_total"] for result in results]
     print(

@@ -33,7 +33,7 @@ every partition against.
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -116,6 +116,20 @@ class ServiceConfig:
     shard_size: Optional[int] = None
     """Fleet shard size (fleet execution modes only)."""
 
+    chunk_cycles: Optional[int] = None
+    """Fleet execution only: advance batches ``chunk_cycles`` system
+    cycles per worker round-trip (:meth:`FleetEngine.run_chunked`);
+    ``None`` runs each batch's full horizon in one dispatch.  Ignored by
+    ``"direct"`` execution (there is no dispatch to amortise)."""
+
+    engine_cache: int = 4
+    """Warm engines kept resident across ticks, keyed by
+    ``(group_key, batch size)``.  A tick whose batch matches a warm
+    engine swaps the new population in with :meth:`BatchEngine.reset`
+    instead of constructing (and, for fleets, re-fanning-out) an engine
+    — bit-identical results, zero re-fanout.  ``0`` disables reuse
+    (cold construction per batch, the pre-persistent behaviour)."""
+
     def __post_init__(self) -> None:
         if self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -132,6 +146,10 @@ class ServiceConfig:
                 f"execution must be one of {EXECUTION_MODES}, "
                 f"got {self.execution!r}"
             )
+        if self.chunk_cycles is not None and self.chunk_cycles <= 0:
+            raise ValueError("chunk_cycles must be positive")
+        if self.engine_cache < 0:
+            raise ValueError("engine_cache must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -152,6 +170,11 @@ class ServiceStats:
     cache_entries: int
     cache_bytes: int
     elapsed_s: float
+    engine_builds: int = 0
+    engine_reuses: int = 0
+    fanout_s: float = 0.0
+    dispatch_s: float = 0.0
+    merge_s: float = 0.0
 
     @property
     def requests_per_second(self) -> float:
@@ -169,6 +192,12 @@ class ServiceStats:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def engine_reuse_rate(self) -> float:
+        """Warm-engine hits over all engine acquisitions."""
+        runs = self.engine_builds + self.engine_reuses
+        return self.engine_reuses / runs if runs else 0.0
+
     def describe(self) -> str:
         """Return a multi-line human-readable summary (the CLI output)."""
         return "\n".join(
@@ -185,6 +214,15 @@ class ServiceStats:
                 f"({self.cache_hits} hits / {self.cache_misses} misses), "
                 f"{self.cache_entries} entries, "
                 f"{self.cache_bytes} bytes",
+                f"dispatch    fan-out {self.fanout_s:.3f}s, "
+                f"run {self.dispatch_s:.3f}s, merge {self.merge_s:.3f}s "
+                f"(per tick: fan-out "
+                f"{self.fanout_s / self.batches if self.batches else 0.0:.4f}s, "
+                f"merge "
+                f"{self.merge_s / self.batches if self.batches else 0.0:.4f}s)",
+                f"engines     reuse rate {self.engine_reuse_rate:.1%} "
+                f"({self.engine_reuses} reuses / "
+                f"{self.engine_builds} builds)",
                 f"queue       depth {self.queue_depth}",
             )
         )
@@ -268,7 +306,50 @@ class SimulationService:
         self._batches = 0
         self._simulated_dies = 0
         self._coalesced_requests = 0
+        # Warm engines, keyed by (group_key, batch size); LRU, bounded
+        # by config.engine_cache.  Values: {"engine": ..., "fleet": bool}.
+        self._engines: "OrderedDict[Tuple[object, int], dict]" = (
+            OrderedDict()
+        )
+        self._engine_builds = 0
+        self._engine_reuses = 0
+        self._fanout_s = 0.0
+        self._dispatch_s = 0.0
+        self._merge_s = 0.0
         self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (warm process fleets hold shared-memory segments)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Retire every warm engine (process fleets unlink their shared
+        memory).  The service stays usable — the next batch simply
+        builds cold again — so this is safe to call between phases of a
+        long-lived deployment, not just at the end."""
+        engines, self._engines = self._engines, OrderedDict()
+        for entry in engines.values():
+            self._close_engine(entry)
+
+    @staticmethod
+    def _close_engine(entry: dict) -> None:
+        closer = getattr(entry["engine"], "close", None)
+        if closer is not None:
+            try:
+                closer()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Shared, content-independent resources (built once, reused)
@@ -516,6 +597,7 @@ class SimulationService:
         requests = list(requests)
         if not requests:
             return []
+        t0 = time.perf_counter()
         first = requests[0]
         group = first.group_key()
         for request in requests[1:]:
@@ -569,54 +651,102 @@ class SimulationService:
                     for request in requests
                 ]
             )
+        corrections = np.array(
+            [request.initial_correction for request in requests],
+            dtype=np.int64,
+        )
         engine_kwargs = dict(
             compensation_enabled=first.compensation_enabled,
             feedback_mode=FeedbackMode[first.feedback.upper()],
             averaging_window=first.averaging_window,
-            initial_correction=np.array(
-                [request.initial_correction for request in requests],
-                dtype=np.int64,
-            ),
+            initial_correction=corrections,
             device_model=first.device_model,
             step_kernel=first.step_kernel,
         )
         lut = self._lut(first.sample_rate)
 
-        if self.config.execution == "direct":
-            engine = BatchEngine(
-                population, lut, config=self.controller, **engine_kwargs
-            )
-            sink = StreamingTrace(window=self.config.stream_window)
-            engine.run(
-                arrivals,
-                first.cycles,
-                scheduled_codes=schedule,
-                sink=sink,
-            )
-            totals = self._state_totals([engine])
-        else:
-            from repro.engine.fleet import FleetConfig, FleetEngine
-
-            fleet = FleetEngine(
-                population,
-                lut,
-                config=self.controller,
-                fleet=FleetConfig(
-                    executor=self.config.execution,
-                    workers=self.config.workers,
-                    shard_size=self.config.shard_size,
-                    telemetry="streaming",
-                    stream_window=self.config.stream_window,
-                ),
-                **engine_kwargs,
-            )
+        # Warm-engine acquisition: a batch whose (group_key, size)
+        # matches a resident engine swaps the new population in with
+        # reset() — bit-identical to cold construction, but fleets keep
+        # their pinned workers (and shared-memory attachments), so the
+        # tick does zero re-fanout.
+        is_fleet = self.config.execution != "direct"
+        key = (group, n)
+        cached = self.config.engine_cache > 0
+        entry = self._engines.get(key) if cached else None
+        if entry is not None:
+            self._engines.move_to_end(key)
             try:
-                sink = fleet.run(
-                    arrivals, first.cycles, scheduled_codes=schedule
+                entry["engine"].reset(
+                    population=population, initial_correction=corrections
                 )
-                totals = self._state_totals(fleet.engines)
-            finally:
-                fleet.close()
+            except BaseException:
+                self._engines.pop(key, None)
+                self._close_engine(entry)
+                raise
+            self._engine_reuses += 1
+        else:
+            if is_fleet:
+                from repro.engine.fleet import FleetConfig, FleetEngine
+
+                engine = FleetEngine(
+                    population,
+                    lut,
+                    config=self.controller,
+                    fleet=FleetConfig(
+                        executor=self.config.execution,
+                        workers=self.config.workers,
+                        shard_size=self.config.shard_size,
+                        telemetry="streaming",
+                        stream_window=self.config.stream_window,
+                    ),
+                    **engine_kwargs,
+                )
+            else:
+                engine = BatchEngine(
+                    population, lut, config=self.controller, **engine_kwargs
+                )
+            entry = {"engine": engine, "fleet": is_fleet}
+            self._engine_builds += 1
+            if cached:
+                self._engines[key] = entry
+                while len(self._engines) > self.config.engine_cache:
+                    _, old = self._engines.popitem(last=False)
+                    self._close_engine(old)
+
+        engine = entry["engine"]
+        t1 = time.perf_counter()
+        try:
+            if is_fleet:
+                if self.config.chunk_cycles is not None:
+                    sink = engine.run_chunked(
+                        arrivals,
+                        first.cycles,
+                        self.config.chunk_cycles,
+                        scheduled_codes=schedule,
+                    )
+                else:
+                    sink = engine.run(
+                        arrivals, first.cycles, scheduled_codes=schedule
+                    )
+                totals = self._state_totals(engine.engines)
+            else:
+                sink = StreamingTrace(window=self.config.stream_window)
+                engine.run(
+                    arrivals,
+                    first.cycles,
+                    scheduled_codes=schedule,
+                    sink=sink,
+                )
+                totals = self._state_totals([engine])
+        except BaseException:
+            # A failed run leaves half-advanced state; never reuse it.
+            self._engines.pop(key, None)
+            self._close_engine(entry)
+            raise
+        t2 = time.perf_counter()
+        if not cached and is_fleet:
+            engine.close()
 
         reducers = sink.die_reducers()
         results: List[Dict[str, Scalar]] = []
@@ -627,6 +757,10 @@ class SimulationService:
             for name, caster in SINK_RESULT_FIELDS:
                 values[name] = caster(reducers[name][i])
             results.append(values)
+        t3 = time.perf_counter()
+        self._fanout_s += t1 - t0
+        self._dispatch_s += t2 - t1
+        self._merge_s += t3 - t2
         return results
 
     @staticmethod
@@ -658,4 +792,9 @@ class SimulationService:
             cache_entries=len(self.cache),
             cache_bytes=self.cache.current_bytes,
             elapsed_s=time.monotonic() - self._started,
+            engine_builds=self._engine_builds,
+            engine_reuses=self._engine_reuses,
+            fanout_s=self._fanout_s,
+            dispatch_s=self._dispatch_s,
+            merge_s=self._merge_s,
         )

@@ -446,6 +446,151 @@ def test_tabulated_backends_bit_identical_and_near_exact(
     )
 
 
+REUSE_COMBOS = (
+    {"executor": "serial", "telemetry": "dense"},
+    {"executor": "thread", "telemetry": "dense"},
+    {"executor": "process", "telemetry": "dense"},
+    {"executor": "thread", "telemetry": "streaming"},
+    {"executor": "process", "telemetry": "null"},
+    {"executor": "thread", "telemetry": "dense", "step_kernel": "legacy"},
+    {"executor": "process", "telemetry": "dense",
+     "device_model": "tabulated"},
+)
+"""Engine-reuse axis coverage: every executor, every sink, the legacy
+kernel (thread-only; the process backend rejects it) and the tabulated
+device model all appear at least once."""
+
+
+def _fingerprint(result, totals, telemetry):
+    """Reduce one fleet run to comparable arrays for its sink mode."""
+    out = {f"totals.{key}": value for key, value in totals.items()}
+    if telemetry == "dense":
+        for channel in TRACE_CHANNELS:
+            out[channel] = getattr(result, channel)
+    elif telemetry == "streaming":
+        for channel in (
+            "output_voltages", "energies", "duty_values", "lut_corrections"
+        ):
+            out[f"min.{channel}"] = result.minimum(channel)
+            out[f"max.{channel}"] = result.maximum(channel)
+            out[f"last.{channel}"] = result.last(channel)
+            out[f"tail.{channel}"] = result.tail(channel)
+        out["settle_cycle"] = result.settle_cycle
+        out["violation_cycles"] = result.violation_cycles
+    else:
+        assert result is None
+    return out
+
+
+def _fleet_totals(fleet):
+    return {
+        "energy": fleet.total_energy(),
+        "operations": fleet.total_operations(),
+        "drops": fleet.total_drops(),
+        "correction": fleet.final_correction(),
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_persistent_engine_reuse_bit_identical(seed, library, fuzz_lut):
+    """The engine-reuse axis: repeated ``run()``/``run_chunked()`` calls
+    on **one persistent FleetEngine** — with ``reset()`` population
+    swaps between calls — must stay bit-identical to fresh cold engines,
+    across every (step_kernel, device_model, executor, sink)
+    combination the backends support."""
+    from types import SimpleNamespace
+
+    runs = get_runs(seed, library, fuzz_lut)
+    sc = runs.sc
+    message = sc.replay_message()
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    swapped_samples = MonteCarloSampler(
+        VariationModel(
+            global_sigma_v=float(rng.uniform(0.005, 0.03)),
+            local_sigma_v=float(rng.uniform(0.0, 0.01)),
+        ),
+        seed=seed + 1,
+    ).draw_arrays(sc.dies)
+    swapped_population = BatchPopulation.from_samples(
+        library,
+        SimpleNamespace(
+            nmos_vth_shift=np.asarray(
+                swapped_samples.nmos_vth_shift, dtype=float
+            ),
+            pmos_vth_shift=np.asarray(
+                swapped_samples.pmos_vth_shift, dtype=float
+            ),
+        ),
+    )
+    chunk = int(rng.integers(1, sc.cycles + 5))
+
+    for combo in REUSE_COMBOS:
+        telemetry = combo["telemetry"]
+        kwargs = sc.engine_kwargs()
+        for knob in ("step_kernel", "device_model"):
+            if knob in combo:
+                kwargs[knob] = combo[knob]
+
+        def build(population):
+            return FleetEngine(
+                population,
+                fuzz_lut,
+                fleet=FleetConfig(
+                    shard_size=sc.shard_size,
+                    workers=sc.workers,
+                    executor=combo["executor"],
+                    telemetry=telemetry,
+                    stream_window=sc.stream_window,
+                ),
+                **kwargs,
+            )
+
+        def one_run(fleet):
+            return fleet.run(
+                sc.arrivals, sc.cycles, scheduled_codes=sc.schedule_codes
+            )
+
+        with build(runs.population) as cold:
+            reference = _fingerprint(
+                one_run(cold), _fleet_totals(cold), telemetry
+            )
+        with build(swapped_population) as cold:
+            swapped_reference = _fingerprint(
+                one_run(cold), _fleet_totals(cold), telemetry
+            )
+
+        with build(runs.population) as persistent:
+            label = f"(reuse combo {combo}, chunk={chunk}) {message}"
+            first = _fingerprint(
+                one_run(persistent), _fleet_totals(persistent), telemetry
+            )
+            assert_totals_identical(reference, first, f"run 1 {label}")
+
+            # Swap populations on the live fleet; chunked dispatch must
+            # match the cold fleet's single-dispatch run bit for bit.
+            persistent.reset(population=swapped_population)
+            chunked = _fingerprint(
+                persistent.run_chunked(
+                    sc.arrivals,
+                    sc.cycles,
+                    chunk,
+                    scheduled_codes=sc.schedule_codes,
+                ),
+                _fleet_totals(persistent),
+                telemetry,
+            )
+            assert_totals_identical(
+                swapped_reference, chunked, f"swap+chunked {label}"
+            )
+
+            # Swap back: the third generation on the same residents.
+            persistent.reset(population=runs.population)
+            third = _fingerprint(
+                one_run(persistent), _fleet_totals(persistent), telemetry
+            )
+            assert_totals_identical(reference, third, f"run 3 {label}")
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_scalar_run_reference_parity(seed, library, fuzz_lut):
     """The batch reference must match the pure-Python scalar loop

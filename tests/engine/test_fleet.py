@@ -60,6 +60,12 @@ def arrivals():
     return rng.integers(0, 3, size=(DIES, CYCLES))
 
 
+@pytest.fixture(scope="module")
+def other_population(library):
+    samples = MonteCarloSampler(seed=14).draw_arrays(DIES)
+    return BatchPopulation.from_samples(library, samples)
+
+
 def assert_bit_identical(expected: BatchTrace, actual: BatchTrace):
     for channel in ALL_CHANNELS:
         np.testing.assert_array_equal(
@@ -313,6 +319,246 @@ class TestExecutorBackends:
         ) as fleet:
             assert_bit_identical(first, fleet.run(arrivals[:, :60], 60))
             assert_bit_identical(second, fleet.run(arrivals[:, 60:], 60))
+
+
+class TestChunkedDispatch:
+    """run_chunked must equal one run() over the full horizon, bit for
+    bit, on every backend and telemetry mode."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("chunk", [1, 37, 120, 500])
+    def test_dense_chunked_matches_one_run(
+        self, population, reference_lut, arrivals, executor, chunk
+    ):
+        single = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, executor=executor),
+        ) as fleet:
+            assert_bit_identical(
+                single, fleet.run_chunked(arrivals, CYCLES, chunk)
+            )
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_streaming_chunked_matches_unchunked(
+        self, population, reference_lut, arrivals, executor
+    ):
+        def build():
+            return FleetEngine(
+                population,
+                reference_lut,
+                fleet=FleetConfig(
+                    shard_size=3, workers=2, executor=executor,
+                    telemetry="streaming", stream_window=16,
+                ),
+            )
+
+        with build() as fleet:
+            reference = fleet.run(arrivals, CYCLES)
+        with build() as fleet:
+            chunked = fleet.run_chunked(arrivals, CYCLES, 31)
+        for channel in ("output_voltages", "energies", "duty_values"):
+            np.testing.assert_array_equal(
+                chunked.total(channel), reference.total(channel)
+            )
+            np.testing.assert_array_equal(
+                chunked.tail(channel), reference.tail(channel)
+            )
+        np.testing.assert_array_equal(
+            chunked.settle_cycle, reference.settle_cycle
+        )
+        np.testing.assert_array_equal(
+            chunked.violation_cycles, reference.violation_cycles
+        )
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_null_chunked_totals_match(
+        self, population, reference_lut, arrivals, executor
+    ):
+        single = BatchEngine(population, lut=reference_lut)
+        single.run(arrivals, CYCLES)
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(
+                shard_size=3, workers=2, executor=executor, telemetry="null"
+            ),
+        ) as fleet:
+            assert fleet.run_chunked(arrivals, CYCLES, 50) is None
+            np.testing.assert_array_equal(
+                fleet.total_energy(), single.state.energy_total
+            )
+            np.testing.assert_array_equal(
+                fleet.final_correction(), single.state.lut_correction
+            )
+
+    def test_scheduled_chunked_matches_one_run(
+        self, population, reference_lut
+    ):
+        codes = np.tile(
+            np.array([19, 11, 33], dtype=np.int64), CYCLES // 3 + 1
+        )[:CYCLES]
+        single = BatchEngine(population, lut=reference_lut).run(
+            None, CYCLES, scheduled_codes=codes
+        )
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=2, executor="process"),
+        ) as fleet:
+            assert_bit_identical(
+                single,
+                fleet.run_chunked(None, CYCLES, 41, scheduled_codes=codes),
+            )
+
+    def test_chunk_must_be_positive(self, population, reference_lut):
+        fleet = FleetEngine(population, reference_lut)
+        with pytest.raises(ValueError):
+            fleet.run_chunked(None, 10, 0)
+
+
+class TestFleetReset:
+    """reset() must make the next run bit-identical to a cold fleet."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_reset_replays_bit_identically(
+        self, population, reference_lut, arrivals, executor
+    ):
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, executor=executor),
+        ) as fleet:
+            first = fleet.run(arrivals, CYCLES)
+            fleet.reset()
+            assert_bit_identical(first, fleet.run(arrivals, CYCLES))
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_population_swap_matches_cold_fleet(
+        self,
+        population,
+        other_population,
+        reference_lut,
+        arrivals,
+        executor,
+    ):
+        cold = BatchEngine(other_population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2, executor=executor),
+        ) as fleet:
+            fleet.run(arrivals, CYCLES)  # dirty the resident state
+            fleet.reset(population=other_population)
+            assert_bit_identical(cold, fleet.run(arrivals, CYCLES))
+
+    def test_tabulated_swap_rebuilds_shared_tables(
+        self, population, other_population, reference_lut, arrivals
+    ):
+        cold = BatchEngine(
+            other_population, lut=reference_lut, device_model="tabulated"
+        ).run(arrivals, CYCLES)
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=2, executor="process"),
+            device_model="tabulated",
+        ) as fleet:
+            fleet.run(arrivals, CYCLES)
+            fleet.reset(population=other_population)
+            assert_bit_identical(cold, fleet.run(arrivals, CYCLES))
+
+    def test_reset_initial_correction_array(
+        self, population, reference_lut
+    ):
+        correction = np.arange(DIES, dtype=np.int64) % 3 - 1
+        codes = np.full(30, 12)
+        single = BatchEngine(
+            population, lut=reference_lut, initial_correction=correction
+        ).run(None, 30, scheduled_codes=codes)
+        with FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=4, workers=2),
+        ) as fleet:
+            fleet.run(None, 30, scheduled_codes=codes)
+            fleet.reset(initial_correction=correction)
+            assert_bit_identical(
+                single, fleet.run(None, 30, scheduled_codes=codes)
+            )
+            # None restores the construction-time default.
+            fleet.reset()
+            plain = BatchEngine(population, lut=reference_lut).run(
+                None, 30, scheduled_codes=codes
+            )
+            assert_bit_identical(
+                plain, fleet.run(None, 30, scheduled_codes=codes)
+            )
+
+    def test_size_mismatch_rejected(
+        self, population, reference_lut, library
+    ):
+        small = BatchPopulation.from_samples(
+            library, MonteCarloSampler(seed=7).draw_arrays(DIES - 1)
+        )
+        with FleetEngine(population, reference_lut) as fleet:
+            with pytest.raises(ValueError, match="replacement population"):
+                fleet.reset(population=small)
+
+    def test_reset_after_close_rejected(self, population, reference_lut):
+        fleet = FleetEngine(population, reference_lut)
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            fleet.reset()
+
+
+class TestResidentThreadTeam:
+    def test_double_start_rejected(self):
+        from repro.engine.fleet import _ResidentThreadTeam
+
+        team = _ResidentThreadTeam(num_shards=4, workers=2)
+        team.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                team.start()
+        finally:
+            team.close()
+
+    def test_dispatch_requires_started_team(self):
+        from repro.engine.fleet import _ResidentThreadTeam
+
+        team = _ResidentThreadTeam(num_shards=2, workers=2)
+        with pytest.raises(RuntimeError, match="not running"):
+            team.dispatch(lambda index: None)
+
+    def test_team_survives_worker_error(
+        self, population, reference_lut, arrivals
+    ):
+        """A raising shard callable must surface and leave the team
+        usable — the threads ack errors instead of dying."""
+        fleet = FleetEngine(
+            population,
+            reference_lut,
+            fleet=FleetConfig(shard_size=3, workers=2),
+        )
+        boom = RuntimeError("shard exploded")
+
+        def explode(index):
+            raise boom
+
+        fleet._dispatch(lambda index: None, workers=2)  # start the team
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            fleet._team.dispatch(explode)
+        single = BatchEngine(population, lut=reference_lut).run(
+            arrivals, CYCLES
+        )
+        fleet.reset()
+        assert_bit_identical(single, fleet.run(arrivals, CYCLES))
 
 
 class TestResolvedWorkers:

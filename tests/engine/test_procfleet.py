@@ -304,6 +304,79 @@ class TestProcessFleetLifecycle:
         )
         assert fleet.num_shards >= 1
 
+    def test_close_with_live_resident_workers_is_idempotent(
+        self, population, reference_lut, arrivals
+    ):
+        """close() must drain live resident workers (not just unlink):
+        the worker processes exit, repeated closes no-op, and every
+        segment disappears."""
+        fleet = make_process_fleet(population, reference_lut)
+        names = fleet.shared_block_names()
+        fleet.run(arrivals[:, :10], 10)  # spins the residents up
+        backend = fleet._proc
+        workers = list(backend._workers)
+        assert workers  # residents are live before close
+        fleet.close()
+        fleet.close()
+        backend.close()  # backend-level close is idempotent too
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            assert not worker.process.is_alive()
+        assert_unlinked(names)
+
+    def test_worker_crash_mid_chunk_leaks_no_segments(
+        self, population, reference_lut, arrivals, monkeypatch
+    ):
+        """A fault armed for a later cycle fires on a mid-horizon chunk
+        — after earlier chunks already ran on live residents — and the
+        teardown must still unlink every segment."""
+        monkeypatch.setenv(FAULT_ENV, "1:20")
+        fleet = make_process_fleet(population, reference_lut)
+        names = fleet.shared_block_names()
+        # Chunks of 10 over 40 cycles: the fault arms at start cycle 20,
+        # so chunks 1-2 succeed and chunk 3 crashes the shard-1 worker.
+        with pytest.raises(RuntimeError, match="injected worker fault"):
+            fleet.run_chunked(arrivals, CYCLES, 10)
+        assert_unlinked(names)
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.run(arrivals, CYCLES)
+
+    def test_double_start_is_rejected(
+        self, population, reference_lut, arrivals
+    ):
+        fleet = make_process_fleet(population, reference_lut)
+        try:
+            fleet.run(arrivals[:, :10], 10)  # first run starts residents
+            with pytest.raises(RuntimeError, match="already started"):
+                fleet._proc.start(2)
+        finally:
+            fleet.close()
+
+    def test_reset_swaps_population_on_live_workers(
+        self, library, population, reference_lut, arrivals
+    ):
+        """A population swap on a running process fleet must equal a
+        cold fleet over the new population — devices refreshed in the
+        shared block, workers re-pointed by the reset command."""
+        other = BatchPopulation.from_samples(
+            library, MonteCarloSampler(seed=38).draw_arrays(DIES)
+        )
+        cold = BatchEngine(other, lut=reference_lut).run(arrivals, CYCLES)
+        with make_process_fleet(population, reference_lut) as fleet:
+            fleet.run(arrivals, CYCLES)
+            names = fleet.shared_block_names()
+            fleet.reset(population=other)
+            # The swap reuses the original segments (refresh-in-place).
+            assert fleet.shared_block_names() == names
+            swapped = fleet.run(arrivals, CYCLES)
+        np.testing.assert_array_equal(
+            swapped.output_voltages, cold.output_voltages
+        )
+        np.testing.assert_array_equal(
+            swapped.lut_corrections, cold.lut_corrections
+        )
+        assert_unlinked(names)
+
     def test_construction_failure_unlinks_partial_blocks(
         self, population, reference_lut, monkeypatch
     ):
