@@ -13,7 +13,6 @@ import pytest
 from repro.circuits.loads import DigitalLoad
 from repro.core.controller import AdaptiveController
 from repro.core.rate_controller import program_lut_for_load
-from repro.digital.signals import voltage_to_code
 from repro.library import OperatingCondition
 
 PHASES = [(19, 120), (11, 220), (47, 160)]

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.circuits.loads import DigitalLoad
-from repro.delay.energy import EnergyModel, LoadCharacteristics
+from repro.delay.energy import LoadCharacteristics
 from repro.delay.mep import MepPoint, find_minimum_energy_point
 from repro.devices.temperature import ROOM_TEMPERATURE_C
 from repro.digital.signals import code_to_voltage, voltage_to_code

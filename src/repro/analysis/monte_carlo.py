@@ -68,7 +68,14 @@ class MonteCarloSummary:
         )
 
     def mean_penalty_percent(self) -> float:
-        """Return the average uncompensated energy penalty (%)."""
+        """Return the average uncompensated energy penalty (%).
+
+        Order audit (repro-lint RL002/RL003 sweep): every reduction in
+        this summary runs over ``self.results``, whose order and length
+        are fixed by the sample index / ``samples`` argument — never by
+        batch composition — so numpy's width-dependent pairwise
+        summation cannot leak anything here.
+        """
         return float(np.mean([r.penalty_percent for r in self.results]))
 
     def worst_penalty_percent(self) -> float:

@@ -13,7 +13,7 @@ objects plus primary inputs and outputs.  It supports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.gates import Gate, GateKind
 from repro.delay.energy import LoadCharacteristics
@@ -36,6 +36,7 @@ class SimulationResult:
         """Return the mean number of net toggles per simulated cycle."""
         if self.cycles == 0:
             return 0.0
+        # repro: allow[RL003] integer toggle counts — integer addition is exact and order-independent
         return sum(self.toggle_counts.values()) / self.cycles
 
 
@@ -111,8 +112,15 @@ class Netlist:
         return len(self._gates)
 
     def equivalent_gate_count(self) -> float:
-        """Return the NAND2-equivalent gate count."""
-        return sum(gate.equivalent_gates for gate in self._gates.values())
+        """Return the NAND2-equivalent gate count.
+
+        Summed in sorted instance-name order: the weights are floats,
+        so the total must not depend on gate insertion order.
+        """
+        return sum(
+            self._gates[name].equivalent_gates
+            for name in sorted(self._gates)
+        )
 
     def nets(self) -> Tuple[str, ...]:
         """Return every net name (inputs plus gate outputs)."""

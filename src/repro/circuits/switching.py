@@ -72,7 +72,13 @@ def estimate_switching_activity(
     per_net = {
         net: result.toggle_counts.get(net, 0) / result.cycles for net in nets
     }
-    activity = float(np.mean(list(per_net.values()))) if per_net else 0.0
+    # Reduce in sorted-net order so the activity is bit-identical no
+    # matter what order the netlist inserted its gates in.
+    activity = (
+        float(np.mean([per_net[net] for net in sorted(per_net)]))
+        if per_net
+        else 0.0
+    )
     return ActivityReport(
         netlist_name=netlist.name,
         cycles=result.cycles,

@@ -11,7 +11,7 @@ needs to be reflected in the LUT").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.digital.signals import clamp_code, code_to_voltage, voltage_to_code
 

@@ -501,4 +501,5 @@ class ResponseTables:
 
     def table_bytes(self) -> int:
         """Return the memory held by the response tables."""
+        # repro: allow[RL003] nbytes are ints — integer addition is exact and order-independent
         return sum(table.nbytes for table in self._tables.values())

@@ -503,6 +503,7 @@ class StreamingTrace(TraceSink):
             return 0
         total = self._ring_times.nbytes
         for store in (self._ring, self._sums, self._mins, self._maxs):
+            # repro: allow[RL003] nbytes are ints — integer addition is exact and order-independent
             total += sum(array.nbytes for array in store.values())
         for array in (
             self.settle_cycle, self.settle_time, self.violation_cycles

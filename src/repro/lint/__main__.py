@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` — same entry point as the ``repro-lint``
+console script (the module form works from a plain ``PYTHONPATH=src``
+checkout with nothing installed)."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

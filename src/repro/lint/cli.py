@@ -1,0 +1,145 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    repro-lint [PATH ...] [--select RL001,RL002] [--ignore RL003]
+               [--format text|json] [--list-rules]
+
+Paths default to ``src``.  Directories are walked recursively for
+``*.py`` (skipping hidden directories and ``__pycache__``).  The exit
+code is the number of unsuppressed findings, capped at
+:data:`MAX_EXIT_CODE` so it never collides with shell signal codes —
+``0`` means the tree is clean and is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.core import FileReport, all_rules, lint_source
+from repro.lint.reporters import gather, render_json, render_text
+
+MAX_EXIT_CODE = 99
+"""Findings beyond this still fail the run but clamp the exit code
+(126+ collide with shell conventions for signals/not-executable)."""
+
+_SKIP_DIR_PREFIXES = (".",)
+_SKIP_DIR_NAMES = frozenset({"__pycache__", "node_modules"})
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen = set()
+    files: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            parts = candidate.parts[:-1]
+            if any(
+                part.startswith(_SKIP_DIR_PREFIXES)
+                or part in _SKIP_DIR_NAMES
+                for part in parts
+            ):
+                continue
+            key = candidate.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            files.append(candidate)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[FileReport]:
+    """Lint every python file under ``paths`` and return the reports."""
+    reports: List[FileReport] = []
+    for path in discover_files(paths):
+        source = path.read_text(encoding="utf-8")
+        reports.append(
+            lint_source(
+                source, path.as_posix(), select=select, ignore=ignore
+            )
+        )
+    return reports
+
+
+def _split_codes(value: str) -> List[str]:
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & resource-lifecycle static analyzer enforcing "
+            "the repo's bit-identity contract at the AST level."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_split_codes,
+        default=None,
+        metavar="RLxxx,...",
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_split_codes,
+        default=None,
+        metavar="RLxxx,...",
+        help="skip these rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        reports = lint_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return MAX_EXIT_CODE
+    if args.format == "json":
+        print(render_json(reports))
+    else:
+        print(render_text(reports))
+    return min(len(gather(reports)), MAX_EXIT_CODE)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Rule registry and the per-file lint driver.
+
+A rule is a callable object with a ``rule_id`` (``RLxxx``), a one-line
+``summary`` and a ``check(tree, analyzer)`` generator yielding
+:class:`Finding` objects.  Rules register themselves into
+:data:`REGISTRY` at import time via :func:`register`; the driver runs
+every selected rule over one parsed file and applies the suppression
+comments collected by :mod:`repro.lint.suppress`.
+
+``RL000`` is reserved for the framework itself: unparseable files and
+malformed suppression comments (missing reason, unknown rule code) are
+reported under it, so a broken suppression can never silently widen the
+gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.scopes import Analyzer
+from repro.lint.suppress import Suppression, collect_suppressions
+
+FRAMEWORK_RULE_ID = "RL000"
+"""Rule id for framework-level findings (parse errors, bad suppressions)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """Return the one-line text form ``path:line:col: RLxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`.  Keeping this a class (rather than a bare function)
+    gives every rule a place for tuning constants — allowlists, name
+    patterns — that the rule catalogue in ARCHITECTURE.md can point at.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, analyzer: Analyzer, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=self.rule_id,
+            path=analyzer.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+REGISTRY: Dict[str, Rule] = {}
+"""All registered rules, keyed by rule id (populated at import time)."""
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator registering a :class:`Rule` subclass."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Return every registered rule, sorted by id (rules auto-import)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def active_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Resolve ``--select`` / ``--ignore`` into a rule list."""
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(REGISTRY)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) in --select: {', '.join(sorted(unknown))}"
+            )
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+@dataclass
+class FileReport:
+    """Findings for one file, plus the suppressions that fired."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> FileReport:
+    """Lint one file's source text and return its report.
+
+    Suppression comments (``# repro: allow[RLxxx] reason``) drop
+    matching findings on their own line or the line directly below;
+    malformed suppressions (no reason, unknown code) are themselves
+    reported as ``RL000`` findings and suppress nothing.
+    """
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule=FRAMEWORK_RULE_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"could not parse file: {exc.msg}",
+            )
+        )
+        return report
+
+    suppressions = collect_suppressions(source)
+    analyzer = Analyzer(tree, path)
+    raw: List[Finding] = []
+    for rule in active_rules(select, ignore):
+        raw.extend(rule.check(tree, analyzer))
+
+    ignored = set(ignore or ())
+    for finding in sorted(raw, key=Finding.sort_key):
+        if _suppressed(finding, suppressions):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+    if FRAMEWORK_RULE_ID not in ignored:
+        known = set(REGISTRY) | {FRAMEWORK_RULE_ID}
+        for suppression in suppressions:
+            problem = suppression.problem()
+            if problem is None and not (suppression.codes <= known):
+                unknown = ", ".join(sorted(suppression.codes - known))
+                problem = (
+                    f"suppression names unregistered rule(s) {unknown}; "
+                    "see --list-rules"
+                )
+            if problem is not None:
+                report.findings.append(
+                    Finding(
+                        rule=FRAMEWORK_RULE_ID,
+                        path=path,
+                        line=suppression.line,
+                        col=suppression.col + 1,
+                        message=problem,
+                    )
+                )
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def _suppressed(
+    finding: Finding, suppressions: Iterable[Suppression]
+) -> bool:
+    for suppression in suppressions:
+        if suppression.matches(finding.rule, finding.line):
+            return True
+    return False

@@ -1,0 +1,87 @@
+"""Text and JSON rendering of lint reports.
+
+The JSON document is the machine interface CI consumes; its schema is
+pinned by ``tests/lint/test_reporters.py``:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "files_scanned": 12,
+      "findings": [
+        {"rule": "RL001", "path": "...", "line": 3, "col": 5,
+         "message": "..."}
+      ],
+      "counts": {"RL001": 1},
+      "suppressed": 0
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.core import FileReport, Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def gather(reports: Sequence[FileReport]) -> List[Finding]:
+    """Flatten per-file reports into one sorted finding list."""
+    findings: List[Finding] = []
+    for report in reports:
+        findings.extend(report.findings)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def render_text(reports: Sequence[FileReport]) -> str:
+    """Return the human-facing report."""
+    findings = gather(reports)
+    suppressed = sum(len(report.suppressed) for report in reports)
+    lines = [finding.render() for finding in findings]
+    summary = (
+        f"repro-lint: {len(findings)} finding(s) in "
+        f"{len(reports)} file(s)"
+    )
+    if suppressed:
+        summary += f" ({suppressed} suppressed)"
+    if findings:
+        counts = _counts(findings)
+        summary += " — " + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(counts.items())
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[FileReport]) -> str:
+    """Return the machine-facing JSON document."""
+    findings = gather(reports)
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_scanned": len(reports),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "counts": _counts(findings),
+        "suppressed": sum(len(report.suppressed) for report in reports),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

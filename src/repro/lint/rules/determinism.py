@@ -1,0 +1,305 @@
+"""Determinism rules: RL001 unseeded randomness, RL002 order-sensitive
+float reductions over per-die/shard data, RL003 unsorted container
+iteration feeding a reduction, hash or merge.
+
+These encode the bit-identity contract ARCHITECTURE.md states in prose:
+every simulated value must be a pure function of the request content —
+never of wall clock, interpreter-global RNG state, batch width or
+container iteration order.  The shipped bug classes each rule guards
+against:
+
+* RL001 — PR 2's per-die Poisson streams silently sharing one RNG
+  stream (seeding discipline),
+* RL002 — PR 5's ``np.mean`` over a per-die reducer array: numpy's
+  pairwise summation picks a different addition order for different
+  array widths, leaking *batch composition* into the last ULP,
+* RL003 — hashing/merging/reducing over ``dict.values()`` or a set,
+  where insertion order (or hash-table order) leaks into a value that
+  must be canonical.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.core import Finding, Rule, register
+from repro.lint.scopes import Analyzer
+
+# Legacy module-level numpy.random functions draw from one shared
+# global generator — exactly the PR 2 hazard.  SeedSequence/Generator/
+# default_rng(seed) construction is the sanctioned path.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "f", "gamma", "geometric", "gumbel",
+        "hypergeometric", "integers", "laplace", "logistic", "lognormal",
+        "logseries", "multinomial", "multivariate_normal",
+        "negative_binomial", "noncentral_chisquare", "noncentral_f",
+        "normal", "pareto", "permutation", "poisson", "power", "rand",
+        "randint", "randn", "random", "random_integers", "random_sample",
+        "ranf", "rayleigh", "sample", "seed", "shuffle",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform",
+        "vonmises", "wald", "weibull", "zipf",
+    }
+)
+
+_STDLIB_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+
+
+@register
+class UnseededRandomness(Rule):
+    """RL001: randomness outside the seeded ``default_rng`` protocol."""
+
+    rule_id = "RL001"
+    summary = (
+        "unseeded or global-state randomness (default_rng() without a "
+        "seed, module-level np.random draws, stdlib random, wall clock "
+        "as a value)"
+    )
+
+    # Paths (posix substrings) exempt from this rule.  Deliberately
+    # empty: every random draw in src/ today flows through an explicit
+    # seed, and new exemptions should be per-line suppressions with a
+    # reason, not silent path carve-outs.
+    allowed_path_parts: Tuple[str, ...] = ()
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        path = analyzer.path.replace("\\", "/")
+        if any(part in path for part in self.allowed_path_parts):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = analyzer.qualified_name(node.func)
+            if qualified is None:
+                continue
+            if qualified == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        analyzer,
+                        node,
+                        "np.random.default_rng() without a seed draws "
+                        "OS entropy — thread the run's SeedSequence/seed "
+                        "through instead",
+                    )
+                continue
+            parts = qualified.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] in _NUMPY_GLOBAL_DRAWS
+            ):
+                yield self.finding(
+                    analyzer,
+                    node,
+                    f"module-level np.random.{parts[2]}() uses the shared "
+                    "global generator — construct a seeded Generator via "
+                    "default_rng(seed)/SeedSequence.spawn",
+                )
+                continue
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM_FUNCS
+            ):
+                yield self.finding(
+                    analyzer,
+                    node,
+                    f"stdlib random.{parts[1]}() is process-global and "
+                    "unseeded — use a seeded np.random.Generator",
+                )
+                continue
+            if qualified in _WALL_CLOCK:
+                parent = analyzer.parent(node)
+                if not isinstance(parent, ast.Expr):
+                    yield self.finding(
+                        analyzer,
+                        node,
+                        f"{qualified}() used as a value makes the result "
+                        "depend on wall clock — pass timestamps/seeds in "
+                        "explicitly (time.monotonic/perf_counter are fine "
+                        "for measuring durations)",
+                    )
+
+
+# Identifiers that mark a value as flowing from per-die reducers or a
+# shard merge: the axes along which batch composition varies.
+_REDUCER_CONTEXT_CALLS = frozenset(
+    {"die_reducers", "merge_dies", "merge_shards", "concatenate_dies"}
+)
+_REDUCER_CONTEXT_NAME_RE = re.compile(
+    r"(^|_)(shards?|die_reducers?|merged?)(_|$)"
+)
+
+_NUMPY_REDUCTIONS = frozenset(
+    {"numpy.mean", "numpy.sum", "numpy.nanmean", "numpy.nansum"}
+)
+
+
+def _reduction_argument(
+    node: ast.Call, analyzer: Analyzer
+) -> Optional[ast.expr]:
+    """Return the reduced operand of a sum/mean-style call, if any."""
+    qualified = analyzer.qualified_name(node.func)
+    if qualified in _NUMPY_REDUCTIONS or qualified == "math.fsum":
+        pass
+    elif analyzer.is_builtin(node.func, "sum"):
+        pass
+    else:
+        return None
+    if not node.args:
+        return None
+    return node.args[0]
+
+
+@register
+class OrderSensitiveReduction(Rule):
+    """RL002: float reduction over per-die reducer / shard-merge data."""
+
+    rule_id = "RL002"
+    summary = (
+        "np.mean/np.sum/sum over data flowing from per-die reducers or "
+        "a shard merge — pairwise summation order depends on the die-"
+        "axis width, leaking batch composition into the last ULP"
+    )
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            argument = _reduction_argument(node, analyzer)
+            if argument is None:
+                continue
+            names = analyzer.identifiers(argument)
+            calls = analyzer.call_names(argument)
+            # Follow each name in the operand one alias hop, so
+            # ``reducers = sink.die_reducers(); np.mean(reducers[...])``
+            # still reveals its per-die provenance.
+            for sub in ast.walk(argument):
+                if isinstance(sub, ast.Name):
+                    resolved = analyzer.resolve_alias(sub)
+                    if resolved is not sub:
+                        names |= analyzer.identifiers(resolved)
+                        calls |= analyzer.call_names(resolved)
+            if calls & _REDUCER_CONTEXT_CALLS or any(
+                _REDUCER_CONTEXT_NAME_RE.search(name) for name in names
+            ):
+                yield self.finding(
+                    analyzer,
+                    node,
+                    "reduction over per-die/shard-merged data: the "
+                    "result's addition order varies with the die-axis "
+                    "width — accumulate row by row in a fixed order "
+                    "(see StreamingTrace.die_reducers) or suppress with "
+                    "the reason the width is invariant",
+                )
+
+
+_HASHY_CONSUMER_RE = re.compile(r"(?i)(canonical|hash|digest|merge)")
+
+
+def _int_literal_element(argument: ast.expr) -> bool:
+    """Return True when a comprehension sums a literal int per element
+    (``sum(1 for ...)``) — exact integer counting, order-independent."""
+    if isinstance(argument, (ast.GeneratorExp, ast.ListComp)):
+        element = argument.elt
+        return isinstance(element, ast.Constant) and isinstance(
+            element.value, int
+        )
+    return False
+
+
+@register
+class UnsortedIteration(Rule):
+    """RL003: dict.values()/set feeding a reduction, hash or merge
+    without ``sorted(...)``."""
+
+    rule_id = "RL003"
+    summary = (
+        "iteration over dict.values()/set feeding a reduction, "
+        "canonical hash or merge without sorted(...) — hash/insertion "
+        "order leaks into a value that must be canonical"
+    )
+
+    def _is_consumer(self, node: ast.Call, analyzer: Analyzer) -> bool:
+        if _reduction_argument(node, analyzer) is not None:
+            return True
+        func = node.func
+        terminal = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        return bool(terminal and _HASHY_CONSUMER_RE.search(terminal))
+
+    def _unsorted_sources(
+        self, argument: ast.expr, analyzer: Analyzer
+    ) -> Iterator[ast.AST]:
+        for sub in ast.walk(argument):
+            is_values_call = (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "values"
+                and not sub.args
+                and not sub.keywords
+            )
+            is_set = isinstance(sub, (ast.Set, ast.SetComp))
+            if not (is_values_call or is_set):
+                continue
+            if analyzer.inside_call_named(
+                sub, ("sorted",), stop=argument
+            ):
+                continue
+            yield sub
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                if not self._is_consumer(node, analyzer):
+                    continue
+                for argument in node.args:
+                    if _int_literal_element(argument):
+                        continue
+                    for source in self._unsorted_sources(
+                        argument, analyzer
+                    ):
+                        yield self.finding(
+                            analyzer,
+                            source,
+                            "unsorted container iteration feeds "
+                            f"{ast.unparse(node.func)}(...) — iterate "
+                            "sorted(keys) (or sorted(...) the values) so "
+                            "the result is independent of insertion/hash "
+                            "order, or suppress with the reason order "
+                            "cannot matter (e.g. exact integer sums)",
+                        )
+            elif isinstance(node, ast.For):
+                accumulates = any(
+                    isinstance(sub, ast.AugAssign)
+                    for sub in ast.walk(node)
+                )
+                if not accumulates:
+                    continue
+                for source in self._unsorted_sources(node.iter, analyzer):
+                    yield self.finding(
+                        analyzer,
+                        source,
+                        "loop over an unsorted container accumulates "
+                        "into a running value — iterate sorted(keys) so "
+                        "the accumulation order is canonical, or "
+                        "suppress with the reason order cannot matter",
+                    )

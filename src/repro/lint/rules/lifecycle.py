@@ -1,0 +1,167 @@
+"""RL004 — resource lifecycle: shared-memory segments and fleet engines
+must have a teardown path that survives exceptions.
+
+A leaked ``/dev/shm`` segment outlives the process; a ``FleetEngine``
+owns resident workers *and* (for the process backend) every shared
+segment of the run.  The repo's contract (ARCHITECTURE.md "Execution
+backends") is that the creating side owns teardown:
+
+* ``SharedMemory(create=True)`` must be paired with an ``unlink`` that
+  is reachable on failure — in the same class (the owning wrapper's
+  ``close``/``__exit__``) or in a ``finally``/``except`` of the
+  creating function,
+* a constructed ``FleetEngine`` must be governed by ``with`` or by a
+  ``try/finally`` that calls ``close()`` — unless ownership is
+  explicitly handed elsewhere, which is what a suppression documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, Rule, register
+from repro.lint.scopes import Analyzer
+
+
+def _is_create_true(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "create" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            return keyword.value.value is True
+    # SharedMemory(name, create, size): positional second argument.
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        return node.args[1].value is True
+    return False
+
+
+def _contains_attr(scope: ast.AST, attr: str) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == attr
+        for sub in ast.walk(scope)
+    )
+
+
+def _cleanup_contains_attr(
+    analyzer: Analyzer, scope: ast.AST, attr: str
+) -> bool:
+    """Whether ``attr`` is referenced inside a finally/except of scope."""
+    return any(
+        isinstance(sub, ast.Attribute)
+        and sub.attr == attr
+        and analyzer.in_cleanup(sub)
+        for sub in ast.walk(scope)
+    )
+
+
+def _closes_name_in_finally(
+    analyzer: Analyzer, scope: ast.AST, name: str
+) -> bool:
+    """Whether ``<name>.close()`` appears inside a ``finally`` block."""
+    for sub in ast.walk(scope):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "close"
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+            and analyzer.in_finally(sub)
+        ):
+            return True
+    return False
+
+
+def _entered_as_context(scope: ast.AST, name: str) -> bool:
+    """Whether ``with <name>`` / ``with closing(<name>)`` governs it."""
+    for sub in ast.walk(scope):
+        if not isinstance(sub, ast.withitem):
+            continue
+        expr = sub.context_expr
+        if isinstance(expr, ast.Name) and expr.id == name:
+            return True
+        if (
+            isinstance(expr, ast.Call)
+            and expr.args
+            and isinstance(expr.args[0], ast.Name)
+            and expr.args[0].id == name
+        ):
+            return True
+    return False
+
+
+@register
+class ResourceLifecycle(Rule):
+    """RL004: SharedMemory/FleetEngine without a failure-safe teardown."""
+
+    rule_id = "RL004"
+    summary = (
+        "SharedMemory(create=True) without an unlink reachable via the "
+        "owning class or finally/except, or FleetEngine constructed "
+        "outside with/try-finally-close"
+    )
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = analyzer.qualified_name(node.func) or ""
+            terminal = qualified.split(".")[-1]
+            if terminal == "SharedMemory" and _is_create_true(node):
+                finding = self._check_shared_memory(node, analyzer)
+                if finding is not None:
+                    yield finding
+            elif terminal == "FleetEngine":
+                finding = self._check_fleet_engine(node, analyzer)
+                if finding is not None:
+                    yield finding
+
+    def _check_shared_memory(
+        self, node: ast.Call, analyzer: Analyzer
+    ) -> Optional[Finding]:
+        enclosing_class = analyzer.enclosing_class(node)
+        if enclosing_class is not None and _contains_attr(
+            enclosing_class, "unlink"
+        ):
+            return None
+        function = analyzer.enclosing_function(node)
+        scope = function if function is not None else analyzer.tree
+        if _cleanup_contains_attr(analyzer, scope, "unlink"):
+            return None
+        return self.finding(
+            analyzer,
+            node,
+            "SharedMemory(create=True) with no unlink reachable on "
+            "failure — own the segment in a class whose close() unlinks "
+            "it, or unlink in a finally/except here",
+        )
+
+    def _check_fleet_engine(
+        self, node: ast.Call, analyzer: Analyzer
+    ) -> Optional[Finding]:
+        if analyzer.is_with_context(node):
+            return None
+        parent = analyzer.parent(node)
+        message = (
+            "FleetEngine constructed outside a with block or try/finally "
+            "calling close() — resident workers and shared segments leak "
+            "on an exception (suppress only where ownership is handed to "
+            "a managed container)"
+        )
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            name = parent.targets[0].id
+            function = analyzer.enclosing_function(node)
+            scope = function if function is not None else analyzer.tree
+            if _closes_name_in_finally(analyzer, scope, name):
+                return None
+            if _entered_as_context(scope, name):
+                return None
+            return self.finding(analyzer, node, message)
+        # Any other use (returned, passed along, attribute-assigned)
+        # escapes this scope's control: demand with/finally or an
+        # ownership-documenting suppression.
+        return self.finding(analyzer, node, message)

@@ -1,0 +1,82 @@
+"""RL005 — procfleet wire-protocol discipline.
+
+The process-fleet dispatch protocol (``repro.engine.procfleet``) is a
+strict request/reply alternation per worker pipe: every
+``("run"|"reset"|"close", ...)`` command the parent sends must be
+answered, and the parent must drain the ack before the pipe is reused
+or torn down — an undrained ack desynchronises the stream, and the
+*next* command reads a stale reply (or deadlocks on close).  The
+static shape of that contract: a class that sends command tuples must
+also receive on the same pipes somewhere in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, Rule, register
+from repro.lint.scopes import Analyzer
+
+_COMMANDS = frozenset({"run", "reset", "close"})
+
+
+def _command_tuple(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Tuple)
+        and len(expr.elts) >= 1
+        and isinstance(expr.elts[0], ast.Constant)
+        and isinstance(expr.elts[0].value, str)
+        and expr.elts[0].value in _COMMANDS
+    )
+
+
+def _contains_recv(scope: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Attribute)
+        and sub.func.attr == "recv"
+        for sub in ast.walk(scope)
+    )
+
+
+@register
+class WireProtocolDiscipline(Rule):
+    """RL005: command send with no ack drain in the same class."""
+
+    rule_id = "RL005"
+    summary = (
+        "Pipe.send((\"run\"|\"reset\"|\"close\", ...)) with no "
+        "corresponding recv() ack drain in the same class — the "
+        "request/reply stream desynchronises"
+    )
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and len(node.args) == 1
+            ):
+                continue
+            payload = analyzer.resolve_alias(node.args[0])
+            if not _command_tuple(payload):
+                continue
+            enclosing_class = analyzer.enclosing_class(node)
+            scope = (
+                enclosing_class
+                if enclosing_class is not None
+                else analyzer.enclosing_function(node) or analyzer.tree
+            )
+            if _contains_recv(scope):
+                continue
+            command = payload.elts[0].value  # type: ignore[union-attr]
+            yield self.finding(
+                analyzer,
+                node,
+                f"({command!r}, ...) command sent but this "
+                f"{'class' if enclosing_class is not None else 'scope'} "
+                "never drains an ack via recv() — every command needs "
+                "its reply consumed before the pipe is reused or closed",
+            )

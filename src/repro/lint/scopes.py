@@ -1,0 +1,246 @@
+"""Lightweight scope, alias and import tracking over one parsed file.
+
+The rules in :mod:`repro.lint.rules` are pattern matchers, not a type
+checker — but raw AST matching alone cannot tell ``np.random`` from an
+innocent attribute chain, or follow ``reducers = sink.die_reducers()``
+one hop to the call that produced the value.  :class:`Analyzer` builds
+exactly the navigation the rules need and nothing more:
+
+* parent links (``parent`` / ``ancestors``),
+* an import alias map so attribute chains resolve to dotted module
+  paths (``np.random.default_rng`` -> ``numpy.random.default_rng``),
+* per-scope single-assignment maps for one-hop alias resolution
+  (ambiguous names — assigned more than once — never resolve, so the
+  rules stay conservative),
+* enclosing function / class lookup and ``finally``-reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class Analyzer:
+    """Navigation helpers for one parsed module."""
+
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self.tree = tree
+        self.path = path
+        self._parents: Dict[int, ast.AST] = {}
+        self._finally_nodes: Set[int] = set()
+        self._except_nodes: Set[int] = set()
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        self._finally_nodes.add(id(sub))
+                for handler in node.handlers:
+                    for sub in ast.walk(handler):
+                        self._except_nodes.add(id(sub))
+        self.imports = self._collect_imports(tree)
+        self._scope_assignments: Dict[int, Dict[str, Optional[ast.expr]]] = {}
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Return the direct parent of ``node`` (None for the module)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield parents of ``node`` from innermost to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Return the innermost enclosing function definition."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """Return the innermost enclosing class definition."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Return the function/class/module body that holds ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                return ancestor
+        return self.tree
+
+    def in_finally(self, node: ast.AST) -> bool:
+        """Return whether ``node`` sits inside any ``finally`` block."""
+        return id(node) in self._finally_nodes
+
+    def in_cleanup(self, node: ast.AST) -> bool:
+        """Return whether ``node`` is in a ``finally`` or ``except``."""
+        return (
+            id(node) in self._finally_nodes or id(node) in self._except_nodes
+        )
+
+    def is_with_context(self, call: ast.AST) -> bool:
+        """Return whether ``call`` is used as ``with <call>`` directly."""
+        parent = self.parent(call)
+        return isinstance(parent, ast.withitem) and parent.context_expr is call
+
+    # ------------------------------------------------------------------
+    # Imports and qualified names
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        # import numpy.random as npr -> npr: numpy.random
+                        aliases[alias.asname] = alias.name
+                    else:
+                        # import numpy.random -> binds the root "numpy"
+                        root = alias.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative imports never name numpy/random
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def qualified_name(self, func: ast.AST) -> Optional[str]:
+        """Resolve a call target to a dotted name through import aliases.
+
+        Returns ``None`` for targets rooted in anything but a plain
+        name (chained calls, subscripts) — the rules treat those as
+        unknown rather than guessing.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def is_builtin(self, func: ast.AST, name: str) -> bool:
+        """Return whether ``func`` is the builtin ``name`` (unshadowed)."""
+        return (
+            isinstance(func, ast.Name)
+            and func.id == name
+            and name not in self.imports
+        )
+
+    # ------------------------------------------------------------------
+    # Alias resolution
+    # ------------------------------------------------------------------
+    def _assignments(self, scope: ast.AST) -> Dict[str, Optional[ast.expr]]:
+        """Map name -> assigned value for single-assignment names.
+
+        Names assigned more than once in the scope map to ``None``
+        (ambiguous — never resolved).  Nested function bodies are
+        excluded: their assignments belong to their own scope.
+        """
+        cached = self._scope_assignments.get(id(scope))
+        if cached is not None:
+            return cached
+        assignments: Dict[str, Optional[ast.expr]] = {}
+
+        def visit(node: ast.AST, top: bool) -> None:
+            if not top and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if target.id in assignments:
+                        assignments[target.id] = None
+                    else:
+                        assignments[target.id] = node.value
+            elif isinstance(node, (ast.AugAssign, ast.For, ast.withitem)):
+                target = getattr(node, "target", None) or getattr(
+                    node, "optional_vars", None
+                )
+                if isinstance(target, ast.Name):
+                    assignments[target.id] = None
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+
+        visit(scope, True)
+        self._scope_assignments[id(scope)] = assignments
+        return assignments
+
+    def resolve_alias(self, expr: ast.expr) -> ast.expr:
+        """Follow a plain name to its unique assigned value (<= 2 hops)."""
+        current = expr
+        for _ in range(2):
+            if not isinstance(current, ast.Name):
+                return current
+            scope = self.enclosing_function(expr) or self.tree
+            value = self._assignments(scope).get(current.id)
+            if value is None:
+                return current
+            current = value
+        return current
+
+    # ------------------------------------------------------------------
+    # Identifier harvesting (for context-pattern rules)
+    # ------------------------------------------------------------------
+    def identifiers(self, expr: ast.AST) -> Set[str]:
+        """Return every Name id and Attribute attr inside ``expr``."""
+        names: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+        return names
+
+    def call_names(self, expr: ast.AST) -> Set[str]:
+        """Return the terminal names of every call inside ``expr``."""
+        names: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    names.add(func.attr)
+                elif isinstance(func, ast.Name):
+                    names.add(func.id)
+        return names
+
+    def inside_call_named(
+        self, node: ast.AST, names: Tuple[str, ...], stop: ast.AST
+    ) -> bool:
+        """Return whether ``node`` sits inside a call to one of ``names``,
+        searching ancestors no further than ``stop``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                func = ancestor.func
+                terminal = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if terminal in names:
+                    return True
+            if ancestor is stop:
+                break
+        return False

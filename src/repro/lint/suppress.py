@@ -1,0 +1,112 @@
+"""``# repro: allow[RLxxx] reason`` suppression comments.
+
+A suppression silences specific rules on its own line, or — when the
+comment stands alone on a line — on the next line.  The reason is
+mandatory: a suppression is a determinism decision, and the decision's
+justification lives next to the code it covers.  A suppression with no
+reason (or naming an unknown rule code) suppresses nothing and is
+itself reported as an ``RL000`` finding, so the gate cannot rot by
+someone pasting a bare ``allow``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+_COMMENT_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``repro: allow`` comment."""
+
+    line: int
+    col: int
+    codes: FrozenSet[str]
+    reason: str
+    own_line: bool
+    """Whether the comment stood alone (covers the next line too)."""
+
+    invalid_codes: FrozenSet[str] = frozenset()
+
+    def problem(self) -> Optional[str]:
+        """Return why this suppression is malformed, or ``None``."""
+        if self.invalid_codes:
+            bad = ", ".join(sorted(self.invalid_codes))
+            return (
+                f"suppression names unknown rule code(s) {bad}; "
+                "use RLxxx ids from --list-rules"
+            )
+        if not self.codes:
+            return "suppression lists no rule codes"
+        if not self.reason.strip():
+            codes = ", ".join(sorted(self.codes))
+            return (
+                f"suppression for {codes} is missing a reason — every "
+                "allow must document the determinism decision it records"
+            )
+        return None
+
+    def matches(self, rule_id: str, line: int) -> bool:
+        """Return whether this (valid) suppression covers a finding."""
+        if self.problem() is not None:
+            return False
+        if rule_id not in self.codes:
+            return False
+        if line == self.line:
+            return True
+        return self.own_line and line == self.line + 1
+
+
+def collect_suppressions(source: str) -> List[Suppression]:
+    """Parse every ``repro: allow`` comment in ``source``."""
+    suppressions: List[Suppression] = []
+    code_lines = set()
+    comments = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comments.append(token)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            code_lines.add(token.start[0])
+    for token in comments:
+        match = _COMMENT_RE.search(token.string)
+        if match is None:
+            continue
+        raw_codes = [
+            code.strip()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        ]
+        valid = frozenset(c for c in raw_codes if _CODE_RE.match(c))
+        invalid = frozenset(c for c in raw_codes if not _CODE_RE.match(c))
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                col=token.start[1],
+                codes=valid,
+                reason=match.group("reason"),
+                own_line=token.start[0] not in code_lines,
+                invalid_codes=invalid,
+            )
+        )
+    return suppressions

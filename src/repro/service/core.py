@@ -689,6 +689,7 @@ class SimulationService:
             if is_fleet:
                 from repro.engine.fleet import FleetConfig, FleetEngine
 
+                # repro: allow[RL004] ownership moves to the warm-engine LRU below; SimulationService.close()/_close_engine retire it (and the eviction/except paths close it on failure)
                 engine = FleetEngine(
                     population,
                     lut,

@@ -35,7 +35,7 @@ FEEDBACK_MODES = ("voltage_sense", "delay_servo")
 keep the request model hashable and canonical)."""
 
 
-def _as_int_tuple(values) -> Tuple[int, ...]:
+def _as_int_tuple(values: Sequence[int]) -> Tuple[int, ...]:
     array = np.asarray(values)
     if array.ndim != 1:
         raise ValueError("per-cycle vectors must be one-dimensional")
@@ -108,6 +108,7 @@ class WorkloadSpec:
         if self.kind == "constant":
             return constant_arrival_matrix([self.rate], period, cycles)[0]
         if self.kind == "poisson":
+            assert self.seed is not None  # enforced in __post_init__
             return poisson_arrival_row(
                 self.rate, period, cycles, int(self.seed)
             )
@@ -119,7 +120,7 @@ class WorkloadSpec:
             )
         return row
 
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         """Return the canonical-hash payload of this workload.
 
         Only fields that influence the generated arrival row are
@@ -127,12 +128,14 @@ class WorkloadSpec:
         ``seed`` exists only for ``"poisson"``, so equal scenarios hash
         equal whatever the inert fields were spelled as.
         """
-        payload = {"kind": self.kind}
+        payload: Dict[str, object] = {"kind": self.kind}
         if self.kind in ("constant", "poisson"):
             payload["rate"] = float(self.rate)
         if self.kind == "poisson":
+            assert self.seed is not None  # enforced in __post_init__
             payload["seed"] = int(self.seed)
         if self.kind == "explicit":
+            assert self.arrivals is not None  # enforced in __post_init__
             payload["arrivals"] = list(self.arrivals)
         return payload
 
@@ -229,7 +232,7 @@ class SimRequest:
     # ------------------------------------------------------------------
     # Coalescing and caching keys
     # ------------------------------------------------------------------
-    def group_key(self) -> Tuple:
+    def group_key(self) -> Tuple[object, ...]:
         """Return the key two requests must share to ride one engine run.
 
         Everything here is a per-engine constant of
@@ -251,7 +254,7 @@ class SimRequest:
             self.schedule_codes is not None,
         )
 
-    def cache_payload(self) -> Dict:
+    def cache_payload(self) -> Dict[str, object]:
         """Return the canonicalisable content of this request.
 
         Excludes ``deadline_s`` and ``reducers``: they shape service

@@ -19,7 +19,7 @@ the trapezoidal rule is available for accuracy-sensitive linear tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np

@@ -12,7 +12,7 @@ per-die generator stream exactly like repeated scalar draws).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

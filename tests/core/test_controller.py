@@ -6,7 +6,6 @@ from repro.circuits.loads import DigitalLoad
 from repro.core.config import ControllerConfig
 from repro.core.controller import AdaptiveController
 from repro.core.dcdc import DcDcConverter, FeedbackMode
-from repro.core.lut import VoltageLut
 from repro.core.rate_controller import RateController, program_lut_for_load
 from repro.core.tdc import TdcCalibration, TimeToDigitalConverter
 from repro.digital.fifo import Fifo

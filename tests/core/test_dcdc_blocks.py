@@ -1,6 +1,5 @@
 """Tests of the DC-DC building blocks: comparator, PWM, power stage, pulse, LUT."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -12,7 +12,6 @@ from repro.devices.corners import (
 )
 from repro.devices.technology import (
     DCDC_RESOLUTION_V,
-    Technology,
     TechnologyParameters,
     default_technology,
 )

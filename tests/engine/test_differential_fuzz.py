@@ -47,7 +47,6 @@ from repro.engine import (
     BatchPopulation,
     FleetConfig,
     FleetEngine,
-    StreamingTrace,
 )
 from repro.library import OperatingCondition
 

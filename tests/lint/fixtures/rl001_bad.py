@@ -1,0 +1,24 @@
+"""RL001 positives: unseeded / global-state randomness."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_generator():
+    rng = np.random.default_rng()  # RL001: no seed
+    return rng.random()
+
+
+def module_level_draw(n):
+    return np.random.normal(0.0, 1.0, size=n)  # RL001: global generator
+
+
+def stdlib_random():
+    return random.randint(0, 10)  # RL001: process-global stream
+
+
+def wall_clock_seed():
+    seed = int(time.time())  # RL001: wall clock as a value
+    return seed

@@ -1,0 +1,25 @@
+"""RL001 negatives: the sanctioned seeded-randomness protocol."""
+
+import time
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def spawned_streams(seed, n):
+    return [
+        np.random.default_rng(sequence)
+        for sequence in np.random.SeedSequence(seed).spawn(n)
+    ]
+
+
+def timing_only():
+    # Durations for telemetry are fine; only time *values* leak into
+    # results.
+    start = time.perf_counter()
+    time.time()  # statement position: result discarded
+    return time.perf_counter() - start

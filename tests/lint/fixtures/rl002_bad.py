@@ -1,0 +1,25 @@
+"""RL002 positives — the PR 5 bug class, reproduced in shape.
+
+The service extracted per-die reducers from a coalesced batch and took
+``np.mean`` across the die axis: numpy's pairwise summation picks a
+different addition order for different array widths, so the value
+changed in the last ULP depending on how many requests happened to be
+coalesced together.
+"""
+
+import numpy as np
+
+
+def service_extract(sink):
+    reducers = sink.die_reducers()
+    # Die-axis width == coalesced batch size: composition leaks in.
+    return float(np.mean(reducers["mean_voltage"]))  # RL002
+
+
+def shard_total(shards):
+    merged = np.concatenate(shards)
+    return np.sum(merged)  # RL002: width follows shard layout
+
+
+def fleet_mean(per_die_energy_shards):
+    return sum(per_die_energy_shards)  # RL002: builtin sum, same hazard

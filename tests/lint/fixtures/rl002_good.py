@@ -1,0 +1,19 @@
+"""RL002 negatives: fixed-order row accumulation and unrelated sums."""
+
+import numpy as np
+
+
+def service_extract(sink):
+    # The PR 5 fix shape: accumulate row by row in a fixed order, so
+    # the addition order never depends on the die-axis width.
+    tail = sink.tail("output_voltages")[-8:]
+    final_voltage = np.zeros(sink.n, dtype=float)
+    for row in tail:
+        final_voltage += row
+    return final_voltage / tail.shape[0]
+
+
+def plain_statistics(samples):
+    # Reduction over a fixed-length local array with no per-die/shard
+    # provenance: batch composition cannot reach it.
+    return float(np.mean(samples))

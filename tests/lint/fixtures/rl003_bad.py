@@ -1,0 +1,22 @@
+"""RL003 positives: unsorted containers feeding reductions/hashes."""
+
+import numpy as np
+
+
+def mean_over_dict_values(per_net):
+    return float(np.mean(list(per_net.values())))  # RL003
+
+
+def accumulate_over_values(totals):
+    acc = 0.0
+    for value in totals.values():  # RL003: += in hash-order
+        acc += value
+    return acc
+
+
+def hash_a_set(canonical_bytes, names):
+    return canonical_bytes({name for name in names})  # RL003: set order
+
+
+def float_sum_over_values(weights):
+    return sum(weights.values()) / len(weights)  # RL003

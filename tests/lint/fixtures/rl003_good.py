@@ -1,0 +1,23 @@
+"""RL003 negatives: sorted iteration and pure counting."""
+
+import numpy as np
+
+
+def mean_in_key_order(per_net):
+    return float(np.mean([per_net[net] for net in sorted(per_net)]))
+
+
+def sorted_values(weights):
+    return sum(sorted(weights.values()))
+
+
+def count_matches(gates, net):
+    # Literal-int counting: exact integer addition, order-independent.
+    return sum(1 for gate in gates.values() if gate == net)
+
+
+def collect(blocks):
+    # Iteration without accumulation (cleanup-style loops) is fine.
+    for block in blocks.values():
+        block.close()
+    return np.zeros(len(blocks))

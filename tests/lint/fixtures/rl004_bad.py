@@ -1,0 +1,21 @@
+"""RL004 positives: leak-prone resource lifecycles."""
+
+from multiprocessing import shared_memory
+
+from repro.engine.fleet import FleetEngine
+
+
+def leaky_segment(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)  # RL004
+    return segment.name
+
+
+def leaky_fleet(population, lut, arrivals, cycles):
+    engine = FleetEngine(population, lut)  # RL004: no finally/with
+    sink = engine.run(arrivals, cycles)
+    engine.close()  # unreachable when run() raises
+    return sink
+
+
+def escaping_fleet(population, lut):
+    return FleetEngine(population, lut)  # RL004: ownership escapes

@@ -1,0 +1,40 @@
+"""RL004 negatives: failure-safe teardown shapes."""
+
+from multiprocessing import shared_memory
+
+from repro.engine.fleet import FleetEngine
+
+
+class OwnedSegment:
+    """The owning-wrapper shape: close() unlinks, callers use with."""
+
+    def __init__(self, nbytes):
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=nbytes
+        )
+
+    def close(self):
+        self._segment.close()
+        self._segment.unlink()
+
+
+def guarded_segment(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf[:8])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def guarded_fleet(population, lut, arrivals, cycles):
+    engine = FleetEngine(population, lut)
+    try:
+        return engine.run(arrivals, cycles)
+    finally:
+        engine.close()
+
+
+def context_fleet(population, lut, arrivals, cycles):
+    with FleetEngine(population, lut) as engine:
+        return engine.run(arrivals, cycles)

@@ -1,0 +1,21 @@
+"""RL005 positives: command sends with no ack drain."""
+
+
+class FireAndForgetTeam:
+    """Sends run/close commands but never reads a reply: the next
+    command on the pipe reads a stale ack (or close deadlocks)."""
+
+    def __init__(self, workers):
+        self.workers = workers
+
+    def dispatch(self, order):
+        for worker in self.workers:
+            worker.conn.send(("run", order))  # RL005
+
+    def shutdown(self):
+        for worker in self.workers:
+            worker.conn.send(("close",))  # RL005
+
+
+def bare_reset(conn, payload):
+    conn.send(("reset", payload))  # RL005: no recv in this scope

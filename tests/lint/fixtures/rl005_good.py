@@ -1,0 +1,25 @@
+"""RL005 negatives: request/reply alternation kept per class."""
+
+
+class DrainingTeam:
+    """Every command is followed by an ack drain somewhere in the
+    class — the shape procfleet's resident workers use."""
+
+    def __init__(self, workers):
+        self.workers = workers
+
+    def dispatch(self, order):
+        for worker in self.workers:
+            worker.conn.send(("run", order))
+        return [worker.conn.recv() for worker in self.workers]
+
+    def shutdown(self):
+        for worker in self.workers:
+            worker.conn.send(("close",))
+            worker.conn.recv()
+
+
+def worker_reply(conn, result):
+    # Non-command tuples (worker-side acks) are not the parent
+    # protocol; they need no drain.
+    conn.send(("ok", result, None))

@@ -1,0 +1,31 @@
+"""Suppression-comment corpus: valid, stacked, stand-alone and broken."""
+
+import numpy as np
+
+
+def suppressed_same_line(weights):
+    return sum(weights.values())  # repro: allow[RL003] integer weights — addition is exact
+
+
+def suppressed_previous_line(per_net):
+    # repro: allow[RL003] keys are pre-sorted upstream by construction
+    return float(np.mean(list(per_net.values())))
+
+
+def suppressed_multi_code(sink):
+    reducers = sink.die_reducers()
+    # repro: allow[RL002,RL003] fixed one-die batch — the width can never vary
+    return float(np.mean(list(reducers.values())))
+
+
+def missing_reason(weights):
+    return sum(weights.values())  # repro: allow[RL003]
+
+
+def unknown_code(weights):
+    return sum(weights.values())  # repro: allow[RL999] no such rule exists
+
+
+def wrong_code(weights):
+    # The allow names RL001, the finding is RL003: not suppressed.
+    return sum(weights.values())  # repro: allow[RL001] mismatched code

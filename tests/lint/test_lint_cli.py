@@ -1,0 +1,91 @@
+"""CLI contract: exit code == finding count, --select/--ignore,
+--format json, --list-rules, and the subprocess entry point."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_main(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestExitCodes:
+    def test_exit_code_equals_finding_count(self, capsys):
+        code, _ = run_main(
+            capsys, str(FIXTURES / "rl001_bad.py"), "--select", "RL001"
+        )
+        assert code == 4
+
+    def test_clean_run_exits_zero(self, capsys):
+        code, _ = run_main(capsys, str(FIXTURES / "rl004_good.py"))
+        assert code == 0
+
+    def test_missing_path_is_an_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 99
+
+    def test_unknown_select_is_an_error(self, capsys):
+        code = main([str(FIXTURES / "rl001_bad.py"), "--select", "RLxyz"])
+        assert code == 99
+
+
+class TestFlags:
+    def test_ignore_drops_rules(self, capsys):
+        code, _ = run_main(
+            capsys, str(FIXTURES / "rl003_bad.py"), "--ignore", "RL003"
+        )
+        assert code == 0
+
+    def test_format_json_parses_and_counts(self, capsys):
+        code, out = run_main(
+            capsys, str(FIXTURES / "rl005_bad.py"), "--format", "json"
+        )
+        document = json.loads(out)
+        assert code == len(document["findings"]) == 3
+        assert document["counts"] == {"RL005": 3}
+
+    def test_list_rules(self, capsys):
+        code, out = run_main(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_directory_discovery_skips_pycache(self, tmp_path, capsys):
+        package = tmp_path / "pkg"
+        (package / "__pycache__").mkdir(parents=True)
+        (package / "__pycache__" / "junk.py").write_text(
+            "import random\nrandom.random()\n"
+        )
+        (package / "ok.py").write_text("VALUE = 1\n")
+        code, _ = run_main(capsys, str(package))
+        assert code == 0
+
+
+class TestSubprocess:
+    def test_python_m_repro_lint(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.lint",
+                str(FIXTURES / "rl002_bad.py"), "--format", "json",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        document = json.loads(proc.stdout)
+        assert proc.returncode == 3
+        assert {f["rule"] for f in document["findings"]} == {"RL002"}

@@ -1,0 +1,80 @@
+"""Reporter contracts: the JSON schema CI consumes and the text form."""
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def reports():
+    out = []
+    for name in ("rl001_bad.py", "rl003_good.py", "suppressions.py"):
+        path = FIXTURES / name
+        out.append(lint_source(path.read_text(encoding="utf-8"), name))
+    return out
+
+
+class TestJsonReporter:
+    def test_schema(self):
+        document = json.loads(render_json(reports()))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["tool"] == "repro-lint"
+        assert document["files_scanned"] == 3
+        assert isinstance(document["suppressed"], int)
+        assert document["suppressed"] >= 1
+        for finding in document["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "col", "message"
+            }
+            assert finding["rule"].startswith("RL")
+            assert finding["line"] >= 1
+            assert finding["col"] >= 1
+        assert document["counts"] == _count(document["findings"])
+
+    def test_clean_tree_has_empty_findings(self):
+        path = FIXTURES / "rl002_good.py"
+        report = lint_source(
+            path.read_text(encoding="utf-8"), "rl002_good.py"
+        )
+        document = json.loads(render_json([report]))
+        assert document["findings"] == []
+        assert document["counts"] == {}
+
+    def test_findings_sorted_by_position(self):
+        document = json.loads(render_json(reports()))
+        keys = [
+            (f["path"], f["line"], f["col"]) for f in document["findings"]
+        ]
+        assert keys == sorted(keys)
+
+
+def _count(findings):
+    counts = {}
+    for finding in findings:
+        counts[finding["rule"]] = counts.get(finding["rule"], 0) + 1
+    return counts
+
+
+class TestTextReporter:
+    def test_lines_and_summary(self):
+        text = render_text(reports())
+        lines = text.splitlines()
+        assert lines[0].startswith("rl001_bad.py:10:")
+        assert "RL001" in lines[0]
+        summary = lines[-1]
+        assert summary.startswith("repro-lint:")
+        assert "suppressed" in summary
+
+    def test_clean_summary(self):
+        path = FIXTURES / "rl002_good.py"
+        report = lint_source(
+            path.read_text(encoding="utf-8"), "rl002_good.py"
+        )
+        assert "0 finding(s) in 1 file(s)" in render_text([report])

@@ -1,0 +1,113 @@
+"""Fixture-corpus tests: every rule fires on its seeded-in violations
+and stays silent on the sanctioned shapes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.core import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name, **kwargs):
+    path = FIXTURES / name
+    return lint_source(path.read_text(encoding="utf-8"), name, **kwargs)
+
+
+def rules_fired(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+def lines_for(report, rule):
+    return [f.line for f in report.findings if f.rule == rule]
+
+
+class TestCatalogue:
+    def test_all_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_every_rule_has_summary(self):
+        for rule in all_rules():
+            assert rule.summary, rule.rule_id
+
+
+class TestRL001:
+    def test_positives(self):
+        report = lint_fixture("rl001_bad.py")
+        assert rules_fired(report) == ["RL001"]
+        # default_rng(), np.random.normal, random.randint, time.time
+        assert lines_for(report, "RL001") == [10, 15, 19, 23]
+
+    def test_negatives(self):
+        assert lint_fixture("rl001_good.py").findings == []
+
+
+class TestRL002:
+    def test_positives_include_pr5_reducer_shape(self):
+        """Regression corpus for the PR 5 bug: np.mean over the per-die
+        reducer array of a coalesced batch (see
+        StreamingTrace.die_reducers for the shipped fix)."""
+        report = lint_fixture("rl002_bad.py")
+        assert rules_fired(report) == ["RL002"]
+        lines = lines_for(report, "RL002")
+        assert 16 in lines  # np.mean(reducers[...]) via the alias hop
+        assert len(lines) == 3
+
+    def test_negatives_row_accumulation(self):
+        assert lint_fixture("rl002_good.py").findings == []
+
+
+class TestRL003:
+    def test_positives(self):
+        report = lint_fixture("rl003_bad.py")
+        assert rules_fired(report) == ["RL003"]
+        assert lines_for(report, "RL003") == [7, 12, 18, 22]
+
+    def test_negatives_sorted_and_counting(self):
+        assert lint_fixture("rl003_good.py").findings == []
+
+
+class TestRL004:
+    def test_positives(self):
+        report = lint_fixture("rl004_bad.py")
+        assert rules_fired(report) == ["RL004"]
+        assert len(lines_for(report, "RL004")) == 3
+
+    def test_negatives_owner_class_finally_with(self):
+        assert lint_fixture("rl004_good.py").findings == []
+
+
+class TestRL005:
+    def test_positives(self):
+        report = lint_fixture("rl005_bad.py")
+        assert rules_fired(report) == ["RL005"]
+        assert len(lines_for(report, "RL005")) == 3
+
+    def test_negatives_drained_class(self):
+        assert lint_fixture("rl005_good.py").findings == []
+
+
+class TestSelection:
+    def test_select_narrows_to_one_rule(self):
+        report = lint_fixture("rl001_bad.py", select=["RL001"])
+        assert rules_fired(report) == ["RL001"]
+        report = lint_fixture("rl001_bad.py", select=["RL004"])
+        assert report.findings == []
+
+    def test_ignore_drops_a_rule(self):
+        report = lint_fixture("rl003_bad.py", ignore=["RL003"])
+        assert report.findings == []
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError, match="RL777"):
+            lint_fixture("rl001_bad.py", select=["RL777"])
+
+
+class TestParseError:
+    def test_unparseable_source_reports_rl000(self):
+        report = lint_source("def broken(:\n", "broken.py")
+        assert [f.rule for f in report.findings] == ["RL000"]
+        assert "could not parse" in report.findings[0].message

@@ -1,0 +1,77 @@
+"""Suppression-comment handling: reasons are mandatory, codes must be
+real, and an allow only covers its own line (or the next, when it
+stands alone)."""
+
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.suppress import collect_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def report():
+    path = FIXTURES / "suppressions.py"
+    return lint_source(path.read_text(encoding="utf-8"), "suppressions.py")
+
+
+class TestSuppressionPlacement:
+    def test_same_line_suppresses(self):
+        rep = report()
+        assert 7 not in [f.line for f in rep.findings]
+        assert 7 in [f.line for f in rep.suppressed]
+
+    def test_standalone_comment_covers_next_line(self):
+        # The allow sits alone on line 11; the finding is on line 12.
+        rep = report()
+        assert 12 not in [f.line for f in rep.findings]
+        assert 12 in [f.line for f in rep.suppressed]
+
+    def test_multi_code_allow_suppresses_both_rules(self):
+        rep = report()
+        suppressed = [
+            (f.rule, f.line) for f in rep.suppressed if f.line == 18
+        ]
+        assert ("RL002", 18) in suppressed
+        assert ("RL003", 18) in suppressed
+
+    def test_mismatched_code_does_not_suppress(self):
+        rep = report()
+        assert ("RL003", 31) in [(f.rule, f.line) for f in rep.findings]
+
+
+class TestMalformedSuppressions:
+    def test_missing_reason_is_rl000_and_does_not_suppress(self):
+        rep = report()
+        by_line = [(f.rule, f.line) for f in rep.findings]
+        assert ("RL000", 22) in by_line  # the bare allow itself
+        assert ("RL003", 22) in by_line  # ...and the finding survives
+
+    def test_unknown_rule_code_is_rl000(self):
+        rep = report()
+        by_line = [(f.rule, f.line) for f in rep.findings]
+        assert ("RL000", 26) in by_line
+        assert ("RL003", 26) in by_line
+
+
+class TestParser:
+    def test_collects_codes_and_reasons(self):
+        source = (
+            "x = 1  # repro: allow[RL001] seeded upstream\n"
+            "# repro: allow[RL002, RL003] fixed width\n"
+            "y = 2\n"
+        )
+        first, second = collect_suppressions(source)
+        assert first.codes == frozenset({"RL001"})
+        assert first.reason == "seeded upstream"
+        assert not first.own_line
+        assert second.codes == frozenset({"RL002", "RL003"})
+        assert second.own_line
+
+    def test_non_allow_comments_ignored(self):
+        assert collect_suppressions("x = 1  # just a comment\n") == []
+
+    def test_reason_required_for_match(self):
+        (supp,) = collect_suppressions("x = 1  # repro: allow[RL001]\n")
+        assert supp.problem() is not None
+        assert not supp.matches("RL001", 1)
