@@ -51,8 +51,9 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +70,12 @@ from repro.engine.trace import (
     StreamingTrace,
     TraceSink,
     make_sink,
+)
+from repro.faults import (
+    FaultInjector,
+    RecoveryPolicy,
+    injected_error,
+    shared_injector,
 )
 
 TELEMETRY_MODES = ("dense", "streaming", "null")
@@ -98,6 +105,14 @@ class FleetConfig:
     executor: str = "thread"
     """Executor backend: ``"serial"``, ``"thread"`` or ``"process"``."""
 
+    recovery: Optional[RecoveryPolicy] = None
+    """Worker supervision and recovery (:mod:`repro.faults`).  ``None``
+    keeps every backend fail-fast (one failed shard kills the run); a
+    :class:`~repro.faults.RecoveryPolicy` arms dead/hung-worker
+    detection, respawn and epoch replay on the process backend and
+    snapshot-and-retry on the thread/serial backends — recovered runs
+    stay bit-identical to fault-free ones."""
+
     def __post_init__(self) -> None:
         if self.shard_size is not None and self.shard_size <= 0:
             raise ValueError("shard_size must be positive")
@@ -114,6 +129,12 @@ class FleetConfig:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, "
                 f"got {self.executor!r}"
+            )
+        if self.recovery is not None and not isinstance(
+            self.recovery, RecoveryPolicy
+        ):
+            raise ValueError(
+                "recovery must be a repro.faults.RecoveryPolicy or None"
             )
 
     def resolved_workers(self) -> int:
@@ -330,6 +351,7 @@ class FleetEngine:
                 self.shard_slices,
                 engine_kwargs=dict(engine_kwargs),
                 shared_tables=shared_tables,
+                recovery=self.fleet.recovery,
             )
 
     @property
@@ -431,6 +453,59 @@ class FleetEngine:
                 raise ValueError("scheduled_codes shape mismatch")
         return matrix, schedule
 
+    def _poll_shard_fault(
+        self, injector: Optional[FaultInjector], index: int
+    ) -> None:
+        """Fire any armed fleet-scope fault before a shard command.
+
+        Thread/serial semantics: ``slow`` sleeps then proceeds; ``crash``
+        and ``hang`` degrade to an in-thread raise, because a worker
+        thread cannot be killed or exited without taking the whole
+        interpreter down (the process backend honors them literally).
+        Fires before the shard state is touched, so recovery's snapshot
+        restore and re-run stay bit-identical.
+        """
+        if injector is None:
+            return
+        spec = injector.poll(
+            scope="fleet",
+            shard=index,
+            cycle=int(self.engines[index].state.cycles),
+            command="run",
+            executor=self.fleet.executor,
+        )
+        if spec is None:
+            return
+        if spec.kind == "slow":
+            time.sleep(spec.seconds)
+            return
+        raise injected_error(index, spec.kind)
+
+    @staticmethod
+    def _recover_shards(
+        errors: Dict[int, BaseException],
+        recovery: RecoveryPolicy,
+        rerun: Callable[[int], None],
+    ) -> None:
+        """Re-attempt failed shards inline until done or out of budget.
+
+        ``rerun`` must restore the shard from its epoch snapshot and
+        replay everything the epoch has executed so far for that shard;
+        each re-attempt counts against ``recovery.max_restarts``.
+        """
+        attempts = 0
+        while errors:
+            if attempts + len(errors) > recovery.max_restarts:
+                raise errors[min(errors)]
+            attempts += len(errors)
+            failed = sorted(errors)
+            errors.clear()
+            for index in failed:
+                try:
+                    rerun(index)
+                except BaseException as exc:
+                    errors[index] = exc
+
     def _dispatch(self, fn: Callable[[int], None], workers: int) -> None:
         """Run ``fn(shard_index)`` for every shard on the chosen backend.
 
@@ -493,10 +568,19 @@ class FleetEngine:
                 self.close()
                 raise
             return self._merge(results)
+        recovery = self.fleet.recovery
+        injector = shared_injector() if recovery is not None else None
+        snapshots = (
+            None
+            if recovery is None
+            else [engine.state.snapshot() for engine in self.engines]
+        )
+        errors: Dict[int, BaseException] = {}
         sinks = [self._make_sink() for _ in self.engines]
         results: list = [None] * self.num_shards
 
-        def run_shard(index: int) -> None:
+        def run_one(index: int) -> None:
+            self._poll_shard_fault(injector, index)
             where = self.shard_slices[index]
             results[index] = self.engines[index].run(
                 matrix[where],
@@ -505,7 +589,26 @@ class FleetEngine:
                 sink=sinks[index],
             )
 
+        def run_shard(index: int) -> None:
+            try:
+                run_one(index)
+            except BaseException as exc:
+                # Captured (not raised) so the worker's remaining
+                # pinned shards still run this round; fail-fast mode
+                # keeps the old propagate-immediately behaviour.
+                if recovery is None:
+                    raise
+                errors[index] = exc
+
         self._dispatch(run_shard, workers)
+        if errors:
+
+            def rerun(index: int) -> None:
+                self.engines[index].state.restore(snapshots[index])
+                sinks[index] = self._make_sink()
+                run_one(index)
+
+            self._recover_shards(errors, recovery, rerun)
         return self._merge(results)
 
     def run_chunked(
@@ -556,29 +659,63 @@ class FleetEngine:
                 raise
             return self._merge(results)
         dense = self.fleet.telemetry == "dense"
+        recovery = self.fleet.recovery
+        injector = shared_injector() if recovery is not None else None
+        snapshots = (
+            None
+            if recovery is None
+            else [engine.state.snapshot() for engine in self.engines]
+        )
+        errors: Dict[int, BaseException] = {}
         pieces: list = [[] for _ in range(self.num_shards)]
         sinks = (
             None if dense else [self._make_sink() for _ in self.engines]
         )
         results: list = [None] * self.num_shards
-        for lo, hi in bounds:
+
+        def run_one(index: int, lo: int, hi: int) -> None:
+            self._poll_shard_fault(injector, index)
+            where = self.shard_slices[index]
+            out = self.engines[index].run(
+                matrix[where, lo:hi],
+                hi - lo,
+                scheduled_codes=(
+                    None if schedule is None else schedule[where, lo:hi]
+                ),
+                sink=self._make_sink() if dense else sinks[index],
+            )
+            if dense:
+                pieces[index].append(out)
+            else:
+                results[index] = out
+
+        for k, (lo, hi) in enumerate(bounds):
 
             def run_shard(index: int, lo: int = lo, hi: int = hi) -> None:
-                where = self.shard_slices[index]
-                out = self.engines[index].run(
-                    matrix[where, lo:hi],
-                    hi - lo,
-                    scheduled_codes=(
-                        None if schedule is None else schedule[where, lo:hi]
-                    ),
-                    sink=self._make_sink() if dense else sinks[index],
-                )
-                if dense:
-                    pieces[index].append(out)
-                else:
-                    results[index] = out
+                try:
+                    run_one(index, lo, hi)
+                except BaseException as exc:
+                    if recovery is None:
+                        raise
+                    errors[index] = exc
 
             self._dispatch(run_shard, workers)
+            if errors:
+
+                def rerun(index: int, k: int = k) -> None:
+                    # Replay the whole epoch so far for this shard:
+                    # restore its state snapshot, drop its accumulated
+                    # telemetry and re-run chunks 0..k in order — the
+                    # re-run consumes inputs identical to the original,
+                    # so the recovered shard is bit-identical.
+                    self.engines[index].state.restore(snapshots[index])
+                    pieces[index] = []
+                    if not dense:
+                        sinks[index] = self._make_sink()
+                    for lo2, hi2 in bounds[: k + 1]:
+                        run_one(index, lo2, hi2)
+
+                self._recover_shards(errors, recovery, rerun)
         if dense:
             results = [BatchTrace.concatenate(p) for p in pieces]
         return self._merge(results)

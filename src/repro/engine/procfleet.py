@@ -48,18 +48,29 @@ Design:
   command and the parent re-adopts them after each run, which is what
   lets sequential ``run()`` calls continue exactly.
 
-``REPRO_PROCFLEET_FAULT=<shard>[:<min_cycle>]`` is a fault-injection
-hook: the worker pinned to that shard raises before touching shared
-state — immediately, or (with the optional ``:<min_cycle>`` suffix)
-on the first command whose start cycle has reached ``min_cycle``, which
-lets the lifecycle tests crash a worker *mid-chunk* without killing
-processes.
+* **Fault injection & recovery.**  Structured fault plans
+  (:mod:`repro.faults`) travel inside the worker payload: each worker
+  builds a :class:`~repro.faults.FaultInjector` and polls it per shard
+  command, so crash/raise/hang/slow/ack-corruption/attach faults fire
+  deterministically at a shard:cycle point under both the fork and
+  spawn start methods.  The legacy
+  ``REPRO_PROCFLEET_FAULT=<shard>[:<min_cycle>]`` env var still works —
+  it parses into an unlimited-budget ``raise`` spec with the original
+  message.  With a :class:`~repro.faults.RecoveryPolicy` configured
+  (``FleetConfig(recovery=...)``), the parent supervises the command
+  pipes (poll-with-timeout heartbeat), detects dead/hung/corrupt
+  workers, respawns them pinned to the same shards, rolls the failed
+  shards back to the epoch snapshot and replays the epoch's recorded
+  commands — the recovered run is **bit-identical** to a fault-free
+  one (pinned by the chaos axis of ``test_differential_fuzz.py``).
+  Without a policy the backend stays fail-fast as before.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import time
 import uuid
 from dataclasses import dataclass, fields as dataclass_fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -74,16 +85,25 @@ from repro.engine.device_math import (
     TemperatureArrays,
 )
 from repro.engine.state import BatchState, STATE_SCALAR_FIELDS
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+    active_plan,
+    injected_error,
+)
 
 _ALIGNMENT = 64
 """Byte alignment of every array inside a shared block (cache line)."""
 
 FAULT_ENV = "REPRO_PROCFLEET_FAULT"
-"""Fault injection for the shared-memory lifecycle tests.  Set to a
-shard index to make the worker pinned to that shard raise on its next
-command; ``"<shard>:<min_cycle>"`` defers the fault until the first
-command whose start cycle has reached ``min_cycle`` (a mid-chunk
-crash)."""
+"""Legacy fault injection for the shared-memory lifecycle tests.  Set
+to a shard index to make the worker pinned to that shard raise on its
+next command; ``"<shard>:<min_cycle>"`` defers the fault until the
+first command whose start cycle has reached ``min_cycle`` (a mid-chunk
+crash).  Parsed by :func:`repro.faults.FaultPlan.from_env` into an
+unlimited-budget ``raise`` spec; the structured ``REPRO_FAULTS``
+grammar and :func:`repro.faults.install` supersede it."""
 
 START_METHOD_ENV = "REPRO_PROCFLEET_START_METHOD"
 """Override the multiprocessing start method (``fork``/``spawn``/
@@ -350,6 +370,7 @@ class ProcFleetPayload:
     delay_constant: float
     sensor_delay_constant: float
     sensor_distinct: bool
+    fault_plan: Optional[FaultPlan] = None
 
 
 SINK_MODES = ("fresh", "keep", "finish")
@@ -436,19 +457,8 @@ def _table_meta(shared_tables) -> Optional[TableMeta]:
 # ----------------------------------------------------------------------
 # Worker process (resident)
 # ----------------------------------------------------------------------
-def _check_fault(index: int, start_cycle: int) -> None:
-    """Raise the injected fault for this shard, if armed and due."""
-    fault = os.environ.get(FAULT_ENV)
-    if fault is None:
-        return
-    shard, _, threshold = fault.partition(":")
-    if shard != str(index):
-        return
-    if threshold and start_cycle < int(threshold):
-        return
-    raise RuntimeError(
-        f"injected worker fault on shard {index} ({FAULT_ENV})"
-    )
+class _AckCorruption(Exception):
+    """Internal marker: reply to this command with a garbage ack."""
 
 
 class _WorkerRuntime:
@@ -470,11 +480,69 @@ class _WorkerRuntime:
         self.tables = None
         self.engines: Dict[int, object] = {}
         self.sinks: Dict[int, object] = {}
+        self.injector = (
+            None
+            if payload.fault_plan is None
+            else FaultInjector(payload.fault_plan)
+        )
+
+    # -- fault injection --------------------------------------------------
+    def _fault(self, index: int, start_cycle: int) -> None:
+        """Fire any armed fleet-scope fault for this shard command.
+
+        Fires *before* the shard's shared state is touched, so a raise
+        leaves the state exactly where the previous command left it.
+        ``crash`` exits the process outright (the supervised path), the
+        timing kinds sleep, ``ack_corrupt`` escalates to
+        :class:`_AckCorruption` so the main loop replies with garbage.
+        """
+        if self.injector is None:
+            return
+        spec = self.injector.poll(
+            scope="fleet",
+            shard=index,
+            cycle=start_cycle,
+            command="run",
+            executor="process",
+        )
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            os._exit(17)
+        if spec.kind in ("hang", "slow"):
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "ack_corrupt":
+            raise _AckCorruption(index)
+        raise injected_error(index, spec.kind)
+
+    def close_fault(self) -> None:
+        """Fire any armed close-command fault (the hang-on-close test)."""
+        if self.injector is None:
+            return
+        spec = self.injector.poll(
+            scope="fleet",
+            shard=self.indices[0] if self.indices else None,
+            command="close",
+            executor="process",
+        )
+        if spec is not None and spec.kind in ("hang", "slow"):
+            time.sleep(spec.seconds)
 
     # -- pinned resources -----------------------------------------------
     def _block(self, key: str, spec: SharedBlockSpec) -> SharedArrayBlock:
         block = self.blocks.get(key)
         if block is None:
+            if self.injector is not None:
+                fault = self.injector.poll(
+                    scope="attach",
+                    shard=self.indices[0] if self.indices else None,
+                    executor="process",
+                )
+                if fault is not None:
+                    raise OSError(
+                        f"injected shm attach failure for block {key!r}"
+                    )
             block = SharedArrayBlock.attach(spec)
             self.blocks[key] = block
         return block
@@ -606,7 +674,7 @@ class _WorkerRuntime:
         results: Dict[int, object] = {}
         scalars = None
         for index in self.indices:
-            _check_fault(index, start_cycle)
+            self._fault(index, start_cycle)
             engine = self._engine(index)
             engine.state.apply_scalars(order.scalars)
             arrivals = _decode_rows(order.arrivals.get(index), engine.n)
@@ -662,6 +730,7 @@ def _worker_main(conn, payload: ProcFleetPayload, indices) -> None:
             except (EOFError, OSError):
                 return
             if message[0] == "close":
+                runtime.close_fault()
                 try:
                     conn.send(("ok", None, None))
                 except (BrokenPipeError, OSError):
@@ -669,6 +738,10 @@ def _worker_main(conn, payload: ProcFleetPayload, indices) -> None:
                 return
             try:
                 reply = runtime.handle(message)
+            except _AckCorruption:
+                # Deliberately not a protocol tuple: the parent must
+                # classify this as a corrupt ack and fence the worker.
+                reply = "corrupted-ack"
             except BaseException as exc:
                 reply = ("error", exc)
             try:
@@ -696,6 +769,36 @@ class _ResidentWorker:
     indices: Tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class _RoundRecord:
+    """One dispatched run round, as replayed during recovery.
+
+    Together with the epoch-start state snapshot this is everything a
+    replacement worker needs to reproduce its shards bit-identically:
+    the arrival/schedule row blocks are re-sliced from the recorded
+    matrices, and the recorded start scalars make each replayed command
+    byte-equal to the original.
+    """
+
+    matrix: Optional[np.ndarray]
+    system_cycles: int
+    schedule: Optional[np.ndarray]
+    telemetry: str
+    stream_window: int
+    sink_mode: str
+    scalars: dict
+
+
+_DRAIN_TIMEOUT_S = 30.0
+"""Bound on draining the *remaining* acks of a round once one worker
+has already failed — the fleet is coming down (or into recovery), so a
+second, hung worker must not deadlock the teardown."""
+
+_CLOSE_DRAIN_TIMEOUT_S = 1.0
+"""Bound on waiting for a worker's close ack before escalating to
+terminate/join/unlink."""
+
+
 class ProcessFleetBackend:
     """Parent half of the process executor: blocks, workers, shard merge.
 
@@ -717,11 +820,16 @@ class ProcessFleetBackend:
         engine_kwargs: dict,
         shared_tables=None,
         mp_context: Optional[str] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self._engines = list(engines)
         self._shard_slices = tuple(shard_slices)
         self._workers: List[_ResidentWorker] = []
         self._closed = False
+        self._recovery = recovery
+        self._restarts = 0
+        self._epoch_rounds: List[_RoundRecord] = []
+        self._epoch_snapshot: Optional[Dict[str, np.ndarray]] = None
         self.blocks: Dict[str, SharedArrayBlock] = {}
         try:
             self._build_blocks(population, engines, shared_tables)
@@ -807,6 +915,10 @@ class ProcessFleetBackend:
             sensor_distinct=(
                 population.sensor_devices is not population.load_devices
             ),
+            # Captured here (not read from env in the worker) so fault
+            # plans survive the spawn start method and test-installed
+            # plans reach forked workers deterministically.
+            fault_plan=active_plan(),
         )
 
     # -- execution ------------------------------------------------------
@@ -829,25 +941,13 @@ class ProcessFleetBackend:
         if self._workers:
             raise RuntimeError("resident fleet workers already started")
         workers = max(1, min(int(workers), len(self._shard_slices)))
-        ctx = self._mp_context
         started: List[_ResidentWorker] = []
         try:
             for w in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
                 indices = tuple(
                     range(w, len(self._shard_slices), workers)
                 )
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, self._payload, indices),
-                    name=f"repro-fleet-{w}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                started.append(
-                    _ResidentWorker(process, parent_conn, indices)
-                )
+                started.append(self._spawn_worker(w, indices))
         except BaseException:
             for worker in started:
                 try:
@@ -859,6 +959,36 @@ class ProcessFleetBackend:
             raise
         self._workers = started
 
+    def _spawn_worker(
+        self,
+        position: int,
+        indices: Tuple[int, ...],
+        fault_free: bool = False,
+    ) -> _ResidentWorker:
+        """Start one pinned worker process.
+
+        ``fault_free=True`` (recovery respawns) strips the fault plan
+        from the payload: the injected fault already fired, and
+        re-arming the replacement would make recovery impossible by
+        construction.
+        """
+        ctx = self._mp_context
+        payload = (
+            replace(self._payload, fault_plan=None)
+            if fault_free
+            else self._payload
+        )
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, payload, indices),
+            name=f"repro-fleet-{position}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _ResidentWorker(process, parent_conn, indices)
+
     def _ensure_workers(self, workers: int) -> List[_ResidentWorker]:
         if self._closed:
             raise RuntimeError("process fleet backend is closed")
@@ -866,41 +996,104 @@ class ProcessFleetBackend:
             self.start(workers)
         return self._workers
 
-    def _command(self, messages: Sequence[tuple]) -> List[tuple]:
-        """One command round: send per-worker messages, gather one ack each.
+    def _recv_reply(
+        self, worker: _ResidentWorker, timeout: Optional[float]
+    ) -> tuple:
+        """Receive and classify one worker's ack.
 
-        Replies arrive in worker order (each worker answers exactly once
-        per command), so downstream merges are deterministic.  A dead
-        worker (EOF/broken pipe) or an ``("error", exc)`` reply raises —
-        after draining every remaining reply, so no stale ack can be
-        mistaken for the answer to a later command.
+        Returns the protocol reply (``("ok", ...)``/``("error", exc)``)
+        or a supervision verdict: ``("hung", exc)`` when no reply lands
+        within ``timeout`` (the heartbeat), ``("dead", exc)`` on
+        EOF/broken pipe, ``("corrupt", exc)`` when the bytes received
+        are not a protocol tuple.
         """
-        for worker, message in zip(self._workers, messages):
-            try:
-                worker.conn.send(message)
-            except (BrokenPipeError, OSError) as exc:
-                raise RuntimeError(
-                    f"fleet worker {worker.process.name} is gone: {exc}"
-                )
-        replies: List[tuple] = []
-        first_error: Optional[BaseException] = None
-        for worker in self._workers:
-            try:
-                reply = worker.conn.recv()
-            except (EOFError, OSError) as exc:
-                reply = (
-                    "error",
+        try:
+            if timeout is not None and not worker.conn.poll(timeout):
+                return (
+                    "hung",
                     RuntimeError(
-                        f"fleet worker {worker.process.name} died "
-                        f"mid-command: {exc!r}"
+                        f"fleet worker {worker.process.name} gave no "
+                        f"reply within {timeout}s"
                     ),
                 )
-            if reply[0] == "error" and first_error is None:
+            reply = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            return (
+                "dead",
+                RuntimeError(
+                    f"fleet worker {worker.process.name} died "
+                    f"mid-command: {exc!r}"
+                ),
+            )
+        if not (
+            isinstance(reply, tuple)
+            and len(reply) >= 2
+            and reply[0] in ("ok", "error")
+        ):
+            return (
+                "corrupt",
+                RuntimeError(
+                    f"fleet worker {worker.process.name} sent a corrupt "
+                    f"reply: {reply!r}"
+                ),
+            )
+        return reply
+
+    def _round_replies(self, messages: Sequence[tuple]) -> List[tuple]:
+        """Send per-worker messages, gather and classify one ack each.
+
+        Replies arrive in worker order (each worker answers exactly once
+        per command), so downstream merges are deterministic.  With a
+        recovery policy the heartbeat timeout applies to every reply;
+        without one the first reply blocks as before, but once any
+        worker has failed the *remaining* drains are bounded so a hung
+        second worker cannot deadlock the teardown.
+        """
+        timeout = (
+            None if self._recovery is None
+            else self._recovery.command_timeout_s
+        )
+        replies: List[Optional[tuple]] = [None] * len(self._workers)
+        pending: List[int] = []
+        for position, (worker, message) in enumerate(
+            zip(self._workers, messages)
+        ):
+            try:
+                worker.conn.send(message)
+                pending.append(position)
+            except (BrokenPipeError, OSError) as exc:
+                replies[position] = (
+                    "dead",
+                    RuntimeError(
+                        f"fleet worker {worker.process.name} is gone: "
+                        f"{exc}"
+                    ),
+                )
+        degraded = any(reply is not None for reply in replies)
+        for position in pending:
+            drain_timeout = timeout
+            if drain_timeout is None and degraded:
+                drain_timeout = _DRAIN_TIMEOUT_S
+            reply = self._recv_reply(self._workers[position], drain_timeout)
+            replies[position] = reply
+            if reply[0] != "ok":
+                degraded = True
+        return replies  # type: ignore[return-value]
+
+    @staticmethod
+    def _require_ok(replies: Sequence[tuple]) -> List[tuple]:
+        """Raise the first non-ok reply's error (fail-fast contract)."""
+        first_error: Optional[BaseException] = None
+        for reply in replies:
+            if reply[0] != "ok" and first_error is None:
                 first_error = reply[1]
-            replies.append(reply)
         if first_error is not None:
             raise first_error
-        return replies
+        return list(replies)
+
+    def _command(self, messages: Sequence[tuple]) -> List[tuple]:
+        """One fail-fast command round (reset and other control traffic)."""
+        return self._require_ok(self._round_replies(messages))
 
     def _run_round(
         self,
@@ -913,29 +1106,41 @@ class ProcessFleetBackend:
     ) -> list:
         """Dispatch one run command to every worker; merge shard order."""
         scalars = self._engines[0].state.scalar_fields()
+        if self._recovery is not None:
+            self._epoch_rounds.append(
+                _RoundRecord(
+                    matrix=matrix,
+                    system_cycles=system_cycles,
+                    schedule=schedule,
+                    telemetry=telemetry,
+                    stream_window=stream_window,
+                    sink_mode=sink_mode,
+                    scalars=dict(scalars),
+                )
+            )
         messages = []
         for worker in self._workers:
-            order = RunOrder(
-                cycles=system_cycles,
-                arrivals={
-                    i: _encode_rows(matrix, self._shard_slices[i])
-                    for i in worker.indices
-                },
-                schedule=(
-                    None
-                    if schedule is None
-                    else {
-                        i: _encode_rows(schedule, self._shard_slices[i])
-                        for i in worker.indices
-                    }
-                ),
-                telemetry=telemetry,
-                stream_window=stream_window,
-                scalars=scalars,
-                sink_mode=sink_mode,
+            order = self._order_for(
+                worker.indices,
+                matrix,
+                system_cycles,
+                schedule,
+                telemetry,
+                stream_window,
+                scalars,
+                sink_mode,
             )
             messages.append(("run", order))
-        replies = self._command(messages)
+        replies = self._round_replies(messages)
+        failed = [
+            position
+            for position, reply in enumerate(replies)
+            if reply[0] != "ok"
+        ]
+        if failed:
+            if self._recovery is None:
+                self._require_ok(replies)
+            replies = self._recover(failed, replies)
         results: Dict[int, object] = {}
         final_scalars = None
         for _, shard_results, reply_scalars in replies:
@@ -944,6 +1149,150 @@ class ProcessFleetBackend:
         for engine in self._engines:
             engine.state.apply_scalars(final_scalars)
         return [results[i] for i in range(len(self._shard_slices))]
+
+    def _order_for(
+        self,
+        indices: Tuple[int, ...],
+        matrix: Optional[np.ndarray],
+        system_cycles: int,
+        schedule: Optional[np.ndarray],
+        telemetry: str,
+        stream_window: int,
+        scalars: dict,
+        sink_mode: str,
+    ) -> RunOrder:
+        return RunOrder(
+            cycles=system_cycles,
+            arrivals={
+                i: _encode_rows(matrix, self._shard_slices[i])
+                for i in indices
+            },
+            schedule=(
+                None
+                if schedule is None
+                else {
+                    i: _encode_rows(schedule, self._shard_slices[i])
+                    for i in indices
+                }
+            ),
+            telemetry=telemetry,
+            stream_window=stream_window,
+            scalars=scalars,
+            sink_mode=sink_mode,
+        )
+
+    # -- recovery -------------------------------------------------------
+    def _begin_epoch(self) -> None:
+        """Open a recovery epoch: snapshot the state block, clear rounds.
+
+        One epoch covers one ``run``/``run_chunked`` call.  The snapshot
+        plus the per-round records (:class:`_RoundRecord`) are what a
+        respawned worker replays, so a recovered run is bit-identical
+        to a fault-free one.
+        """
+        if self._recovery is None:
+            return
+        self._epoch_rounds = []
+        self._epoch_snapshot = {
+            name: np.array(view)
+            for name, view in self.blocks["state"].views().items()
+        }
+
+    def _recover(
+        self, failed: Sequence[int], replies: List[tuple]
+    ) -> List[tuple]:
+        """Respawn every failed worker and replay its epoch.
+
+        Supervision state machine: a worker whose reply classified as
+        error/dead/hung/corrupt is *suspect*; it is fenced (terminated
+        and joined) before its shard rows are rolled back to the epoch
+        snapshot, then a fault-free replacement pinned to the same
+        shards replays the epoch's recorded rounds.  The final replayed
+        round's ack substitutes for the failed reply.  An exhausted
+        restart budget falls back to fail-fast: the original error
+        raises and the caller tears the fleet down (unlinking every
+        segment).
+        """
+        policy = self._recovery
+        self._restarts += len(failed)
+        if self._restarts > policy.max_restarts:
+            self._require_ok(replies)
+        for position in failed:
+            replies[position] = self._respawn_and_replay(
+                position, replies[position][1]
+            )
+        return replies
+
+    def _respawn_and_replay(
+        self, position: int, cause: BaseException
+    ) -> tuple:
+        worker = self._workers[position]
+        # The suspect must be fully dead before its shard rows are
+        # rolled back — a merely hung process could wake up and
+        # scribble over the restored state mid-replay.
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck SIGTERM
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        replacement = self._spawn_worker(
+            position, worker.indices, fault_free=True
+        )
+        self._workers[position] = replacement
+        self._restore_shards(worker.indices)
+        return self._replay(replacement, cause)
+
+    def _restore_shards(self, indices: Tuple[int, ...]) -> None:
+        """Roll the failed worker's shard rows back to the epoch start."""
+        views = self.blocks["state"].views()
+        for index in indices:
+            where = self._shard_slices[index]
+            for name, saved in self._epoch_snapshot.items():
+                views[name][where] = saved[where]
+
+    def _replay(
+        self, worker: _ResidentWorker, cause: BaseException
+    ) -> tuple:
+        """Re-run every recorded round of the epoch on the replacement.
+
+        Earlier rounds rebuild the worker-resident streaming sinks (and
+        re-advance the shard state); only the final round's results are
+        kept — for dense chunked runs the earlier replayed chunks are
+        byte-equal to the results the original worker already shipped.
+        """
+        timeout = self._recovery.command_timeout_s
+        reply: Optional[tuple] = None
+        for record in self._epoch_rounds:
+            order = self._order_for(
+                worker.indices,
+                record.matrix,
+                record.system_cycles,
+                record.schedule,
+                record.telemetry,
+                record.stream_window,
+                record.scalars,
+                record.sink_mode,
+            )
+            try:
+                worker.conn.send(("run", order))
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    "fleet recovery failed: replacement worker "
+                    f"{worker.process.name} is gone: {exc}"
+                ) from cause
+            reply = self._recv_reply(worker, timeout)
+            if reply[0] != "ok":
+                error = reply[1]
+                raise RuntimeError(
+                    "fleet recovery failed: replay on replacement "
+                    f"worker {worker.process.name} failed: {error}"
+                ) from cause
+        assert reply is not None  # an epoch always has >= 1 round
+        return reply
 
     def run(
         self,
@@ -956,6 +1305,7 @@ class ProcessFleetBackend:
     ) -> list:
         """Run every shard on the residents; return results in shard order."""
         self._ensure_workers(workers)
+        self._begin_epoch()
         return self._run_round(
             matrix, system_cycles, schedule, telemetry, stream_window,
             sink_mode="fresh",
@@ -978,6 +1328,7 @@ class ProcessFleetBackend:
         (``"finish"``) — zero per-chunk result traffic.
         """
         self._ensure_workers(workers)
+        self._begin_epoch()
         dense = telemetry == "dense"
         pieces: List[list] = [[] for _ in self._shard_slices]
         results: Optional[list] = None
@@ -1091,22 +1442,27 @@ class ProcessFleetBackend:
             except Exception:
                 pass
         for worker in workers:
-            # Drain at most the pending ack so the worker's send cannot
-            # block, then drop the pipe; a hung or dead worker just
-            # skips ahead to the join/terminate below.
+            # Drain at most the pending ack, bounded by poll(timeout),
+            # so a hung worker cannot deadlock close(); a worker that
+            # fails to ack is escalated straight to terminate below
+            # rather than waited on.
+            acked = False
             try:
-                if worker.conn.poll(1.0):
+                if worker.conn.poll(_CLOSE_DRAIN_TIMEOUT_S):
                     worker.conn.recv()
+                    acked = True
             except Exception:
                 pass
             try:
                 worker.conn.close()
             except Exception:
                 pass
+            if not acked:
+                worker.process.terminate()
         for worker in workers:
             worker.process.join(timeout=5.0)
             if worker.process.is_alive():  # pragma: no cover - hang path
-                worker.process.terminate()
+                worker.process.kill()
                 worker.process.join(timeout=5.0)
         for engine in self._engines:
             state = getattr(engine, "state", None)

@@ -223,6 +223,33 @@ class BatchState:
         for name in STATE_SCALAR_FIELDS:
             setattr(self, name, scalars[name])
 
+    def snapshot(self) -> dict:
+        """Return a private deep copy of the full state (arrays + scalars).
+
+        Fault recovery restores a failed shard from the snapshot taken
+        at epoch start and replays the epoch's commands; the copies are
+        plain in-memory arrays, independent of any shared-memory
+        backing.
+        """
+        arrays = {
+            name: None if array is None else np.array(array)
+            for name, array in self.array_fields().items()
+        }
+        return {"arrays": arrays, "scalars": self.scalar_fields()}
+
+    def restore(self, snap: dict) -> None:
+        """Write a :meth:`snapshot` back *in place*.
+
+        Array contents are assigned element-wise so shared-memory shard
+        views (and any aliases other components hold) stay valid; the
+        scalars are re-adopted by value.
+        """
+        for name, saved in snap["arrays"].items():
+            if saved is None:
+                continue
+            getattr(self, name)[...] = saved
+        self.apply_scalars(snap["scalars"])
+
     @classmethod
     def from_arrays(cls, arrays: dict, scalars: dict) -> "BatchState":
         """Rebuild a state from an array dict + scalar dict.

@@ -1,5 +1,5 @@
 """Rule modules — importing this package registers every rule."""
 
-from repro.lint.rules import determinism, lifecycle, protocol
+from repro.lint.rules import determinism, lifecycle, protocol, resilience
 
-__all__ = ["determinism", "lifecycle", "protocol"]
+__all__ = ["determinism", "lifecycle", "protocol", "resilience"]

@@ -1,0 +1,79 @@
+"""RL006 — retry loops must back off with jitter, not sleep a constant.
+
+A retry loop that sleeps a fixed delay (``time.sleep(1.0)`` inside a
+``while``/``for`` whose body catches exceptions) retries in lock-step:
+every client that failed together wakes together and hammers the
+contended resource again — and a constant delay ignores both the
+failure count and the caller's deadline.  The repo's sanctioned shape
+is :class:`repro.service.resilience.BackoffSchedule`: seeded-jitter
+exponential backoff (deterministic under test, desynchronised in
+production).  The static signature of the anti-pattern: a
+constant-argument ``time.sleep`` lexically inside a loop that also
+contains an exception handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, Rule, register
+from repro.lint.scopes import Analyzer
+
+
+def _has_retry_handler(loop: ast.AST) -> bool:
+    """Whether the loop body contains a try with exception handlers."""
+    return any(
+        isinstance(sub, ast.Try) and sub.handlers
+        for sub in ast.walk(loop)
+    )
+
+
+def _constant_sleeps(
+    loop: ast.AST, analyzer: Analyzer
+) -> Iterator[ast.Call]:
+    for sub in ast.walk(loop):
+        if not (
+            isinstance(sub, ast.Call)
+            and analyzer.qualified_name(sub.func) == "time.sleep"
+            and len(sub.args) == 1
+            and not sub.keywords
+        ):
+            continue
+        delay = analyzer.resolve_alias(sub.args[0])
+        if isinstance(delay, ast.Constant):
+            yield sub
+
+
+@register
+class RetryBackoffDiscipline(Rule):
+    """RL006: constant-delay sleep inside a retry loop."""
+
+    rule_id = "RL006"
+    summary = (
+        "bare time.sleep(<constant>) inside a retry loop — retries "
+        "in lock-step with no backoff or jitter; compute the delay "
+        "(e.g. BackoffSchedule.delay(attempt)) instead"
+    )
+
+    def check(self, tree: ast.Module, analyzer: Analyzer) -> Iterator[Finding]:
+        seen = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            if not _has_retry_handler(node):
+                continue
+            for call in _constant_sleeps(node, analyzer):
+                # Nested loops walk the same call twice; report once.
+                anchor = (call.lineno, call.col_offset)
+                if anchor in seen:
+                    continue
+                seen.add(anchor)
+                yield self.finding(
+                    analyzer,
+                    call,
+                    "constant sleep in a retry loop retries in "
+                    "lock-step (no backoff, no jitter) and ignores "
+                    "deadlines — derive the delay from the attempt "
+                    "number and a seeded jitter source",
+                )

@@ -10,6 +10,8 @@ questions.  This subpackage bridges the two:
 ``cache``      :class:`ResultCache` — byte-budgeted LRU scenario cache
 ``core``       :class:`SimulationService` — the coalescer, admission
                control and :class:`ServiceStats` telemetry
+``resilience`` :class:`ResiliencePolicy` — seeded-backoff retries,
+               circuit breakers, graceful backend degradation
 ``cli``        the ``repro-serve`` synthetic load generator
 
 Quick start::
@@ -42,13 +44,23 @@ from repro.service.request import (
     SimResult,
     WorkloadSpec,
 )
+from repro.service.resilience import (
+    DEGRADATION_LADDER,
+    BackoffSchedule,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 
 __all__ = [
     "AdmissionError",
+    "BackoffSchedule",
+    "CircuitBreaker",
+    "DEGRADATION_LADDER",
     "DeadlineExceeded",
     "EXECUTION_MODES",
     "FEEDBACK_MODES",
     "RESULT_FIELDS",
+    "ResiliencePolicy",
     "ResultCache",
     "ServiceConfig",
     "ServiceFuture",

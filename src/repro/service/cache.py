@@ -87,6 +87,14 @@ class ResultCache:
             self.current_bytes -= self._sizes.pop(old_key)
             self.evictions += 1
 
+    def discard(self, key: str) -> None:
+        """Drop one entry if present (detected-corrupt eviction path:
+        the service discards an entry whose structure fails validation
+        so the scenario re-simulates instead of serving bad data)."""
+        if key in self._entries:
+            del self._entries[key]
+            self.current_bytes -= self._sizes.pop(key)
+
     def hit_rate(self) -> float:
         """Return hits / lookups (0.0 before any lookup)."""
         lookups = self.hits + self.misses

@@ -99,7 +99,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--device-model", choices=("exact", "tabulated"), default="exact",
         help="engine device model for every request (default exact)",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help=(
+            "install a fault plan (one injected batch failure, one "
+            "cache corruption, and — for process execution — a worker "
+            "crash) and enable the resilience policy; the run must "
+            "still complete and the stats show the recovery counters"
+        ),
+    )
     return parser
+
+
+def chaos_plan(execution: str):
+    """The ``--chaos`` fault plan: one transient batch failure, one
+    cache-entry corruption, and (process execution only) a worker
+    crash — every one recoverable, so the run completes."""
+    from repro import faults
+
+    specs = [
+        faults.FaultSpec(kind="raise", scope="service", times=1),
+        faults.FaultSpec(kind="cache_corrupt", times=1),
+    ]
+    if execution == "process":
+        specs.append(
+            faults.FaultSpec(
+                kind="crash", shard=0, cycle=0, times=1,
+                executor="process",
+            )
+        )
+    return faults.FaultPlan(tuple(specs))
 
 
 def generate_requests(
@@ -139,6 +168,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.requests <= 0 or args.unique <= 0:
         print("--requests and --unique must be positive", file=sys.stderr)
         return 2
+    resilience = None
+    if args.chaos:
+        from repro import faults
+        from repro.service.resilience import ResiliencePolicy
+
+        faults.install(chaos_plan(args.execution))
+        resilience = ResiliencePolicy(
+            backoff_base_s=0.001,
+            backoff_cap_s=0.01,
+            fleet_restarts=2,
+            command_timeout_s=10.0,
+        )
     service = SimulationService(
         config=ServiceConfig(
             max_queue_depth=args.queue_depth,
@@ -148,6 +189,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             chunk_cycles=args.chunk_cycles,
             engine_cache=args.engine_cache,
+            resilience=resilience,
         )
     )
     requests = generate_requests(
@@ -157,7 +199,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         f"repro-serve: {args.requests} requests over "
         f"{args.unique} scenarios x {args.cycles} cycles "
-        f"(execution={args.execution}, device_model={args.device_model})"
+        f"(execution={args.execution}, device_model={args.device_model}"
+        f"{', chaos' if args.chaos else ''})"
     )
     started = time.perf_counter()
     # run() is the open-loop client: it submits the whole budget,
@@ -165,7 +208,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         results = service.run(requests)
     finally:
-        service.close()
+        try:
+            service.close()
+        finally:
+            if args.chaos:
+                from repro import faults
+
+                faults.clear()
     elapsed = time.perf_counter() - started
     energies = [result.values["energy_total"] for result in results]
     print(

@@ -32,6 +32,7 @@ every partition against.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -41,8 +42,15 @@ import numpy as np
 
 from repro.core.config import ControllerConfig
 from repro.core.dcdc import FeedbackMode
+from repro.faults import injected_error, shared_injector
 from repro.service.cache import ResultCache
 from repro.service.request import SimRequest, SimResult
+from repro.service.resilience import (
+    DEGRADATION_LADDER,
+    BackoffSchedule,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 
 Scalar = Union[int, float]
 
@@ -130,6 +138,12 @@ class ServiceConfig:
     — bit-identical results, zero re-fanout.  ``0`` disables reuse
     (cold construction per batch, the pre-persistent behaviour)."""
 
+    resilience: Optional[ResiliencePolicy] = None
+    """Retry / circuit-breaker / degradation policy
+    (:class:`~repro.service.resilience.ResiliencePolicy`).  ``None``
+    (the default) keeps the historical fail-fast behaviour: a failed
+    batch rejects exactly its own futures and the service moves on."""
+
     def __post_init__(self) -> None:
         if self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -150,6 +164,13 @@ class ServiceConfig:
             raise ValueError("chunk_cycles must be positive")
         if self.engine_cache < 0:
             raise ValueError("engine_cache must be non-negative")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise TypeError(
+                f"resilience must be a ResiliencePolicy or None, "
+                f"got {type(self.resilience)!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -175,6 +196,10 @@ class ServiceStats:
     fanout_s: float = 0.0
     dispatch_s: float = 0.0
     merge_s: float = 0.0
+    retries: int = 0
+    degraded_runs: int = 0
+    breaker_trips: int = 0
+    cache_corruptions: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -223,6 +248,10 @@ class ServiceStats:
                 f"engines     reuse rate {self.engine_reuse_rate:.1%} "
                 f"({self.engine_reuses} reuses / "
                 f"{self.engine_builds} builds)",
+                f"resilience  retries={self.retries} "
+                f"degraded_runs={self.degraded_runs} "
+                f"breaker_trips={self.breaker_trips} "
+                f"cache_corruptions={self.cache_corruptions}",
                 f"queue       depth {self.queue_depth}",
             )
         )
@@ -316,6 +345,13 @@ class SimulationService:
         self._fanout_s = 0.0
         self._dispatch_s = 0.0
         self._merge_s = 0.0
+        self._retries = 0
+        self._degraded_runs = 0
+        self._cache_corruptions = 0
+        # Resilience state (None / empty until a policy is configured):
+        # per-execution-mode circuit breakers and the seeded backoff.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._backoff: Optional[BackoffSchedule] = None
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -325,19 +361,34 @@ class SimulationService:
         """Retire every warm engine (process fleets unlink their shared
         memory).  The service stays usable — the next batch simply
         builds cold again — so this is safe to call between phases of a
-        long-lived deployment, not just at the end."""
+        long-lived deployment, not just at the end.
+
+        Collect-and-reraise: every engine is closed even when one
+        engine's ``close()`` raises (one bad fleet must not leak the
+        rest of the LRU's shared-memory segments); the first error is
+        re-raised afterwards."""
         engines, self._engines = self._engines, OrderedDict()
+        errors: List[BaseException] = []
         for entry in engines.values():
-            self._close_engine(entry)
+            self._close_engine(entry, errors)
+        if errors:
+            raise errors[0]
 
     @staticmethod
-    def _close_engine(entry: dict) -> None:
+    def _close_engine(
+        entry: dict, errors: Optional[List[BaseException]] = None
+    ) -> None:
+        """Close one warm engine; collect the error when a list is
+        given (lifecycle paths), swallow it otherwise (the entry is
+        already being discarded on a failure path)."""
         closer = getattr(entry["engine"], "close", None)
-        if closer is not None:
-            try:
-                closer()
-            except Exception:
-                pass
+        if closer is None:
+            return
+        try:
+            closer()
+        except Exception as exc:
+            if errors is not None:
+                errors.append(exc)
 
     def __enter__(self) -> "SimulationService":
         return self
@@ -415,6 +466,49 @@ class SimulationService:
                 "(the legacy step does not write state in place)"
             )
 
+    def _cache_lookup(self, key: str) -> Optional[Dict[str, Scalar]]:
+        """Probe the scenario cache with structural validation.
+
+        A hit whose value fails validation (missing reducer, non-scalar
+        or non-finite entry — or a ``cache``-scope injected fault
+        simulating a torn write) is *discarded* and counted, so the
+        scenario re-simulates instead of serving corrupt data.
+        """
+        cached = self.cache.get(key)
+        if cached is None:
+            return None
+        injector = shared_injector()
+        spec = (
+            injector.poll(scope="cache", command="run")
+            if injector is not None
+            else None
+        )
+        if spec is not None:
+            # Tear the (copied) value the way a torn write would; the
+            # validator below must catch it.
+            cached.pop(next(iter(cached)), None)
+        if self._cache_entry_valid(cached):
+            return cached
+        self.cache.discard(key)
+        self._cache_corruptions += 1
+        return None
+
+    @staticmethod
+    def _cache_entry_valid(value: Dict[str, Scalar]) -> bool:
+        if set(value) != set(RESULT_FIELDS):
+            return False
+        for item in value.values():
+            if isinstance(item, bool) or not isinstance(
+                item, (int, float)
+            ):
+                return False
+            # NaN is a legitimate reducer outcome (for example
+            # energy_per_operation of a die that completed zero
+            # operations); infinities are not.
+            if math.isinf(item):
+                return False
+        return True
+
     def submit(self, request: SimRequest) -> ServiceFuture:
         """Admit one request; resolve immediately on a cache hit.
 
@@ -424,7 +518,7 @@ class SimulationService:
         """
         self._validate(request)
         key = request.cache_key()
-        cached = self.cache.get(key)
+        cached = self._cache_lookup(key)
         if cached is not None:
             future = ServiceFuture(self, key)
             future._resolve(
@@ -492,8 +586,23 @@ class SimulationService:
             batch.append(pending)
         self._queue = kept
 
+        deadline = None
+        if self.config.resilience is not None:
+            limits = [
+                pending.submitted_at + pending.request.deadline_s
+                for pending in batch
+                if pending.request.deadline_s is not None
+            ]
+            if limits:
+                deadline = min(limits)
         try:
-            values = self.simulate_requests(unique)
+            # Keyword passed only when set: simulate_requests stays
+            # drop-in replaceable (tests monkeypatch it with plain
+            # single-argument callables).
+            if deadline is None:
+                values = self.simulate_requests(unique)
+            else:
+                values = self.simulate_requests(unique, deadline=deadline)
         except Exception as exc:
             # The batch was already dequeued; a failed engine build or
             # run must fail *these* requests (each future re-raises the
@@ -584,7 +693,10 @@ class SimulationService:
     # The engine batch (coalescer work-horse AND parity reference)
     # ------------------------------------------------------------------
     def simulate_requests(
-        self, requests: Sequence[SimRequest]
+        self,
+        requests: Sequence[SimRequest],
+        *,
+        deadline: Optional[float] = None,
     ) -> List[Dict[str, Scalar]]:
         """Run a homogeneous request list as **one** engine batch.
 
@@ -593,6 +705,11 @@ class SimulationService:
         path the coalescer uses per tick — and, called with the full
         request list, the standalone-batch reference the coalescing
         parity tests compare every partition against.
+
+        ``deadline`` (absolute ``time.monotonic()`` instant) bounds the
+        resilience retry loop: a backoff sleep that would overrun the
+        oldest waiting request's deadline fails fast instead.  Ignored
+        without a :class:`ResiliencePolicy`.
         """
         requests = list(requests)
         if not requests:
@@ -606,8 +723,7 @@ class SimulationService:
                     "requests in one batch must share a group_key"
                 )
         from repro.engine.device_math import BatchDeviceSet
-        from repro.engine.engine import BatchEngine, BatchPopulation
-        from repro.engine.trace import StreamingTrace
+        from repro.engine.engine import BatchPopulation
         from repro.library import OperatingCondition
 
         n = len(requests)
@@ -664,14 +780,120 @@ class SimulationService:
             step_kernel=first.step_kernel,
         )
         lut = self._lut(first.sample_rate)
+        prep = dict(
+            group=group,
+            n=n,
+            first=first,
+            population=population,
+            corrections=corrections,
+            arrivals=arrivals,
+            schedule=schedule,
+            engine_kwargs=engine_kwargs,
+            lut=lut,
+            t0=t0,
+        )
+        policy = self.config.resilience
+        if policy is None:
+            return self._execute_batch(self.config.execution, prep)
+        return self._execute_resilient(policy, prep, deadline)
 
-        # Warm-engine acquisition: a batch whose (group_key, size)
-        # matches a resident engine swaps the new population in with
-        # reset() — bit-identical to cold construction, but fleets keep
-        # their pinned workers (and shared-memory attachments), so the
-        # tick does zero re-fanout.
-        is_fleet = self.config.execution != "direct"
-        key = (group, n)
+    def _execute_resilient(
+        self,
+        policy: ResiliencePolicy,
+        prep: dict,
+        deadline: Optional[float],
+    ) -> List[Dict[str, Scalar]]:
+        """Run one prepared batch under the resilience policy.
+
+        Walks :data:`DEGRADATION_LADDER` from the configured mode down,
+        skipping rungs whose circuit breaker is open; each rung gets
+        ``max_retries`` retries with seeded-jitter backoff.  Every rung
+        is bit-identical (the backend-equivalence invariant), so a
+        degraded answer *is* the answer.
+        """
+        if self._backoff is None:
+            self._backoff = BackoffSchedule(policy)
+        injector = shared_injector()
+        configured = self.config.execution
+        last_exc: Optional[BaseException] = None
+        for mode in DEGRADATION_LADDER[configured]:
+            breaker = self._breakers.get(mode)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    policy.breaker_threshold, policy.breaker_cooldown_s
+                )
+                self._breakers[mode] = breaker
+            if not breaker.allows(time.monotonic()):
+                continue
+            attempt = 0
+            while True:
+                try:
+                    spec = (
+                        injector.poll(
+                            scope="service", command="run", executor=mode
+                        )
+                        if injector is not None
+                        else None
+                    )
+                    if spec is not None:
+                        if spec.kind == "slow":
+                            time.sleep(spec.seconds)
+                        else:
+                            raise injected_error(None, spec.kind)
+                    results = self._execute_batch(mode, prep)
+                except Exception as exc:
+                    last_exc = exc
+                    breaker.record_failure(time.monotonic())
+                    if attempt >= policy.max_retries:
+                        break  # rung exhausted; descend the ladder
+                    delay = self._backoff.delay(attempt)
+                    if (
+                        deadline is not None
+                        and time.monotonic() + delay > deadline
+                    ):
+                        # The backoff sleep would overrun the oldest
+                        # waiting deadline; fail now so futures resolve
+                        # before their callers' budgets do.
+                        raise
+                    self._retries += 1
+                    time.sleep(delay)
+                    attempt += 1
+                else:
+                    breaker.record_success()
+                    if mode != configured:
+                        self._degraded_runs += 1
+                    return results
+        if last_exc is not None:
+            raise last_exc
+        raise RuntimeError(
+            "no execution mode available (all circuit breakers open)"
+        )
+
+    def _execute_batch(
+        self, mode: str, prep: dict
+    ) -> List[Dict[str, Scalar]]:
+        """Acquire an engine for ``mode`` and run one prepared batch."""
+        group = prep["group"]
+        n = prep["n"]
+        first = prep["first"]
+        population = prep["population"]
+        corrections = prep["corrections"]
+        arrivals = prep["arrivals"]
+        schedule = prep["schedule"]
+        engine_kwargs = prep["engine_kwargs"]
+        lut = prep["lut"]
+        t0 = prep["t0"]
+        from repro.engine.engine import BatchEngine
+        from repro.engine.trace import StreamingTrace
+
+        # Warm-engine acquisition: a batch whose (group_key, size,
+        # mode) matches a resident engine swaps the new population in
+        # with reset() — bit-identical to cold construction, but fleets
+        # keep their pinned workers (and shared-memory attachments), so
+        # the tick does zero re-fanout.  Mode is part of the key so a
+        # degraded run never reuses the unhealthy backend's engine.
+        is_fleet = mode != "direct"
+        key = (group, n, mode)
         cached = self.config.engine_cache > 0
         entry = self._engines.get(key) if cached else None
         if entry is not None:
@@ -695,11 +917,16 @@ class SimulationService:
                     lut,
                     config=self.controller,
                     fleet=FleetConfig(
-                        executor=self.config.execution,
+                        executor=mode,
                         workers=self.config.workers,
                         shard_size=self.config.shard_size,
                         telemetry="streaming",
                         stream_window=self.config.stream_window,
+                        recovery=(
+                            None
+                            if self.config.resilience is None
+                            else self.config.resilience.recovery()
+                        ),
                     ),
                     **engine_kwargs,
                 )
@@ -798,4 +1025,11 @@ class SimulationService:
             fanout_s=self._fanout_s,
             dispatch_s=self._dispatch_s,
             merge_s=self._merge_s,
+            retries=self._retries,
+            degraded_runs=self._degraded_runs,
+            breaker_trips=sum(
+                self._breakers[mode].trips
+                for mode in sorted(self._breakers)
+            ),
+            cache_corruptions=self._cache_corruptions,
         )

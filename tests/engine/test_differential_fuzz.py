@@ -590,6 +590,96 @@ def test_persistent_engine_reuse_bit_identical(seed, library, fuzz_lut):
             assert_totals_identical(reference, third, f"run 3 {label}")
 
 
+# ----------------------------------------------------------------------
+# Chaos axis: "same answer under every failure".
+# ----------------------------------------------------------------------
+PROCESS_CHAOS_KINDS = ("crash", "raise", "hang", "slow", "ack_corrupt")
+THREAD_CHAOS_KINDS = ("crash", "raise", "hang", "slow")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_recovery_bit_identical(seed, library, fuzz_lut):
+    """The chaos axis: inject one randomized fault (kind, shard, cycle
+    drawn per seed) into a resident fleet run and assert the *recovered*
+    run is bit-identical to the fault-free single-batch reference —
+    and that every shared-memory segment is unlinked afterwards.
+
+    The fault cycle is aligned to a chunk boundary so the spec is
+    guaranteed to arm (workers poll at round start), making every seed
+    a real recovery exercise rather than a maybe."""
+    from repro import faults
+
+    runs = get_runs(seed, library, fuzz_lut)
+    sc = runs.sc
+    message = sc.replay_message()
+    # Reference computed BEFORE the plan installs: fault-free baseline.
+    reference = runs.exact
+    reference_totals = runs.exact_totals
+
+    rng = np.random.default_rng(seed ^ 0xFA17)
+    executor = ("process", "thread")[int(rng.integers(0, 2))]
+    kinds = (
+        PROCESS_CHAOS_KINDS if executor == "process" else THREAD_CHAOS_KINDS
+    )
+    kind = kinds[int(rng.integers(0, len(kinds)))]
+    num_shards = -(-sc.dies // sc.shard_size)
+    shard = (
+        int(rng.integers(0, num_shards)) if rng.random() < 0.5 else None
+    )
+    chunk = int(rng.integers(1, sc.cycles + 1))
+    cycle = (int(rng.integers(0, sc.cycles)) // chunk) * chunk
+    # A hung process worker sleeps past the 5s command timeout and is
+    # fenced + respawned; on the thread backend hang/crash degrade to
+    # in-thread raises (a thread cannot be killed), slow to a sleep.
+    seconds = 30.0 if kind == "hang" else 0.03
+    label = (
+        f"(chaos {kind}@{'*' if shard is None else shard}:{cycle}, "
+        f"executor={executor}, chunk={chunk}) {message}"
+    )
+
+    faults.install(
+        faults.FaultPlan(
+            (
+                faults.FaultSpec(
+                    kind=kind, shard=shard, cycle=cycle,
+                    seconds=seconds, times=1,
+                ),
+            )
+        )
+    )
+    try:
+        with FleetEngine(
+            runs.population,
+            fuzz_lut,
+            fleet=FleetConfig(
+                shard_size=sc.shard_size,
+                workers=sc.workers,
+                executor=executor,
+                telemetry="dense",
+                stream_window=sc.stream_window,
+                recovery=faults.RecoveryPolicy(
+                    max_restarts=3, command_timeout_s=5.0
+                ),
+            ),
+            **sc.engine_kwargs(),
+        ) as fleet:
+            names = fleet.shared_block_names()
+            trace = fleet.run_chunked(
+                sc.arrivals, sc.cycles, chunk,
+                scheduled_codes=sc.schedule_codes,
+            )
+            totals = _fleet_totals(fleet)
+    finally:
+        faults.clear()
+    assert_traces_identical(reference, trace, label)
+    assert_totals_identical(reference_totals, totals, label)
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_scalar_run_reference_parity(seed, library, fuzz_lut):
     """The batch reference must match the pure-Python scalar loop

@@ -1,0 +1,30 @@
+"""RL006 positives: constant-delay sleeps inside retry loops."""
+
+import time
+from time import sleep
+
+
+def fetch_with_naive_retry(client):
+    while True:
+        try:
+            return client.fetch()
+        except ConnectionError:
+            time.sleep(1.0)  # RL006: lock-step retry
+
+
+def drain_with_paced_retries(queue):
+    for attempt in range(5):
+        try:
+            return queue.pop()
+        except IndexError:
+            pass
+        sleep(0.5)  # RL006: bare-name import, same anti-pattern
+
+
+def poll_until_ready(device):
+    retry_delay = 0.25
+    while not device.ready():
+        try:
+            device.refresh()
+        except TimeoutError:
+            time.sleep(retry_delay)  # RL006: constant via alias hop

@@ -1,0 +1,35 @@
+"""RL006 negatives: sanctioned sleep shapes."""
+
+import time
+
+
+def fetch_with_backoff(client, schedule, deadline):
+    """Computed, jittered delay in the retry loop — the shipped shape."""
+    attempt = 0
+    while True:
+        try:
+            return client.fetch()
+        except ConnectionError:
+            delay = schedule.delay(attempt)
+            if time.monotonic() + delay > deadline:
+                raise
+            time.sleep(delay)
+            attempt += 1
+
+
+def pace_ticks(service, interval):
+    """Constant sleep in a loop with no exception handling is pacing,
+    not a retry loop."""
+    for _ in range(10):
+        service.tick()
+        time.sleep(0.01)
+
+
+def settle(device):
+    """A one-shot constant sleep outside any loop is fine."""
+    device.power_on()
+    time.sleep(0.1)
+    try:
+        device.calibrate()
+    except TimeoutError:
+        device.reset()

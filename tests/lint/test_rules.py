@@ -27,7 +27,7 @@ def lines_for(report, rule):
 class TestCatalogue:
     def test_all_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
 
     def test_every_rule_has_summary(self):
         for rule in all_rules():
@@ -88,6 +88,17 @@ class TestRL005:
 
     def test_negatives_drained_class(self):
         assert lint_fixture("rl005_good.py").findings == []
+
+
+class TestRL006:
+    def test_positives(self):
+        report = lint_fixture("rl006_bad.py")
+        assert rules_fired(report) == ["RL006"]
+        # while/try literal, bare-name import, constant via alias hop
+        assert lines_for(report, "RL006") == [12, 21, 30]
+
+    def test_negatives_backoff_pacing_oneshot(self):
+        assert lint_fixture("rl006_good.py").findings == []
 
 
 class TestSelection:

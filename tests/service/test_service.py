@@ -162,6 +162,42 @@ class TestAdmissionControl:
         assert fresh.result().values["operations_total"] >= 0
         assert service.stats().shed == 1
 
+    @pytest.mark.parametrize("execution", ("thread", "process"))
+    def test_shedding_under_fleet_executors(
+        self, service_library, execution
+    ):
+        """Admission rejection and deadline shedding behave identically
+        on the fleet executors — and a shed request never consumes an
+        engine run (no batch, no simulated die, no engine build)."""
+        import time
+
+        service = make_service(
+            service_library, execution=execution, workers=2,
+            max_queue_depth=2, cache_bytes=0,
+        )
+        try:
+            service.submit(request_for(0))
+            service.submit(request_for(1))
+            with pytest.raises(AdmissionError):
+                service.submit(request_for(2))
+            assert service.stats().rejected == 1
+            assert service.tick() == 2  # drains; queue has room again
+
+            expired = service.submit(request_for(3, deadline_s=0.0))
+            time.sleep(0.002)
+            before = service.stats()
+            assert service.tick() == 1  # the shed is the only resolution
+            after = service.stats()
+            with pytest.raises(DeadlineExceeded):
+                expired.result()
+            assert after.shed == before.shed + 1
+            # Shed requests must not have consumed an engine run.
+            assert after.batches == before.batches
+            assert after.simulated_dies == before.simulated_dies
+            assert after.engine_builds == before.engine_builds
+        finally:
+            service.close()
+
     def test_process_execution_rejects_legacy_kernel(self, service_library):
         service = make_service(service_library, execution="process")
         with pytest.raises(ValueError):
