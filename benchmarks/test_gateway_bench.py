@@ -1,0 +1,215 @@
+"""Gateway open-loop load benchmark: sustained requests/s under a p99 SLO.
+
+Drives a live :class:`~repro.service.server.ServiceGateway` (stdlib
+HTTP, background coalescer) with open-loop load from concurrent
+keep-alive client threads — the CI smoke in benchmark form.  Gates:
+
+* **correctness first** — every HTTP response is bit-identical to the
+  in-process answer for the same request (the wire adds no arithmetic);
+* **p99 SLO** — 99th-percentile request latency under
+  ``P99_SLO_SECONDS`` (generous: CI containers are noisy; the recorded
+  numbers carry the real figure);
+* **sustained throughput** — at least ``MIN_REQUESTS_PER_SECOND``
+  requests/s drained end to end, with zero HTTP errors.
+
+With ``REPRO_BENCH_RECORD=1`` the numbers are merged into the
+``service.gateway`` section of ``BENCH_engine.json`` (read-modify-write
+preserving every sibling section).
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ServiceConfig,
+    ServiceGateway,
+    SimRequest,
+    SimulationService,
+    WorkloadSpec,
+    request_to_wire,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+RECORD = os.environ.get("REPRO_BENCH_RECORD") == "1"
+
+GATEWAY_REQUESTS = 80
+GATEWAY_UNIQUE = 16
+GATEWAY_CYCLES = 50
+CLIENT_THREADS = 8
+TENANTS = 2
+
+P99_SLO_SECONDS = 5.0
+MIN_REQUESTS_PER_SECOND = 5.0
+
+
+def _pool():
+    rng = np.random.default_rng(20090802)
+    corners = ("SS", "TT", "FS")
+    pool = [
+        SimRequest(
+            cycles=GATEWAY_CYCLES,
+            corner=corners[i % 3],
+            nmos_vth_shift=float(rng.normal(0.0, 0.015)),
+            pmos_vth_shift=float(rng.normal(0.0, 0.015)),
+            workload=WorkloadSpec(kind="constant", rate=1e5),
+            tenant=f"tenant-{i % TENANTS}",
+        )
+        for i in range(GATEWAY_UNIQUE)
+    ]
+    return [
+        pool[int(rng.integers(0, GATEWAY_UNIQUE))]
+        for _ in range(GATEWAY_REQUESTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def gateway_bench(library):
+    """Run the open-loop HTTP load once; return timings + parity data."""
+    requests = _pool()
+    # The in-process reference answers, keyed by canonical hash.
+    with SimulationService(library=library) as reference_service:
+        reference = {
+            result.key: result.values
+            for result in reference_service.run(requests)
+        }
+
+    service = SimulationService(
+        library=library, config=ServiceConfig(tick_interval_s=0.002)
+    )
+    responses = [None] * len(requests)
+    latencies = [None] * len(requests)
+    failures = []
+    with ServiceGateway(service=service, port=0) as gateway:
+        host, port = gateway.address
+        bodies = [
+            json.dumps(request_to_wire(request)).encode("utf-8")
+            for request in requests
+        ]
+
+        def client(thread_index):
+            connection = http.client.HTTPConnection(
+                host, port, timeout=120
+            )
+            try:
+                for i in range(thread_index, len(bodies), CLIENT_THREADS):
+                    t0 = time.perf_counter()
+                    connection.request(
+                        "POST", "/simulate", bodies[i],
+                        {"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read())
+                    latencies[i] = time.perf_counter() - t0
+                    if response.status != 200:
+                        raise RuntimeError(
+                            f"status {response.status}: {payload}"
+                        )
+                    responses[i] = payload
+            except Exception as exc:
+                failures.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                connection.close()
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(t,))
+            for t in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+    flat = np.array([value for value in latencies if value is not None])
+    return {
+        "requests": GATEWAY_REQUESTS,
+        "unique_scenarios": GATEWAY_UNIQUE,
+        "system_cycles": GATEWAY_CYCLES,
+        "client_threads": CLIENT_THREADS,
+        "tenants": TENANTS,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": GATEWAY_REQUESTS / elapsed,
+        "p50_seconds": float(np.percentile(flat, 50)),
+        "p99_seconds": float(np.percentile(flat, 99)),
+        "p99_slo_seconds": P99_SLO_SECONDS,
+        "batches": stats.batches,
+        "coalesce_factor": stats.coalesce_factor,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "_failures": failures,
+        "_responses": responses,
+        "_reference": reference,
+    }
+
+
+def test_gateway_responses_are_bit_identical(gateway_bench):
+    """Correctness first: every wire response equals the in-process
+    answer for its canonical key."""
+    assert gateway_bench["_failures"] == []
+    reference = gateway_bench["_reference"]
+    for payload in gateway_bench["_responses"]:
+        assert payload is not None
+        assert payload["values"] == reference[payload["key"]]
+
+
+def test_gateway_p99_slo_and_throughput(gateway_bench):
+    print(
+        f"\nGateway: "
+        f"{gateway_bench['requests_per_second']:8.1f} requests/s over "
+        f"HTTP ({gateway_bench['elapsed_seconds']:.3f}s, "
+        f"p50 {1e3 * gateway_bench['p50_seconds']:.1f}ms, "
+        f"p99 {1e3 * gateway_bench['p99_seconds']:.1f}ms, "
+        f"{gateway_bench['batches']} batches, coalesce factor "
+        f"{gateway_bench['coalesce_factor']:.2f})"
+    )
+    assert gateway_bench["p99_seconds"] <= P99_SLO_SECONDS
+    assert (
+        gateway_bench["requests_per_second"] >= MIN_REQUESTS_PER_SECOND
+    )
+
+
+@pytest.mark.skipif(
+    not RECORD, reason="recording needs REPRO_BENCH_RECORD=1"
+)
+def test_record_gateway_section(gateway_bench):
+    """Merge the gateway numbers into ``service.gateway`` of
+    ``BENCH_engine.json`` (read-modify-write; sibling sections and the
+    rest of the ``service`` section survive)."""
+    record = {}
+    if RESULT_PATH.exists():
+        record = json.loads(RESULT_PATH.read_text())
+    section = dict(record.get("service") or {})
+    section["gateway"] = {
+        key: value
+        for key, value in gateway_bench.items()
+        if not key.startswith("_")
+    }
+    record["service"] = section
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def test_bench_record_has_gateway_section():
+    """The committed BENCH_engine.json carries the gateway results and
+    meets the SLO bars."""
+    record = json.loads(RESULT_PATH.read_text())
+    gateway = record["service"]["gateway"]
+    for key in (
+        "requests",
+        "client_threads",
+        "requests_per_second",
+        "p50_seconds",
+        "p99_seconds",
+        "p99_slo_seconds",
+        "coalesce_factor",
+    ):
+        assert key in gateway, key
+    assert gateway["p99_seconds"] <= gateway["p99_slo_seconds"]
+    assert gateway["requests_per_second"] >= MIN_REQUESTS_PER_SECOND

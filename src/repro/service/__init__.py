@@ -12,7 +12,12 @@ questions.  This subpackage bridges the two:
                control and :class:`ServiceStats` telemetry
 ``resilience`` :class:`ResiliencePolicy` — seeded-backoff retries,
                circuit breakers, graceful backend degradation
-``cli``        the ``repro-serve`` synthetic load generator
+``persist``    :class:`PersistentCache` — disk tier of the scenario
+               cache (warm hits survive restarts)
+``server``     :class:`ServiceGateway` — stdlib HTTP gateway over the
+               background coalescer (JSON wire model)
+``cli``        ``repro-serve`` — load generator, gateway launcher
+               (``--listen``) and HTTP load client (``--drive``)
 
 Quick start::
 
@@ -27,6 +32,7 @@ Quick start::
 
 from repro.service.cache import ResultCache, estimate_entry_bytes
 from repro.service.canonical import canonical_bytes, content_hash
+from repro.service.persist import PersistentCache
 from repro.service.core import (
     EXECUTION_MODES,
     RESULT_FIELDS,
@@ -50,6 +56,12 @@ from repro.service.resilience import (
     CircuitBreaker,
     ResiliencePolicy,
 )
+from repro.service.server import (
+    ServiceGateway,
+    request_from_wire,
+    request_to_wire,
+    result_to_wire,
+)
 
 __all__ = [
     "AdmissionError",
@@ -59,11 +71,13 @@ __all__ = [
     "DeadlineExceeded",
     "EXECUTION_MODES",
     "FEEDBACK_MODES",
+    "PersistentCache",
     "RESULT_FIELDS",
     "ResiliencePolicy",
     "ResultCache",
     "ServiceConfig",
     "ServiceFuture",
+    "ServiceGateway",
     "ServiceStats",
     "SimRequest",
     "SimResult",
@@ -73,4 +87,7 @@ __all__ = [
     "canonical_bytes",
     "content_hash",
     "estimate_entry_bytes",
+    "request_from_wire",
+    "request_to_wire",
+    "result_to_wire",
 ]

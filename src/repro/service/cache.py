@@ -72,13 +72,19 @@ class ResultCache:
         return dict(value)
 
     def put(self, key: str, value: Value) -> None:
-        """Insert (or refresh) an entry, evicting LRU past the budget."""
+        """Insert (or refresh) an entry, evicting LRU past the budget.
+
+        A value too large for the whole budget is not stored — but any
+        *existing* entry under the key is dropped first, never left in
+        place: after a corrupt-discard/re-put cycle the old value would
+        otherwise keep serving as if it were the new one.
+        """
         size = estimate_entry_bytes(key, value)
+        if key in self._entries:
+            del self._entries[key]
+            self.current_bytes -= self._sizes.pop(key)
         if size > self.max_bytes:
             return
-        if key in self._entries:
-            self.current_bytes -= self._sizes[key]
-            del self._entries[key]
         self._entries[key] = dict(value)
         self._sizes[key] = size
         self.current_bytes += size

@@ -1,26 +1,40 @@
-"""``repro-serve`` — synthetic open-loop load generator for the service.
+"""``repro-serve`` — load generator and HTTP gateway launcher.
 
-Drives a :class:`~repro.service.core.SimulationService` with a stream of
-randomized requests drawn from a bounded scenario pool (so the cache and
-the coalescer both get exercised: a small pool means lots of repeats, a
-large pool means lots of unique dies) and prints the
-:class:`~repro.service.core.ServiceStats` snapshot.  "Open loop" in the
-load-testing sense: the generator submits its whole request budget
-regardless of completion pace, leaning on admission control (ticking the
-service when the queue fills) exactly like a saturating client would.
+Three modes:
+
+* **local** (default): drive an in-process
+  :class:`~repro.service.core.SimulationService` with a stream of
+  randomized requests drawn from a bounded scenario pool (so the cache
+  and the coalescer both get exercised: a small pool means lots of
+  repeats, a large pool means lots of unique dies) and print the
+  :class:`~repro.service.core.ServiceStats` snapshot.  "Open loop" in
+  the load-testing sense: the generator submits its whole request
+  budget regardless of completion pace, leaning on admission control
+  exactly like a saturating client would.
+* ``--listen HOST:PORT``: serve the HTTP gateway
+  (:class:`~repro.service.server.ServiceGateway`) over a service
+  running its background coalescer, until interrupted.
+* ``--drive URL``: open-loop HTTP load client against a listening
+  gateway — N keep-alive connections each posting their share of the
+  request budget as fast as responses return; prints requests/s and
+  latency percentiles, exits non-zero if any request ultimately fails.
 
 Examples::
 
     repro-serve --requests 200 --unique 25 --cycles 200
     repro-serve --requests 64 --unique 64 --cycles 120 --execution thread
+    repro-serve --listen 127.0.0.1:8265 --persist-dir /tmp/repro-cache
+    repro-serve --drive http://127.0.0.1:8265 --requests 200 --unique 20
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,6 +114,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine device model for every request (default exact)",
     )
     parser.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help=(
+            "serve the HTTP gateway on this endpoint (background "
+            "coalescer + /simulate, /stats, /healthz) instead of "
+            "running local load"
+        ),
+    )
+    parser.add_argument(
+        "--drive", metavar="URL", default=None,
+        help=(
+            "drive open-loop HTTP load against a listening gateway "
+            "at URL instead of running local load"
+        ),
+    )
+    parser.add_argument(
+        "--tick-interval", type=float, default=0.002,
+        help=(
+            "background-coalescer batching window in seconds "
+            "(--listen only; default 0.002)"
+        ),
+    )
+    parser.add_argument(
+        "--persist-dir", default=None,
+        help=(
+            "directory of the persistent disk cache tier (--listen "
+            "or local mode; default: memory-only cache)"
+        ),
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=1,
+        help=(
+            "spread requests round-robin over this many fair-queued "
+            "tenants (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--client-threads", type=int, default=8,
+        help="concurrent keep-alive connections for --drive (default 8)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help=(
+            "per-request timeout in seconds (gateway result wait / "
+            "drive-client socket; default 60)"
+        ),
+    )
+    parser.add_argument(
         "--chaos", action="store_true",
         help=(
             "install a fault plan (one injected batch failure, one "
@@ -137,8 +198,10 @@ def generate_requests(
     cycles: int,
     seed: int,
     device_model: str,
+    tenants: int = 1,
 ) -> List[SimRequest]:
-    """Draw ``count`` requests from a pool of ``unique`` scenarios."""
+    """Draw ``count`` requests from a pool of ``unique`` scenarios,
+    assigned round-robin over ``tenants`` fair-queuing buckets."""
     rng = np.random.default_rng(seed)
     pool: List[SimRequest] = []
     for index in range(unique):
@@ -158,9 +221,198 @@ def generate_requests(
                 device_model=device_model,
             )
         )
+    from dataclasses import replace
+
     return [
-        pool[int(rng.integers(0, unique))] for _ in range(count)
+        replace(
+            pool[int(rng.integers(0, unique))],
+            tenant=f"tenant-{index % tenants}",
+        )
+        for index in range(count)
     ]
+
+
+def serve(args: argparse.Namespace) -> int:
+    """``--listen`` mode: run the HTTP gateway until interrupted."""
+    from repro.service.server import ServiceGateway
+
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"--listen expects HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServiceConfig(
+        max_queue_depth=args.queue_depth,
+        max_batch_dies=args.max_batch,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        execution=args.execution,
+        workers=args.workers,
+        chunk_cycles=args.chunk_cycles,
+        engine_cache=args.engine_cache,
+        tick_interval_s=args.tick_interval,
+        persist_dir=args.persist_dir,
+    )
+    gateway = ServiceGateway(
+        host=host,
+        port=int(port_text),
+        result_timeout_s=args.timeout,
+        config=config,
+    )
+    with gateway:
+        bound_host, bound_port = gateway.address
+        print(
+            f"repro-serve: gateway listening on "
+            f"http://{bound_host}:{bound_port} "
+            f"(tick_interval={args.tick_interval}s, "
+            f"persist_dir={args.persist_dir})",
+            flush=True,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("repro-serve: shutting down", flush=True)
+    return 0
+
+
+def _post_one(
+    connection,
+    body: bytes,
+    timeout_s: float,
+) -> Dict[str, object]:
+    """POST one request over a keep-alive connection, retrying 429
+    (admission pushback) with growing backoff until ``timeout_s``."""
+    started = time.monotonic()
+    attempt = 0
+    while True:
+        connection.request(
+            "POST", "/simulate", body,
+            {"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        if response.status == 200:
+            return payload
+        if response.status != 429:
+            raise RuntimeError(
+                f"gateway returned {response.status}: {payload}"
+            )
+        if time.monotonic() - started > timeout_s:
+            raise RuntimeError(
+                f"admission pushback past {timeout_s}s: {payload}"
+            )
+        # Growing, bounded pushback wait (open-loop clients hammer the
+        # admission door otherwise).
+        time.sleep(min(0.1, 0.002 * (2.0 ** attempt)))
+        attempt += 1
+
+
+def drive(args: argparse.Namespace) -> int:
+    """``--drive`` mode: open-loop HTTP load against a gateway."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    from repro.service.server import request_to_wire
+
+    parts = urlsplit(args.drive)
+    if parts.scheme != "http" or not parts.hostname or not parts.port:
+        print(
+            f"--drive expects http://HOST:PORT, got {args.drive!r}",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = parts.hostname, parts.port
+
+    def connect():
+        return http.client.HTTPConnection(
+            host, port, timeout=args.timeout
+        )
+
+    # Readiness poll: the gateway may still be binding (CI launches it
+    # as a sibling process).
+    deadline = time.monotonic() + args.timeout
+    attempt = 0
+    while True:
+        try:
+            probe = connect()
+            probe.request("GET", "/healthz")
+            if probe.getresponse().status == 200:
+                probe.close()
+                break
+            probe.close()
+        except OSError:
+            pass
+        if time.monotonic() > deadline:
+            print(
+                f"gateway at {args.drive} never became healthy",
+                file=sys.stderr,
+            )
+            return 1
+        time.sleep(min(0.2, 0.01 * (2.0 ** attempt)))
+        attempt += 1
+
+    bodies = [
+        json.dumps(request_to_wire(request)).encode("utf-8")
+        for request in generate_requests(
+            args.requests, args.unique, args.cycles, args.seed,
+            args.device_model, tenants=args.tenants,
+        )
+    ]
+    threads = max(1, min(args.client_threads, len(bodies)))
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    failures: List[Optional[str]] = [None] * threads
+
+    def worker(index: int) -> None:
+        connection = connect()
+        try:
+            for body in bodies[index::threads]:
+                t0 = time.perf_counter()
+                _post_one(connection, body, args.timeout)
+                latencies[index].append(time.perf_counter() - t0)
+        except Exception as exc:
+            failures[index] = f"{type(exc).__name__}: {exc}"
+        finally:
+            connection.close()
+
+    print(
+        f"repro-serve: driving {len(bodies)} requests over "
+        f"{threads} connections at {args.drive} "
+        f"({args.unique} scenarios x {args.cycles} cycles, "
+        f"{args.tenants} tenants)"
+    )
+    started = time.perf_counter()
+    pool = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    errors = [failure for failure in failures if failure is not None]
+    if errors:
+        print(f"drive failed: {errors[0]}", file=sys.stderr)
+        return 1
+    flat = np.array([value for chunk in latencies for value in chunk])
+    print(
+        f"drained {flat.size} responses in {elapsed:.3f}s "
+        f"({flat.size / elapsed:.1f} requests/s, "
+        f"p50 {1e3 * float(np.percentile(flat, 50)):.1f}ms, "
+        f"p99 {1e3 * float(np.percentile(flat, 99)):.1f}ms)"
+    )
+    stats_connection = connect()
+    stats_connection.request("GET", "/stats")
+    stats = json.loads(stats_connection.getresponse().read())
+    stats_connection.close()
+    print(
+        f"gateway     batches={stats['batches']} "
+        f"cache_hits={stats['cache_hits']} "
+        f"persist_hits={stats['persist_hits']} "
+        f"http_errors={stats['http_errors']}"
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -168,6 +420,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.requests <= 0 or args.unique <= 0:
         print("--requests and --unique must be positive", file=sys.stderr)
         return 2
+    if args.tenants <= 0 or args.client_threads <= 0:
+        print(
+            "--tenants and --client-threads must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.listen is not None and args.drive is not None:
+        print("--listen and --drive are exclusive", file=sys.stderr)
+        return 2
+    if args.listen is not None:
+        return serve(args)
+    if args.drive is not None:
+        return drive(args)
     resilience = None
     if args.chaos:
         from repro import faults
@@ -190,11 +455,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             chunk_cycles=args.chunk_cycles,
             engine_cache=args.engine_cache,
             resilience=resilience,
+            persist_dir=args.persist_dir,
         )
     )
     requests = generate_requests(
         args.requests, args.unique, args.cycles, args.seed,
-        args.device_model,
+        args.device_model, tenants=args.tenants,
     )
     print(
         f"repro-serve: {args.requests} requests over "

@@ -17,7 +17,16 @@ populations the batched engine is fast at:
   reducers are scattered back to every waiting future (duplicates of
   one scenario share a single simulated die);
 * :meth:`~SimulationService.stats` snapshots the service telemetry
-  (requests/s, coalesce factor, cache hit rate, queue depth).
+  (requests/s, coalesce factor, cache hit rate, queue depth);
+* :meth:`~SimulationService.start` hands the ticks to a **background
+  coalescer** — a dedicated batching thread (condition-variable wakeup,
+  :attr:`ServiceConfig.tick_interval_s` age / max-batch flush triggers)
+  that serves open-loop traffic from any number of submitter threads,
+  e.g. the HTTP gateway (:mod:`repro.service.server`).  Pending work is
+  dequeued **weighted round-robin across tenants** (highest
+  :attr:`SimRequest.priority` first within a tenant), and the scenario
+  cache gains an optional **persistent disk tier**
+  (:mod:`repro.service.persist`) so warm hits survive restarts.
 
 **Batch-composition independence.**  A request's result is bit-identical
 however it was coalesced: arrival rows are generated per request from
@@ -33,10 +42,20 @@ every partition against.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -144,6 +163,30 @@ class ServiceConfig:
     (the default) keeps the historical fail-fast behaviour: a failed
     batch rejects exactly its own futures and the service moves on."""
 
+    tick_interval_s: float = 0.002
+    """Background coalescer only: how long the batching thread lets the
+    oldest pending request age before flushing a micro-batch.  A larger
+    interval coalesces harder (better throughput), a smaller one bounds
+    queueing latency.  The thread flushes early when the pending depth
+    reaches :attr:`max_batch_dies` (the max-batch trigger) or on
+    :meth:`SimulationService.close`."""
+
+    persist_dir: Optional[str] = None
+    """Directory of the persistent (disk) scenario-cache tier; ``None``
+    (the default) keeps the cache memory-only.  Entries are written
+    through under the canonical content hash, so warm hits survive
+    process restarts."""
+
+    persist_bytes: int = 256 * 1024 * 1024
+    """Byte budget of the disk cache tier (LRU eviction; 0 disables the
+    tier even when :attr:`persist_dir` is set)."""
+
+    tenant_weights: Optional[Mapping[str, int]] = None
+    """Weighted-round-robin dequeue weights per tenant
+    (:attr:`SimRequest.tenant`).  A tenant absent from the mapping (and
+    every tenant when ``None``) weighs 1; a tenant with weight *k* is
+    offered *k* dequeue slots per rotation turn."""
+
     def __post_init__(self) -> None:
         if self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -171,6 +214,23 @@ class ServiceConfig:
                 f"resilience must be a ResiliencePolicy or None, "
                 f"got {type(self.resilience)!r}"
             )
+        if not (self.tick_interval_s > 0.0):
+            raise ValueError("tick_interval_s must be positive")
+        if self.persist_bytes < 0:
+            raise ValueError("persist_bytes must be non-negative")
+        if self.tenant_weights is not None:
+            for tenant, weight in self.tenant_weights.items():
+                if not isinstance(tenant, str) or not tenant:
+                    raise ValueError(
+                        "tenant_weights keys must be non-empty strings"
+                    )
+                if isinstance(weight, bool) or not isinstance(
+                    weight, int
+                ) or weight < 1:
+                    raise ValueError(
+                        f"tenant weight must be an int >= 1, "
+                        f"got {weight!r} for {tenant!r}"
+                    )
 
 
 @dataclass(frozen=True)
@@ -200,6 +260,11 @@ class ServiceStats:
     degraded_runs: int = 0
     breaker_trips: int = 0
     cache_corruptions: int = 0
+    persist_hits: int = 0
+    persist_misses: int = 0
+    persist_entries: int = 0
+    persist_bytes: int = 0
+    tenants: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -252,7 +317,12 @@ class ServiceStats:
                 f"degraded_runs={self.degraded_runs} "
                 f"breaker_trips={self.breaker_trips} "
                 f"cache_corruptions={self.cache_corruptions}",
-                f"queue       depth {self.queue_depth}",
+                f"persist     hits={self.persist_hits} "
+                f"misses={self.persist_misses} "
+                f"{self.persist_entries} entries, "
+                f"{self.persist_bytes} bytes",
+                f"queue       depth {self.queue_depth} "
+                f"({self.tenants} tenants pending)",
             )
         )
 
@@ -260,40 +330,59 @@ class ServiceStats:
 class ServiceFuture:
     """Handle to one submitted request.
 
-    The service is synchronous and in-process: :meth:`result` drives
-    :meth:`SimulationService.tick` until this request resolves, so a
-    caller that only ever submits and asks for results never needs to
-    manage ticks itself.
+    Two consumption styles, picked automatically:
+
+    * **caller-driven** (no background coalescer): :meth:`result`
+      drives :meth:`SimulationService.tick` until this request
+      resolves, so a caller that only ever submits and asks for
+      results never needs to manage ticks itself;
+    * **background** (after :meth:`SimulationService.start`): the
+      batching thread owns the ticks and :meth:`result` blocks on an
+      event — safe to call from any number of gateway/client threads.
     """
 
     def __init__(self, service: "SimulationService", key: str) -> None:
         self._service = service
         self.key = key
-        self.done = False
+        self._resolved = threading.Event()
         self._result: Optional[SimResult] = None
         self._exception: Optional[BaseException] = None
 
+    @property
+    def done(self) -> bool:
+        """Whether the request has resolved (result or exception)."""
+        return self._resolved.is_set()
+
     def _resolve(self, result: SimResult) -> None:
         self._result = result
-        self.done = True
+        self._resolved.set()
 
     def _reject(self, exc: BaseException) -> None:
         self._exception = exc
-        self.done = True
+        self._resolved.set()
 
-    def result(self) -> SimResult:
-        """Return the resolved result, ticking the service as needed.
+    def result(self, timeout: Optional[float] = None) -> SimResult:
+        """Return the resolved result (ticking or waiting as needed).
 
-        Raises :class:`DeadlineExceeded` if the request was shed.
+        Raises :class:`DeadlineExceeded` if the request was shed, and
+        :class:`TimeoutError` if ``timeout`` seconds pass while waiting
+        on the background coalescer.
         """
-        while not self.done:
-            if self._service.tick() == 0 and not self.done:
+        while not self._resolved.is_set():
+            if self._service._background_active():
+                if not self._resolved.wait(timeout):
+                    raise TimeoutError(
+                        f"request {self.key[:12]}… still pending after "
+                        f"{timeout}s"
+                    )
+            elif self._service.tick() == 0 and not self._resolved.is_set():
                 raise RuntimeError(
                     "service made no progress while this request is "
                     "still pending (was the queue cleared externally?)"
                 )
         if self._exception is not None:
             raise self._exception
+        assert self._result is not None
         return self._result
 
     def exception(self) -> Optional[BaseException]:
@@ -324,7 +413,31 @@ class SimulationService:
         self.config = config or ServiceConfig()
         self.controller = controller or ControllerConfig()
         self.cache = ResultCache(self.config.cache_bytes)
-        self._queue: Deque[_Pending] = deque()
+        self._persist = None
+        if (
+            self.config.persist_dir is not None
+            and self.config.persist_bytes > 0
+        ):
+            from repro.service.persist import PersistentCache
+
+            self._persist = PersistentCache(
+                self.config.persist_dir, self.config.persist_bytes
+            )
+        # Admission state: per-tenant priority buckets drained in
+        # weighted-round-robin order.  _rotation holds every tenant
+        # with pending work; _depth is the total pending count.
+        self._queues: Dict[str, Dict[int, Deque[_Pending]]] = {}
+        self._rotation: Deque[str] = deque()
+        self._depth = 0
+        # One lock guards the queues, the cache tiers and the counters;
+        # _wake (same lock) signals the background coalescer on submit
+        # and backpressured submitters on drain.
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._bg_thread: Optional[threading.Thread] = None
+        self._bg_stop = False
+        self._persist_hits = 0
+        self._persist_misses = 0
         self._luts: Dict[float, object] = {}
         self._calibrations: Dict[float, np.ndarray] = {}
         self._submitted = 0
@@ -355,10 +468,95 @@ class SimulationService:
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
-    # Lifecycle (warm process fleets hold shared-memory segments)
+    # Lifecycle (background coalescer thread + warm process fleets)
     # ------------------------------------------------------------------
+    def start(self) -> "SimulationService":
+        """Start the background coalescer (idempotent).
+
+        A dedicated batching thread takes ownership of :meth:`tick`:
+        it sleeps on a condition variable, wakes on submit, and flushes
+        a micro-batch once the oldest pending request has aged
+        :attr:`ServiceConfig.tick_interval_s` — or immediately when the
+        pending depth reaches :attr:`ServiceConfig.max_batch_dies` (the
+        max-batch trigger) or the service is closing.  Results are
+        bit-identical to caller-driven ticking: the thread runs the
+        very same :meth:`tick`.
+        """
+        with self._lock:
+            if self._bg_thread is not None and self._bg_thread.is_alive():
+                return self
+            self._bg_stop = False
+            thread = threading.Thread(
+                target=self._background_loop,
+                name="repro-service-coalescer",
+                daemon=True,
+            )
+            self._bg_thread = thread
+            thread.start()
+        return self
+
+    def _background_active(self) -> bool:
+        thread = self._bg_thread
+        return thread is not None and thread.is_alive()
+
+    def _oldest_submitted(self) -> float:
+        """Earliest ``submitted_at`` across every pending bucket
+        (caller holds the lock and guarantees pending work exists)."""
+        return min(
+            queue[0].submitted_at
+            for buckets in self._queues.values()
+            for queue in buckets.values()
+            if queue
+        )
+
+    def _background_loop(self) -> None:
+        """idle → (submit wakes) → age/size gate → flush, until stopped.
+
+        On stop the loop keeps flushing until the queue is empty, so
+        ``close()`` never strands admitted futures unresolved.
+        """
+        interval = self.config.tick_interval_s
+        while True:
+            with self._wake:
+                while not self._bg_stop and self._depth == 0:
+                    self._wake.wait()
+                if self._bg_stop and self._depth == 0:
+                    return
+                # Age the batch up to tick_interval_s; flush early on
+                # the max-batch trigger or when the service is closing.
+                while (
+                    not self._bg_stop
+                    and 0 < self._depth < self.config.max_batch_dies
+                ):
+                    remaining = interval - (
+                        time.monotonic() - self._oldest_submitted()
+                    )
+                    if remaining <= 0:
+                        break
+                    self._wake.wait(remaining)
+            if self._depth:
+                self.tick()
+
+    def stop(self) -> None:
+        """Stop the background coalescer, draining pending work first.
+
+        No-op when the coalescer is not running.  The service stays
+        usable in caller-driven mode (and :meth:`start` may be called
+        again).
+        """
+        thread = self._bg_thread
+        if thread is None:
+            return
+        with self._wake:
+            self._bg_stop = True
+            self._wake.notify_all()
+        if thread.is_alive() and thread is not threading.current_thread():
+            thread.join()
+        self._bg_thread = None
+
     def close(self) -> None:
-        """Retire every warm engine (process fleets unlink their shared
+        """Stop the background coalescer (draining pending work), then
+        retire every warm engine (process fleets unlink their shared
         memory).  The service stays usable — the next batch simply
         builds cold again — so this is safe to call between phases of a
         long-lived deployment, not just at the end.
@@ -367,6 +565,7 @@ class SimulationService:
         engine's ``close()`` raises (one bad fleet must not leak the
         rest of the LRU's shared-memory segments); the first error is
         re-raised afterwards."""
+        self.stop()
         engines, self._engines = self._engines, OrderedDict()
         errors: List[BaseException] = []
         for entry in engines.values():
@@ -447,7 +646,62 @@ class SimulationService:
     @property
     def queue_depth(self) -> int:
         """Return the number of pending (admitted, unresolved) requests."""
-        return len(self._queue)
+        return self._depth
+
+    def _tenant_weight(self, tenant: str) -> int:
+        weights = self.config.tenant_weights
+        if not weights:
+            return 1
+        return max(1, int(weights.get(tenant, 1)))
+
+    def _enqueue(self, pending: _Pending) -> None:
+        """Add one pending request to its tenant's priority bucket
+        (caller holds the lock)."""
+        tenant = pending.request.tenant
+        buckets = self._queues.get(tenant)
+        if buckets is None:
+            buckets = self._queues[tenant] = {}
+            self._rotation.append(tenant)
+        buckets.setdefault(pending.request.priority, deque()).append(
+            pending
+        )
+        self._depth += 1
+
+    @staticmethod
+    def _pop_highest(
+        buckets: Dict[int, Deque[_Pending]]
+    ) -> Optional[_Pending]:
+        """Pop the oldest pending of the highest non-empty priority."""
+        for priority in sorted(buckets, reverse=True):
+            queue = buckets[priority]
+            if queue:
+                pending = queue.popleft()
+                if not queue:
+                    del buckets[priority]
+                return pending
+        return None
+
+    def _drain_scheduling_order(self) -> List[_Pending]:
+        """Pop every pending request in dequeue order (caller holds the
+        lock): weighted round-robin across tenants (a tenant with
+        weight *k* yields up to *k* requests per rotation turn),
+        highest priority first within a tenant, FIFO within a
+        priority."""
+        drained: List[_Pending] = []
+        while self._depth:
+            tenant = self._rotation.popleft()
+            buckets = self._queues[tenant]
+            for _ in range(self._tenant_weight(tenant)):
+                pending = self._pop_highest(buckets)
+                if pending is None:
+                    break
+                drained.append(pending)
+                self._depth -= 1
+            if any(buckets.values()):
+                self._rotation.append(tenant)
+            else:
+                del self._queues[tenant]
+        return drained
 
     def _validate(self, request: SimRequest) -> None:
         if request.reducers is not None:
@@ -467,16 +721,27 @@ class SimulationService:
             )
 
     def _cache_lookup(self, key: str) -> Optional[Dict[str, Scalar]]:
-        """Probe the scenario cache with structural validation.
+        """Probe the scenario cache tiers with structural validation.
 
-        A hit whose value fails validation (missing reducer, non-scalar
-        or non-finite entry — or a ``cache``-scope injected fault
-        simulating a torn write) is *discarded* and counted, so the
-        scenario re-simulates instead of serving corrupt data.
+        Memory LRU first; on a miss, the persistent (disk) tier — a
+        disk hit is promoted back into the memory LRU.  A hit whose
+        value fails validation (missing reducer, non-scalar or
+        non-finite entry — or a ``cache``-scope injected fault
+        simulating a torn write) is *discarded* from both tiers and
+        counted, so the scenario re-simulates instead of serving
+        corrupt data.
         """
         cached = self.cache.get(key)
+        from_disk = False
         if cached is None:
-            return None
+            if self._persist is None:
+                return None
+            cached = self._persist.get(key)
+            if cached is None:
+                self._persist_misses += 1
+                return None
+            self._persist_hits += 1
+            from_disk = True
         injector = shared_injector()
         spec = (
             injector.poll(scope="cache", command="run")
@@ -488,10 +753,20 @@ class SimulationService:
             # validator below must catch it.
             cached.pop(next(iter(cached)), None)
         if self._cache_entry_valid(cached):
+            if from_disk:
+                self.cache.put(key, cached)
             return cached
         self.cache.discard(key)
+        if self._persist is not None:
+            self._persist.discard(key)
         self._cache_corruptions += 1
         return None
+
+    def _cache_store(self, key: str, value: Dict[str, Scalar]) -> None:
+        """Write-through: fill the memory LRU and the disk tier."""
+        self.cache.put(key, value)
+        if self._persist is not None:
+            self._persist.put(key, value)
 
     @staticmethod
     def _cache_entry_valid(value: Dict[str, Scalar]) -> bool:
@@ -518,34 +793,37 @@ class SimulationService:
         """
         self._validate(request)
         key = request.cache_key()
-        cached = self._cache_lookup(key)
-        if cached is not None:
-            future = ServiceFuture(self, key)
-            future._resolve(
-                SimResult(
-                    key=key,
-                    values=self._select(cached, request),
-                    cached=True,
-                    batch_size=0,
+        with self._lock:
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                future = ServiceFuture(self, key)
+                future._resolve(
+                    SimResult(
+                        key=key,
+                        values=self._select(cached, request),
+                        cached=True,
+                        batch_size=0,
+                    )
                 )
-            )
+                self._submitted += 1
+                self._completed += 1
+                return future
+            if self._depth >= self.config.max_queue_depth:
+                # Not counted as submitted: callers retry after
+                # draining, and counting every attempt would overstate
+                # offered load (one logical request could inflate both
+                # counters).
+                self._rejected += 1
+                raise AdmissionError(
+                    f"queue at capacity "
+                    f"({self.config.max_queue_depth} pending requests)"
+                )
             self._submitted += 1
-            self._completed += 1
-            return future
-        if len(self._queue) >= self.config.max_queue_depth:
-            # Not counted as submitted: callers retry after draining,
-            # and counting every attempt would overstate offered load
-            # (one logical request could inflate both counters).
-            self._rejected += 1
-            raise AdmissionError(
-                f"queue at capacity "
-                f"({self.config.max_queue_depth} pending requests)"
+            future = ServiceFuture(self, key)
+            self._enqueue(
+                _Pending(request, key, future, time.monotonic())
             )
-        self._submitted += 1
-        future = ServiceFuture(self, key)
-        self._queue.append(
-            _Pending(request, key, future, time.monotonic())
-        )
+            self._wake.notify_all()
         return future
 
     # ------------------------------------------------------------------
@@ -556,45 +834,31 @@ class SimulationService:
 
         Shedding counts as resolution (the future raises
         :class:`DeadlineExceeded`), so a return of 0 means the queue is
-        empty.
+        empty.  While the background coalescer is running it owns the
+        drain — an external tick raises instead of racing it.
+
+        Queue manipulation and future resolution happen under the
+        service lock; the engine batch itself runs outside it, so
+        submitters are never blocked behind a simulation.
         """
-        if not self._queue:
-            return 0
-        resolved = self._shed_expired()
-        if not self._queue:
+        bg = self._bg_thread
+        if (
+            bg is not None
+            and bg.is_alive()
+            and threading.current_thread() is not bg
+        ):
+            raise RuntimeError(
+                "the background coalescer owns tick(); wait on futures "
+                "(or stop() the service) instead"
+            )
+        with self._lock:
+            resolved, batch, order, unique, deadline = (
+                self._assemble_batch()
+            )
+            if resolved and not batch:
+                self._wake.notify_all()
+        if not batch:
             return resolved
-
-        group = self._queue[0].request.group_key()
-        batch: List[_Pending] = []
-        order: Dict[str, int] = {}
-        unique: List[SimRequest] = []
-        kept: Deque[_Pending] = deque()
-        while self._queue:
-            pending = self._queue.popleft()
-            if pending.request.group_key() != group:
-                kept.append(pending)
-                continue
-            if (
-                pending.key not in order
-                and len(unique) >= self.config.max_batch_dies
-            ):
-                kept.append(pending)
-                continue
-            if pending.key not in order:
-                order[pending.key] = len(unique)
-                unique.append(pending.request)
-            batch.append(pending)
-        self._queue = kept
-
-        deadline = None
-        if self.config.resilience is not None:
-            limits = [
-                pending.submitted_at + pending.request.deadline_s
-                for pending in batch
-                if pending.request.deadline_s is not None
-            ]
-            if limits:
-                deadline = min(limits)
         try:
             # Keyword passed only when set: simulate_requests stays
             # drop-in replaceable (tests monkeypatch it with plain
@@ -608,55 +872,106 @@ class SimulationService:
             # run must fail *these* requests (each future re-raises the
             # error), never strand their futures unresolved or take the
             # service down with them.
-            for pending in batch:
-                pending.future._reject(exc)
-                self._failed += 1
-                resolved += 1
+            with self._lock:
+                for pending in batch:
+                    pending.future._reject(exc)
+                    self._failed += 1
+                    resolved += 1
+                self._wake.notify_all()
             return resolved
-        self._batches += 1
-        self._simulated_dies += len(unique)
-        self._coalesced_requests += len(batch)
-        for request, value in zip(unique, values):
-            self.cache.put(request.cache_key(), value)
-        for pending in batch:
-            pending.future._resolve(
-                SimResult(
-                    key=pending.key,
-                    values=self._select(
-                        values[order[pending.key]], pending.request
-                    ),
-                    cached=False,
-                    batch_size=len(unique),
+        with self._lock:
+            self._batches += 1
+            self._simulated_dies += len(unique)
+            self._coalesced_requests += len(batch)
+            for request, value in zip(unique, values):
+                self._cache_store(request.cache_key(), value)
+            for pending in batch:
+                pending.future._resolve(
+                    SimResult(
+                        key=pending.key,
+                        values=self._select(
+                            values[order[pending.key]], pending.request
+                        ),
+                        cached=False,
+                        batch_size=len(unique),
+                    )
                 )
-            )
-            self._completed += 1
-            resolved += 1
+                self._completed += 1
+                resolved += 1
+            # Backpressured submitters (run()) wait for drained room.
+            self._wake.notify_all()
         return resolved
 
-    def _shed_expired(self) -> int:
+    def _assemble_batch(
+        self,
+    ) -> Tuple[
+        int,
+        List[_Pending],
+        Dict[str, int],
+        List[SimRequest],
+        Optional[float],
+    ]:
+        """Shed expired work and pick the next micro-batch (caller
+        holds the lock).
+
+        One pass over the weighted-round-robin dequeue order: every
+        *expired* request is shed first — before batch assembly and
+        deadline computation, so a request that died in the queue can
+        never drag ``min(limits)`` into the past and poison the whole
+        coalesced batch's retry budget.  The first live request picks
+        the coalescing group; non-members and max-batch overflow are
+        re-queued in dequeue order.
+
+        Returns ``(shed_count, batch, order, unique, deadline)`` where
+        ``deadline`` (resilience only) is strictly in the future.
+        """
         now = time.monotonic()
-        kept: Deque[_Pending] = deque()
+        batch: List[_Pending] = []
+        order: Dict[str, int] = {}
+        unique: List[SimRequest] = []
+        group: Optional[Tuple[object, ...]] = None
         shed = 0
-        while self._queue:
-            pending = self._queue.popleft()
-            deadline = pending.request.deadline_s
+        for pending in self._drain_scheduling_order():
+            deadline_s = pending.request.deadline_s
             if (
-                deadline is not None
-                and now - pending.submitted_at > deadline
+                deadline_s is not None
+                and pending.submitted_at + deadline_s <= now
             ):
                 pending.future._reject(
                     DeadlineExceeded(
                         f"request waited "
                         f"{now - pending.submitted_at:.3f}s, deadline "
-                        f"was {deadline:.3f}s"
+                        f"was {deadline_s:.3f}s"
                     )
                 )
                 self._shed += 1
                 shed += 1
-            else:
-                kept.append(pending)
-        self._queue = kept
-        return shed
+                continue
+            if group is None:
+                group = pending.request.group_key()
+            if pending.request.group_key() != group:
+                self._enqueue(pending)
+                continue
+            if (
+                pending.key not in order
+                and len(unique) >= self.config.max_batch_dies
+            ):
+                self._enqueue(pending)
+                continue
+            if pending.key not in order:
+                order[pending.key] = len(unique)
+                unique.append(pending.request)
+            batch.append(pending)
+        deadline = None
+        if self.config.resilience is not None:
+            limits = [
+                pending.submitted_at + pending.request.deadline_s
+                for pending in batch
+                if pending.request.deadline_s is not None
+            ]
+            if limits:
+                deadline = min(limits)
+        return shed, batch, order, unique, deadline
 
     @staticmethod
     def _select(
@@ -673,8 +988,10 @@ class SimulationService:
         """Submit a request list and drain to completion, in order.
 
         Backpressure-aware: when admission rejects, the service ticks
-        (draining a micro-batch) and the submit retries.  Shed requests
-        re-raise :class:`DeadlineExceeded` from their ``result()``.
+        (draining a micro-batch) — or, with the background coalescer
+        running, waits for it to drain room — and the submit retries.
+        Shed requests re-raise :class:`DeadlineExceeded` from their
+        ``result()``.
         """
         futures: List[ServiceFuture] = []
         for request in requests:
@@ -683,10 +1000,15 @@ class SimulationService:
                     futures.append(self.submit(request))
                     break
                 except AdmissionError:
-                    if self.tick() == 0:
+                    if self._background_active():
+                        with self._wake:
+                            if self._depth >= self.config.max_queue_depth:
+                                self._wake.wait(0.05)
+                    elif self.tick() == 0:
                         raise
-        while self.tick():
-            pass
+        if not self._background_active():
+            while self.tick():
+                pass
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -846,7 +1168,7 @@ class SimulationService:
                     breaker.record_failure(time.monotonic())
                     if attempt >= policy.max_retries:
                         break  # rung exhausted; descend the ladder
-                    delay = self._backoff.delay(attempt)
+                    delay = self._backoff.delay(attempt, mode)
                     if (
                         deadline is not None
                         and time.monotonic() + delay > deadline
@@ -1005,31 +1327,45 @@ class SimulationService:
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Return a telemetry snapshot of the service so far."""
-        return ServiceStats(
-            submitted=self._submitted,
-            completed=self._completed,
-            rejected=self._rejected,
-            shed=self._shed,
-            failed=self._failed,
-            cache_hits=self.cache.hits,
-            cache_misses=self.cache.misses,
-            batches=self._batches,
-            simulated_dies=self._simulated_dies,
-            coalesced_requests=self._coalesced_requests,
-            queue_depth=len(self._queue),
-            cache_entries=len(self.cache),
-            cache_bytes=self.cache.current_bytes,
-            elapsed_s=time.monotonic() - self._started,
-            engine_builds=self._engine_builds,
-            engine_reuses=self._engine_reuses,
-            fanout_s=self._fanout_s,
-            dispatch_s=self._dispatch_s,
-            merge_s=self._merge_s,
-            retries=self._retries,
-            degraded_runs=self._degraded_runs,
-            breaker_trips=sum(
-                self._breakers[mode].trips
-                for mode in sorted(self._breakers)
-            ),
-            cache_corruptions=self._cache_corruptions,
-        )
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                shed=self._shed,
+                failed=self._failed,
+                cache_hits=self.cache.hits,
+                cache_misses=self.cache.misses,
+                batches=self._batches,
+                simulated_dies=self._simulated_dies,
+                coalesced_requests=self._coalesced_requests,
+                queue_depth=self._depth,
+                cache_entries=len(self.cache),
+                cache_bytes=self.cache.current_bytes,
+                elapsed_s=time.monotonic() - self._started,
+                engine_builds=self._engine_builds,
+                engine_reuses=self._engine_reuses,
+                fanout_s=self._fanout_s,
+                dispatch_s=self._dispatch_s,
+                merge_s=self._merge_s,
+                retries=self._retries,
+                degraded_runs=self._degraded_runs,
+                breaker_trips=sum(
+                    self._breakers[mode].trips
+                    for mode in sorted(self._breakers)
+                ),
+                cache_corruptions=self._cache_corruptions + (
+                    0 if self._persist is None
+                    else self._persist.corruptions
+                ),
+                persist_hits=self._persist_hits,
+                persist_misses=self._persist_misses,
+                persist_entries=(
+                    0 if self._persist is None else len(self._persist)
+                ),
+                persist_bytes=(
+                    0 if self._persist is None
+                    else self._persist.current_bytes
+                ),
+                tenants=len(self._queues),
+            )

@@ -1,0 +1,177 @@
+"""Persistent (disk) tier of the content-addressed scenario cache.
+
+The canonical request hash (:meth:`SimRequest.cache_key`) is a durable
+key: it depends only on the simulated trajectory's inputs, never on
+process identity, memory layout or insertion order.  This module backs
+it with a directory of one-JSON-file-per-entry so warm scenarios
+survive process restarts — a restarted service answers a repeated
+corner from disk instead of re-simulating it.
+
+Design points:
+
+* **write-through, torn-write safe** — :meth:`PersistentCache.put`
+  writes a temp file and ``os.replace``\\ s it into place, so a crash
+  mid-write can never leave a half-entry under a valid key;
+* **never trusted on load** — a file that fails to parse into a plain
+  scalar dict is *corrupt*: it is unlinked, counted
+  (:attr:`PersistentCache.corruptions`) and read as a miss.  Structural
+  validation of the reducer payload itself stays in the service
+  (:meth:`SimulationService._cache_entry_valid` — the same corrupt-entry
+  path memory hits go through), so both tiers share one notion of
+  "valid entry";
+* **byte budget, LRU eviction** — sized like the memory tier
+  (:class:`~repro.service.cache.ResultCache`): an in-memory index
+  (rebuilt by directory scan on open, recency from file mtimes) tracks
+  per-entry file sizes and evicts least-recently-used entries past
+  :attr:`max_bytes`;
+* **thread-safe** — one lock around index + file operations; the
+  service already serialises cache access under its own lock, but the
+  store is safe to share regardless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+Value = Dict[str, Union[int, float]]
+
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{8,128}$")
+"""Keys are canonical content hashes (hex digests); anything else is
+rejected before it can name a file."""
+
+
+class PersistentCache:
+    """Disk-backed LRU scenario store under canonical content hashes."""
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        # key -> file size in bytes; least-recently-used first.
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corruptions = 0
+        self._scan()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _scan(self) -> None:
+        """Rebuild the index from the directory (oldest mtime first, so
+        pre-existing entries evict before anything touched this run)."""
+        entries = []
+        for path in self.directory.glob("*.json"):
+            key = path.stem
+            if not _KEY_PATTERN.match(key):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, key, stat.st_size))
+        for _, key, size in sorted(entries):
+            self._index[key] = int(size)
+            self.current_bytes += int(size)
+        self._evict_over_budget()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> Optional[Value]:
+        """Return the stored value, refreshing recency; ``None`` on a
+        miss.  An unreadable or non-dict entry is corrupt: unlinked,
+        counted, and reported as a miss."""
+        with self._lock:
+            if key not in self._index:
+                self.misses += 1
+                return None
+            path = self._path(key)
+            try:
+                raw = path.read_bytes()
+                value = json.loads(raw)
+                if not isinstance(value, dict) or not all(
+                    isinstance(name, str) for name in value
+                ):
+                    raise ValueError("persisted entry is not a dict")
+            except (OSError, ValueError):
+                self._drop(key)
+                self.corruptions += 1
+                self.misses += 1
+                return None
+            self._index.move_to_end(key)
+            try:
+                os.utime(path)  # recency survives the next restart scan
+            except OSError:
+                pass
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: Value) -> None:
+        """Write-through one entry atomically, evicting LRU past the
+        budget.  Over-budget values replace (never shadow) any existing
+        entry, mirroring the memory tier's contract."""
+        if not _KEY_PATTERN.match(key):
+            raise ValueError(
+                f"cache key must be a canonical hex digest, got {key!r}"
+            )
+        data = json.dumps(value).encode("utf-8")
+        with self._lock:
+            if key in self._index:
+                self._drop(key)
+            if len(data) > self.max_bytes:
+                return
+            path = self._path(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+            self._index[key] = len(data)
+            self.current_bytes += len(data)
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        while self.current_bytes > self.max_bytes and self._index:
+            oldest, _ = next(iter(self._index.items()))
+            self._drop(oldest)
+            self.evictions += 1
+
+    def _drop(self, key: str) -> None:
+        size = self._index.pop(key, None)
+        if size is not None:
+            self.current_bytes -= size
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def discard(self, key: str) -> None:
+        """Drop one entry if present (the detected-corrupt eviction
+        path: the service discards an entry whose structure fails
+        validation so the scenario re-simulates)."""
+        with self._lock:
+            if key in self._index:
+                self._drop(key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            for key in list(self._index):
+                self._drop(key)

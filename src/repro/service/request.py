@@ -155,7 +155,13 @@ class SimRequest:
       rate controller is programmed with), ``device_model``,
       ``step_kernel``, and whether the run is schedule-driven;
     * **quality of service** (never part of :meth:`cache_key`):
-      ``deadline_s``, ``reducers``.
+      ``deadline_s``, ``reducers``, ``tenant``, ``priority``.
+
+    ``tenant`` names the fair-queuing bucket the request waits in (the
+    service dequeues tenants weighted round-robin) and ``priority``
+    orders requests *within* a tenant (higher first, FIFO among
+    equals).  Both shape scheduling only — two requests differing only
+    there share a cache entry and coalesce into one engine run.
     """
 
     cycles: int
@@ -174,6 +180,8 @@ class SimRequest:
     step_kernel: str = "fused"
     reducers: Optional[Tuple[str, ...]] = None
     deadline_s: Optional[float] = None
+    tenant: str = "default"
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -210,6 +218,12 @@ class SimRequest:
             )
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ValueError("deadline_s must be non-negative")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+        if isinstance(self.priority, bool) or not isinstance(
+            self.priority, int
+        ):
+            raise ValueError("priority must be an int")
         # Fail on unknown device_model/step_kernel at submit time, not
         # deep inside a coalesced engine build.
         from repro.engine.engine import DEVICE_MODELS, STEP_KERNELS
@@ -257,9 +271,10 @@ class SimRequest:
     def cache_payload(self) -> Dict[str, object]:
         """Return the canonicalisable content of this request.
 
-        Excludes ``deadline_s`` and ``reducers``: they shape service
-        behaviour, not the simulated trajectory, so requests differing
-        only there share a cache entry.
+        Excludes ``deadline_s``, ``reducers``, ``tenant`` and
+        ``priority``: they shape service behaviour, not the simulated
+        trajectory, so requests differing only there share a cache
+        entry.
         """
         return {
             "cycles": int(self.cycles),

@@ -30,6 +30,8 @@ tests).
 
 from __future__ import annotations
 
+import threading
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -109,23 +111,33 @@ class ResiliencePolicy:
 
 
 class BackoffSchedule:
-    """Seeded-jitter exponential backoff.
+    """Seeded-jitter exponential backoff, stateless per draw.
 
-    ``delay(attempt)`` returns ``min(cap, base * 2**attempt)`` scaled by
-    a jitter factor in ``[0.5, 1.0)`` drawn from a seeded generator —
-    two schedules with the same seed produce the same delay sequence, so
-    chaos tests can assert the exact sleeps a retry storm performs.
+    ``delay(attempt, mode)`` returns ``min(cap, base * 2**attempt)``
+    scaled by a jitter factor in ``[0.5, 1.0)`` derived purely from
+    ``(jitter_seed, mode, attempt)``.  Because no draw consumes shared
+    generator state, concurrent retry loops (the background coalescer
+    and gateway handler threads share one schedule) cannot interleave
+    each other's jitter: a replayed chaos run sleeps the exact same
+    schedule no matter how the threads raced.
     """
 
     def __init__(self, policy: ResiliencePolicy) -> None:
         self.base_s = policy.backoff_base_s
         self.cap_s = policy.backoff_cap_s
-        self._rng = np.random.default_rng(policy.jitter_seed)
+        self.seed = policy.jitter_seed
 
-    def delay(self, attempt: int) -> float:
-        """Return the jittered backoff for retry number ``attempt``."""
+    def delay(self, attempt: int, mode: str = "") -> float:
+        """Return the jittered backoff for retry ``attempt`` on ``mode``.
+
+        Deterministic in ``(seed, mode, attempt)`` alone — calling
+        order, thread interleaving and prior draws are irrelevant.
+        """
         bounded = min(self.cap_s, self.base_s * (2.0 ** attempt))
-        return bounded * (0.5 + 0.5 * float(self._rng.random()))
+        rng = np.random.default_rng(
+            (self.seed, zlib.crc32(mode.encode("utf-8")), int(attempt))
+        )
+        return bounded * (0.5 + 0.5 * float(rng.random()))
 
 
 class CircuitBreaker:
@@ -133,9 +145,14 @@ class CircuitBreaker:
 
     Closed until ``threshold`` consecutive failures, then open (every
     ``allows`` call rejected) for ``cooldown_s``; after the cooldown a
-    single half-open probe is allowed — success closes the breaker,
-    failure re-trips it immediately (the consecutive count restarts at
-    the threshold boundary each trip).
+    **single** half-open probe is admitted — concurrent ``allows``
+    callers racing past the cooldown get exactly one ``True`` between
+    them, and further probes stay rejected until that probe reports.
+    Success closes the breaker, failure re-trips it immediately (the
+    consecutive count restarts at the threshold boundary each trip).
+
+    All state transitions happen under an internal lock: breakers are
+    shared between the background coalescer and gateway threads.
     """
 
     def __init__(self, threshold: int, cooldown_s: float) -> None:
@@ -144,22 +161,45 @@ class CircuitBreaker:
         self.failures = 0
         self.open_until: Optional[float] = None
         self.trips = 0
+        self._probing = False
+        self._lock = threading.Lock()
 
     def allows(self, now: float) -> bool:
-        """True when the mode may be attempted at monotonic ``now``."""
-        return self.open_until is None or now >= self.open_until
+        """True when the mode may be attempted at monotonic ``now``.
+
+        While open past the cooldown, admits exactly one caller (the
+        half-open probe); everyone else is rejected until the probe's
+        ``record_success`` / ``record_failure`` lands.
+        """
+        with self._lock:
+            if self.open_until is None:
+                return True
+            if now < self.open_until:
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
 
     def record_failure(self, now: float) -> None:
-        self.failures += 1
-        if self.failures >= self.threshold or self.open_until is not None:
-            # Threshold reached, or a half-open probe failed: (re)open.
-            self.open_until = now + self.cooldown_s
-            self.trips += 1
-            self.failures = 0
+        with self._lock:
+            self._probing = False
+            self.failures += 1
+            if (
+                self.failures >= self.threshold
+                or self.open_until is not None
+            ):
+                # Threshold reached, or a half-open probe failed:
+                # (re)open.
+                self.open_until = now + self.cooldown_s
+                self.trips += 1
+                self.failures = 0
 
     def record_success(self) -> None:
-        self.failures = 0
-        self.open_until = None
+        with self._lock:
+            self._probing = False
+            self.failures = 0
+            self.open_until = None
 
 
 __all__ = [

@@ -1,0 +1,283 @@
+"""HTTP gateway over the simulation service (stdlib only).
+
+:class:`ServiceGateway` binds a :class:`ThreadingHTTPServer` in front of
+one :class:`~repro.service.core.SimulationService` running its
+background coalescer: every HTTP handler thread just ``submit()``\\ s and
+waits on its future, while the coalescer thread packs concurrent
+requests — across connections and tenants — into micro-batches.  The
+answer contract is unchanged: a reducer value served over HTTP is
+bit-identical to the same request resolved through a caller-driven
+``tick()`` loop (the wire format is JSON whose float round-trip is
+exact for binary64).
+
+Wire model (one JSON object per request, mirroring
+:class:`~repro.service.request.SimRequest` field-for-field)::
+
+    POST /simulate
+    {"cycles": 400, "corner": "SS",
+     "workload": {"kind": "poisson", "rate": 1e5, "seed": 7},
+     "tenant": "bench", "priority": 1}
+    -> 200 {"key": "…", "values": {...}, "cached": false,
+            "batch_size": 17}
+
+    GET /stats    -> 200 {"submitted": …, "completed": …, ...}
+    GET /healthz  -> 200 {"status": "ok"}
+
+Status mapping: malformed body or unknown field → 400; admission
+rejection (queue at capacity) → 429; shed deadline or gateway result
+timeout → 504; gateway shutting down → 503; anything else → 500.  Every
+response carries ``Content-Length`` so HTTP/1.1 keep-alive connections
+stay usable for open-loop load generation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.service.core import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.service.request import SimRequest, SimResult, WorkloadSpec
+
+_WORKLOAD_FIELDS = frozenset(
+    field.name for field in dataclasses.fields(WorkloadSpec)
+)
+_REQUEST_FIELDS = frozenset(
+    field.name for field in dataclasses.fields(SimRequest)
+)
+
+
+def request_from_wire(payload: object) -> SimRequest:
+    """Build a :class:`SimRequest` from one decoded JSON object.
+
+    Strict: unknown keys raise (a typo'd field silently meaning "use
+    the default" would change simulated physics without a peep), and
+    all value validation is delegated to the dataclass
+    ``__post_init__`` hooks so wire requests obey exactly the in-process
+    rules.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    fields = dict(payload)
+    unknown = set(fields) - _REQUEST_FIELDS
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    workload = fields.pop("workload", None)
+    if workload is not None:
+        if not isinstance(workload, dict):
+            raise ValueError("workload must be a JSON object")
+        unknown = set(workload) - _WORKLOAD_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown workload fields: {sorted(unknown)}"
+            )
+        fields["workload"] = WorkloadSpec(**workload)
+    for name in ("schedule_codes", "reducers"):
+        if fields.get(name) is not None:
+            if not isinstance(fields[name], list):
+                raise ValueError(f"{name} must be a JSON array")
+            fields[name] = tuple(fields[name])
+    return SimRequest(**fields)
+
+
+def request_to_wire(request: SimRequest) -> Dict[str, object]:
+    """Flatten one :class:`SimRequest` into its JSON wire object
+    (the exact inverse of :func:`request_from_wire`)."""
+    return dataclasses.asdict(request)
+
+
+def result_to_wire(result: SimResult) -> Dict[str, object]:
+    """Flatten one :class:`SimResult` into its JSON wire object."""
+    return {
+        "key": result.key,
+        "values": dict(result.values),
+        "cached": result.cached,
+        "batch_size": result.batch_size,
+    }
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange; all state lives on the server/gateway."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_GatewayServer"
+
+    # The default handler logs every request to stderr; a load test
+    # would drown the console, so routing goes through the gateway's
+    # (default no-op) log hook instead.
+    def log_message(self, format: str, *args: object) -> None:
+        self.server.gateway._log(format % args)
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        if status >= 400:
+            self.server.gateway._count_error()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        gateway = self.server.gateway
+        gateway._count_request()
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, gateway.stats_payload())
+        else:
+            self._reply(404, {"error": f"no such resource: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        gateway = self.server.gateway
+        gateway._count_request()
+        if self.path != "/simulate":
+            self._reply(404, {"error": f"no such resource: {self.path}"})
+            return
+        if gateway._closing:
+            self._reply(503, {"error": "gateway is shutting down"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = request_from_wire(
+                json.loads(self.rfile.read(length))
+            )
+        except (ValueError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        try:
+            future = gateway.service.submit(request)
+            result = future.result(timeout=gateway.result_timeout_s)
+        except AdmissionError as exc:
+            self._reply(429, {"error": str(exc)})
+        except (DeadlineExceeded, TimeoutError) as exc:
+            self._reply(504, {"error": str(exc)})
+        except Exception as exc:  # engine/build failures -> this request
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply(200, result_to_wire(result))
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    gateway: "ServiceGateway"
+
+
+class ServiceGateway:
+    """HTTP front end owning one service + its background coalescer.
+
+    ``start()`` starts the service's batching thread, binds the listen
+    socket and serves from a daemon thread; ``close()`` drains and
+    stops both.  Usable as a context manager::
+
+        with ServiceGateway(port=0) as gateway:
+            host, port = gateway.address
+            ...
+
+    ``port=0`` binds an ephemeral port (tests and CI smoke runs);
+    :attr:`address` reports the bound endpoint either way.
+    """
+
+    def __init__(
+        self,
+        service: Optional[SimulationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 8265,
+        result_timeout_s: float = 60.0,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if service is not None and config is not None:
+            raise ValueError("pass a service or a config, not both")
+        if not (result_timeout_s > 0.0):
+            raise ValueError("result_timeout_s must be positive")
+        self.service = service or SimulationService(config=config)
+        self.host = host
+        self.port = port
+        self.result_timeout_s = result_timeout_s
+        self._server: Optional[_GatewayServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closing = False
+        self._counter_lock = threading.Lock()
+        self._http_requests = 0
+        self._http_errors = 0
+
+    def _log(self, line: str) -> None:
+        """Per-request log hook; default drops the line (load tests)."""
+
+    def _count_request(self) -> None:
+        with self._counter_lock:
+            self._http_requests += 1
+
+    def _count_error(self) -> None:
+        with self._counter_lock:
+            self._http_errors += 1
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` bindings)."""
+        if self._server is None:
+            return (self.host, self.port)
+        return self._server.server_address[:2]
+
+    def start(self) -> "ServiceGateway":
+        """Bind, start the coalescer and serve (idempotent)."""
+        if self._server is not None:
+            return self
+        self._closing = False
+        self.service.start()
+        server = _GatewayServer(
+            (self.host, self.port), _GatewayHandler
+        )
+        server.gateway = self
+        self._server = server
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-service-gateway",
+            daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+        return self
+
+    def stats_payload(self) -> Dict[str, object]:
+        """Service stats plus gateway counters, as one JSON object."""
+        payload: Dict[str, object] = dataclasses.asdict(
+            self.service.stats()
+        )
+        with self._counter_lock:
+            payload["http_requests"] = self._http_requests
+            payload["http_errors"] = self._http_errors
+        return payload
+
+    def close(self) -> None:
+        """Stop accepting, drain in-flight work, close the service."""
+        self._closing = True
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None and thread.is_alive():
+            thread.join()
+        self.service.close()
+
+    def __enter__(self) -> "ServiceGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "ServiceGateway",
+    "request_from_wire",
+    "request_to_wire",
+    "result_to_wire",
+]

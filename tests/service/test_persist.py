@@ -1,0 +1,205 @@
+"""Persistent (disk) cache tier: unit behaviour and restart warmth.
+
+The pinned service-level contract: a scenario simulated before a
+process restart is answered from disk after it — ``cached=True`` and
+**bit-identical values** — because entries live under the canonical
+content hash, which does not depend on process identity.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.service import (
+    PersistentCache,
+    ServiceConfig,
+    SimRequest,
+    SimulationService,
+)
+
+VALUE = {"energy_total": 1.25e-9, "operations_total": 42}
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+class TestPersistentCacheUnit:
+    def test_roundtrip_and_files(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, VALUE)
+        assert KEY_A in store
+        assert len(store) == 1
+        assert store.get(KEY_A) == VALUE
+        assert (tmp_path / f"{KEY_A}.json").exists()
+        assert store.hits == 1 and store.misses == 1
+        # No stray temp files from the atomic write.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_rejects_non_digest_keys(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        with pytest.raises(ValueError, match="hex digest"):
+            store.put("../escape", VALUE)
+
+    def test_corrupt_entry_is_unlinked_and_counted(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put(KEY_A, VALUE)
+        (tmp_path / f"{KEY_A}.json").write_text("{torn write")
+        assert store.get(KEY_A) is None
+        assert store.corruptions == 1
+        assert not (tmp_path / f"{KEY_A}.json").exists()
+        assert KEY_A not in store
+        # Parseable but non-dict payloads are corrupt too.
+        store.put(KEY_B, VALUE)
+        (tmp_path / f"{KEY_B}.json").write_text("[1, 2]")
+        assert store.get(KEY_B) is None
+        assert store.corruptions == 2
+
+    def test_byte_budget_evicts_lru(self, tmp_path):
+        entry_bytes = len(json.dumps(VALUE).encode())
+        store = PersistentCache(tmp_path, max_bytes=2 * entry_bytes)
+        store.put(KEY_A, VALUE)
+        store.put(KEY_B, VALUE)
+        assert store.get(KEY_A) == VALUE  # refresh A's recency
+        store.put(KEY_C, VALUE)           # evicts B (LRU)
+        assert KEY_B not in store
+        assert store.evictions == 1
+        assert store.get(KEY_A) == VALUE
+        assert store.get(KEY_C) == VALUE
+        assert store.current_bytes <= store.max_bytes
+        assert not (tmp_path / f"{KEY_B}.json").exists()
+
+    def test_over_budget_put_drops_existing_entry(self, tmp_path):
+        """The memory tier's PR-9 contract holds on disk too: a
+        replacement too large to store must not leave the stale entry
+        serving."""
+        entry_bytes = len(json.dumps(VALUE).encode())
+        store = PersistentCache(tmp_path, max_bytes=entry_bytes)
+        store.put(KEY_A, VALUE)
+        huge = {f"field_{i}": float(i) for i in range(64)}
+        store.put(KEY_A, huge)
+        assert store.get(KEY_A) is None
+        assert len(store) == 0
+
+    def test_restart_rebuilds_index_and_entries(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put(KEY_A, VALUE)
+        store.put(KEY_B, {"x": 1})
+        del store
+        reopened = PersistentCache(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.get(KEY_A) == VALUE
+        assert reopened.get(KEY_B) == {"x": 1}
+        assert reopened.current_bytes > 0
+
+    def test_clear_removes_files(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put(KEY_A, VALUE)
+        store.clear()
+        assert len(store) == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestServiceRestartWarmth:
+    def _requests(self):
+        base = SimRequest(cycles=40)
+        return [
+            replace(base, corner=corner, nmos_vth_shift=shift)
+            for corner, shift in (
+                ("SS", 0.01), ("TT", -0.02), ("FS", 0.0)
+            )
+        ]
+
+    def test_warm_hits_survive_restart_bit_identical(
+        self, library, tmp_path
+    ):
+        """Simulate, close, start a *fresh* service over the same
+        directory: every scenario answers from the disk tier with the
+        exact values the first process computed."""
+        requests = self._requests()
+        first = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        before = first.run(requests)
+        assert first.stats().persist_entries == len(requests)
+        first.close()
+
+        second = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        after = second.run(requests)
+        stats = second.stats()
+        second.close()
+        assert stats.batches == 0          # nothing re-simulated
+        assert stats.persist_hits == len(requests)
+        for cold, warm in zip(before, after):
+            assert warm.cached
+            assert warm.values == cold.values
+            assert warm.key == cold.key
+
+    def test_disk_hit_promotes_into_memory_tier(self, library, tmp_path):
+        request = self._requests()[0]
+        writer = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        writer.run([request])
+        writer.close()
+
+        reader = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        reader.run([request])   # disk hit, promoted
+        reader.run([request])   # now a pure memory hit
+        stats = reader.stats()
+        reader.close()
+        assert stats.persist_hits == 1
+        assert stats.cache_hits >= 1
+
+    def test_structurally_corrupt_disk_entry_resimulates(
+        self, library, tmp_path
+    ):
+        """A disk entry that parses but fails the service's structural
+        validation (the PR-8 corrupt-entry path) is discarded from both
+        tiers and the scenario re-simulates."""
+        request = self._requests()[0]
+        writer = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        expected = writer.run([request])[0]
+        writer.close()
+        (entry,) = tmp_path.glob("*.json")
+        payload = json.loads(entry.read_text())
+        payload.pop(next(iter(payload)))   # drop one reducer field
+        entry.write_text(json.dumps(payload))
+
+        reader = SimulationService(
+            library=library,
+            config=ServiceConfig(persist_dir=str(tmp_path)),
+        )
+        result = reader.run([request])[0]
+        stats = reader.stats()
+        reader.close()
+        assert not result.cached           # re-simulated, not served
+        assert result.values == expected.values
+        assert stats.cache_corruptions == 1
+
+    def test_persist_bytes_zero_disables_the_tier(
+        self, library, tmp_path
+    ):
+        service = SimulationService(
+            library=library,
+            config=ServiceConfig(
+                persist_dir=str(tmp_path), persist_bytes=0
+            ),
+        )
+        service.run(self._requests()[:1])
+        stats = service.stats()
+        service.close()
+        assert stats.persist_entries == 0
+        assert list(tmp_path.glob("*.json")) == []
