@@ -1,0 +1,100 @@
+"""Quickstart for the observability layer: metrics + tracing.
+
+Runs a traced batch of simulation requests through the service, then
+shows the three consumption surfaces the ``repro.obs`` package offers:
+
+1. a **point-in-time registry snapshot** — typed lookups by series name
+   and labels (what ``/stats`` is built from);
+2. the **Prometheus text exposition** — what ``/metrics`` serves;
+3. the **span tree** of one traced request — what the JSONL exporter
+   writes when ``repro-serve`` runs with ``--trace-out``.
+
+Run with::
+
+    PYTHONPATH=src python examples/metrics_quickstart.py
+"""
+
+from repro.obs import InMemorySpanExporter, Tracer
+from repro.service import (
+    ServiceConfig,
+    SimRequest,
+    SimulationService,
+    WorkloadSpec,
+)
+
+CYCLES = 120
+
+
+def main() -> None:
+    exporter = InMemorySpanExporter()
+    service = SimulationService(
+        config=ServiceConfig(max_batch_dies=16),
+        tracer=Tracer(exporter=exporter, sample_rate=1.0),
+    )
+
+    requests = []
+    for corner in ("SS", "TT", "FS"):
+        requests.append(SimRequest(cycles=CYCLES, corner=corner))
+    for seed, shift in ((11, 0.018), (12, -0.022)):
+        requests.append(
+            SimRequest(
+                cycles=CYCLES,
+                nmos_vth_shift=shift,
+                workload=WorkloadSpec(kind="poisson", rate=1e5, seed=seed),
+            )
+        )
+    requests.append(requests[0])  # coalesces: same scenario
+    with service:
+        service.run(requests)
+        service.submit(requests[1]).result()  # a pure cache hit
+
+        # 1. Typed snapshot: every instrument, one consistent cut.
+        snap = service.metrics_snapshot()
+        print("snapshot:")
+        for name, labels in (
+            ("repro_service_requests_total", {"outcome": "submitted"}),
+            ("repro_service_requests_total", {"outcome": "completed"}),
+            ("repro_service_batches_total", {}),
+            ("repro_cache_hits_total", {"tier": "memory"}),
+            ("repro_cache_lookups_total", {"tier": "memory"}),
+        ):
+            label_text = ",".join(
+                f"{key}={value}" for key, value in sorted(labels.items())
+            )
+            print(
+                f"  {name}{{{label_text}}} = "
+                f"{snap.value(name, **labels):.0f}"
+            )
+        run_phase = snap.histogram(
+            "repro_service_phase_seconds", phase="run"
+        )
+        print(
+            f"  run phase: {run_phase.count} batches, "
+            f"p50 {1e3 * run_phase.quantile(0.5):.2f}ms"
+        )
+
+        # 2. Prometheus exposition: what GET /metrics serves.
+        exposition = snap.to_prometheus()
+    print("\n/metrics excerpt:")
+    for line in exposition.splitlines():
+        if line.startswith("repro_service_requests_total"):
+            print(f"  {line}")
+
+    # 3. The span tree of the traced work, indented by parentage.
+    spans = exporter.records()
+    by_id = {span["span_id"]: span for span in spans}
+
+    def depth(span):
+        parent = span["parent_id"]
+        return 0 if parent is None else 1 + depth(by_id[parent])
+
+    print(f"\nspan tree ({spans[0]['trace_id'][:16]}…):")
+    for span in sorted(spans, key=lambda s: (s["start_s"], depth(s))):
+        print(
+            f"  {'  ' * depth(span)}{span['name']:<18} "
+            f"{1e3 * span['duration_s']:8.3f}ms {span['attrs'] or ''}"
+        )
+
+
+if __name__ == "__main__":
+    main()

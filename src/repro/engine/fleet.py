@@ -212,22 +212,34 @@ class _ResidentThreadTeam:
                     fn(index)
             except BaseException as exc:  # ack *every* command
                 error = exc
-            self._acks.put(error)
+            self._acks.put((w, error))
 
-    def dispatch(self, fn: Callable[[int], None]) -> None:
+    def dispatch(
+        self,
+        fn: Callable[[int], None],
+        roundtrips: Optional[Dict[int, float]] = None,
+    ) -> None:
         """Run ``fn(shard_index)`` for every shard on its pinned worker.
 
         Blocks until every worker acked (a barrier — chunked dispatch
         needs chunk *k* complete on all shards before chunk *k+1*
-        starts) and re-raises the first worker error.
+        starts) and re-raises the first worker error.  When
+        ``roundtrips`` is given, each worker's post→ack latency
+        (``perf_counter`` seconds) is accumulated under its worker id —
+        the observability layer's per-worker command round-trip.
         """
         if not self._started:
             raise RuntimeError("resident fleet workers are not running")
+        t_post = time.perf_counter()
         for commands in self._commands:
             commands.put(fn)
         first_error = None
         for _ in range(self.workers):
-            error = self._acks.get()
+            w, error = self._acks.get()
+            if roundtrips is not None:
+                roundtrips[w] = roundtrips.get(w, 0.0) + (
+                    time.perf_counter() - t_post
+                )
             if error is not None and first_error is None:
                 first_error = error
         if first_error is not None:
@@ -270,6 +282,15 @@ class FleetEngine:
         self._closed = False
         self._proc = None
         self._team: Optional[_ResidentThreadTeam] = None
+        # Per-run attribution for the observability layer: populated by
+        # run()/run_chunked() with {"shard_run_s": {shard: seconds},
+        # "worker_roundtrip_s": {worker: seconds}} — engine-run seconds
+        # per shard, dispatch→ack seconds per worker.  Pure observation:
+        # nothing reads it back into the simulation.
+        self.last_timings: Dict[str, Dict[int, float]] = {
+            "shard_run_s": {},
+            "worker_roundtrip_s": {},
+        }
         self.population = population
         self.fleet = fleet or FleetConfig()
         n = population.n
@@ -528,7 +549,28 @@ class FleetEngine:
             team = _ResidentThreadTeam(self.num_shards, workers)
             team.start()
             self._team = team
-        team.dispatch(fn)
+        team.dispatch(
+            fn, roundtrips=self.last_timings["worker_roundtrip_s"]
+        )
+
+    def _reset_timings(self) -> None:
+        self.last_timings = {
+            "shard_run_s": {},
+            "worker_roundtrip_s": {},
+        }
+
+    def _adopt_proc_timings(self) -> None:
+        """Copy the process backend's per-run timing attribution (shipped
+        in its command acks — no extra IPC) into :attr:`last_timings`."""
+        backend = self._proc
+        if backend is None:
+            return
+        self.last_timings = {
+            "shard_run_s": dict(getattr(backend, "last_shard_runs", {})),
+            "worker_roundtrip_s": dict(
+                getattr(backend, "last_roundtrips", {})
+            ),
+        }
 
     def run(
         self,
@@ -549,6 +591,7 @@ class FleetEngine:
         matrix, schedule = self._prepare(
             arrivals, system_cycles, scheduled_codes
         )
+        self._reset_timings()
         workers = min(self.fleet.resolved_workers(), self.num_shards)
         if self._proc is not None:
             # Worker processes mutate the shared state in place; a
@@ -567,6 +610,7 @@ class FleetEngine:
             except Exception:
                 self.close()
                 raise
+            self._adopt_proc_timings()
             return self._merge(results)
         recovery = self.fleet.recovery
         injector = shared_injector() if recovery is not None else None
@@ -579,14 +623,22 @@ class FleetEngine:
         sinks = [self._make_sink() for _ in self.engines]
         results: list = [None] * self.num_shards
 
+        run_seconds = self.last_timings["shard_run_s"]
+
         def run_one(index: int) -> None:
             self._poll_shard_fault(injector, index)
             where = self.shard_slices[index]
+            t_run = time.perf_counter()
             results[index] = self.engines[index].run(
                 matrix[where],
                 system_cycles,
                 scheduled_codes=None if schedule is None else schedule[where],
                 sink=sinks[index],
+            )
+            # Distinct keys per shard: concurrent workers never write
+            # the same slot.
+            run_seconds[index] = run_seconds.get(index, 0.0) + (
+                time.perf_counter() - t_run
             )
 
         def run_shard(index: int) -> None:
@@ -639,6 +691,7 @@ class FleetEngine:
         matrix, schedule = self._prepare(
             arrivals, system_cycles, scheduled_codes
         )
+        self._reset_timings()
         bounds = tuple(
             (lo, min(lo + chunk, system_cycles))
             for lo in range(0, system_cycles, chunk)
@@ -657,6 +710,7 @@ class FleetEngine:
             except Exception:
                 self.close()
                 raise
+            self._adopt_proc_timings()
             return self._merge(results)
         dense = self.fleet.telemetry == "dense"
         recovery = self.fleet.recovery
@@ -673,9 +727,12 @@ class FleetEngine:
         )
         results: list = [None] * self.num_shards
 
+        run_seconds = self.last_timings["shard_run_s"]
+
         def run_one(index: int, lo: int, hi: int) -> None:
             self._poll_shard_fault(injector, index)
             where = self.shard_slices[index]
+            t_run = time.perf_counter()
             out = self.engines[index].run(
                 matrix[where, lo:hi],
                 hi - lo,
@@ -683,6 +740,9 @@ class FleetEngine:
                     None if schedule is None else schedule[where, lo:hi]
                 ),
                 sink=self._make_sink() if dense else sinks[index],
+            )
+            run_seconds[index] = run_seconds.get(index, 0.0) + (
+                time.perf_counter() - t_run
             )
             if dense:
                 pieces[index].append(out)

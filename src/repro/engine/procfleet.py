@@ -673,6 +673,12 @@ class _WorkerRuntime:
         start_cycle = int(order.scalars["cycles"])
         results: Dict[int, object] = {}
         scalars = None
+        # Per-shard engine-run seconds travel back as a 4th ack element,
+        # so the parent attributes process-worker time without any extra
+        # IPC.  Older-style consumers that unpack acks positionally by
+        # reply[1]/reply[2] keep working (the protocol check only
+        # requires len >= 2).
+        timings: Dict[int, float] = {}
         for index in self.indices:
             self._fault(index, start_cycle)
             engine = self._engine(index)
@@ -683,15 +689,17 @@ class _WorkerRuntime:
                 else order.schedule.get(index),
                 engine.n,
             )
+            t_run = time.perf_counter()
             out = engine.run(
                 arrivals,
                 order.cycles,
                 scheduled_codes=schedule,
                 sink=self._sink(index, order),
             )
+            timings[index] = time.perf_counter() - t_run
             results[index] = None if order.sink_mode == "keep" else out
             scalars = engine.state.scalar_fields()
-        return ("ok", results, scalars)
+        return ("ok", results, scalars, timings)
 
     def _reset(self, payload: ProcFleetPayload) -> None:
         """Adopt a new payload (population swap), keeping attachments.
@@ -830,6 +838,11 @@ class ProcessFleetBackend:
         self._restarts = 0
         self._epoch_rounds: List[_RoundRecord] = []
         self._epoch_snapshot: Optional[Dict[str, np.ndarray]] = None
+        # Per-run timing attribution (observability): worker-reported
+        # engine-run seconds per shard and parent-side send→ack seconds
+        # per worker position.  Reset at each run/run_chunked entry.
+        self.last_shard_runs: Dict[int, float] = {}
+        self.last_roundtrips: Dict[int, float] = {}
         self.blocks: Dict[str, SharedArrayBlock] = {}
         try:
             self._build_blocks(population, engines, shared_tables)
@@ -1055,10 +1068,12 @@ class ProcessFleetBackend:
         )
         replies: List[Optional[tuple]] = [None] * len(self._workers)
         pending: List[int] = []
+        sent_at: Dict[int, float] = {}
         for position, (worker, message) in enumerate(
             zip(self._workers, messages)
         ):
             try:
+                sent_at[position] = time.perf_counter()
                 worker.conn.send(message)
                 pending.append(position)
             except (BrokenPipeError, OSError) as exc:
@@ -1075,6 +1090,13 @@ class ProcessFleetBackend:
             if drain_timeout is None and degraded:
                 drain_timeout = _DRAIN_TIMEOUT_S
             reply = self._recv_reply(self._workers[position], drain_timeout)
+            # Send→ack latency per worker position (observability; acks
+            # drain in worker order, so later positions include any wait
+            # for earlier drains — the parent's actual view of the
+            # round-trip).
+            self.last_roundtrips[position] = self.last_roundtrips.get(
+                position, 0.0
+            ) + (time.perf_counter() - sent_at[position])
             replies[position] = reply
             if reply[0] != "ok":
                 degraded = True
@@ -1143,9 +1165,17 @@ class ProcessFleetBackend:
             replies = self._recover(failed, replies)
         results: Dict[int, object] = {}
         final_scalars = None
-        for _, shard_results, reply_scalars in replies:
-            results.update(shard_results)
-            final_scalars = reply_scalars
+        for reply in replies:
+            # Run acks are ("ok", results, scalars, timings); control
+            # acks and pre-timing replays may be 3-tuples — the timing
+            # element is optional by protocol.
+            results.update(reply[1])
+            final_scalars = reply[2]
+            if len(reply) > 3 and reply[3]:
+                for index in sorted(reply[3]):
+                    self.last_shard_runs[index] = self.last_shard_runs.get(
+                        index, 0.0
+                    ) + reply[3][index]
         for engine in self._engines:
             engine.state.apply_scalars(final_scalars)
         return [results[i] for i in range(len(self._shard_slices))]
@@ -1305,6 +1335,8 @@ class ProcessFleetBackend:
     ) -> list:
         """Run every shard on the residents; return results in shard order."""
         self._ensure_workers(workers)
+        self.last_shard_runs = {}
+        self.last_roundtrips = {}
         self._begin_epoch()
         return self._run_round(
             matrix, system_cycles, schedule, telemetry, stream_window,
@@ -1328,6 +1360,8 @@ class ProcessFleetBackend:
         (``"finish"``) — zero per-chunk result traffic.
         """
         self._ensure_workers(workers)
+        self.last_shard_runs = {}
+        self.last_roundtrips = {}
         self._begin_epoch()
         dense = telemetry == "dense"
         pieces: List[list] = [[] for _ in self._shard_slices]

@@ -1,0 +1,61 @@
+"""Observability: typed metrics registry, request-scoped tracing.
+
+``metrics``  :class:`MetricsRegistry` — Counter/Gauge/Histogram with
+             lock-striped updates and point-in-time consistent
+             :meth:`~MetricsRegistry.snapshot`, rendered as Prometheus
+             text exposition
+``trace``    :class:`Tracer`/:class:`Span` — explicit-context spans
+             timed with ``perf_counter`` only, deterministic trace-ID
+             sampling, ``X-Repro-Trace`` wire propagation helpers
+``export``   :class:`JsonlSpanExporter` — atomic-append JSONL span sink
+             with byte-budget rotation; :class:`InMemorySpanExporter`
+             for tests
+
+The zero-perturbation contract: nothing in this package reads wall
+clock, draws randomness that a result could observe, or feeds any value
+back into the simulation — tracing on vs off is pinned bit-identical by
+``tests/service/test_observability.py``.
+"""
+
+from repro.obs.export import InMemorySpanExporter, JsonlSpanExporter
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricFamily,
+    MetricsRegistry,
+    RegistrySnapshot,
+    histogram_from_samples,
+    parse_prometheus_text,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    SpanContext,
+    Tracer,
+    parse_trace_id,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "RegistrySnapshot",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "histogram_from_samples",
+    "parse_prometheus_text",
+    "parse_trace_id",
+]

@@ -1,0 +1,91 @@
+"""Span exporters: JSONL file sink with rotation, in-memory for tests.
+
+The file exporter writes each span record as **one unbuffered
+``os.write``-sized append** (open with ``buffering=0``), so concurrent
+exports — and even a second process appending to the same file — can
+interleave only at line granularity, never mid-record.  When the active
+file would exceed the byte budget it is rotated to ``<path>.1`` with
+``os.replace`` (atomic on POSIX) and a fresh file is started; one
+generation of history is kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["InMemorySpanExporter", "JsonlSpanExporter"]
+
+
+class JsonlSpanExporter:
+    """Append span records to a JSONL file, rotating by byte budget."""
+
+    def __init__(
+        self, path: object, max_bytes: int = 64 * 1024 * 1024
+    ) -> None:
+        if max_bytes < 4096:
+            raise ValueError("max_bytes must be at least 4096")
+        self.path = Path(os.fspath(path))  # type: ignore[arg-type]
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._file: Optional[object] = None
+        self._written = 0
+
+    def export(self, record: Dict[str, object]) -> None:
+        line = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        data = (line + "\n").encode("utf-8")
+        with self._lock:
+            if self._file is None:
+                self._open()
+            if self._written and self._written + len(data) > self.max_bytes:
+                self._rotate()
+            self._file.write(data)  # type: ignore[attr-defined]
+            self._written += len(data)
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab", buffering=0)
+        self._written = self.path.stat().st_size
+
+    def _rotate(self) -> None:
+        self._file.close()  # type: ignore[attr-defined]
+        os.replace(self.path, str(self.path) + ".1")
+        self._file = open(self.path, "ab", buffering=0)
+        self._written = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()  # type: ignore[attr-defined]
+                self._file = None
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemorySpanExporter:
+    """Collect span records in a list (tests and examples)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, object]] = []
+
+    def export(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

@@ -1,0 +1,641 @@
+"""Typed metrics registry with a Prometheus text exposition.
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(point-in-time), :class:`Histogram` (fixed log-spaced buckets) — live in
+one :class:`MetricsRegistry`.  Families are assigned to a small set of
+*stripe* locks by name hash, so unrelated hot-path updates never contend
+on one global lock, while :meth:`MetricsRegistry.snapshot` acquires
+every stripe in a fixed order and reads a point-in-time **consistent**
+view: no sample in a snapshot can be newer than another sample's read.
+
+Design constraints inherited from the repo's bit-identity contract:
+
+* instruments carry only *observations about* a run — nothing here may
+  flow back into simulated values;
+* durations are measured with ``time.perf_counter`` by the callers;
+  this module never reads any clock at all;
+* every iteration that feeds rendering or reduction walks containers in
+  ``sorted`` order, so two snapshots of equal state render byte-equal
+  exposition text regardless of insertion history.
+
+Naming convention (enforced here only syntactically, by convention in
+callers): ``repro_<layer>_<name>`` with ``_total`` for counters and
+``_seconds`` for duration histograms — e.g.
+``repro_service_phase_seconds{phase="run"}``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import zlib
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricFamily",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "histogram_from_samples",
+    "parse_prometheus_text",
+]
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Log-spaced latency bounds: three per decade from 1 microsecond to
+#: 100 seconds (25 finite bounds; the +Inf bucket is implicit).  Fixed
+#: bounds keep bucket series comparable across processes and restarts.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 3.0) for exponent in range(-18, 7)
+)
+
+
+class Counter:
+    """Monotone counter child (one label combination)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; inc() needs amount >= 0")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Adopt an externally-accumulated monotone total.
+
+        Bridge for counters whose source of truth is a plain int guarded
+        by some *other* lock (e.g. the service's request counters): the
+        owner refreshes the registry copy at snapshot time instead of
+        paying a second lock on every hot-path increment.
+        """
+        with self._lock:
+            self._value = float(total)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time gauge child (one label combination)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Histogram child: fixed bounds, per-bucket counts, sum and count."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: Tuple[float, ...]
+    ) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot == +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+
+class HistogramData:
+    """Immutable histogram sample: cumulative buckets + sum + count."""
+
+    __slots__ = ("buckets", "sum", "count")
+
+    def __init__(
+        self,
+        buckets: Tuple[Tuple[float, int], ...],
+        total: float,
+        count: int,
+    ) -> None:
+        self.buckets = buckets  # ((le, cumulative_count), ...) finite only
+        self.sum = total
+        self.count = count
+
+    def quantile(self, q: float) -> float:
+        """Prometheus-style linearly-interpolated bucket quantile.
+
+        Returns ``nan`` for an empty histogram; observations beyond the
+        last finite bound clamp to that bound (same convention as
+        ``histogram_quantile`` over an +Inf bucket).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        previous_bound = 0.0
+        previous_cumulative = 0
+        for bound, cumulative in self.buckets:
+            if cumulative >= target:
+                width = bound - previous_bound
+                span = cumulative - previous_cumulative
+                if span <= 0:
+                    return bound
+                fraction = (target - previous_cumulative) / span
+                return previous_bound + width * fraction
+            previous_bound = bound
+            previous_cumulative = cumulative
+        # Target falls in the +Inf bucket: clamp to the last finite bound.
+        return self.buckets[-1][0] if self.buckets else math.nan
+
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class MetricFamily:
+    """One named metric + its label children, sharing a stripe lock."""
+
+    __slots__ = (
+        "name",
+        "help",
+        "kind",
+        "labelnames",
+        "_lock",
+        "_bounds",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self._lock = lock
+        self._bounds = bounds
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: object):
+        """Return (creating on demand) the child for one label set."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+        return child
+
+    def _new_child(self):
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        return Histogram(self._lock, self._bounds or DEFAULT_BUCKETS)
+
+    def clear_children(self) -> None:
+        """Drop every child (used by gauges rebuilt from scratch each
+        refresh, e.g. per-tenant queue depth)."""
+        with self._lock:
+            self._children.clear()
+
+    # Label-less families delegate instrument methods to the () child so
+    # call sites read `family.inc()` instead of `family.labels().inc()`.
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; use .labels()"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def set_total(self, total: float) -> None:
+        self._solo().set_total(total)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def add(self, amount: float) -> None:
+        self._solo().add(amount)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+
+class FamilySnapshot:
+    """Frozen view of one family at snapshot time."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        samples: Tuple[Tuple[LabelItems, object], ...],
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.samples = samples  # ((label_items, value|HistogramData), ...)
+
+
+class RegistrySnapshot:
+    """Point-in-time consistent copy of every family in a registry."""
+
+    def __init__(self, families: Tuple[FamilySnapshot, ...]) -> None:
+        self.families = families
+        self._by_name = {family.name: family for family in families}
+
+    def family(self, name: str) -> FamilySnapshot:
+        return self._by_name[name]
+
+    def _sample(self, name: str, labels: Mapping[str, object]):
+        family = self._by_name.get(name)
+        if family is None:
+            return None
+        wanted = tuple(
+            (key, str(labels[key])) for key in sorted(labels)
+        )
+        for label_items, value in family.samples:
+            if tuple(sorted(label_items)) == wanted:
+                return value
+        return None
+
+    def value(
+        self, name: str, default: float = 0.0, **labels: object
+    ) -> float:
+        """Scalar sample (counter/gauge); ``default`` when absent."""
+        sample = self._sample(name, labels)
+        if sample is None:
+            return default
+        if isinstance(sample, HistogramData):
+            raise TypeError(f"{name} is a histogram; use .histogram()")
+        return float(sample)  # type: ignore[arg-type]
+
+    def histogram(
+        self, name: str, **labels: object
+    ) -> Optional[HistogramData]:
+        sample = self._sample(name, labels)
+        if sample is not None and not isinstance(sample, HistogramData):
+            raise TypeError(f"{name} is not a histogram")
+        return sample
+
+    def total(self, name: str) -> float:
+        """Sum of every scalar sample in a family (0.0 when absent)."""
+        family = self._by_name.get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for _, value in family.samples:
+            if isinstance(value, HistogramData):
+                raise TypeError(f"{name} is a histogram; use .histogram()")
+            total += float(value)  # type: ignore[arg-type]
+        return total
+
+    def to_prometheus(self) -> str:
+        """Render the snapshot in Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for label_items, value in family.samples:
+                if isinstance(value, HistogramData):
+                    _render_histogram(lines, family.name, label_items, value)
+                else:
+                    label_text = _format_labels(label_items)
+                    lines.append(
+                        f"{family.name}{label_text} "
+                        f"{_format_value(float(value))}"  # type: ignore[arg-type]
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    """Undo :func:`_escape_label_value` (left-to-right, so a literal
+    backslash followed by ``n`` is not mistaken for a newline)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            follower = value[i + 1]
+            if follower == "n":
+                out.append("\n")
+            elif follower in ("\\", '"'):
+                out.append(follower)
+            else:
+                out.append(ch)
+                out.append(follower)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _format_labels(
+    label_items: LabelItems, extra: Optional[Tuple[Tuple[str, str], ...]] = None
+) -> str:
+    items = list(label_items)
+    if extra:
+        items.extend(extra)
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in items
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(
+    lines: List[str],
+    name: str,
+    label_items: LabelItems,
+    data: HistogramData,
+) -> None:
+    for bound, cumulative in data.buckets:
+        bucket_labels = _format_labels(
+            label_items, (("le", _format_value(bound)),)
+        )
+        lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+    inf_labels = _format_labels(label_items, (("le", "+Inf"),))
+    lines.append(f"{name}_bucket{inf_labels} {data.count}")
+    plain = _format_labels(label_items)
+    lines.append(f"{name}_sum{plain} {_format_value(data.sum)}")
+    lines.append(f"{name}_count{plain} {data.count}")
+
+
+class MetricsRegistry:
+    """Lock-striped metric registry with consistent snapshots.
+
+    Families are created idempotently: re-registering an existing name
+    with the same kind/labels returns the existing family (so a gateway
+    and a service can share one registry), while a conflicting
+    redefinition raises.
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError("need at least one stripe lock")
+        self._stripes = tuple(threading.Lock() for _ in range(stripes))
+        self._meta = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        bounds: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if not _LABEL_PATTERN.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        bucket_bounds: Optional[Tuple[float, ...]] = None
+        if kind == "histogram":
+            bucket_bounds = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+            if list(bucket_bounds) != sorted(bucket_bounds) or not bucket_bounds:
+                raise ValueError("histogram bounds must be sorted and non-empty")
+        with self._meta:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            stripe = self._stripes[
+                zlib.crc32(name.encode("utf-8")) % len(self._stripes)
+            ]
+            family = MetricFamily(
+                name, help_text, kind, names, stripe, bucket_bounds
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        bounds: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._register(
+            name, help_text, "histogram", labelnames, bounds
+        )
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Atomic point-in-time view across every family.
+
+        Acquires all stripe locks in index order (child operations only
+        ever hold a single stripe, so the ordered sweep cannot
+        deadlock), copies every sample, then releases.
+        """
+        with self._meta:
+            families = [
+                self._families[name] for name in sorted(self._families)
+            ]
+        for lock in self._stripes:
+            lock.acquire()
+        try:
+            frozen = tuple(
+                _freeze_family(family) for family in families
+            )
+        finally:
+            for lock in self._stripes:
+                lock.release()
+        return RegistrySnapshot(frozen)
+
+
+def _freeze_family(family: MetricFamily) -> FamilySnapshot:
+    # Caller holds every stripe lock: direct child-state reads are safe.
+    samples: List[Tuple[LabelItems, object]] = []
+    for key in sorted(family._children):
+        child = family._children[key]
+        label_items: LabelItems = tuple(zip(family.labelnames, key))
+        if isinstance(child, Histogram):
+            cumulative = 0
+            buckets: List[Tuple[float, int]] = []
+            for index, bound in enumerate(child._bounds):
+                cumulative += child._counts[index]
+                buckets.append((bound, cumulative))
+            data = HistogramData(
+                tuple(buckets), child._sum, child._count
+            )
+            samples.append((label_items, data))
+        else:
+            samples.append((label_items, child._value))  # type: ignore[union-attr]
+    return FamilySnapshot(
+        family.name,
+        family.help,
+        family.kind,
+        family.labelnames,
+        tuple(samples),
+    )
+
+
+_SAMPLE_PATTERN = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$"
+)
+_LABEL_ITEM_PATTERN = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+SampleKey = Tuple[str, LabelItems]
+
+
+def parse_prometheus_text(text: str) -> Dict[SampleKey, float]:
+    """Parse text exposition into ``{(name, label_items): value}``.
+
+    A deliberately small parser for the drive client and the CI smoke:
+    comments/HELP/TYPE lines are skipped, label items are returned
+    sorted, values are floats (``+Inf``/``NaN`` included).  Raises
+    ``ValueError`` on any malformed sample line.
+    """
+    samples: Dict[SampleKey, float] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_PATTERN.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {raw_line!r}")
+        name, _, label_blob, value_text = match.groups()
+        label_items: List[Tuple[str, str]] = []
+        if label_blob:
+            consumed = 0
+            for item in _LABEL_ITEM_PATTERN.finditer(label_blob):
+                key, value = item.groups()
+                label_items.append((key, _unescape_label_value(value)))
+                consumed = item.end()
+            remainder = label_blob[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(
+                    f"malformed label block: {label_blob!r}"
+                )
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        samples[(name, tuple(sorted(label_items)))] = value
+    return samples
+
+
+def histogram_from_samples(
+    samples: Mapping[SampleKey, float], name: str, **labels: object
+) -> Optional[HistogramData]:
+    """Rebuild :class:`HistogramData` from parsed exposition samples."""
+    base: LabelItems = tuple(
+        (key, str(labels[key])) for key in sorted(labels)
+    )
+    count_value = samples.get((f"{name}_count", base))
+    sum_value = samples.get((f"{name}_sum", base))
+    if count_value is None or sum_value is None:
+        return None
+    buckets: List[Tuple[float, int]] = []
+    for (sample_name, label_items), value in sorted(samples.items()):
+        if sample_name != f"{name}_bucket":
+            continue
+        bound: Optional[float] = None
+        rest: List[Tuple[str, str]] = []
+        for key, text in label_items:
+            if key == "le":
+                bound = math.inf if text == "+Inf" else float(text)
+            else:
+                rest.append((key, text))
+        if tuple(sorted(rest)) != base or bound is None:
+            continue
+        if math.isinf(bound):
+            continue
+        buckets.append((bound, int(value)))
+    buckets.sort()
+    return HistogramData(tuple(buckets), sum_value, int(count_value))

@@ -1,0 +1,276 @@
+"""Request-scoped tracing with explicit context passing.
+
+A :class:`Tracer` mints trace IDs, decides sampling once per trace, and
+hands out :class:`Span` objects whose timestamps come exclusively from
+``time.perf_counter`` — **never wall clock** — so no span can leak
+non-deterministic state into a result path, and the lint gate (RL001)
+holds over this package by construction.  There is no implicit
+context-var plumbing: parents are passed explicitly (``trace=`` on
+:meth:`SimulationService.submit`, ``span=`` through the batch pipeline),
+which keeps the coalescer's thread handoffs honest — a span crosses a
+thread only because somebody handed it over.
+
+Sampling is decided from the trace ID itself (first 8 hex digits vs the
+sample-rate threshold), so a wire-propagated ``X-Repro-Trace`` ID gets
+the same keep/drop verdict on every host that sees it.  Unsampled
+traces cost one string comparison: :meth:`Tracer.start` returns the
+shared :data:`NULL_SPAN` no-op and every child of it is again
+:data:`NULL_SPAN`.
+
+Span timestamps are ``perf_counter`` seconds — meaningful as durations
+and as orderings *within one process*, not as wall-clock instants.
+Cross-process work (process-fleet shards) is attributed with synthetic
+child spans built from worker-reported durations, flagged with
+``"synthetic": true``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+import time
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "parse_trace_id",
+]
+
+_TRACE_ID_PATTERN = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def parse_trace_id(text: Optional[str]) -> Optional[str]:
+    """Validate a wire trace ID (8–64 lowercase hex chars) or None."""
+    if not text:
+        return None
+    candidate = text.strip().lower()
+    if _TRACE_ID_PATTERN.match(candidate):
+        return candidate
+    return None
+
+
+class SpanContext:
+    """Immutable (trace_id, span_id, sampled) triple handed across
+    layer boundaries to parent child spans."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(
+        self, trace_id: str, span_id: str, sampled: bool = True
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, sampled={self.sampled})"
+        )
+
+
+class Span:
+    """One timed operation; exports itself on :meth:`end`.
+
+    ``start_s``/``end_s`` are ``perf_counter`` readings.  Both can be
+    supplied explicitly, which lets instrumentation that already
+    captured phase boundaries create spans *retroactively* (e.g. the
+    batch executor measures fan-out/run/merge with bare perf counters on
+    the hot path and only materialises span objects afterwards, when the
+    batch is traced).
+    """
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_id",
+        "attrs",
+        "start_s",
+        "end_s",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        context: SpanContext,
+        parent_id: Optional[str],
+        attrs: Optional[Dict[str, object]] = None,
+        start_s: Optional[float] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.start_s = (
+            time.perf_counter() if start_s is None else float(start_s)
+        )
+        self.end_s: Optional[float] = None
+
+    def set(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def child(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+        start_s: Optional[float] = None,
+    ) -> "Span":
+        """Start a child span under this span's context."""
+        return self._tracer.start(
+            name, parent=self.context, attrs=attrs, start_s=start_s
+        )
+
+    def end(self, end_s: Optional[float] = None) -> None:
+        if self.end_s is not None:  # idempotent
+            return
+        self.end_s = (
+            time.perf_counter() if end_s is None else float(end_s)
+        )
+        self._tracer._export(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self.end()
+
+
+class NullSpan:
+    """Shared no-op span: every method returns a no-op, so unsampled
+    call sites need no conditionals."""
+
+    __slots__ = ()
+
+    context: Optional[SpanContext] = None
+    parent_id: Optional[str] = None
+    name = ""
+    attrs: Dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "NullSpan":
+        return self
+
+    def child(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+        start_s: Optional[float] = None,
+    ) -> "NullSpan":
+        return self
+
+    def end(self, end_s: Optional[float] = None) -> None:
+        return None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+AnySpan = Union[Span, NullSpan]
+
+
+class Tracer:
+    """Mints trace IDs, applies the sampling knob, exports spans.
+
+    ``sample_rate`` in ``[0, 1]`` is applied to the head of the trace
+    ID, so the decision is deterministic per trace and consistent across
+    hosts for propagated IDs.  With no exporter every span is a no-op.
+    """
+
+    def __init__(
+        self,
+        exporter: Optional[object] = None,
+        sample_rate: float = 1.0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate!r}"
+            )
+        self.exporter = exporter
+        self.sample_rate = sample_rate
+        # Threshold over the first 32 bits of the trace id; rate 1.0
+        # admits every id (2**32 > any 32-bit value).
+        self._threshold = int(round(sample_rate * float(2**32)))
+        self._lock = threading.Lock()
+        # ID minting uses a private PRNG seeded once from the OS — a
+        # per-id urandom/uuid4 call costs ~15µs, which dominates span
+        # overhead on hot paths, while getrandbits is sub-µs.  The
+        # stream is private to the tracer (never the global random
+        # module), so observability can't perturb seeded simulations.
+        self._ids = random.Random(os.urandom(16))
+        self._id_lock = threading.Lock()
+
+    def new_trace_id(self) -> str:
+        with self._id_lock:
+            return f"{self._ids.getrandbits(128):032x}"
+
+    def new_span_id(self) -> str:
+        with self._id_lock:
+            return f"{self._ids.getrandbits(64):016x}"
+
+    def sampled(self, trace_id: str) -> bool:
+        if self.exporter is None:
+            return False
+        head = int(trace_id[:8], 16)
+        return head < self._threshold
+
+    def start(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        trace_id: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+        start_s: Optional[float] = None,
+    ) -> AnySpan:
+        """Start a span; returns :data:`NULL_SPAN` when not sampled.
+
+        Root spans (no ``parent``) take the sampling decision from the
+        trace ID (freshly minted unless ``trace_id`` was wire-supplied);
+        child spans inherit the parent's verdict.
+        """
+        if parent is not None:
+            if not parent.sampled:
+                return NULL_SPAN
+            context = SpanContext(
+                parent.trace_id, self.new_span_id(), True
+            )
+            return Span(
+                self, name, context, parent.span_id, attrs, start_s
+            )
+        resolved = trace_id if trace_id is not None else self.new_trace_id()
+        if not self.sampled(resolved):
+            return NULL_SPAN
+        context = SpanContext(resolved, self.new_span_id(), True)
+        return Span(self, name, context, None, attrs, start_s)
+
+    def _export(self, span: Span) -> None:
+        exporter = self.exporter
+        if exporter is None:
+            return
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        record = {
+            "trace_id": span.context.trace_id,
+            "span_id": span.context.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "start_s": span.start_s,
+            "end_s": end_s,
+            "duration_s": end_s - span.start_s,
+            "attrs": span.attrs,
+        }
+        exporter.export(record)  # type: ignore[attr-defined]

@@ -49,6 +49,7 @@ class ResultCache:
         self._entries: "OrderedDict[str, Value]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self.current_bytes = 0
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -60,7 +61,13 @@ class ResultCache:
         return key in self._entries
 
     def get(self, key: str) -> Optional[Value]:
-        """Return a copy of the cached value (refreshing recency)."""
+        """Return a copy of the cached value (refreshing recency).
+
+        ``lookups`` is counted independently of the hit/miss split so an
+        atomic telemetry snapshot can assert ``hits + misses ==
+        lookups`` — a torn read of the three counters breaks it.
+        """
+        self.lookups += 1
         value = self._entries.get(key)
         if value is None:
             self.misses += 1

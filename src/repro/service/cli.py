@@ -161,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help=(
+            "also expose /metrics on a scrape-only sidecar port "
+            "(--listen only; default: main port only)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help=(
+            "JSONL span export path; enables request tracing "
+            "(--listen only; default: tracing off)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help=(
+            "fraction of traces to sample, decided per trace id "
+            "(default 1.0; requires --trace-out)"
+        ),
+    )
+    parser.add_argument(
         "--chaos", action="store_true",
         help=(
             "install a fault plan (one injected batch failure, one "
@@ -254,25 +275,53 @@ def serve(args: argparse.Namespace) -> int:
         tick_interval_s=args.tick_interval,
         persist_dir=args.persist_dir,
     )
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.export import JsonlSpanExporter
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(
+            exporter=JsonlSpanExporter(args.trace_out),
+            sample_rate=args.trace_sample,
+        )
+    service = SimulationService(config=config, tracer=tracer)
     gateway = ServiceGateway(
+        service=service,
         host=host,
         port=int(port_text),
         result_timeout_s=args.timeout,
-        config=config,
+        metrics_port=args.metrics_port,
     )
-    with gateway:
-        bound_host, bound_port = gateway.address
-        print(
-            f"repro-serve: gateway listening on "
-            f"http://{bound_host}:{bound_port} "
-            f"(tick_interval={args.tick_interval}s, "
-            f"persist_dir={args.persist_dir})",
-            flush=True,
-        )
-        try:
-            threading.Event().wait()
-        except KeyboardInterrupt:
-            print("repro-serve: shutting down", flush=True)
+    try:
+        with gateway:
+            bound_host, bound_port = gateway.address
+            print(
+                f"repro-serve: gateway listening on "
+                f"http://{bound_host}:{bound_port} "
+                f"(tick_interval={args.tick_interval}s, "
+                f"persist_dir={args.persist_dir})",
+                flush=True,
+            )
+            if gateway.metrics_address is not None:
+                metrics_host, metrics_port = gateway.metrics_address
+                print(
+                    f"repro-serve: metrics on "
+                    f"http://{metrics_host}:{metrics_port}/metrics",
+                    flush=True,
+                )
+            if tracer is not None:
+                print(
+                    f"repro-serve: tracing to {args.trace_out} "
+                    f"(sample rate {args.trace_sample})",
+                    flush=True,
+                )
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("repro-serve: shutting down", flush=True)
+    finally:
+        if tracer is not None and tracer.exporter is not None:
+            tracer.exporter.close()
     return 0
 
 
@@ -405,6 +454,10 @@ def drive(args: argparse.Namespace) -> int:
     stats_connection = connect()
     stats_connection.request("GET", "/stats")
     stats = json.loads(stats_connection.getresponse().read())
+    stats_connection.request("GET", "/metrics")
+    metrics_response = stats_connection.getresponse()
+    metrics_text = metrics_response.read().decode("utf-8")
+    metrics_ok = metrics_response.status == 200
     stats_connection.close()
     print(
         f"gateway     batches={stats['batches']} "
@@ -412,7 +465,39 @@ def drive(args: argparse.Namespace) -> int:
         f"persist_hits={stats['persist_hits']} "
         f"http_errors={stats['http_errors']}"
     )
+    if metrics_ok:
+        _print_phase_breakdown(metrics_text)
     return 0
+
+
+def _print_phase_breakdown(metrics_text: str) -> None:
+    """Print the service-side per-phase p50/p99 latency breakdown,
+    rebuilt from the gateway's ``/metrics`` histogram buckets."""
+    from repro.obs.metrics import (
+        histogram_from_samples,
+        parse_prometheus_text,
+    )
+
+    try:
+        samples = parse_prometheus_text(metrics_text)
+    except ValueError:
+        return
+    lines = []
+    for phase in ("assemble", "fanout", "run", "merge", "scatter"):
+        data = histogram_from_samples(
+            samples, "repro_service_phase_seconds", phase=phase
+        )
+        if data is None or data.count == 0:
+            continue
+        lines.append(
+            f"  {phase:<9} p50 {1e3 * data.quantile(0.5):7.2f}ms   "
+            f"p99 {1e3 * data.quantile(0.99):7.2f}ms   "
+            f"({data.count} batches)"
+        )
+    if lines:
+        print("phase       p50/p99 per batch (from /metrics):")
+        for line in lines:
+            print(line)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -62,6 +62,8 @@ import numpy as np
 from repro.core.config import ControllerConfig
 from repro.core.dcdc import FeedbackMode
 from repro.faults import injected_error, shared_injector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, SpanContext, Tracer
 from repro.service.cache import ResultCache
 from repro.service.request import SimRequest, SimResult
 from repro.service.resilience import (
@@ -265,6 +267,8 @@ class ServiceStats:
     persist_entries: int = 0
     persist_bytes: int = 0
     tenants: int = 0
+    in_flight: int = 0
+    cache_lookups: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -321,7 +325,8 @@ class ServiceStats:
                 f"misses={self.persist_misses} "
                 f"{self.persist_entries} entries, "
                 f"{self.persist_bytes} bytes",
-                f"queue       depth {self.queue_depth} "
+                f"queue       depth {self.queue_depth}, "
+                f"in-flight {self.in_flight} "
                 f"({self.tenants} tenants pending)",
             )
         )
@@ -396,6 +401,12 @@ class _Pending:
     key: str
     future: ServiceFuture
     submitted_at: float
+    # Observability riders (defaults keep positional construction
+    # working): submit-time perf_counter reading for the queue-wait
+    # histogram, and the request's open ``service.queue`` span (None
+    # when the request is untraced).
+    t_perf: float = 0.0
+    span: Optional[object] = None
 
 
 class SimulationService:
@@ -406,12 +417,22 @@ class SimulationService:
         library=None,
         config: Optional[ServiceConfig] = None,
         controller: Optional[ControllerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from repro.library import default_library
 
         self.library = library or default_library()
         self.config = config or ServiceConfig()
         self.controller = controller or ControllerConfig()
+        # Observability: a (possibly shared) metrics registry and an
+        # optional tracer.  Tracing off (the default) costs one
+        # ``is None`` check per submit; metrics are either per-batch
+        # registry updates (stripe-locked) or plain ints bridged into
+        # the registry at snapshot time — the cache-hit fast path stays
+        # untouched.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         self.cache = ResultCache(self.config.cache_bytes)
         self._persist = None
         if (
@@ -448,24 +469,175 @@ class SimulationService:
         self._batches = 0
         self._simulated_dies = 0
         self._coalesced_requests = 0
+        self._in_flight = 0
         # Warm engines, keyed by (group_key, batch size); LRU, bounded
         # by config.engine_cache.  Values: {"engine": ..., "fleet": bool}.
         self._engines: "OrderedDict[Tuple[object, int], dict]" = (
             OrderedDict()
         )
-        self._engine_builds = 0
-        self._engine_reuses = 0
-        self._fanout_s = 0.0
-        self._dispatch_s = 0.0
-        self._merge_s = 0.0
-        self._retries = 0
-        self._degraded_runs = 0
         self._cache_corruptions = 0
         # Resilience state (None / empty until a policy is configured):
         # per-execution-mode circuit breakers and the seeded backoff.
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._backoff: Optional[BackoffSchedule] = None
         self._started = time.monotonic()
+        self._build_instruments()
+
+    def _build_instruments(self) -> None:
+        """Register (and pre-bind) this service's metric families.
+
+        Two classes of instrument, by hot-path cost:
+
+        * **bridged** — the historical plain-int counters stay plain
+          ints mutated under the service lock; :meth:`_refresh_observed`
+          copies them into registry counters/gauges at snapshot time, so
+          the submit fast path pays nothing new;
+        * **direct** — per-batch instruments (phase/queue-wait/fleet
+          histograms, engine acquisitions, retries, breaker trips) write
+          straight to their stripe-locked child: cheap because they fire
+          once per batch or per shard, not once per request.
+
+        Children are pre-bound here so every series exists (at zero)
+        from the first scrape.
+        """
+        reg = self.metrics
+        requests = reg.counter(
+            "repro_service_requests_total",
+            "Requests by final outcome at the admission boundary.",
+            labelnames=("outcome",),
+        )
+        self._m_requests = {
+            outcome: requests.labels(outcome=outcome)
+            for outcome in (
+                "submitted", "completed", "rejected", "shed", "failed"
+            )
+        }
+        self._m_batches = reg.counter(
+            "repro_service_batches_total", "Engine micro-batches run."
+        )
+        self._m_dies = reg.counter(
+            "repro_service_simulated_dies_total",
+            "Unique dies simulated across all batches.",
+        )
+        self._m_coalesced = reg.counter(
+            "repro_service_coalesced_requests_total",
+            "Requests satisfied by batch membership (dedup included).",
+        )
+        self._g_in_flight = reg.gauge(
+            "repro_service_in_flight",
+            "Requests drained from the queue whose batch is still running.",
+        )
+        self._g_queue_depth = reg.gauge(
+            "repro_service_queue_depth", "Pending (admitted) requests."
+        )
+        self._g_tenants = reg.gauge(
+            "repro_service_tenants_pending",
+            "Tenants with at least one pending request.",
+        )
+        self._f_tenant_depth = reg.gauge(
+            "repro_service_tenant_queue_depth",
+            "Pending requests per tenant.",
+            labelnames=("tenant",),
+        )
+        self._g_uptime = reg.gauge(
+            "repro_service_uptime_seconds",
+            "Monotonic seconds since service construction.",
+        )
+        self._m_cache_lookups = reg.counter(
+            "repro_cache_lookups_total",
+            "Cache probes per tier (hits + misses == lookups).",
+            labelnames=("tier",),
+        )
+        self._m_cache_hits = reg.counter(
+            "repro_cache_hits_total", "Cache hits per tier.",
+            labelnames=("tier",),
+        )
+        self._m_cache_misses = reg.counter(
+            "repro_cache_misses_total", "Cache misses per tier.",
+            labelnames=("tier",),
+        )
+        self._m_cache_evictions = reg.counter(
+            "repro_cache_evictions_total",
+            "Byte-budget LRU evictions per tier.",
+            labelnames=("tier",),
+        )
+        self._g_cache_entries = reg.gauge(
+            "repro_cache_entries", "Resident entries per tier.",
+            labelnames=("tier",),
+        )
+        self._g_cache_bytes = reg.gauge(
+            "repro_cache_bytes", "Resident bytes per tier.",
+            labelnames=("tier",),
+        )
+        self._m_corruptions = reg.counter(
+            "repro_cache_corruptions_total",
+            "Cache entries discarded by structural validation, both tiers.",
+        )
+        self._m_persist_hits = reg.counter(
+            "repro_service_persist_hits_total",
+            "Misses served from the disk tier (promoted to memory).",
+        )
+        self._m_persist_misses = reg.counter(
+            "repro_service_persist_misses_total",
+            "Misses that fell through both tiers.",
+        )
+        tiers = ["memory"]
+        if (
+            self.config.persist_dir is not None
+            and self.config.persist_bytes > 0
+        ):
+            tiers.append("disk")
+        for tier in tiers:
+            for family in (
+                self._m_cache_lookups, self._m_cache_hits,
+                self._m_cache_misses, self._m_cache_evictions,
+                self._g_cache_entries, self._g_cache_bytes,
+            ):
+                family.labels(tier=tier)
+        phases = reg.histogram(
+            "repro_service_phase_seconds",
+            "Per-batch seconds by pipeline phase "
+            "(assemble/fanout/run/merge/scatter).",
+            labelnames=("phase",),
+        )
+        self._h_phase = {
+            phase: phases.labels(phase=phase)
+            for phase in ("assemble", "fanout", "run", "merge", "scatter")
+        }
+        self._h_queue_wait = reg.histogram(
+            "repro_service_queue_wait_seconds",
+            "Submit-to-drain wait per queued request.",
+        ).labels()
+        acquisitions = reg.counter(
+            "repro_service_engine_acquisitions_total",
+            "Warm-engine acquisitions by kind (build/reuse).",
+            labelnames=("kind",),
+        )
+        self._m_engine_acq = {
+            kind: acquisitions.labels(kind=kind)
+            for kind in ("build", "reuse")
+        }
+        self._m_retries = reg.counter(
+            "repro_service_retries_total",
+            "Resilience retries (backoff sleeps taken).",
+        ).labels()
+        self._m_degraded = reg.counter(
+            "repro_service_degraded_runs_total",
+            "Batches answered below the configured execution mode.",
+        ).labels()
+        self._f_breaker_trips = reg.counter(
+            "repro_service_breaker_trips_total",
+            "Circuit-breaker trips per execution mode.",
+            labelnames=("mode",),
+        )
+        self._h_shard_run = reg.histogram(
+            "repro_fleet_shard_run_seconds",
+            "Engine-run seconds per fleet shard (worker-reported).",
+        ).labels()
+        self._h_roundtrip = reg.histogram(
+            "repro_fleet_worker_roundtrip_seconds",
+            "Dispatch-to-ack seconds per fleet worker command.",
+        ).labels()
 
     # ------------------------------------------------------------------
     # Lifecycle (background coalescer thread + warm process fleets)
@@ -784,47 +956,90 @@ class SimulationService:
                 return False
         return True
 
-    def submit(self, request: SimRequest) -> ServiceFuture:
+    def submit(
+        self,
+        request: SimRequest,
+        *,
+        trace: Optional[SpanContext] = None,
+    ) -> ServiceFuture:
         """Admit one request; resolve immediately on a cache hit.
 
         Raises :class:`AdmissionError` when the pending queue is at
         :attr:`ServiceConfig.max_queue_depth` — the caller's signal to
         back off (or tick the service) before retrying.
+
+        ``trace`` is an optional parent :class:`SpanContext` (the
+        gateway's ``http.request`` span): when the service has a tracer
+        a ``service.submit`` span — and, for queued requests, a
+        ``service.queue`` span ended at drain time — is recorded under
+        it.  Tracing never influences the answer: spans carry only
+        ``time.perf_counter`` readings and never feed back into
+        simulation inputs.
         """
-        self._validate(request)
-        key = request.cache_key()
-        with self._lock:
-            cached = self._cache_lookup(key)
-            if cached is not None:
+        t_perf = time.perf_counter()
+        tracer = self.tracer
+        span = NULL_SPAN
+        if tracer is not None:
+            span = tracer.start(
+                "service.submit",
+                parent=trace,
+                attrs={"tenant": request.tenant},
+                start_s=t_perf,
+            )
+        try:
+            self._validate(request)
+            key = request.cache_key()
+            with self._lock:
+                cached = self._cache_lookup(key)
+                if cached is not None:
+                    future = ServiceFuture(self, key)
+                    future._resolve(
+                        SimResult(
+                            key=key,
+                            values=self._select(cached, request),
+                            cached=True,
+                            batch_size=0,
+                        )
+                    )
+                    self._submitted += 1
+                    self._completed += 1
+                    span.set(cache_hit=True, outcome="completed")
+                    return future
+                if self._depth >= self.config.max_queue_depth:
+                    # Not counted as submitted: callers retry after
+                    # draining, and counting every attempt would
+                    # overstate offered load (one logical request could
+                    # inflate both counters).
+                    self._rejected += 1
+                    span.set(outcome="rejected")
+                    raise AdmissionError(
+                        f"queue at capacity "
+                        f"({self.config.max_queue_depth} pending requests)"
+                    )
+                self._submitted += 1
                 future = ServiceFuture(self, key)
-                future._resolve(
-                    SimResult(
-                        key=key,
-                        values=self._select(cached, request),
-                        cached=True,
-                        batch_size=0,
+                queue_span = None
+                if span is not NULL_SPAN:
+                    queue_span = span.child(
+                        "service.queue", start_s=time.perf_counter()
+                    )
+                span.set(cache_hit=False, outcome="queued")
+                self._enqueue(
+                    _Pending(
+                        request,
+                        key,
+                        future,
+                        time.monotonic(),
+                        t_perf,
+                        queue_span,
                     )
                 )
-                self._submitted += 1
-                self._completed += 1
-                return future
-            if self._depth >= self.config.max_queue_depth:
-                # Not counted as submitted: callers retry after
-                # draining, and counting every attempt would overstate
-                # offered load (one logical request could inflate both
-                # counters).
-                self._rejected += 1
-                raise AdmissionError(
-                    f"queue at capacity "
-                    f"({self.config.max_queue_depth} pending requests)"
-                )
-            self._submitted += 1
-            future = ServiceFuture(self, key)
-            self._enqueue(
-                _Pending(request, key, future, time.monotonic())
-            )
-            self._wake.notify_all()
-        return future
+                self._wake.notify_all()
+            return future
+        finally:
+            # Ended outside the lock: the exporter write (sampled
+            # traces only) never extends the critical section.
+            span.end()
 
     # ------------------------------------------------------------------
     # The micro-batch tick
@@ -851,22 +1066,52 @@ class SimulationService:
                 "the background coalescer owns tick(); wait on futures "
                 "(or stop() the service) instead"
             )
+        t_a0 = time.perf_counter()
         with self._lock:
             resolved, batch, order, unique, deadline = (
                 self._assemble_batch()
             )
+            if batch:
+                self._in_flight += len(batch)
             if resolved and not batch:
                 self._wake.notify_all()
         if not batch:
             return resolved
+        t_a1 = time.perf_counter()
+        self._h_phase["assemble"].observe(t_a1 - t_a0)
+        for pending in batch:
+            if pending.t_perf:
+                self._h_queue_wait.observe(t_a1 - pending.t_perf)
+        batch_span = NULL_SPAN
+        if self.tracer is not None:
+            # The batch span parents under the first traced member's
+            # trace; the other members' queue spans still carry their
+            # own trace ids, so every trace sees its request drain.
+            parent = None
+            for pending in batch:
+                if pending.span is not None:
+                    pending.span.end(end_s=t_a1)
+                    if parent is None:
+                        parent = pending.span.context
+            batch_span = self.tracer.start(
+                "service.batch",
+                parent=parent,
+                attrs={"requests": len(batch), "unique": len(unique)},
+                start_s=t_a1,
+            )
+            batch_span.child("service.assemble", start_s=t_a0).end(
+                end_s=t_a1
+            )
         try:
-            # Keyword passed only when set: simulate_requests stays
+            # Keywords passed only when set: simulate_requests stays
             # drop-in replaceable (tests monkeypatch it with plain
             # single-argument callables).
-            if deadline is None:
-                values = self.simulate_requests(unique)
-            else:
-                values = self.simulate_requests(unique, deadline=deadline)
+            kwargs = {}
+            if deadline is not None:
+                kwargs["deadline"] = deadline
+            if batch_span is not NULL_SPAN:
+                kwargs["span"] = batch_span
+            values = self.simulate_requests(unique, **kwargs)
         except Exception as exc:
             # The batch was already dequeued; a failed engine build or
             # run must fail *these* requests (each future re-raises the
@@ -876,9 +1121,12 @@ class SimulationService:
                 for pending in batch:
                     pending.future._reject(exc)
                     self._failed += 1
+                    self._in_flight -= 1
                     resolved += 1
                 self._wake.notify_all()
+            batch_span.set(error=type(exc).__name__).end()
             return resolved
+        t_s0 = time.perf_counter()
         with self._lock:
             self._batches += 1
             self._simulated_dies += len(unique)
@@ -897,9 +1145,17 @@ class SimulationService:
                     )
                 )
                 self._completed += 1
+                self._in_flight -= 1
                 resolved += 1
             # Backpressured submitters (run()) wait for drained room.
             self._wake.notify_all()
+        t_s1 = time.perf_counter()
+        self._h_phase["scatter"].observe(t_s1 - t_s0)
+        if batch_span is not NULL_SPAN:
+            batch_span.child("service.scatter", start_s=t_s0).end(
+                end_s=t_s1
+            )
+        batch_span.end(end_s=t_s1)
         return resolved
 
     def _assemble_batch(
@@ -946,6 +1202,11 @@ class SimulationService:
                 )
                 self._shed += 1
                 shed += 1
+                if pending.span is not None:
+                    # Rare path; the sampled-export write under the
+                    # lock is acceptable for shed requests.
+                    pending.span.set(outcome="shed")
+                    pending.span.end()
                 continue
             if group is None:
                 group = pending.request.group_key()
@@ -1019,6 +1280,7 @@ class SimulationService:
         requests: Sequence[SimRequest],
         *,
         deadline: Optional[float] = None,
+        span=None,
     ) -> List[Dict[str, Scalar]]:
         """Run a homogeneous request list as **one** engine batch.
 
@@ -1032,6 +1294,10 @@ class SimulationService:
         resilience retry loop: a backoff sleep that would overrun the
         oldest waiting request's deadline fails fast instead.  Ignored
         without a :class:`ResiliencePolicy`.
+
+        ``span`` is an optional parent :class:`~repro.obs.trace.Span`
+        for the engine fan-out/run/merge child spans; it never touches
+        the computation.
         """
         requests = list(requests)
         if not requests:
@@ -1113,6 +1379,7 @@ class SimulationService:
             engine_kwargs=engine_kwargs,
             lut=lut,
             t0=t0,
+            span=span,
         )
         policy = self.config.resilience
         if policy is None:
@@ -1142,7 +1409,9 @@ class SimulationService:
             breaker = self._breakers.get(mode)
             if breaker is None:
                 breaker = CircuitBreaker(
-                    policy.breaker_threshold, policy.breaker_cooldown_s
+                    policy.breaker_threshold,
+                    policy.breaker_cooldown_s,
+                    on_trip=self._f_breaker_trips.labels(mode=mode).inc,
                 )
                 self._breakers[mode] = breaker
             if not breaker.allows(time.monotonic()):
@@ -1177,13 +1446,13 @@ class SimulationService:
                         # waiting deadline; fail now so futures resolve
                         # before their callers' budgets do.
                         raise
-                    self._retries += 1
+                    self._m_retries.inc()
                     time.sleep(delay)
                     attempt += 1
                 else:
                     breaker.record_success()
                     if mode != configured:
-                        self._degraded_runs += 1
+                        self._m_degraded.inc()
                     return results
         if last_exc is not None:
             raise last_exc
@@ -1205,6 +1474,7 @@ class SimulationService:
         engine_kwargs = prep["engine_kwargs"]
         lut = prep["lut"]
         t0 = prep["t0"]
+        span = prep.get("span") or NULL_SPAN
         from repro.engine.engine import BatchEngine
         from repro.engine.trace import StreamingTrace
 
@@ -1228,7 +1498,7 @@ class SimulationService:
                 self._engines.pop(key, None)
                 self._close_engine(entry)
                 raise
-            self._engine_reuses += 1
+            acquired = "reuse"
         else:
             if is_fleet:
                 from repro.engine.fleet import FleetConfig, FleetEngine
@@ -1257,7 +1527,7 @@ class SimulationService:
                     population, lut, config=self.controller, **engine_kwargs
                 )
             entry = {"engine": engine, "fleet": is_fleet}
-            self._engine_builds += 1
+            acquired = "build"
             if cached:
                 self._engines[key] = entry
                 while len(self._engines) > self.config.engine_cache:
@@ -1265,6 +1535,7 @@ class SimulationService:
                     self._close_engine(old)
 
         engine = entry["engine"]
+        self._m_engine_acq[acquired].inc()
         t1 = time.perf_counter()
         try:
             if is_fleet:
@@ -1308,9 +1579,40 @@ class SimulationService:
                 values[name] = caster(reducers[name][i])
             results.append(values)
         t3 = time.perf_counter()
-        self._fanout_s += t1 - t0
-        self._dispatch_s += t2 - t1
-        self._merge_s += t3 - t2
+        self._h_phase["fanout"].observe(t1 - t0)
+        self._h_phase["run"].observe(t2 - t1)
+        self._h_phase["merge"].observe(t3 - t2)
+        shard_runs: Dict[int, float] = {}
+        roundtrips: Dict[int, float] = {}
+        if is_fleet:
+            timings = getattr(engine, "last_timings", None)
+            if timings:
+                shard_runs = timings.get("shard_run_s", {})
+                roundtrips = timings.get("worker_roundtrip_s", {})
+            for index in sorted(shard_runs):
+                self._h_shard_run.observe(shard_runs[index])
+            for worker in sorted(roundtrips):
+                self._h_roundtrip.observe(roundtrips[worker])
+        if span is not NULL_SPAN:
+            span.child(
+                "engine.fanout",
+                attrs={"mode": mode, "engine": acquired},
+                start_s=t0,
+            ).end(end_s=t1)
+            run_span = span.child(
+                "engine.run", attrs={"mode": mode, "dies": n}, start_s=t1
+            )
+            for index in sorted(shard_runs):
+                # Synthetic shard spans: the worker reports a duration,
+                # not absolute instants, so the span is anchored at the
+                # run start and flagged as reconstructed.
+                run_span.child(
+                    "engine.shard",
+                    attrs={"shard": index, "synthetic": True},
+                    start_s=t1,
+                ).end(end_s=t1 + shard_runs[index])
+            run_span.end(end_s=t2)
+            span.child("service.merge", start_s=t2).end(end_s=t3)
         return results
 
     @staticmethod
@@ -1325,47 +1627,147 @@ class SimulationService:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def stats(self) -> ServiceStats:
-        """Return a telemetry snapshot of the service so far."""
-        with self._lock:
-            return ServiceStats(
-                submitted=self._submitted,
-                completed=self._completed,
-                rejected=self._rejected,
-                shed=self._shed,
-                failed=self._failed,
-                cache_hits=self.cache.hits,
-                cache_misses=self.cache.misses,
-                batches=self._batches,
-                simulated_dies=self._simulated_dies,
-                coalesced_requests=self._coalesced_requests,
-                queue_depth=self._depth,
-                cache_entries=len(self.cache),
-                cache_bytes=self.cache.current_bytes,
-                elapsed_s=time.monotonic() - self._started,
-                engine_builds=self._engine_builds,
-                engine_reuses=self._engine_reuses,
-                fanout_s=self._fanout_s,
-                dispatch_s=self._dispatch_s,
-                merge_s=self._merge_s,
-                retries=self._retries,
-                degraded_runs=self._degraded_runs,
-                breaker_trips=sum(
-                    self._breakers[mode].trips
-                    for mode in sorted(self._breakers)
-                ),
-                cache_corruptions=self._cache_corruptions + (
-                    0 if self._persist is None
-                    else self._persist.corruptions
-                ),
-                persist_hits=self._persist_hits,
-                persist_misses=self._persist_misses,
-                persist_entries=(
-                    0 if self._persist is None else len(self._persist)
-                ),
-                persist_bytes=(
-                    0 if self._persist is None
-                    else self._persist.current_bytes
-                ),
-                tenants=len(self._queues),
+    def _refresh_observed(self) -> None:
+        """Bridge lock-guarded plain-int state into the registry.
+
+        Caller holds ``self._lock``; every source below is mutated only
+        under that same lock, so the set_total values form one coherent
+        cut (this is what makes ``/stats`` reads un-tearable)."""
+        self._m_requests["submitted"].set_total(self._submitted)
+        self._m_requests["completed"].set_total(self._completed)
+        self._m_requests["rejected"].set_total(self._rejected)
+        self._m_requests["shed"].set_total(self._shed)
+        self._m_requests["failed"].set_total(self._failed)
+        self._m_batches.set_total(self._batches)
+        self._m_dies.set_total(self._simulated_dies)
+        self._m_coalesced.set_total(self._coalesced_requests)
+        self._g_in_flight.set(float(self._in_flight))
+        self._g_queue_depth.set(float(self._depth))
+        self._g_tenants.set(float(len(self._queues)))
+        self._g_uptime.set(time.monotonic() - self._started)
+        self._f_tenant_depth.clear_children()
+        for tenant in sorted(self._queues):
+            buckets = self._queues[tenant]
+            count = 0
+            for priority in sorted(buckets):
+                count += len(buckets[priority])
+            self._f_tenant_depth.labels(tenant=tenant).set(float(count))
+        cache = self.cache
+        self._m_cache_lookups.labels(tier="memory").set_total(cache.lookups)
+        self._m_cache_hits.labels(tier="memory").set_total(cache.hits)
+        self._m_cache_misses.labels(tier="memory").set_total(cache.misses)
+        self._m_cache_evictions.labels(tier="memory").set_total(
+            cache.evictions
+        )
+        self._g_cache_entries.labels(tier="memory").set(float(len(cache)))
+        self._g_cache_bytes.labels(tier="memory").set(
+            float(cache.current_bytes)
+        )
+        corruptions = self._cache_corruptions
+        if self._persist is not None:
+            persist = self._persist
+            corruptions += persist.corruptions
+            self._m_cache_lookups.labels(tier="disk").set_total(
+                persist.lookups
             )
+            self._m_cache_hits.labels(tier="disk").set_total(persist.hits)
+            self._m_cache_misses.labels(tier="disk").set_total(
+                persist.misses
+            )
+            self._m_cache_evictions.labels(tier="disk").set_total(
+                persist.evictions
+            )
+            self._g_cache_entries.labels(tier="disk").set(
+                float(len(persist))
+            )
+            self._g_cache_bytes.labels(tier="disk").set(
+                float(persist.current_bytes)
+            )
+        self._m_corruptions.set_total(corruptions)
+        self._m_persist_hits.set_total(self._persist_hits)
+        self._m_persist_misses.set_total(self._persist_misses)
+
+    def metrics_snapshot(self):
+        """Return a point-in-time :class:`RegistrySnapshot`.
+
+        Bridged counters are refreshed under the service lock first, so
+        cross-series invariants (``hits + misses == lookups``,
+        ``submitted == completed + shed + failed + queue_depth +
+        in_flight``) hold inside every snapshot — no torn reads.
+        """
+        with self._lock:
+            self._refresh_observed()
+        return self.metrics.snapshot()
+
+    def stats(self) -> ServiceStats:
+        """Return a telemetry snapshot of the service so far.
+
+        Built entirely from one :meth:`metrics_snapshot`, so every
+        field belongs to the same consistent cut of the counters.
+        """
+        snap = self.metrics_snapshot()
+        value = snap.value
+
+        def outcome(name: str) -> int:
+            return int(value("repro_service_requests_total", outcome=name))
+
+        phase_sum = {}
+        for phase in ("fanout", "run", "merge"):
+            data = snap.histogram(
+                "repro_service_phase_seconds", phase=phase
+            )
+            phase_sum[phase] = 0.0 if data is None else data.sum
+        return ServiceStats(
+            submitted=outcome("submitted"),
+            completed=outcome("completed"),
+            rejected=outcome("rejected"),
+            shed=outcome("shed"),
+            failed=outcome("failed"),
+            cache_hits=int(value("repro_cache_hits_total", tier="memory")),
+            cache_misses=int(
+                value("repro_cache_misses_total", tier="memory")
+            ),
+            batches=int(value("repro_service_batches_total")),
+            simulated_dies=int(
+                value("repro_service_simulated_dies_total")
+            ),
+            coalesced_requests=int(
+                value("repro_service_coalesced_requests_total")
+            ),
+            queue_depth=int(value("repro_service_queue_depth")),
+            cache_entries=int(value("repro_cache_entries", tier="memory")),
+            cache_bytes=int(value("repro_cache_bytes", tier="memory")),
+            elapsed_s=value("repro_service_uptime_seconds"),
+            engine_builds=int(
+                value(
+                    "repro_service_engine_acquisitions_total", kind="build"
+                )
+            ),
+            engine_reuses=int(
+                value(
+                    "repro_service_engine_acquisitions_total", kind="reuse"
+                )
+            ),
+            fanout_s=phase_sum["fanout"],
+            dispatch_s=phase_sum["run"],
+            merge_s=phase_sum["merge"],
+            retries=int(value("repro_service_retries_total")),
+            degraded_runs=int(value("repro_service_degraded_runs_total")),
+            breaker_trips=int(
+                snap.total("repro_service_breaker_trips_total")
+            ),
+            cache_corruptions=int(
+                value("repro_cache_corruptions_total")
+            ),
+            persist_hits=int(value("repro_service_persist_hits_total")),
+            persist_misses=int(
+                value("repro_service_persist_misses_total")
+            ),
+            persist_entries=int(value("repro_cache_entries", tier="disk")),
+            persist_bytes=int(value("repro_cache_bytes", tier="disk")),
+            tenants=int(value("repro_service_tenants_pending")),
+            in_flight=int(value("repro_service_in_flight")),
+            cache_lookups=int(
+                value("repro_cache_lookups_total", tier="memory")
+            ),
+        )

@@ -63,6 +63,7 @@ class PersistentCache:
         # key -> file size in bytes; least-recently-used first.
         self._index: "OrderedDict[str, int]" = OrderedDict()
         self.current_bytes = 0
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -74,7 +75,14 @@ class PersistentCache:
 
     def _scan(self) -> None:
         """Rebuild the index from the directory (oldest mtime first, so
-        pre-existing entries evict before anything touched this run)."""
+        pre-existing entries evict before anything touched this run).
+
+        Filesystems with coarse mtime granularity (FAT's 2s, or a 1s
+        ext3 mount) can stamp many entries with the *same* mtime; ties
+        are broken by key so the recovered eviction order — and
+        therefore which entries a shrunken budget drops — is identical
+        on every platform.
+        """
         entries = []
         for path in self.directory.glob("*.json"):
             key = path.stem
@@ -85,7 +93,9 @@ class PersistentCache:
             except OSError:
                 continue
             entries.append((stat.st_mtime, key, stat.st_size))
-        for _, key, size in sorted(entries):
+        for _, key, size in sorted(
+            entries, key=lambda entry: (entry[0], entry[1])
+        ):
             self._index[key] = int(size)
             self.current_bytes += int(size)
         self._evict_over_budget()
@@ -101,6 +111,7 @@ class PersistentCache:
         miss.  An unreadable or non-dict entry is corrupt: unlinked,
         counted, and reported as a miss."""
         with self._lock:
+            self.lookups += 1
             if key not in self._index:
                 self.misses += 1
                 return None

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -155,12 +155,18 @@ class CircuitBreaker:
     shared between the background coalescer and gateway threads.
     """
 
-    def __init__(self, threshold: int, cooldown_s: float) -> None:
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        on_trip: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.threshold = threshold
         self.cooldown_s = cooldown_s
         self.failures = 0
         self.open_until: Optional[float] = None
         self.trips = 0
+        self._on_trip = on_trip
         self._probing = False
         self._lock = threading.Lock()
 
@@ -182,6 +188,7 @@ class CircuitBreaker:
             return True
 
     def record_failure(self, now: float) -> None:
+        tripped = False
         with self._lock:
             self._probing = False
             self.failures += 1
@@ -194,6 +201,11 @@ class CircuitBreaker:
                 self.open_until = now + self.cooldown_s
                 self.trips += 1
                 self.failures = 0
+                tripped = True
+        # The trip hook (metrics counter) runs outside the breaker lock
+        # so an instrumented callback can never deadlock against it.
+        if tripped and self._on_trip is not None:
+            self._on_trip()
 
     def record_success(self) -> None:
         with self._lock:

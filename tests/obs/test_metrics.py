@@ -1,0 +1,175 @@
+"""Typed metrics registry: instruments, snapshots, exposition.
+
+The registry's contract: cheap lock-striped writes on the hot path, and
+``snapshot()`` returning one point-in-time-consistent cut (all stripes
+held) that renders to valid Prometheus text exposition and parses back
+losslessly.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    histogram_from_samples,
+    parse_prometheus_text,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help").labels()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_set_total_bridges_external_state(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("bridged_total", "help").labels()
+        counter.set_total(41)
+        counter.set_total(42)
+        assert counter.value == 42.0
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help").labels()
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_are_log_spaced_and_fixed(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(1e2)
+        ratios = [
+            DEFAULT_BUCKETS[i + 1] / DEFAULT_BUCKETS[i]
+            for i in range(len(DEFAULT_BUCKETS) - 1)
+        ]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_registering_same_family_twice_returns_it(self):
+        registry = MetricsRegistry()
+        first = registry.counter("dup_total", "help")
+        second = registry.counter("dup_total", "help")
+        assert first is second
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("kind_total", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("kind_total", "help")
+
+    def test_labeled_children_are_cached(self):
+        registry = MetricsRegistry()
+        family = registry.counter("l_total", "help", labelnames=("t",))
+        assert family.labels(t="a") is family.labels(t="a")
+        family.labels(t="a").inc()
+        family.labels(t="b").inc(2)
+        snap = registry.snapshot()
+        assert snap.value("l_total", t="a") == 1.0
+        assert snap.value("l_total", t="b") == 2.0
+        assert snap.total("l_total") == 3.0
+
+
+class TestSnapshot:
+    def test_value_default_for_missing_series(self):
+        registry = MetricsRegistry()
+        registry.counter("present_total", "help")
+        snap = registry.snapshot()
+        assert snap.value("present_total") == 0.0
+        assert snap.value("present_total", tier="nope", default=-1.0) == -1.0
+
+    def test_histogram_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "help").labels()
+        for value in (0.001, 0.002, 0.004, 0.008, 1.0):
+            hist.observe(value)
+        data = registry.snapshot().histogram("h_seconds")
+        assert data.count == 5
+        assert data.sum == pytest.approx(1.015)
+        # Interpolated quantiles land within the observed bucket range.
+        assert 0.001 <= data.quantile(0.5) <= 0.01
+        assert data.quantile(0.99) <= 110.0
+
+    def test_snapshot_is_point_in_time_under_concurrent_writes(self):
+        registry = MetricsRegistry()
+        a = registry.counter("a_total", "help").labels()
+        b = registry.counter("b_total", "help").labels()
+        stop = threading.Event()
+
+        def writer():
+            # a is always incremented before b: a >= b in any
+            # consistent cut.
+            while not stop.is_set():
+                a.inc()
+                b.inc()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                assert snap.value("a_total") >= snap.value("b_total")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_demo_requests_total", "Requests.",
+            labelnames=("outcome",),
+        ).labels(outcome="completed").inc(7)
+        registry.gauge("repro_demo_depth", "Depth.").labels().set(3.0)
+        hist = registry.histogram(
+            "repro_demo_seconds", "Latency.", labelnames=("phase",)
+        )
+        for value in (0.001, 0.02, 5.0):
+            hist.labels(phase="run").observe(value)
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = self._registry().snapshot().to_prometheus()
+        assert "# HELP repro_demo_requests_total Requests." in text
+        assert "# TYPE repro_demo_requests_total counter" in text
+        assert (
+            'repro_demo_requests_total{outcome="completed"} 7' in text
+        )
+        assert "# TYPE repro_demo_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_demo_seconds_sum" in text
+        assert "repro_demo_seconds_count" in text
+
+    def test_text_parses_back_losslessly(self):
+        snap = self._registry().snapshot()
+        samples = parse_prometheus_text(snap.to_prometheus())
+        assert samples[
+            ("repro_demo_requests_total", (("outcome", "completed"),))
+        ] == 7.0
+        assert samples[("repro_demo_depth", ())] == 3.0
+        rebuilt = histogram_from_samples(
+            samples, "repro_demo_seconds", phase="run"
+        )
+        original = snap.histogram("repro_demo_seconds", phase="run")
+        assert rebuilt.count == original.count == 3
+        assert rebuilt.sum == pytest.approx(original.sum)
+        assert rebuilt.quantile(0.5) == pytest.approx(
+            original.quantile(0.5)
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_esc", "help", labelnames=("t",)
+        ).labels(t='a"b\\c\nd').set(1.0)
+        text = registry.snapshot().to_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # And the parser undoes the escaping.
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_esc", (("t", 'a"b\\c\nd'),))] == 1.0

@@ -1,0 +1,151 @@
+"""Tracing primitives and the JSONL span exporter.
+
+Pinned contracts: span timestamps are perf_counter readings (never wall
+clock); the sampling verdict is a pure function of the trace id (same
+keep/drop on every host); unsampled spans are the shared no-op; the
+exporter appends whole lines atomically and rotates by byte budget.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    Tracer,
+    parse_trace_id,
+)
+
+
+class TestParseTraceId:
+    def test_accepts_hex_of_reasonable_length(self):
+        assert parse_trace_id("abcdef01") == "abcdef01"
+        assert parse_trace_id("A" * 32) == "a" * 32
+
+    @pytest.mark.parametrize(
+        "bad", ("", None, "xyz", "abc", "g" * 16, "a" * 65, "ab cd")
+    )
+    def test_rejects_garbage(self, bad):
+        assert parse_trace_id(bad) is None
+
+
+class TestTracer:
+    def test_spans_export_on_end_with_parentage(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        root = tracer.start("root", attrs={"k": 1})
+        child = root.child("child")
+        child.end()
+        root.end()
+        records = exporter.records()
+        assert [r["name"] for r in records] == ["child", "root"]
+        child_rec, root_rec = records
+        assert child_rec["trace_id"] == root_rec["trace_id"]
+        assert child_rec["parent_id"] == root_rec["span_id"]
+        assert root_rec["parent_id"] is None
+        assert root_rec["attrs"] == {"k": 1}
+        assert root_rec["duration_s"] >= 0.0
+
+    def test_no_exporter_means_null_spans(self):
+        tracer = Tracer()
+        assert tracer.start("anything") is NULL_SPAN
+
+    def test_null_span_absorbs_everything(self):
+        span = NULL_SPAN.child("x").set(a=1)
+        assert span is NULL_SPAN
+        assert span.end(end_s=1.0) is None
+        assert span.context is None
+
+    def test_sampling_verdict_is_deterministic_per_trace_id(self):
+        exporter = InMemorySpanExporter()
+        half = Tracer(exporter=exporter, sample_rate=0.5)
+        verdicts = {
+            trace_id: half.sampled(trace_id)
+            for trace_id in ("00" * 16, "7f" + "0" * 30, "ff" * 16)
+        }
+        assert verdicts["00" * 16] is True      # head 0 < threshold
+        assert verdicts["ff" * 16] is False     # head max >= threshold
+        # Same verdict from an independent tracer (wire propagation).
+        other = Tracer(exporter=InMemorySpanExporter(), sample_rate=0.5)
+        for trace_id, verdict in verdicts.items():
+            assert other.sampled(trace_id) is verdict
+
+    def test_rate_zero_drops_and_rate_one_keeps(self):
+        exporter = InMemorySpanExporter()
+        assert Tracer(exporter, sample_rate=0.0).start("x") is NULL_SPAN
+        span = Tracer(exporter, sample_rate=1.0).start("x")
+        assert span is not NULL_SPAN
+        span.end()
+        assert exporter.records()
+
+    def test_children_inherit_the_parent_verdict(self):
+        tracer = Tracer(exporter=InMemorySpanExporter(), sample_rate=1.0)
+        root = tracer.start("root", trace_id="ab" * 8)
+        assert root.child("child") is not NULL_SPAN
+        assert NULL_SPAN.child("child") is NULL_SPAN
+
+    def test_retroactive_timestamps_are_honoured(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        span = tracer.start("phase", start_s=10.0)
+        span.end(end_s=12.5)
+        record = exporter.records()[0]
+        assert record["start_s"] == 10.0
+        assert record["end_s"] == 12.5
+        assert record["duration_s"] == pytest.approx(2.5)
+
+    def test_context_manager_records_errors(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with pytest.raises(RuntimeError):
+            with tracer.start("guarded"):
+                raise RuntimeError("boom")
+        record = exporter.records()[0]
+        assert "RuntimeError" in record["attrs"]["error"]
+
+
+class TestJsonlExporter:
+    def _record(self, index):
+        return {
+            "trace_id": "ab" * 16,
+            "span_id": f"{index:016x}",
+            "parent_id": None,
+            "name": "s",
+            "start_s": 0.0,
+            "end_s": 1.0,
+            "duration_s": 1.0,
+            "attrs": {},
+        }
+
+    def test_appends_one_json_line_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanExporter(path) as exporter:
+            for index in range(3):
+                exporter.export(self._record(index))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["span_id"] for line in lines] == [
+            "0" * 15 + "0", "0" * 15 + "1", "0" * 15 + "2",
+        ]
+
+    def test_rotates_past_the_byte_budget(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanExporter(path, max_bytes=4096) as exporter:
+            for index in range(64):
+                exporter.export(self._record(index))
+        rotated = tmp_path / "spans.jsonl.1"
+        assert rotated.exists()
+        assert path.stat().st_size <= 4096
+        # Every line in both files is complete and parseable — rotation
+        # never splits a record.
+        for file in (path, rotated):
+            for line in file.read_text().splitlines():
+                assert json.loads(line)["name"] == "s"
+
+    def test_reopens_after_close_is_an_error_free_noop(self, tmp_path):
+        exporter = JsonlSpanExporter(tmp_path / "spans.jsonl")
+        exporter.export(self._record(0))
+        exporter.close()
+        exporter.close()  # idempotent

@@ -228,3 +228,114 @@ class TestStatusMapping:
         )
         assert got == 503
         assert "shutting down" in payload["error"]
+
+
+def _post_on(connection, path, payload):
+    """POST one JSON body over an already-open keep-alive connection."""
+    connection.request(
+        "POST", path, json.dumps(payload).encode("utf-8"),
+        {"Content-Type": "application/json"},
+    )
+    response = connection.getresponse()
+    return response.status, json.loads(response.read())
+
+
+class TestKeepAliveReuse:
+    """Error responses must not poison a persistent connection.
+
+    Every case drives a single HTTP/1.1 connection through an error
+    exchange and then a normal ``/simulate`` on the *same* socket — if
+    the error path left request-body bytes unread (or closed the
+    socket), the follow-up request would fail or misparse.
+    """
+
+    def _open(self, gateway):
+        host, port = gateway.address
+        return http.client.HTTPConnection(host, port, timeout=60)
+
+    def test_connection_survives_429_then_serves(
+        self, gateway, monkeypatch
+    ):
+        connection = self._open(gateway)
+        try:
+            with monkeypatch.context() as patched:
+                def rejecting_submit(request):
+                    raise AdmissionError("queue at capacity")
+
+                patched.setattr(
+                    gateway.service, "submit", rejecting_submit
+                )
+                status, _ = _post_on(
+                    connection, "/simulate", {"cycles": 10}
+                )
+                assert status == 429
+            status, payload = _post_on(
+                connection, "/simulate", {"cycles": 10}
+            )
+            assert status == 200
+            assert "values" in payload
+        finally:
+            connection.close()
+
+    def test_connection_survives_504_then_serves(
+        self, gateway, monkeypatch
+    ):
+        connection = self._open(gateway)
+        try:
+            with monkeypatch.context() as patched:
+                def shedding_submit(request):
+                    raise DeadlineExceeded("shed")
+
+                patched.setattr(
+                    gateway.service, "submit", shedding_submit
+                )
+                status, _ = _post_on(
+                    connection, "/simulate", {"cycles": 12}
+                )
+                assert status == 504
+            status, payload = _post_on(
+                connection, "/simulate", {"cycles": 12}
+            )
+            assert status == 200
+            assert "values" in payload
+        finally:
+            connection.close()
+
+    def test_connection_survives_post_404_with_body_then_serves(
+        self, gateway
+    ):
+        # The 404 short-circuit happens before request parsing; the
+        # handler must still consume the posted body or these bytes
+        # would prefix the next request on this connection.
+        connection = self._open(gateway)
+        try:
+            status, _ = _post_on(
+                connection, "/nope", {"cycles": 10, "junk": "x" * 512}
+            )
+            assert status == 404
+            status, payload = _post_on(
+                connection, "/simulate", {"cycles": 14}
+            )
+            assert status == 200
+            assert "values" in payload
+        finally:
+            connection.close()
+
+    def test_connection_survives_503_then_serves(
+        self, gateway, monkeypatch
+    ):
+        connection = self._open(gateway)
+        try:
+            with monkeypatch.context() as patched:
+                patched.setattr(gateway, "_closing", True)
+                status, _ = _post_on(
+                    connection, "/simulate", {"cycles": 16}
+                )
+                assert status == 503
+            status, payload = _post_on(
+                connection, "/simulate", {"cycles": 16}
+            )
+            assert status == 200
+            assert "values" in payload
+        finally:
+            connection.close()

@@ -82,6 +82,28 @@ class TestPersistentCacheUnit:
         assert store.get(KEY_A) is None
         assert len(store) == 0
 
+    def test_equal_mtime_rescan_evicts_by_key_order(self, tmp_path):
+        """Coarse-mtime filesystems can stamp many entries identically;
+        the rescan must break ties by key so a shrunken budget evicts
+        the same entries on every platform."""
+        import os
+
+        store = PersistentCache(tmp_path)
+        keys = [KEY_C, KEY_A, KEY_B]  # insertion order != key order
+        for key in keys:
+            store.put(key, VALUE)
+        stamp = os.stat(tmp_path / f"{KEY_A}.json").st_mtime
+        for key in keys:
+            os.utime(tmp_path / f"{key}.json", (stamp, stamp))
+        entry_bytes = len(json.dumps(VALUE).encode())
+        reopened = PersistentCache(tmp_path, max_bytes=entry_bytes)
+        # All three mtimes tie, so the scan orders a < b < c and the
+        # one-entry budget keeps only the lexically largest key.
+        assert reopened.evictions == 2
+        assert KEY_A not in reopened
+        assert KEY_B not in reopened
+        assert reopened.get(KEY_C) == VALUE
+
     def test_restart_rebuilds_index_and_entries(self, tmp_path):
         store = PersistentCache(tmp_path)
         store.put(KEY_A, VALUE)
